@@ -1,0 +1,18 @@
+//! FIG4: times a full old+new derivation per kernel (the engine itself is a
+//! deliverable; Figure 4 is regenerated from these derivations).
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig4_derivation");
+    g.sample_size(10);
+    for (program, name, stmt) in iolb_bench::paper_kernels() {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                iolb_core::report::analyze_kernel(&program, name, stmt).expect("derivation")
+            })
+        });
+    }
+    g.finish();
+}
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,16 @@
+//! FIG5: times the Figure-5 parity evaluation (paper formulas vs engine
+//! formulas across the default grid) and asserts parity as a side effect.
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let reports = iolb_bench::derive_all();
+    // Assert the parity property once, so `cargo bench` also validates.
+    for p in iolb_core::report::fig5_parity(&reports, 16384, 4096, 1024) {
+        assert!((p.engine_new / p.paper_new - 1.0).abs() < 0.05, "{}", p.kernel);
+    }
+    c.bench_function("fig5_parity_grid", |b| {
+        b.iter(|| iolb_core::report::fig5_table(&reports))
+    });
+}
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Native kernel throughput: the f64 implementations used as numerical
+//! ground truth (also demonstrates the tiled orderings cost no extra flops).
+use criterion::{criterion_group, criterion_main, Criterion};
+use iolb_kernels::Matrix;
+
+fn bench(c: &mut Criterion) {
+    let a = Matrix::random(128, 64, 42);
+    let mut g = c.benchmark_group("kernels_native");
+    g.sample_size(20);
+    g.bench_function("mgs_128x64", |b| b.iter(|| iolb_kernels::mgs::native(&a)));
+    g.bench_function("mgs_tiled_128x64_b8", |b| {
+        b.iter(|| iolb_kernels::mgs::tiled_native(&a, 8))
+    });
+    g.bench_function("a2v_128x64", |b| {
+        b.iter(|| iolb_kernels::householder::a2v_native(&a))
+    });
+    let (vr, tau) = iolb_kernels::householder::a2v_native(&a);
+    g.bench_function("v2q_128x64", |b| {
+        b.iter(|| iolb_kernels::householder::v2q_native(&vr, &tau))
+    });
+    g.bench_function("gebd2_128x64", |b| b.iter(|| iolb_kernels::gebd2::native(&a)));
+    let sq = Matrix::random(96, 96, 43);
+    g.bench_function("gehd2_96", |b| b.iter(|| iolb_kernels::gehd2::native(&sq)));
+    g.finish();
+}
+criterion_group!(benches, bench);
+criterion_main!(benches);

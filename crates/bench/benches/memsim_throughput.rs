@@ -1,0 +1,23 @@
+//! Substrate throughput: accesses/second of the LRU and Belady-MIN
+//! simulators (they gate how large the Appendix sweeps can go).
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use iolb_memsim::{lru_stats, min_stats, Access};
+use rand::prelude::*;
+
+fn bench(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(7);
+    let trace: Vec<Access> = (0..200_000)
+        .map(|_| Access {
+            cell: rng.gen_range(0..4096),
+            write: rng.gen_bool(0.3),
+        })
+        .collect();
+    let mut g = c.benchmark_group("memsim_throughput");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(trace.len() as u64));
+    g.bench_function("lru_200k", |b| b.iter(|| lru_stats(1024, &trace)));
+    g.bench_function("belady_min_200k", |b| b.iter(|| min_stats(1024, &trace)));
+    g.finish();
+}
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,6 @@
+//! Regenerates Figure 4: asymptotic data-movement lower bounds, old
+//! (classical K-partitioning) vs new (hourglass), per kernel.
+fn main() {
+    let reports = iolb_bench::derive_all();
+    print!("{}", iolb_core::report::fig4_table(&reports));
+}

@@ -1,0 +1,6 @@
+//! Regenerates Figure 5: full parametric bounds with constants; prints the
+//! paper formula next to the engine derivation with their ratio.
+fn main() {
+    let reports = iolb_bench::derive_all();
+    print!("{}", iolb_core::report::fig5_table(&reports));
+}

@@ -1,0 +1,203 @@
+//! Exact CDAG construction from an interpreted run.
+//!
+//! The builder is an [`ExecSink`]: the interpreter executes the program in
+//! schedule order; every read is wired to the *last writer* of the cell (or
+//! to an input node when the cell was never written). The result is the
+//! precise flow-dependence CDAG of the paper — no approximation — which the
+//! symbolic analyses are certified against.
+//!
+//! Inputs and computes are allocated in separate id spaces during the run
+//! and merged at [`CdagBuilder::finish`]: all inputs first (they carry the
+//! initial white pebbles), then computes in schedule order, so every edge is
+//! forward and `inputs.len()..len()` is a valid sequential schedule.
+
+use crate::graph::{Cdag, NodeKind};
+#[cfg(test)]
+use crate::graph::NodeId;
+use iolb_ir::{ArrayId, ExecSink, Interpreter, Program, StmtId, Store};
+use std::collections::HashMap;
+
+#[derive(Debug, Clone, Copy)]
+enum End {
+    Input(u32),
+    Compute(u32),
+}
+
+/// [`ExecSink`] that records nodes and flow edges.
+#[derive(Debug, Default)]
+pub struct CdagBuilder {
+    computes: Vec<(StmtId, Box<[i32]>)>,
+    inputs: Vec<(ArrayId, usize)>,
+    edges: Vec<(End, u32)>,
+    /// cell → producing compute (in compute id space)
+    last_writer: HashMap<(u32, usize), u32>,
+    /// cell → input node (in input id space)
+    input_node: HashMap<(u32, usize), u32>,
+}
+
+impl CdagBuilder {
+    /// Fresh builder.
+    pub fn new() -> CdagBuilder {
+        CdagBuilder::default()
+    }
+
+    /// Finalizes into a [`Cdag`].
+    pub fn finish(self) -> Cdag {
+        let n_in = self.inputs.len() as u32;
+        let mut kinds = Vec::with_capacity(self.inputs.len() + self.computes.len());
+        for (array, flat) in self.inputs {
+            kinds.push(NodeKind::Input { array, flat });
+        }
+        for (stmt, iv) in self.computes {
+            kinds.push(NodeKind::Compute { stmt, iv });
+        }
+        let edges = self
+            .edges
+            .into_iter()
+            .map(|(from, to)| {
+                let f = match from {
+                    End::Input(i) => i,
+                    End::Compute(c) => n_in + c,
+                };
+                (f, n_in + to)
+            })
+            .collect();
+        Cdag::from_edges(kinds, edges)
+    }
+
+    fn current(&self) -> u32 {
+        (self.computes.len() - 1) as u32
+    }
+}
+
+impl ExecSink for CdagBuilder {
+    fn on_stmt(&mut self, stmt: StmtId, iv: &[i64]) {
+        self.computes
+            .push((stmt, iv.iter().map(|&x| x as i32).collect()));
+    }
+
+    fn on_read(&mut self, array: ArrayId, flat: usize) {
+        let cur = self.current();
+        let key = (array.0, flat);
+        let from = match self.last_writer.get(&key) {
+            Some(&w) => End::Compute(w),
+            None => {
+                let id = *self.input_node.entry(key).or_insert_with(|| {
+                    self.inputs.push((array, flat));
+                    (self.inputs.len() - 1) as u32
+                });
+                End::Input(id)
+            }
+        };
+        self.edges.push((from, cur));
+    }
+
+    fn on_write(&mut self, array: ArrayId, flat: usize) {
+        let cur = self.current();
+        self.last_writer.insert((array.0, flat), cur);
+    }
+}
+
+/// Runs `program` at `params` and returns its exact CDAG.
+pub fn build_cdag(program: &Program, params: &[i64]) -> Cdag {
+    let mut builder = CdagBuilder::new();
+    let mut store = Store::init(program, params, |a, f| 1.0 + a.0 as f64 + f as f64 * 0.25);
+    Interpreter::new(program, params).run(&mut store, &mut builder);
+    builder.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iolb_ir::{Access, ProgramBuilder};
+
+    /// prefix-sum: `for i in 1..N { x[i] = x[i] + x[i-1] }`
+    fn prefix() -> iolb_ir::Program {
+        let mut b = ProgramBuilder::new("prefix_cdag", &["N"]);
+        let x = b.array("x", &[b.p("N")]);
+        let i = b.open("i", b.c(1), b.p("N"));
+        let xi = Access::new(x, vec![b.d(i)]);
+        let xm = Access::new(x, vec![b.d(i) - 1]);
+        b.stmt("S", vec![xi.clone(), xm], vec![xi], move |c| {
+            let v = c.rd(x, &[c.v(0)]) + c.rd(x, &[c.v(0) - 1]);
+            c.wr(x, &[c.v(0)], v);
+        });
+        b.close();
+        b.finish()
+    }
+
+    #[test]
+    fn chain_structure() {
+        let p = prefix();
+        let g = build_cdag(&p, &[5]);
+        // S[i] reads x[i] (input: first touch) and x[i-1] (S[i-1]'s output
+        // for i ≥ 2, input x[0] for i = 1): 4 computes + 5 inputs.
+        assert_eq!(g.num_computes(), 4);
+        assert_eq!(g.input_nodes().count(), 5);
+        let s = p.stmt_id("S").unwrap();
+        let n1 = g.node_of(s, &[1]).unwrap();
+        let n4 = g.node_of(s, &[4]).unwrap();
+        assert!(g.has_path(n1, n4));
+        assert!(!g.has_path(n4, n1));
+    }
+
+    #[test]
+    fn inputs_precede_computes() {
+        let p = prefix();
+        let g = build_cdag(&p, &[6]);
+        let first_compute = g.compute_nodes().next().unwrap();
+        for i in g.input_nodes() {
+            assert!(i < first_compute);
+        }
+        for v in 0..g.len() as u32 {
+            for &w in g.succs(NodeId(v)) {
+                assert!(w > v, "forward edge {v}->{w}");
+            }
+        }
+    }
+
+    #[test]
+    fn reduction_fan_in() {
+        // acc = 0; for i in 0..N { acc += x[i] }: node S[i] depends on
+        // S[i-1] (acc) and input x[i].
+        let mut b = ProgramBuilder::new("red_cdag", &["N"]);
+        let x = b.array("x", &[b.p("N")]);
+        let acc = b.scalar("acc");
+        let wa = Access::new(acc, vec![]);
+        b.stmt("Z", vec![], vec![wa.clone()], move |c| c.wr(acc, &[], 0.0));
+        let i = b.open("i", b.c(0), b.p("N"));
+        let xi = Access::new(x, vec![b.d(i)]);
+        b.stmt("S", vec![xi, wa.clone()], vec![wa], move |c| {
+            let v = c.rd(x, &[c.v(0)]) + c.rd(acc, &[]);
+            c.wr(acc, &[], v);
+        });
+        b.close();
+        let p = b.finish();
+        let g = build_cdag(&p, &[4]);
+        let s = p.stmt_id("S").unwrap();
+        let z = p.stmt_id("Z").unwrap();
+        let n0 = g.node_of(s, &[0]).unwrap();
+        let n3 = g.node_of(s, &[3]).unwrap();
+        let nz = g.node_of(z, &[]).unwrap();
+        assert!(g.has_path(nz, n3));
+        assert!(g.has_path(n0, n3));
+        assert_eq!(g.preds(n3).len(), 2); // x[3] input + S[2]
+    }
+
+    #[test]
+    fn repeated_reads_dedup_edges() {
+        // S reads x[0] twice: one edge only.
+        let mut b = ProgramBuilder::new("dup_cdag", &["N"]);
+        let x = b.array("x", &[b.p("N")]);
+        let y = b.scalar("y");
+        let rx = Access::new(x, vec![b.c(0)]);
+        let wy = Access::new(y, vec![]);
+        b.stmt("S", vec![rx], vec![wy], move |c| {
+            let v = c.rd(x, &[0]) * c.rd(x, &[0]);
+            c.wr(y, &[], v);
+        });
+        let p = b.finish();
+        let g = build_cdag(&p, &[3]);
+        assert_eq!(g.num_edges(), 1);
+    }
+}

@@ -1,0 +1,362 @@
+//! The computational DAG and its set analyses.
+
+use iolb_ir::{ArrayId, StmtId};
+use std::collections::{BTreeSet, VecDeque};
+
+/// Node identifier inside a [`Cdag`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u32);
+
+/// Kind of a CDAG node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NodeKind {
+    /// A program input datum (`array[flat]` before any write).
+    Input {
+        /// Array holding the datum.
+        array: ArrayId,
+        /// Flat element index.
+        flat: usize,
+    },
+    /// A statement instance.
+    Compute {
+        /// The statement.
+        stmt: StmtId,
+        /// Its iteration vector.
+        iv: Box<[i32]>,
+    },
+}
+
+/// A computational DAG in CSR form.
+///
+/// Compute nodes appear in *schedule order* (the order the interpreter
+/// executed them), so `0..n` restricted to compute nodes is always a valid
+/// sequential schedule.
+#[derive(Debug)]
+pub struct Cdag {
+    kinds: Vec<NodeKind>,
+    pred_off: Vec<u32>,
+    preds: Vec<u32>,
+    succ_off: Vec<u32>,
+    succs: Vec<u32>,
+}
+
+impl Cdag {
+    /// Builds from node kinds and a (deduplicated) edge list `from → to`.
+    pub fn from_edges(kinds: Vec<NodeKind>, mut edges: Vec<(u32, u32)>) -> Cdag {
+        let n = kinds.len();
+        edges.sort_unstable();
+        edges.dedup();
+        for &(a, b) in &edges {
+            assert!(a < b, "edges must go forward in schedule order ({a} -> {b})");
+            assert!((b as usize) < n, "edge endpoint out of range");
+        }
+        let mut pred_cnt = vec![0u32; n];
+        let mut succ_cnt = vec![0u32; n];
+        for &(a, b) in &edges {
+            succ_cnt[a as usize] += 1;
+            pred_cnt[b as usize] += 1;
+        }
+        let mut pred_off = vec![0u32; n + 1];
+        let mut succ_off = vec![0u32; n + 1];
+        for i in 0..n {
+            pred_off[i + 1] = pred_off[i] + pred_cnt[i];
+            succ_off[i + 1] = succ_off[i] + succ_cnt[i];
+        }
+        let mut preds = vec![0u32; edges.len()];
+        let mut succs = vec![0u32; edges.len()];
+        let mut pfill = pred_off.clone();
+        let mut sfill = succ_off.clone();
+        for &(a, b) in &edges {
+            succs[sfill[a as usize] as usize] = b;
+            sfill[a as usize] += 1;
+            preds[pfill[b as usize] as usize] = a;
+            pfill[b as usize] += 1;
+        }
+        Cdag {
+            kinds,
+            pred_off,
+            preds,
+            succ_off,
+            succs,
+        }
+    }
+
+    /// Number of nodes (inputs + computes).
+    pub fn len(&self) -> usize {
+        self.kinds.len()
+    }
+
+    /// True when the graph has no node.
+    pub fn is_empty(&self) -> bool {
+        self.kinds.is_empty()
+    }
+
+    /// Node kind.
+    pub fn kind(&self, v: NodeId) -> &NodeKind {
+        &self.kinds[v.0 as usize]
+    }
+
+    /// Predecessors of `v`.
+    pub fn preds(&self, v: NodeId) -> &[u32] {
+        &self.preds[self.pred_off[v.0 as usize] as usize..self.pred_off[v.0 as usize + 1] as usize]
+    }
+
+    /// Successors of `v`.
+    pub fn succs(&self, v: NodeId) -> &[u32] {
+        &self.succs[self.succ_off[v.0 as usize] as usize..self.succ_off[v.0 as usize + 1] as usize]
+    }
+
+    /// Number of edges.
+    pub fn num_edges(&self) -> usize {
+        self.preds.len()
+    }
+
+    /// Iterator over compute nodes in schedule order.
+    pub fn compute_nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.kinds.len() as u32)
+            .map(NodeId)
+            .filter(|v| matches!(self.kind(*v), NodeKind::Compute { .. }))
+    }
+
+    /// Iterator over input nodes.
+    pub fn input_nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.kinds.len() as u32)
+            .map(NodeId)
+            .filter(|v| matches!(self.kind(*v), NodeKind::Input { .. }))
+    }
+
+    /// Number of compute nodes.
+    pub fn num_computes(&self) -> usize {
+        self.compute_nodes().count()
+    }
+
+    /// Finds the compute node of `stmt` at iteration vector `iv` (linear
+    /// scan: meant for tests/validation on small graphs).
+    pub fn node_of(&self, stmt: StmtId, iv: &[i32]) -> Option<NodeId> {
+        (0..self.kinds.len() as u32).map(NodeId).find(|v| {
+            matches!(self.kind(*v),
+                NodeKind::Compute { stmt: s, iv: x } if *s == stmt && x.as_ref() == iv)
+        })
+    }
+
+    /// Maximum in-degree over compute nodes (a play needs `S ≥ indeg + 1`).
+    pub fn max_in_degree(&self) -> usize {
+        self.compute_nodes()
+            .map(|v| self.preds(v).len())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// BFS path existence `a ⇝ b`.
+    pub fn has_path(&self, a: NodeId, b: NodeId) -> bool {
+        if a == b {
+            return true;
+        }
+        // Edges only go forward, so prune by node id.
+        let mut seen = vec![false; self.len()];
+        let mut q = VecDeque::new();
+        q.push_back(a.0);
+        seen[a.0 as usize] = true;
+        while let Some(v) = q.pop_front() {
+            for &w in self.succs(NodeId(v)) {
+                if w == b.0 {
+                    return true;
+                }
+                if w < b.0 && !seen[w as usize] {
+                    seen[w as usize] = true;
+                    q.push_back(w);
+                }
+            }
+        }
+        false
+    }
+
+    /// `InSet(E)`: data used by `E` but not produced inside `E` — the set of
+    /// predecessors (including input nodes) lying outside `E`.
+    pub fn inset(&self, e: &BTreeSet<NodeId>) -> BTreeSet<NodeId> {
+        let mut inset = BTreeSet::new();
+        for &v in e {
+            for &p in self.preds(v) {
+                if !e.contains(&NodeId(p)) {
+                    inset.insert(NodeId(p));
+                }
+            }
+        }
+        inset
+    }
+
+    /// Convexity check: `E` is convex iff no dependency chain leaves `E` and
+    /// re-enters it.
+    pub fn is_convex(&self, e: &BTreeSet<NodeId>) -> bool {
+        // BFS from the outside-successors of E; reaching E again disproves
+        // convexity.
+        let mut seen = vec![false; self.len()];
+        let mut q = VecDeque::new();
+        for &v in e {
+            for &w in self.succs(v) {
+                if !e.contains(&NodeId(w)) && !seen[w as usize] {
+                    seen[w as usize] = true;
+                    q.push_back(w);
+                }
+            }
+        }
+        while let Some(v) = q.pop_front() {
+            for &w in self.succs(NodeId(v)) {
+                if e.contains(&NodeId(w)) {
+                    return false;
+                }
+                if !seen[w as usize] {
+                    seen[w as usize] = true;
+                    q.push_back(w);
+                }
+            }
+        }
+        true
+    }
+
+    /// Convex closure: repeatedly adds nodes lying on chains between members.
+    ///
+    /// Cubic-ish; for test-sized graphs only.
+    pub fn convex_closure(&self, e: &BTreeSet<NodeId>) -> BTreeSet<NodeId> {
+        let mut cur = e.clone();
+        loop {
+            // reachable-from-cur (forward), and can-reach-cur (backward).
+            let mut fwd = vec![false; self.len()];
+            let mut bwd = vec![false; self.len()];
+            let mut q: VecDeque<u32> = cur.iter().map(|v| v.0).collect();
+            for &v in &cur {
+                fwd[v.0 as usize] = true;
+            }
+            while let Some(v) = q.pop_front() {
+                for &w in self.succs(NodeId(v)) {
+                    if !fwd[w as usize] {
+                        fwd[w as usize] = true;
+                        q.push_back(w);
+                    }
+                }
+            }
+            let mut q: VecDeque<u32> = cur.iter().map(|v| v.0).collect();
+            for &v in &cur {
+                bwd[v.0 as usize] = true;
+            }
+            while let Some(v) = q.pop_front() {
+                for &w in self.preds(NodeId(v)) {
+                    if !bwd[w as usize] {
+                        bwd[w as usize] = true;
+                        q.push_back(w);
+                    }
+                }
+            }
+            let mut grown = cur.clone();
+            for v in 0..self.len() as u32 {
+                if fwd[v as usize] && bwd[v as usize] {
+                    grown.insert(NodeId(v));
+                }
+            }
+            if grown.len() == cur.len() {
+                return cur;
+            }
+            cur = grown;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Diamond: 0 → {1, 2} → 3, with an input node 4 feeding 0 is invalid
+    /// (edges must go forward), so inputs come first: i0=0 feeds c1, c2…
+    fn diamond() -> Cdag {
+        // 0: input; 1: a; 2: b; 3: c; 4: d  with edges 0→1, 1→2, 1→3, 2→4, 3→4
+        let kinds = vec![
+            NodeKind::Input {
+                array: ArrayId(0),
+                flat: 0,
+            },
+            NodeKind::Compute {
+                stmt: StmtId(0),
+                iv: vec![0].into(),
+            },
+            NodeKind::Compute {
+                stmt: StmtId(0),
+                iv: vec![1].into(),
+            },
+            NodeKind::Compute {
+                stmt: StmtId(1),
+                iv: vec![0].into(),
+            },
+            NodeKind::Compute {
+                stmt: StmtId(1),
+                iv: vec![1].into(),
+            },
+        ];
+        Cdag::from_edges(kinds, vec![(0, 1), (1, 2), (1, 3), (2, 4), (3, 4)])
+    }
+
+    #[test]
+    fn csr_adjacency() {
+        let g = diamond();
+        assert_eq!(g.len(), 5);
+        assert_eq!(g.num_edges(), 5);
+        assert_eq!(g.preds(NodeId(4)), &[2, 3]);
+        assert_eq!(g.succs(NodeId(1)), &[2, 3]);
+        assert_eq!(g.num_computes(), 4);
+        assert_eq!(g.input_nodes().count(), 1);
+        assert_eq!(g.max_in_degree(), 2);
+    }
+
+    #[test]
+    fn node_lookup() {
+        let g = diamond();
+        assert_eq!(g.node_of(StmtId(0), &[1]), Some(NodeId(2)));
+        assert_eq!(g.node_of(StmtId(1), &[7]), None);
+    }
+
+    #[test]
+    fn paths() {
+        let g = diamond();
+        assert!(g.has_path(NodeId(0), NodeId(4)));
+        assert!(g.has_path(NodeId(2), NodeId(4)));
+        assert!(!g.has_path(NodeId(2), NodeId(3)));
+        assert!(g.has_path(NodeId(3), NodeId(3)));
+    }
+
+    #[test]
+    fn inset_counts_external_preds() {
+        let g = diamond();
+        let e: BTreeSet<NodeId> = [NodeId(2), NodeId(4)].into_iter().collect();
+        let inset = g.inset(&e);
+        // preds outside E: node 1 (pred of 2) and node 3 (pred of 4).
+        assert_eq!(inset, [NodeId(1), NodeId(3)].into_iter().collect());
+    }
+
+    #[test]
+    fn convexity() {
+        let g = diamond();
+        // {1, 4} skips the middle layer: chain 1→2→4 leaves and re-enters.
+        let e: BTreeSet<NodeId> = [NodeId(1), NodeId(4)].into_iter().collect();
+        assert!(!g.is_convex(&e));
+        let c: BTreeSet<NodeId> = [NodeId(1), NodeId(2), NodeId(3), NodeId(4)]
+            .into_iter()
+            .collect();
+        assert!(g.is_convex(&c));
+        assert_eq!(g.convex_closure(&e), c);
+    }
+
+    #[test]
+    #[should_panic(expected = "forward")]
+    fn backward_edge_rejected() {
+        let kinds = vec![
+            NodeKind::Compute {
+                stmt: StmtId(0),
+                iv: vec![0].into(),
+            },
+            NodeKind::Compute {
+                stmt: StmtId(0),
+                iv: vec![1].into(),
+            },
+        ];
+        let _ = Cdag::from_edges(kinds, vec![(1, 0)]);
+    }
+}

@@ -1,0 +1,27 @@
+//! Computational DAGs and the red-white pebble game.
+//!
+//! The paper's I/O model is formalized on the CDAG of a program (§2): nodes
+//! are statement instances (plus input data), edges are flow dependencies,
+//! and the red-white pebble game of Olivry et al. plays schedules without
+//! recomputation. This crate provides:
+//!
+//! * [`graph`] — the CDAG itself plus the set analyses the K-partitioning
+//!   proof talks about: insets, convexity, path/dependency-chain queries,
+//! * [`build`] — exact CDAG construction from an interpreted program run
+//!   (last-writer tracking over every array cell),
+//! * [`pebble`] — the red-white pebble game engine with pluggable spill
+//!   policies (LRU and a MIN-style farthest-next-use policy), which turns a
+//!   topological schedule into a *valid play* and counts its loads.
+//!
+//! Pebble-game loads of any schedule upper-bound nothing and lower-bound
+//! nothing by themselves — but they are valid plays, so every derived lower
+//! bound must sit below the best play found. This is the workspace's
+//! empirical validation harness for `iolb-core`.
+
+pub mod build;
+pub mod graph;
+pub mod pebble;
+
+pub use build::{build_cdag, CdagBuilder};
+pub use graph::{Cdag, NodeId, NodeKind};
+pub use pebble::{PebbleError, PebbleGame, PlayStats, SpillPolicy};

@@ -1,0 +1,37 @@
+//! Temporary debugging helper: print detected patterns for each kernel.
+fn main() {
+    for (p, name, stmt) in [
+        (iolb_kernels::mgs::program(), "MGS", "SU"),
+        (iolb_kernels::householder::a2v_program(), "A2V", "SU"),
+        (iolb_kernels::householder::v2q_program(), "V2Q", "SU"),
+        (iolb_kernels::gebd2::program(), "GEBD2", "SU"),
+        (iolb_kernels::gehd2::program(), "GEHD2", "SU1"),
+    ] {
+        let observe: Vec<Vec<i64>> = match p.params.len() {
+            1 => vec![vec![8], vec![9]],
+            _ => vec![vec![9, 6], vec![8, 5]],
+        };
+        let analysis = match iolb_core::Analysis::run(&p, &observe) {
+            Ok(a) => a,
+            Err(e) => { println!("{name}: analysis error: {e}"); continue; }
+        };
+        let sid = p.stmt_id(stmt).unwrap();
+        let dimname = |d: &iolb_ir::DimId| format!("{}#{}", p.loop_info(*d).name, d.0);
+        match analysis.detect_hourglass(sid) {
+            None => println!("{name}: no hourglass"),
+            Some(pat) => {
+                let b = iolb_core::hourglass::derive(&p, &pat, &iolb_core::hourglass::SplitChoice::None);
+                println!(
+                    "{name}: temporal={:?} neutral={:?} rb={:?} bread={} ({}) Z={} | W=[{}, {}] R={} vol_tool={}",
+                    pat.temporal.iter().map(dimname).collect::<Vec<_>>(),
+                    pat.neutral.iter().map(dimname).collect::<Vec<_>>(),
+                    pat.rb.iter().map(dimname).collect::<Vec<_>>(),
+                    pat.broadcast_read,
+                    p.arrays[p.stmt(sid).reads[pat.broadcast_read].array.0 as usize].name,
+                    p.stmt(pat.reduction_stmt).name,
+                    b.w_min, b.w_max, b.r_factor, b.volume_tool,
+                );
+            }
+        }
+    }
+}

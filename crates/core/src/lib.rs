@@ -1,0 +1,79 @@
+//! `iolb-core` — the paper's contribution: automatic I/O lower-bound
+//! derivation with the hourglass pattern.
+//!
+//! Pipeline (mirroring IOLB extended with §3–§4 of the paper):
+//!
+//! 1. [`phi`] — dependence-path projections `Φ` of a statement, the
+//!    Brascamp–Lieb exponent LP and its subgroup-condition soundness check,
+//! 2. [`classical`] — the state-of-the-art K-partitioning bound (§2):
+//!    `|E| ≤ (K/m)^σ` with the disjoint-inset refinement, wrapped through
+//!    Theorem 1 at the optimal `K = σS/(σ−1)`,
+//! 3. [`hourglass`] — detection of the hourglass pattern (§3.2), empirical
+//!    certification of the dependency-chain property on exact CDAGs, and
+//!    the tightened derivation of §4 (`U(K) = K²/W + 2K`, `K = 2S`,
+//!    plus the small-S branch and §5.3's loop splitting),
+//! 4. [`theorems`] — the paper's closed forms (Theorems 5–9, Figure 4,
+//!    Figure 5) pinned as expressions for parity tests and table
+//!    regeneration,
+//! 5. [`report`] — table generators for Figures 4 and 5.
+
+pub mod classical;
+pub mod hourglass;
+pub mod phi;
+pub mod report;
+pub mod theorems;
+
+pub use classical::ClassicalBound;
+pub use hourglass::{HourglassBound, HourglassPattern};
+pub use phi::PhiSet;
+
+use iolb_ir::{deps, Program, StmtId};
+
+/// Symbolic variable of the fast-memory size.
+pub fn s_var() -> iolb_symbolic::Var {
+    iolb_symbolic::Var::new("S")
+}
+
+/// An analyzed program: dependence projections certified at the given
+/// observation sizes.
+pub struct Analysis<'p> {
+    /// The program under analysis.
+    pub program: &'p Program,
+    /// Per-read merged projections.
+    pub projections: Vec<deps::ReadProjection>,
+}
+
+impl<'p> Analysis<'p> {
+    /// Observes producers at each parameter vector, unifies, and returns the
+    /// certified analysis.
+    ///
+    /// # Errors
+    /// Fails when an observed dependence cannot be explained structurally.
+    pub fn run(program: &'p Program, observe_at: &[Vec<i64>]) -> Result<Analysis<'p>, String> {
+        let projections = deps::read_projections(program, observe_at)?;
+        Ok(Analysis {
+            program,
+            projections,
+        })
+    }
+
+    /// The projection set Φ of one statement.
+    pub fn phi(&self, stmt: StmtId) -> PhiSet {
+        PhiSet::for_statement(self.program, stmt, &self.projections)
+    }
+
+    /// Classical K-partitioning bound for the sub-CDAG of `stmt`.
+    pub fn classical_bound(&self, stmt: StmtId) -> ClassicalBound {
+        classical::derive(self.program, stmt, &self.phi(stmt))
+    }
+
+    /// Detects the hourglass pattern on `stmt` (§3.2), if present.
+    pub fn detect_hourglass(&self, stmt: StmtId) -> Option<HourglassPattern> {
+        hourglass::detect(self.program, stmt, &self.projections)
+    }
+
+    /// Hourglass-tightened bound (§4) for a detected pattern.
+    pub fn hourglass_bound(&self, pattern: &HourglassPattern) -> HourglassBound {
+        hourglass::derive(self.program, pattern, &hourglass::SplitChoice::None)
+    }
+}

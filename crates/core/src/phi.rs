@@ -1,0 +1,232 @@
+//! The projection set `Φ` of a statement and the Brascamp–Lieb exponent
+//! optimization.
+//!
+//! For coordinate projections (which is what dependence-path analysis
+//! produces for this kernel class) the Brascamp–Lieb subgroup condition
+//! `rank(H) ≤ Σ_j s_j·rank(φ_j(H))` reduces to a covering LP: for every
+//! dimension `d`, `Σ_{j : d ∈ supp(φ_j)} s_j ≥ 1` — summing the singleton
+//! conditions recovers every subgroup condition. [`PhiSet::check_subgroups`]
+//! nevertheless verifies the full condition on all coordinate subspaces with
+//! exact rank computations, as a soundness cross-check of the reduction.
+
+use iolb_ir::{deps::ReadProjection, DimId, Program, StmtId};
+use iolb_numeric::{LinearProgram, Objective, QMatrix, Rational};
+use std::collections::BTreeSet;
+
+/// One projection: the consumer dims its image distinguishes, plus the
+/// identity of the in-set region it targets (for the disjointness
+/// refinement).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Projection {
+    /// Consumer dims in the projection support.
+    pub support: BTreeSet<DimId>,
+    /// Region key: (array, rendered index function) — distinct keys map to
+    /// disjoint in-set regions.
+    pub region: (u32, String),
+}
+
+/// The set `Φ` of projections of one statement.
+#[derive(Debug, Clone)]
+pub struct PhiSet {
+    /// Statement the set belongs to.
+    pub stmt: StmtId,
+    /// The statement's dims (outermost first).
+    pub dims: Vec<DimId>,
+    /// Projections, one per read access.
+    pub projections: Vec<Projection>,
+}
+
+impl PhiSet {
+    /// Builds Φ from the analyzed read projections.
+    pub fn for_statement(
+        program: &Program,
+        stmt: StmtId,
+        reads: &[ReadProjection],
+    ) -> PhiSet {
+        let s = program.stmt(stmt);
+        let mut projections = Vec::new();
+        for rp in reads.iter().filter(|r| r.stmt == stmt) {
+            let access = &s.reads[rp.read_idx];
+            let rendered = access
+                .idx
+                .iter()
+                .map(|a| {
+                    a.display_with(
+                        &|d| format!("d{}", d.0),
+                        &|p| program.params[p.0 as usize].clone(),
+                    )
+                })
+                .collect::<Vec<_>>()
+                .join(",");
+            projections.push(Projection {
+                support: rp.support.clone(),
+                region: (rp.array.0, rendered),
+            });
+        }
+        PhiSet {
+            stmt,
+            dims: s.dims.clone(),
+            projections,
+        }
+    }
+
+    /// Number of pairwise-disjoint in-set regions (distinct region keys).
+    pub fn disjoint_regions(&self) -> usize {
+        let keys: BTreeSet<&(u32, String)> =
+            self.projections.iter().map(|p| &p.region).collect();
+        keys.len()
+    }
+
+    /// Solves the Brascamp–Lieb exponent LP: minimize `σ = Σ s_j` subject to
+    /// the dimension-covering constraints, `0 ≤ s_j ≤ 1`.
+    ///
+    /// Returns `(σ, s)`; `None` when some dimension is covered by no
+    /// projection (the LP is infeasible — the set size is then unbounded by
+    /// these projections alone).
+    pub fn bl_exponents(&self) -> Option<(Rational, Vec<Rational>)> {
+        let n = self.projections.len();
+        if n == 0 {
+            return None;
+        }
+        let mut lp = LinearProgram::new(n, vec![Rational::ONE; n], Objective::Minimize);
+        for d in &self.dims {
+            let row: Vec<Rational> = self
+                .projections
+                .iter()
+                .map(|p| {
+                    if p.support.contains(d) {
+                        Rational::ONE
+                    } else {
+                        Rational::ZERO
+                    }
+                })
+                .collect();
+            if row.iter().all(|c| c.is_zero()) {
+                return None;
+            }
+            lp.constrain(row, iolb_numeric::simplex::Cmp::Ge, Rational::ONE);
+        }
+        lp.upper_bound_all(Rational::ONE);
+        match lp.solve() {
+            iolb_numeric::LpOutcome::Optimal { value, x } => Some((value, x)),
+            _ => None,
+        }
+    }
+
+    /// Verifies the Brascamp–Lieb subgroup condition
+    /// `rank(H) ≤ Σ_j s_j·rank(φ_j(H))` for every coordinate subspace `H`
+    /// of the statement's iteration space, with exact rank arithmetic.
+    pub fn check_subgroups(&self, s: &[Rational]) -> bool {
+        assert_eq!(s.len(), self.projections.len());
+        let d = self.dims.len();
+        // Enumerate all non-empty subsets of dims.
+        for mask in 1u32..(1 << d) {
+            let subset: Vec<DimId> = (0..d)
+                .filter(|i| mask & (1 << i) != 0)
+                .map(|i| self.dims[i])
+                .collect();
+            // H = span of the chosen coordinate axes: rank(H) = |subset|;
+            // rank(φ_j(H)) = |subset ∩ supp(φ_j)| (computed through an
+            // explicit matrix rank to exercise the exact linear algebra).
+            let rank_h = subset.len() as i128;
+            let mut rhs = Rational::ZERO;
+            for (p, sj) in self.projections.iter().zip(s) {
+                if sj.is_zero() {
+                    continue;
+                }
+                let mut m = QMatrix::zeros(0, 0);
+                for dim in &subset {
+                    // Basis vector of `dim` projected on supp(φ): a row with
+                    // a 1 in the kept coordinates.
+                    let row: Vec<Rational> = self
+                        .dims
+                        .iter()
+                        .map(|x| {
+                            if x == dim && p.support.contains(x) {
+                                Rational::ONE
+                            } else {
+                                Rational::ZERO
+                            }
+                        })
+                        .collect();
+                    m.push_row(&row);
+                }
+                rhs = rhs + *sj * Rational::int(m.rank() as i128);
+            }
+            if Rational::int(rank_h) > rhs {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iolb_numeric::rational::rat;
+
+    fn phi(dims: &[u32], supports: &[&[u32]]) -> PhiSet {
+        PhiSet {
+            stmt: StmtId(0),
+            dims: dims.iter().map(|&d| DimId(d)).collect(),
+            projections: supports
+                .iter()
+                .enumerate()
+                .map(|(i, sup)| Projection {
+                    support: sup.iter().map(|&d| DimId(d)).collect(),
+                    region: (i as u32, format!("r{i}")),
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn mgs_exponents_are_three_halves() {
+        // Φ = {ij, ik, kj} over (k, j, i).
+        let p = phi(&[0, 1, 2], &[&[2, 1], &[2, 0], &[0, 1]]);
+        let (sigma, s) = p.bl_exponents().unwrap();
+        assert_eq!(sigma, rat(3, 2));
+        assert!(s.iter().all(|x| *x == rat(1, 2)));
+        assert!(p.check_subgroups(&s));
+        assert_eq!(p.disjoint_regions(), 3);
+    }
+
+    #[test]
+    fn one_d_projections_give_sigma_three() {
+        let p = phi(&[0, 1, 2], &[&[0], &[1], &[2]]);
+        let (sigma, s) = p.bl_exponents().unwrap();
+        assert_eq!(sigma, Rational::int(3));
+        assert!(p.check_subgroups(&s));
+    }
+
+    #[test]
+    fn uncovered_dimension_is_infeasible() {
+        let p = phi(&[0, 1, 2], &[&[0, 1]]);
+        assert!(p.bl_exponents().is_none());
+    }
+
+    #[test]
+    fn subgroup_check_rejects_bad_exponents() {
+        let p = phi(&[0, 1, 2], &[&[2, 1], &[2, 0], &[0, 1]]);
+        // s = (1/4, 1/4, 1/4) violates coverage: each dim covered by 2
+        // projections → sum 1/2 < 1.
+        let bad = vec![rat(1, 4); 3];
+        assert!(!p.check_subgroups(&bad));
+    }
+
+    #[test]
+    fn full_support_projection_needs_exponent_one() {
+        let p = phi(&[0, 1], &[&[0, 1]]);
+        let (sigma, s) = p.bl_exponents().unwrap();
+        assert_eq!(sigma, Rational::ONE);
+        assert!(p.check_subgroups(&s));
+    }
+
+    #[test]
+    fn duplicate_regions_counted_once() {
+        let mut p = phi(&[0, 1], &[&[0], &[1]]);
+        p.projections[1].region = p.projections[0].region.clone();
+        assert_eq!(p.disjoint_regions(), 1);
+    }
+}

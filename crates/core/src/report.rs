@@ -1,0 +1,262 @@
+//! End-to-end per-kernel derivation reports and the Figure 4/5 table
+//! generators.
+
+use crate::hourglass::{self, SplitChoice};
+use crate::{theorems, Analysis, ClassicalBound, HourglassBound};
+use iolb_ir::Program;
+use iolb_symbolic::{Expr, Poly, Var};
+
+/// A complete derivation for one kernel: the classical ("old") bound and
+/// the hourglass-tightened ("new") bound.
+pub struct KernelReport {
+    /// Kernel display name.
+    pub name: String,
+    /// Classical K-partitioning bound on the hourglass statement.
+    pub old: ClassicalBound,
+    /// Hourglass bound (§4).
+    pub new: HourglassBound,
+    /// True when §5.3 loop splitting was applied (GEHD2).
+    pub split: bool,
+}
+
+/// Derives both bounds for a kernel program.
+///
+/// `hourglass_stmt` names the broadcast statement; observation sizes are
+/// chosen from the parameter count. When the detected width collapses to a
+/// constant (GEHD2), §5.3 loop splitting at the symbolic point
+/// [`theorems::split_var`] is applied automatically.
+///
+/// # Errors
+/// Propagates dependence-analysis, detection or certification failures.
+pub fn analyze_kernel(
+    program: &Program,
+    name: &str,
+    hourglass_stmt: &str,
+) -> Result<KernelReport, String> {
+    let observe: Vec<Vec<i64>> = match program.params.len() {
+        1 => vec![vec![8], vec![9]],
+        2 => vec![vec![9, 6], vec![8, 5]],
+        _ => vec![vec![5, 6, 4]],
+    };
+    let analysis = Analysis::run(program, &observe)?;
+    let stmt = program
+        .stmt_id(hourglass_stmt)
+        .ok_or_else(|| format!("no statement {hourglass_stmt} in {name}"))?;
+    let old = analysis.classical_bound(stmt);
+    let pattern = analysis
+        .detect_hourglass(stmt)
+        .ok_or_else(|| format!("no hourglass pattern detected on {name}.{hourglass_stmt}"))?;
+    hourglass::certify(program, &pattern, &observe[0])?;
+
+    // First try without splitting; if the minimal width degenerates to a
+    // constant, split the temporal loop at the symbolic point `Ms` (§5.3).
+    let plain = hourglass::derive(program, &pattern, &SplitChoice::None);
+    let (new, split) = if plain.w_min.is_constant() && !plain.w_max.is_constant() {
+        let split_point = Poly::var(theorems::split_var());
+        (
+            hourglass::derive(program, &pattern, &SplitChoice::At(split_point)),
+            true,
+        )
+    } else {
+        (plain, false)
+    };
+    Ok(KernelReport {
+        name: name.to_string(),
+        old,
+        new,
+        split,
+    })
+}
+
+/// Improvement ratio new/old at concrete parameters.
+pub fn improvement_ratio(report: &KernelReport, env: &[(Var, i128)]) -> f64 {
+    let new = report.new.main_tool.eval_ints_f64(env);
+    let old = report.old.expr.eval_ints_f64(env);
+    new / old
+}
+
+fn render_expr(e: &Expr) -> String {
+    format!("{e}")
+}
+
+/// Renders the Figure-4 style table: paper rows plus the engine-derived
+/// formulas, one block per kernel.
+pub fn fig4_table(reports: &[KernelReport]) -> String {
+    let mut out = String::new();
+    out.push_str(
+        "Figure 4 — asymptotic data-movement lower bounds (paper) vs engine derivations\n",
+    );
+    out.push_str(&"=".repeat(96));
+    out.push('\n');
+    let paper = theorems::fig4_rows();
+    for report in reports {
+        let row = paper.iter().find(|r| r.kernel == report.name);
+        out.push_str(&format!("kernel: {}\n", report.name));
+        if let Some(row) = row {
+            out.push_str(&format!("  paper old : {}\n", row.old));
+            out.push_str(&format!("  paper new : {}\n", row.new));
+        }
+        out.push_str(&format!(
+            "  engine old: σ={} m={} → {}\n",
+            report.old.sigma,
+            report.old.m,
+            render_expr(&report.old.expr)
+        ));
+        out.push_str(&format!(
+            "  engine new: W∈[{}, {}] → {}\n",
+            report.new.w_min, report.new.w_max,
+            render_expr(&report.new.main_tool)
+        ));
+        if report.split {
+            out.push_str("  (loop split at symbolic Ms per §5.3)\n");
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// A numeric Figure-5 parity row: paper formula vs engine formula at one
+/// parameter point.
+#[derive(Debug, Clone)]
+pub struct Fig5Parity {
+    /// Kernel name.
+    pub kernel: String,
+    /// Paper's old bound value.
+    pub paper_old: f64,
+    /// Engine's old bound value.
+    pub engine_old: f64,
+    /// Paper's new bound value.
+    pub paper_new: f64,
+    /// Engine's new bound value.
+    pub engine_new: f64,
+}
+
+/// Evaluates Figure 5 parity at `(M, N, S)` (GEHD2 uses `N` and the
+/// `Ms = N/2 − 1` split).
+pub fn fig5_parity(reports: &[KernelReport], m: i128, n: i128, s: i128) -> Vec<Fig5Parity> {
+    let env = [
+        (Var::new("M"), m),
+        (Var::new("N"), n),
+        (crate::s_var(), s),
+        (theorems::split_var(), n / 2 - 1),
+    ];
+    let rows = theorems::fig5_rows();
+    reports
+        .iter()
+        .filter_map(|r| {
+            let paper = rows.iter().find(|p| p.kernel == r.name)?;
+            Some(Fig5Parity {
+                kernel: r.name.clone(),
+                paper_old: paper.old.eval_ints_f64(&env),
+                engine_old: r.old.expr.eval_ints_f64(&env),
+                paper_new: paper.new.eval_ints_f64(&env),
+                engine_new: r.new.main_tool.eval_ints_f64(&env),
+            })
+        })
+        .collect()
+}
+
+/// Renders the Figure-5 parity table across a default grid.
+pub fn fig5_table(reports: &[KernelReport]) -> String {
+    let mut out = String::new();
+    out.push_str("Figure 5 — full parametric bounds: paper formula vs engine derivation\n");
+    out.push_str(&"=".repeat(96));
+    out.push('\n');
+    out.push_str(&format!(
+        "{:<12} {:>8} {:>8} {:>8} | {:>14} {:>14} {:>6} | {:>14} {:>14} {:>6}\n",
+        "kernel", "M", "N", "S", "old(paper)", "old(engine)", "ratio", "new(paper)",
+        "new(engine)", "ratio"
+    ));
+    for (m, n, s) in [
+        (1024i128, 256i128, 128i128),
+        (4096, 1024, 512),
+        (16384, 4096, 2048),
+    ] {
+        for p in fig5_parity(reports, m, n, s) {
+            out.push_str(&format!(
+                "{:<12} {:>8} {:>8} {:>8} | {:>14.3e} {:>14.3e} {:>6.3} | {:>14.3e} {:>14.3e} {:>6.3}\n",
+                p.kernel,
+                m,
+                n,
+                s,
+                p.paper_old,
+                p.engine_old,
+                p.engine_old / p.paper_old,
+                p.paper_new,
+                p.engine_new,
+                p.engine_new / p.paper_new,
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The report plumbing on the miniature MGS core: tables render and the
+    /// improvement ratio behaves like Θ(√S)·const for S ≤ M.
+    #[test]
+    fn tables_render_for_a_report() {
+        let mut b = iolb_ir::ProgramBuilder::new("report_mini", &["M", "N"]);
+        let a = b.array("A", &[b.p("M"), b.p("N")]);
+        let r = b.array("R", &[b.p("N"), b.p("N")]);
+        let k = b.open("k", b.c(0), b.p("N"));
+        let j = b.open("j", b.d(k) + 1, b.p("N"));
+        let w_r = iolb_ir::Access::new(r, vec![b.d(k), b.d(j)]);
+        b.stmt("S0", vec![], vec![w_r.clone()], move |c| {
+            c.wr(r, &[c.v(0), c.v(1)], 0.0)
+        });
+        let i1 = b.open("i", b.c(0), b.p("M"));
+        let rd_aik = iolb_ir::Access::new(a, vec![b.d(i1), b.d(k)]);
+        let rd_aij = iolb_ir::Access::new(a, vec![b.d(i1), b.d(j)]);
+        b.stmt(
+            "SR",
+            vec![rd_aik, rd_aij, w_r.clone()],
+            vec![w_r.clone()],
+            move |c| {
+                let (k, j, i) = (c.v(0), c.v(1), c.v(2));
+                let v = c.rd(a, &[i, k]) * c.rd(a, &[i, j]) + c.rd(r, &[k, j]);
+                c.wr(r, &[k, j], v);
+            },
+        );
+        b.close();
+        let i2 = b.open("i", b.c(0), b.p("M"));
+        let rd_aik2 = iolb_ir::Access::new(a, vec![b.d(i2), b.d(k)]);
+        let rw_aij2 = iolb_ir::Access::new(a, vec![b.d(i2), b.d(j)]);
+        b.stmt(
+            "SU",
+            vec![rd_aik2, rw_aij2.clone(), w_r.clone()],
+            vec![rw_aij2],
+            move |c| {
+                let (k, j, i) = (c.v(0), c.v(1), c.v(2));
+                let v = c.rd(a, &[i, j]) - c.rd(a, &[i, k]) * c.rd(r, &[k, j]);
+                c.wr(a, &[i, j], v);
+            },
+        );
+        b.close();
+        b.close();
+        b.close();
+        let p = b.finish();
+        let report = analyze_kernel(&p, "MGS", "SU").expect("derivation");
+        let fig4 = fig4_table(std::slice::from_ref(&report));
+        assert!(fig4.contains("MGS") && fig4.contains("engine new"));
+        let fig5 = fig5_table(std::slice::from_ref(&report));
+        assert!(fig5.contains("MGS"));
+        let env = [
+            (Var::new("M"), 1 << 16),
+            (Var::new("N"), 1 << 10),
+            (crate::s_var(), 1 << 10),
+        ];
+        let ratio = improvement_ratio(&report, &env);
+        // √S/8 = 4 up to the drop-first convention constants.
+        assert!(ratio > 2.0 && ratio < 8.0, "ratio {ratio}");
+    }
+
+    #[test]
+    fn unknown_statement_is_an_error() {
+        let p = iolb_ir::ProgramBuilder::new("empty_report", &["N"]).finish();
+        assert!(analyze_kernel(&p, "none", "SU").is_err());
+    }
+}

@@ -1,0 +1,342 @@
+//! The paper's closed-form bounds, pinned as expressions.
+//!
+//! Theorems 5–9 and the Figure 5 rows are encoded verbatim (including the
+//! lower-order correction terms of the IOLB output) so parity tests and the
+//! table generators can compare the engine's derivations against the
+//! published formulas at any concrete parameters.
+
+use crate::s_var;
+use iolb_symbolic::{Expr, Rational, Var};
+
+fn m() -> Expr {
+    Expr::var(Var::new("M"))
+}
+fn n() -> Expr {
+    Expr::var(Var::new("N"))
+}
+fn s() -> Expr {
+    Expr::var(s_var())
+}
+/// The GEHD2 split parameter of §5.3 (called `M` in the paper's Figure 5).
+pub fn split_var() -> Var {
+    Var::new("Ms")
+}
+fn ms() -> Expr {
+    Expr::var(split_var())
+}
+fn c(v: i128) -> Expr {
+    Expr::int(v)
+}
+
+/// Theorem 5, first bound: `M²N(N−1) / (8(S+M))`.
+pub fn thm5_mgs() -> Expr {
+    m().pow(Rational::TWO)
+        .mul(n())
+        .mul(n().sub(c(1)))
+        .div(c(8).mul(s().add(m())))
+}
+
+/// Theorem 5, second bound (`S ≤ M`): `(M−S)·N(N−1)/4`.
+pub fn thm5_mgs_small_s() -> Expr {
+    m().sub(s()).mul(n()).mul(n().sub(c(1))).div(c(4))
+}
+
+/// §5.1 regimes: `MN²/8` when `S ≤ M/2`; `M²N²/24S` when `M/2 ≤ S`.
+pub fn mgs_regime_small_s() -> Expr {
+    m().mul(n().pow(Rational::TWO)).div(c(8))
+}
+
+/// §5.1: `M²N²/(24S)` for `M/2 ≤ S`.
+pub fn mgs_regime_large_s() -> Expr {
+    m().pow(Rational::TWO)
+        .mul(n().pow(Rational::TWO))
+        .div(c(24).mul(s()))
+}
+
+/// Theorem 6 (A2V): `(3M−N)·N²·(M−N)² / (24(MS+(M−N)²))`.
+pub fn thm6_a2v() -> Expr {
+    let mn = m().sub(n());
+    c(3).mul(m())
+        .sub(n())
+        .mul(n().pow(Rational::TWO))
+        .mul(mn.clone().pow(Rational::TWO))
+        .div(c(24).mul(m().mul(s()).add(mn.pow(Rational::TWO))))
+}
+
+/// Theorem 7 (V2Q): `N(N−1)(3M−N−1)(M−N)² / (24((M−N)²+SM))`.
+pub fn thm7_v2q() -> Expr {
+    let mn = m().sub(n());
+    n().mul(n().sub(c(1)))
+        .mul(c(3).mul(m()).sub(n()).sub(c(1)))
+        .mul(mn.clone().pow(Rational::TWO))
+        .div(c(24).mul(mn.pow(Rational::TWO).add(s().mul(m()))))
+}
+
+/// Theorems 6/7 in the `M ≫ N` regime: `M²N(N−1)/(8(S+M))`.
+pub fn thm67_mggn() -> Expr {
+    thm5_mgs()
+}
+
+/// Theorem 8 (GEBD2): `MN²(M−N+1) / (8(S+M−N+1))`.
+pub fn thm8_gebd2() -> Expr {
+    let w = m().sub(n()).add(c(1));
+    m().mul(n().pow(Rational::TWO))
+        .mul(w.clone())
+        .div(c(8).mul(s().add(w)))
+}
+
+/// Theorem 9 (GEHD2): `N⁴ / (12(N+2S))`.
+pub fn thm9_gehd2() -> Expr {
+    n().pow(Rational::int(4))
+        .div(c(12).mul(n().add(c(2).mul(s()))))
+}
+
+/// Theorem 9, `N ≫ S` regime: `N³/24`.
+pub fn thm9_gehd2_small_s() -> Expr {
+    n().pow(Rational::int(3)).div(c(24))
+}
+
+/// One row of Figure 5.
+#[derive(Debug, Clone)]
+pub struct Fig5Row {
+    /// Kernel name.
+    pub kernel: &'static str,
+    /// Old (classical) full bound with constants.
+    pub old: Expr,
+    /// New (hourglass) full bound with constants.
+    pub new: Expr,
+}
+
+/// All rows of Figure 5, transcribed from the paper.
+///
+/// GEHD2's new bound references the split parameter [`split_var`].
+pub fn fig5_rows() -> Vec<Fig5Row> {
+    let sqrt_s = || s().sqrt();
+    let mgs_corr = || {
+        c(5).mul(m())
+            .sub(m().mul(n()))
+            .add(c(7).mul(n()))
+            .sub(n().pow(Rational::TWO).div(c(2)))
+            .sub(s())
+            .sub(c(6))
+    };
+    let a2v_corr = || {
+        c(5).mul(m())
+            .sub(m().mul(n()))
+            .add(c(5).mul(n()))
+            .sub(s())
+            .sub(c(13))
+    };
+    let v2q_corr = || {
+        c(2).mul(m())
+            .add(c(3).mul(n()))
+            .sub(n().pow(Rational::TWO).div(c(2)))
+            .sub(s())
+            .sub(c(4))
+    };
+    // Numerators shared between old (over 3√S) and new (over 24(1+S/W)).
+    let a2v_num = || {
+        c(3).mul(m()).mul(n().pow(Rational::TWO))
+            .sub(n().pow(Rational::int(3)))
+            .sub(c(9).mul(m()).mul(n()))
+            .add(c(6).mul(m()))
+            .add(c(7).mul(n()))
+            .sub(c(6))
+    };
+    vec![
+        Fig5Row {
+            kernel: "MGS",
+            // M(N−1)(N−2)/√S + corrections.
+            old: m()
+                .mul(n().sub(c(1)))
+                .mul(n().sub(c(2)))
+                .div(sqrt_s())
+                .add(mgs_corr()),
+            // M²(N−1)(N−2)/(8(M+S)) + corrections.
+            new: m()
+                .pow(Rational::TWO)
+                .mul(n().sub(c(1)))
+                .mul(n().sub(c(2)))
+                .div(c(8).mul(m().add(s())))
+                .add(mgs_corr()),
+        },
+        Fig5Row {
+            kernel: "QR HH A2V",
+            old: a2v_num().div(c(3).mul(sqrt_s())).add(a2v_corr()),
+            // numer / (24(1 + S/(M−N))) + corrections.
+            new: a2v_num()
+                .div(c(24).mul(c(1).add(s().div(m().sub(n())))))
+                .add(a2v_corr()),
+        },
+        Fig5Row {
+            kernel: "QR HH V2Q",
+            old: a2v_num().div(c(3).mul(sqrt_s())).add(v2q_corr()),
+            new: a2v_num()
+                .div(c(24).mul(c(1).add(s().div(m().sub(n())))))
+                .add(v2q_corr()),
+        },
+        Fig5Row {
+            kernel: "GEBD2",
+            old: a2v_num().div(c(3).mul(sqrt_s())).add(
+                c(5).mul(n())
+                    .add(c(5).mul(m()))
+                    .sub(m().mul(n()))
+                    .sub(s())
+                    .sub(c(13)),
+            ),
+            // (3MN²−N³+3N²−15MN+4N+18M−12)/(24(1+S/(1+M−N))) + corrections.
+            new: c(3)
+                .mul(m())
+                .mul(n().pow(Rational::TWO))
+                .sub(n().pow(Rational::int(3)))
+                .add(c(3).mul(n().pow(Rational::TWO)))
+                .sub(c(15).mul(m()).mul(n()))
+                .add(c(4).mul(n()))
+                .add(c(18).mul(m()))
+                .sub(c(12))
+                .div(c(24).mul(c(1).add(s().div(c(1).add(m()).sub(n())))))
+                .add(
+                    c(5).mul(n())
+                        .add(c(7).mul(m()))
+                        .sub(m().mul(n()))
+                        .sub(s())
+                        .sub(c(18)),
+                ),
+        },
+        Fig5Row {
+            kernel: "GEHD2",
+            // (5N³−30N²+55N−30)/(3√S) + 69N − 9N²/2 − 3S − 56.
+            old: c(5)
+                .mul(n().pow(Rational::int(3)))
+                .sub(c(30).mul(n().pow(Rational::TWO)))
+                .add(c(55).mul(n()))
+                .sub(c(30))
+                .div(c(3).mul(sqrt_s()))
+                .add(
+                    c(69).mul(n())
+                        .sub(c(9).mul(n().pow(Rational::TWO)).div(c(2)))
+                        .sub(c(3).mul(s()))
+                        .sub(c(56)),
+                ),
+            // (N³−6N²+11N−6)/(12(1+S/(N−Ms−1))) − N² + 12N − S − 19.
+            new: n()
+                .pow(Rational::int(3))
+                .sub(c(6).mul(n().pow(Rational::TWO)))
+                .add(c(11).mul(n()))
+                .sub(c(6))
+                .div(c(12).mul(c(1).add(s().div(n().sub(ms()).sub(c(1))))))
+                .add(
+                    c(12).mul(n())
+                        .sub(n().pow(Rational::TWO))
+                        .sub(s())
+                        .sub(c(19)),
+                ),
+        },
+    ]
+}
+
+/// One row of Figure 4 (asymptotic summary), as display strings.
+#[derive(Debug, Clone)]
+pub struct Fig4Row {
+    /// Kernel name.
+    pub kernel: &'static str,
+    /// Old asymptotic bound.
+    pub old: &'static str,
+    /// New asymptotic bound.
+    pub new: &'static str,
+}
+
+/// The rows of Figure 4, as printed in the paper.
+pub fn fig4_rows() -> Vec<Fig4Row> {
+    vec![
+        Fig4Row {
+            kernel: "MGS",
+            old: "Ω(MN²/√S)",
+            new: "Ω(M²N(N−1)/(S+M))",
+        },
+        Fig4Row {
+            kernel: "QR HH A2V",
+            old: "Ω(MN²/√S)",
+            new: "Ω(MN²(N−M)/(N−M−S))",
+        },
+        Fig4Row {
+            kernel: "QR HH V2Q",
+            old: "Ω(MN²/√S)",
+            new: "Ω(MN²(N−M)/(N−M−S))",
+        },
+        Fig4Row {
+            kernel: "GEBD2",
+            old: "Ω(MN²/√S)",
+            new: "Ω(MN²(M−N+1)/(8(S+M−N+1)))",
+        },
+        Fig4Row {
+            kernel: "GEHD2",
+            old: "Ω(N³/√S)",
+            new: "Ω(N⁴/(N+2S))",
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(e: &Expr, m_: i128, n_: i128, s_: i128) -> f64 {
+        e.eval_ints_f64(&[
+            (Var::new("M"), m_),
+            (Var::new("N"), n_),
+            (s_var(), s_),
+            (split_var(), n_ / 2 - 1),
+        ])
+    }
+
+    #[test]
+    fn theorem5_values() {
+        // M=100, N=10, S=50: 100²·10·9/(8·150) = 750.
+        assert!((ev(&thm5_mgs(), 100, 10, 50) - 750.0).abs() < 1e-9);
+        // (100−50)·10·9/4 = 1125.
+        assert!((ev(&thm5_mgs_small_s(), 100, 10, 50) - 1125.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn theorem9_matches_split_instantiation() {
+        // N⁴/(12(N+2S)) at N=64, S=32: 64⁴/(12·128).
+        let expect = 64.0f64.powi(4) / (12.0 * 128.0);
+        assert!((ev(&thm9_gehd2(), 0, 64, 32) - expect).abs() < 1e-6);
+    }
+
+    #[test]
+    fn mgs_new_dominates_old_when_s_small_relative() {
+        // The improvement ratio is Θ(√S) for S ≤ M (§5.1).
+        for s_ in [256i128, 1024, 4096] {
+            let m_ = 1 << 14;
+            let n_ = 1 << 10;
+            let rows = fig5_rows();
+            let mgs = &rows[0];
+            let old = ev(&mgs.old, m_, n_, s_);
+            let new = ev(&mgs.new, m_, n_, s_);
+            assert!(new > old, "hourglass must win at M={m_},N={n_},S={s_}");
+            let ratio = new / old;
+            let expect = (s_ as f64).sqrt() / 8.0; // up to constants
+            assert!(
+                ratio > expect * 0.2 && ratio < expect * 20.0,
+                "ratio {ratio} vs Θ(√S) ≈ {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn fig5_rows_all_evaluate() {
+        for row in fig5_rows() {
+            let old = ev(&row.old, 4096, 1024, 256);
+            let new = ev(&row.new, 4096, 1024, 256);
+            assert!(old.is_finite() && new.is_finite(), "{}", row.kernel);
+            assert!(old > 0.0 && new > 0.0, "{}", row.kernel);
+        }
+    }
+
+    #[test]
+    fn fig4_has_five_kernels() {
+        assert_eq!(fig4_rows().len(), 5);
+    }
+}

@@ -1,0 +1,335 @@
+//! Affine expressions over loop dimensions and program parameters.
+//!
+//! An [`Aff`] is `Σ cᵢ·dimᵢ + Σ pⱼ·paramⱼ + cst` with integer coefficients —
+//! exactly the expression class that loop bounds and array subscripts of a
+//! polyhedral program may use.
+
+use std::fmt;
+use std::ops::{Add, Mul, Neg, Sub};
+
+/// Identifier of a loop dimension (unique per [`crate::Program`],
+/// allocated in loop-creation order).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct DimId(pub u32);
+
+/// Identifier of a program parameter (index into the parameter list).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ParamId(pub u32);
+
+/// An affine expression with integer coefficients.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct Aff {
+    /// Sorted `(dim, coeff)` pairs with non-zero coefficients.
+    dims: Vec<(DimId, i64)>,
+    /// Sorted `(param, coeff)` pairs with non-zero coefficients.
+    params: Vec<(ParamId, i64)>,
+    /// Constant term.
+    cst: i64,
+}
+
+impl Aff {
+    /// The constant expression `c`.
+    pub fn constant(c: i64) -> Aff {
+        Aff {
+            cst: c,
+            ..Aff::default()
+        }
+    }
+
+    /// The zero expression.
+    pub fn zero() -> Aff {
+        Aff::default()
+    }
+
+    /// The expression `d` (a single loop dimension).
+    pub fn dim(d: DimId) -> Aff {
+        Aff {
+            dims: vec![(d, 1)],
+            ..Aff::default()
+        }
+    }
+
+    /// The expression `p` (a single parameter).
+    pub fn param(p: ParamId) -> Aff {
+        Aff {
+            params: vec![(p, 1)],
+            ..Aff::default()
+        }
+    }
+
+    /// Constant term.
+    pub fn cst(&self) -> i64 {
+        self.cst
+    }
+
+    /// Sorted `(dim, coeff)` pairs.
+    pub fn dim_terms(&self) -> &[(DimId, i64)] {
+        &self.dims
+    }
+
+    /// Sorted `(param, coeff)` pairs.
+    pub fn param_terms(&self) -> &[(ParamId, i64)] {
+        &self.params
+    }
+
+    /// Coefficient of dimension `d`.
+    pub fn dim_coeff(&self, d: DimId) -> i64 {
+        self.dims
+            .iter()
+            .find(|(x, _)| *x == d)
+            .map(|(_, c)| *c)
+            .unwrap_or(0)
+    }
+
+    /// Coefficient of parameter `p`.
+    pub fn param_coeff(&self, p: ParamId) -> i64 {
+        self.params
+            .iter()
+            .find(|(x, _)| *x == p)
+            .map(|(_, c)| *c)
+            .unwrap_or(0)
+    }
+
+    /// True when no loop dimension occurs (parameters and constants only).
+    pub fn is_dim_free(&self) -> bool {
+        self.dims.is_empty()
+    }
+
+    /// Dimensions with non-zero coefficient.
+    pub fn dims_used(&self) -> impl Iterator<Item = DimId> + '_ {
+        self.dims.iter().map(|(d, _)| *d)
+    }
+
+    /// Evaluates with `dim_env(d)` and `param_env(p)` lookups.
+    pub fn eval_with(
+        &self,
+        dim_env: &dyn Fn(DimId) -> i64,
+        param_env: &dyn Fn(ParamId) -> i64,
+    ) -> i64 {
+        let mut acc = self.cst;
+        for (d, c) in &self.dims {
+            acc += c * dim_env(*d);
+        }
+        for (p, c) in &self.params {
+            acc += c * param_env(*p);
+        }
+        acc
+    }
+
+    /// Removes the term for dimension `d`, returning its coefficient.
+    pub fn take_dim(&mut self, d: DimId) -> i64 {
+        if let Some(pos) = self.dims.iter().position(|(x, _)| *x == d) {
+            self.dims.remove(pos).1
+        } else {
+            0
+        }
+    }
+
+    fn add_dim(&mut self, d: DimId, c: i64) {
+        if c == 0 {
+            return;
+        }
+        match self.dims.binary_search_by_key(&d, |(x, _)| *x) {
+            Ok(i) => {
+                self.dims[i].1 += c;
+                if self.dims[i].1 == 0 {
+                    self.dims.remove(i);
+                }
+            }
+            Err(i) => self.dims.insert(i, (d, c)),
+        }
+    }
+
+    fn add_param(&mut self, p: ParamId, c: i64) {
+        if c == 0 {
+            return;
+        }
+        match self.params.binary_search_by_key(&p, |(x, _)| *x) {
+            Ok(i) => {
+                self.params[i].1 += c;
+                if self.params[i].1 == 0 {
+                    self.params.remove(i);
+                }
+            }
+            Err(i) => self.params.insert(i, (p, c)),
+        }
+    }
+
+    /// Renders with the given naming functions.
+    pub fn display_with(
+        &self,
+        dim_name: &dyn Fn(DimId) -> String,
+        param_name: &dyn Fn(ParamId) -> String,
+    ) -> String {
+        let mut parts: Vec<String> = Vec::new();
+        for (d, c) in &self.dims {
+            parts.push(render_term(*c, &dim_name(*d), parts.is_empty()));
+        }
+        for (p, c) in &self.params {
+            parts.push(render_term(*c, &param_name(*p), parts.is_empty()));
+        }
+        if self.cst != 0 || parts.is_empty() {
+            if parts.is_empty() {
+                parts.push(format!("{}", self.cst));
+            } else if self.cst > 0 {
+                parts.push(format!(" + {}", self.cst));
+            } else {
+                parts.push(format!(" - {}", -self.cst));
+            }
+        }
+        parts.concat()
+    }
+}
+
+fn render_term(c: i64, name: &str, first: bool) -> String {
+    let (sign, mag) = if c < 0 { ("-", -c) } else { ("+", c) };
+    let body = if mag == 1 {
+        name.to_string()
+    } else {
+        format!("{mag}*{name}")
+    };
+    if first {
+        if sign == "-" {
+            format!("-{body}")
+        } else {
+            body
+        }
+    } else {
+        format!(" {sign} {body}")
+    }
+}
+
+impl Add for Aff {
+    type Output = Aff;
+    fn add(mut self, rhs: Aff) -> Aff {
+        for (d, c) in rhs.dims {
+            self.add_dim(d, c);
+        }
+        for (p, c) in rhs.params {
+            self.add_param(p, c);
+        }
+        self.cst += rhs.cst;
+        self
+    }
+}
+
+impl Sub for Aff {
+    type Output = Aff;
+    fn sub(self, rhs: Aff) -> Aff {
+        self + (-rhs)
+    }
+}
+
+impl Neg for Aff {
+    type Output = Aff;
+    fn neg(mut self) -> Aff {
+        for t in &mut self.dims {
+            t.1 = -t.1;
+        }
+        for t in &mut self.params {
+            t.1 = -t.1;
+        }
+        self.cst = -self.cst;
+        self
+    }
+}
+
+impl Add<i64> for Aff {
+    type Output = Aff;
+    fn add(mut self, rhs: i64) -> Aff {
+        self.cst += rhs;
+        self
+    }
+}
+
+impl Sub<i64> for Aff {
+    type Output = Aff;
+    fn sub(mut self, rhs: i64) -> Aff {
+        self.cst -= rhs;
+        self
+    }
+}
+
+impl Mul<i64> for Aff {
+    type Output = Aff;
+    fn mul(mut self, rhs: i64) -> Aff {
+        if rhs == 0 {
+            return Aff::zero();
+        }
+        for t in &mut self.dims {
+            t.1 *= rhs;
+        }
+        for t in &mut self.params {
+            t.1 *= rhs;
+        }
+        self.cst *= rhs;
+        self
+    }
+}
+
+impl fmt::Display for Aff {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}",
+            self.display_with(&|d| format!("d{}", d.0), &|p| format!("p{}", p.0))
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_eval() {
+        let k = DimId(0);
+        let n = ParamId(0);
+        // N - 1 - k
+        let e = Aff::param(n) - Aff::dim(k) - 1;
+        let v = e.eval_with(&|_| 3, &|_| 10);
+        assert_eq!(v, 6);
+        assert_eq!(e.dim_coeff(k), -1);
+        assert_eq!(e.param_coeff(n), 1);
+        assert_eq!(e.cst(), -1);
+    }
+
+    #[test]
+    fn cancellation_removes_terms() {
+        let k = DimId(0);
+        let e = Aff::dim(k) + Aff::dim(k) * -1;
+        assert!(e.is_dim_free());
+        assert_eq!(e, Aff::zero());
+    }
+
+    #[test]
+    fn scalar_multiplication() {
+        let k = DimId(0);
+        let e = (Aff::dim(k) + 2) * 3;
+        assert_eq!(e.dim_coeff(k), 3);
+        assert_eq!(e.cst(), 6);
+        assert_eq!((e * 0), Aff::zero());
+    }
+
+    #[test]
+    fn take_dim_extracts() {
+        let (k, j) = (DimId(0), DimId(1));
+        let mut e = Aff::dim(k) * 2 + Aff::dim(j) - 5;
+        assert_eq!(e.take_dim(k), 2);
+        assert_eq!(e.dim_coeff(k), 0);
+        assert_eq!(e.dim_coeff(j), 1);
+        assert_eq!(e.take_dim(k), 0);
+    }
+
+    #[test]
+    fn display_readable() {
+        let k = DimId(0);
+        let n = ParamId(0);
+        let e = Aff::param(n) - Aff::dim(k) - 1;
+        assert_eq!(
+            e.display_with(&|_| "k".into(), &|_| "N".into()),
+            "-k + N - 1"
+        );
+        assert_eq!(Aff::zero().display_with(&|_| "x".into(), &|_| "P".into()), "0");
+    }
+}

@@ -1,0 +1,523 @@
+//! Structural dependence analysis: the source of the projections `Φ`.
+//!
+//! The K-partitioning method bounds a set `E` through projections derived
+//! from *dependence paths* (§2, §4 of the paper): each read access of a
+//! statement contributes the map from the consumer's iteration space to the
+//! producing instance (or to the input data space). For the kernel class of
+//! the paper the maps are computed by unifying the read subscript with the
+//! candidate writer's subscript:
+//!
+//! * writer dims determined by unification map affinely to consumer dims →
+//!   those consumer dims form the projection **support**;
+//! * writer dims left free on a loop *common* to writer and reader resolve
+//!   by last-writer: **same iteration** when the writer precedes the reader
+//!   in the loop body (dim kept), **previous iteration** otherwise (a
+//!   translation: the dim is dropped, per the Elango-style path-composition
+//!   argument — this is what turns the self-dependence of `SU` on `A[i][j]`
+//!   into the projection `φ_{i,j}`);
+//! * free non-common dims (a producer's private reduction loop) are dropped.
+//!
+//! Because the unification is structural, it is *certified empirically*:
+//! [`observe_producers`] executes the program and records, for every read,
+//! the actual set of producing statements; [`analyze`] only accepts an
+//! observed producer set that unification explains.
+
+use crate::affine::{Aff, DimId};
+use crate::interp::{ExecSink, Interpreter, Store};
+use crate::program::{ArrayId, Program, StmtId};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Producer of a read: a statement or the program input.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Producer {
+    /// Value read is a program input.
+    Input,
+    /// Value produced by this statement.
+    Stmt(StmtId),
+}
+
+/// Result of unifying one read against one producer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlowEdge {
+    /// Consumer statement.
+    pub consumer: StmtId,
+    /// Index into the consumer's declared reads.
+    pub read_idx: usize,
+    /// The producer.
+    pub producer: Producer,
+    /// Consumer dims distinguishing the projection image (the `φ` dims).
+    pub support: BTreeSet<DimId>,
+    /// Common dims resolved to the *previous iteration* (temporal
+    /// translations — hourglass detection keys on these).
+    pub translated: BTreeSet<DimId>,
+}
+
+/// Per-read merged projection: union over observed producers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReadProjection {
+    /// Consumer statement.
+    pub stmt: StmtId,
+    /// Index into the consumer's declared reads.
+    pub read_idx: usize,
+    /// Array being read.
+    pub array: ArrayId,
+    /// Union of producer-edge supports.
+    pub support: BTreeSet<DimId>,
+    /// Union of translation dims.
+    pub translated: BTreeSet<DimId>,
+    /// The contributing edges.
+    pub edges: Vec<FlowEdge>,
+}
+
+/// Observed producer families: `(consumer, read_idx) → {producers}`.
+pub type Observations = BTreeMap<(StmtId, usize), BTreeSet<Producer>>;
+
+/// Executes the program at `params` and records, for every declared read of
+/// every statement instance, which statement last wrote the cell (or
+/// [`Producer::Input`] if none had).
+pub fn observe_producers(program: &Program, params: &[i64]) -> Observations {
+    struct Observer<'p> {
+        program: &'p Program,
+        params: Vec<i64>,
+        strides: Vec<Vec<usize>>,
+        last_writer: BTreeMap<(u32, usize), StmtId>,
+        current: Option<StmtId>,
+        /// cell → read indices of the current instance reading that cell
+        expected: BTreeMap<(u32, usize), Vec<usize>>,
+        obs: Observations,
+    }
+
+    impl Observer<'_> {
+        fn flat(&self, access: &crate::program::Access, stmt: StmtId, iv: &[i64]) -> (u32, usize) {
+            let dims = &self.program.stmt(stmt).dims;
+            let dim_env = |d: DimId| {
+                let pos = dims.iter().position(|x| *x == d).expect("non-enclosing dim");
+                iv[pos]
+            };
+            let par_env = |p: crate::affine::ParamId| self.params[p.0 as usize];
+            let st = &self.strides[access.array.0 as usize];
+            let mut f = 0usize;
+            for (axis, a) in access.idx.iter().enumerate() {
+                let v = a.eval_with(&dim_env, &par_env);
+                f += st[axis] * v.max(0) as usize;
+            }
+            (access.array.0, f)
+        }
+    }
+
+    impl ExecSink for Observer<'_> {
+        fn on_stmt(&mut self, stmt: StmtId, iv: &[i64]) {
+            self.current = Some(stmt);
+            self.expected.clear();
+            for (i, r) in self.program.stmt(stmt).reads.iter().enumerate() {
+                let key = self.flat(r, stmt, iv);
+                self.expected.entry(key).or_default().push(i);
+            }
+        }
+        fn on_read(&mut self, array: ArrayId, flat: usize) {
+            let stmt = self.current.expect("read outside a statement");
+            let producer = self
+                .last_writer
+                .get(&(array.0, flat))
+                .map(|s| Producer::Stmt(*s))
+                .unwrap_or(Producer::Input);
+            if let Some(idxs) = self.expected.get(&(array.0, flat)) {
+                for &i in idxs {
+                    self.obs.entry((stmt, i)).or_default().insert(producer);
+                }
+            }
+        }
+        fn on_write(&mut self, array: ArrayId, flat: usize) {
+            let stmt = self.current.expect("write outside a statement");
+            self.last_writer.insert((array.0, flat), stmt);
+        }
+    }
+
+    let mut strides = Vec::with_capacity(program.arrays.len());
+    for i in 0..program.arrays.len() {
+        let extents = program.array_extents(ArrayId(i as u32), params);
+        let mut st = vec![1usize; extents.len()];
+        for k in (0..extents.len().saturating_sub(1)).rev() {
+            st[k] = st[k + 1] * extents[k + 1];
+        }
+        strides.push(st);
+    }
+    let mut obs = Observer {
+        program,
+        params: params.to_vec(),
+        strides,
+        last_writer: BTreeMap::new(),
+        current: None,
+        expected: BTreeMap::new(),
+        obs: Observations::new(),
+    };
+    let mut store = Store::init(program, params, |a, f| 1.0 + a.0 as f64 + f as f64 * 0.125);
+    Interpreter::new(program, params).run(&mut store, &mut obs);
+    obs.obs
+}
+
+/// Unifies read `r` of `consumer` against write `w` of `producer`.
+///
+/// Returns the flow edge (support + translations) or `None` when the
+/// subscripts cannot be produced by that writer (or fall outside the
+/// supported affine class).
+pub fn unify(
+    program: &Program,
+    consumer: StmtId,
+    read: &Aff_slice<'_>,
+    producer: StmtId,
+    write: &Aff_slice<'_>,
+) -> Option<FlowEdge> {
+    if read.array != write.array || read.idx.len() != write.idx.len() {
+        return None;
+    }
+    let prod_dims = &program.stmt(producer).dims;
+    // Determined producer dims: dim → affine expr over consumer dims.
+    let mut determined: BTreeMap<DimId, Aff> = BTreeMap::new();
+    for (f_d, g_d) in write.idx.iter().zip(read.idx.iter()) {
+        let mut f = (*f_d).clone();
+        let f_dims: Vec<(DimId, i64)> = f.dim_terms().to_vec();
+        match f_dims.len() {
+            0 => {
+                // Subscript fixed by params/consts: must match syntactically.
+                if f != *g_d {
+                    return None;
+                }
+            }
+            1 => {
+                let (a, c) = f_dims[0];
+                if c != 1 && c != -1 {
+                    return None;
+                }
+                f.take_dim(a);
+                // c*a + rest = g  →  a = c*(g - rest)  (c = ±1)
+                let expr = (g_d.clone() - f) * c;
+                match determined.get(&a) {
+                    Some(prev) if *prev != expr => {
+                        // Diagonal-style write (e.g. `A[k][k]`): the
+                        // dependence exists on the constrained subset where
+                        // both determinations agree. Keep the union of the
+                        // consumer dims as (coarser, still valid) support.
+                        let merged = prev.clone() + expr;
+                        determined.insert(a, merged);
+                    }
+                    _ => {
+                        determined.insert(a, expr);
+                    }
+                }
+            }
+            _ => return None,
+        }
+    }
+    // Determined dims must be producer dims (sanity).
+    for d in determined.keys() {
+        if !prod_dims.contains(d) {
+            return None;
+        }
+    }
+    let common = program.common_dims(producer, consumer);
+    let cons_dims = &program.stmt(consumer).dims;
+    let mut support: BTreeSet<DimId> = BTreeSet::new();
+    let mut translated: BTreeSet<DimId> = BTreeSet::new();
+    for expr in determined.values() {
+        for d in expr.dims_used() {
+            // The expr is over consumer dims by construction.
+            if cons_dims.contains(&d) {
+                support.insert(d);
+            } else {
+                return None; // read subscript used a non-enclosing dim
+            }
+        }
+    }
+    let precedes = program.stmt(producer).position < program.stmt(consumer).position;
+    for d in prod_dims {
+        if determined.contains_key(d) {
+            continue;
+        }
+        if common.contains(d) {
+            if precedes {
+                // Same-iteration last writer: the dim maps identically.
+                support.insert(*d);
+            } else {
+                // Previous-iteration: a translation — dim dropped.
+                translated.insert(*d);
+            }
+        }
+        // Non-common free dims (producer-private loops): dropped.
+    }
+    Some(FlowEdge {
+        consumer,
+        read_idx: usize::MAX, // filled by caller
+        producer: Producer::Stmt(producer),
+        support,
+        translated,
+    })
+}
+
+/// Borrowed view of one access for [`unify`].
+#[allow(non_camel_case_types)]
+pub struct Aff_slice<'a> {
+    /// Array accessed.
+    pub array: ArrayId,
+    /// Subscripts.
+    pub idx: &'a [Aff],
+}
+
+/// Analyzes every observed read family; returns merged per-read projections.
+///
+/// # Errors
+/// Returns a description when an observed producer cannot be explained by
+/// subscript unification (the program is outside the supported class).
+pub fn analyze(program: &Program, obs: &Observations) -> Result<Vec<ReadProjection>, String> {
+    let mut out = Vec::new();
+    for (s_idx, stmt) in program.stmts.iter().enumerate() {
+        let sid = StmtId(s_idx as u32);
+        for (r_idx, read) in stmt.reads.iter().enumerate() {
+            let Some(producers) = obs.get(&(sid, r_idx)) else {
+                continue; // read never executed at the observation sizes
+            };
+            let mut support: BTreeSet<DimId> = BTreeSet::new();
+            let mut translated: BTreeSet<DimId> = BTreeSet::new();
+            let mut edges = Vec::new();
+            for prod in producers {
+                match prod {
+                    Producer::Input => {
+                        // Input reads project through the access function.
+                        let mut sup = BTreeSet::new();
+                        for a in &read.idx {
+                            sup.extend(a.dims_used());
+                        }
+                        support.extend(sup.iter().copied());
+                        edges.push(FlowEdge {
+                            consumer: sid,
+                            read_idx: r_idx,
+                            producer: Producer::Input,
+                            support: sup,
+                            translated: BTreeSet::new(),
+                        });
+                    }
+                    Producer::Stmt(p) => {
+                        let pstmt = program.stmt(*p);
+                        let rview = Aff_slice {
+                            array: read.array,
+                            idx: &read.idx,
+                        };
+                        let mut matched = false;
+                        for w in &pstmt.writes {
+                            if w.array != read.array {
+                                continue;
+                            }
+                            let wview = Aff_slice {
+                                array: w.array,
+                                idx: &w.idx,
+                            };
+                            if let Some(mut e) = unify(program, sid, &rview, *p, &wview) {
+                                e.read_idx = r_idx;
+                                support.extend(e.support.iter().copied());
+                                translated.extend(e.translated.iter().copied());
+                                edges.push(e);
+                                matched = true;
+                            }
+                        }
+                        if !matched {
+                            return Err(format!(
+                                "observed producer {} of {}.read[{r_idx}] ({}) not explained by unification",
+                                pstmt.name,
+                                stmt.name,
+                                program.arrays[read.array.0 as usize].name,
+                            ));
+                        }
+                    }
+                }
+            }
+            out.push(ReadProjection {
+                stmt: sid,
+                read_idx: r_idx,
+                array: read.array,
+                support,
+                translated,
+                edges,
+            });
+        }
+    }
+    Ok(out)
+}
+
+/// Convenience: observe at several parameter vectors, union, analyze.
+///
+/// # Errors
+/// Propagates [`analyze`] failures.
+pub fn read_projections(
+    program: &Program,
+    param_sets: &[Vec<i64>],
+) -> Result<Vec<ReadProjection>, String> {
+    let mut merged = Observations::new();
+    for ps in param_sets {
+        for (k, v) in observe_producers(program, ps) {
+            merged.entry(k).or_default().extend(v);
+        }
+    }
+    analyze(program, &merged)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::{Access, ProgramBuilder};
+
+    /// A miniature MGS-shaped program: the SR/SU hourglass core.
+    ///
+    /// ```c
+    /// for k in 0..N:
+    ///   for j in k+1..N:
+    ///     S0: R[k][j] = 0
+    ///     for i in 0..M: SR: R[k][j] += A[i][k] * A[i][j]
+    ///     for i in 0..M: SU: A[i][j] -= A[i][k] * R[k][j]
+    /// ```
+    fn mini_mgs() -> Program {
+        let mut b = ProgramBuilder::new("mini_mgs_deps", &["M", "N"]);
+        let a = b.array("A", &[b.p("M"), b.p("N")]);
+        let r = b.array("R", &[b.p("N"), b.p("N")]);
+        let k = b.open("k", b.c(0), b.p("N"));
+        let j = b.open("j", b.d(k) + 1, b.p("N"));
+        let w_r = Access::new(r, vec![b.d(k), b.d(j)]);
+        b.stmt("S0", vec![], vec![w_r.clone()], move |c| {
+            c.wr(r, &[c.v(0), c.v(1)], 0.0)
+        });
+        let i1 = b.open("i", b.c(0), b.p("M"));
+        let rd_aik = Access::new(a, vec![b.d(i1), b.d(k)]);
+        let rd_aij = Access::new(a, vec![b.d(i1), b.d(j)]);
+        b.stmt(
+            "SR",
+            vec![rd_aik, rd_aij, w_r.clone()],
+            vec![w_r.clone()],
+            move |c| {
+                let (k, j, i) = (c.v(0), c.v(1), c.v(2));
+                let v = c.rd(a, &[i, k]) * c.rd(a, &[i, j]) + c.rd(r, &[k, j]);
+                c.wr(r, &[k, j], v);
+            },
+        );
+        b.close();
+        let i2 = b.open("i", b.c(0), b.p("M"));
+        let rd_aik2 = Access::new(a, vec![b.d(i2), b.d(k)]);
+        let rw_aij2 = Access::new(a, vec![b.d(i2), b.d(j)]);
+        b.stmt(
+            "SU",
+            vec![rd_aik2, rw_aij2.clone(), w_r.clone()],
+            vec![rw_aij2],
+            move |c| {
+                let (k, j, i) = (c.v(0), c.v(1), c.v(2));
+                let v = c.rd(a, &[i, j]) - c.rd(a, &[i, k]) * c.rd(r, &[k, j]);
+                c.wr(a, &[i, j], v);
+            },
+        );
+        b.close();
+        b.close();
+        b.close();
+        b.finish()
+    }
+
+    fn dims_of(p: &Program, s: &str) -> Vec<DimId> {
+        p.stmt(p.stmt_id(s).unwrap()).dims.clone()
+    }
+
+    #[test]
+    fn observed_producers_are_plausible() {
+        let p = mini_mgs();
+        let obs = observe_producers(&p, &[6, 4]);
+        let su = p.stmt_id("SU").unwrap();
+        // SU.read[2] is R[k][j]: produced by SR (the accumulation).
+        let prods = &obs[&(su, 2)];
+        assert!(prods.contains(&Producer::Stmt(p.stmt_id("SR").unwrap())));
+        assert!(!prods.contains(&Producer::Input));
+        // SU.read[1] is A[i][j]: input at k=0, SU itself afterwards.
+        let prods = &obs[&(su, 1)];
+        assert!(prods.contains(&Producer::Input));
+        assert!(prods.contains(&Producer::Stmt(su)));
+    }
+
+    #[test]
+    fn su_projections_match_paper() {
+        let p = mini_mgs();
+        let projs = read_projections(&p, &[vec![6, 4], vec![5, 5]]).unwrap();
+        let su = p.stmt_id("SU").unwrap();
+        let d = dims_of(&p, "SU"); // [k, j, i]
+        let by_read: Vec<_> = projs.iter().filter(|r| r.stmt == su).collect();
+        assert_eq!(by_read.len(), 3);
+        // read[0] = A[i][k]: produced by SU at previous k′… in this miniature
+        // program A[·][k] columns are updated by SU at earlier k (j = k), so
+        // support is {i, k} via input + translation composition.
+        let r0 = &by_read[0];
+        assert!(r0.support.contains(&d[2]), "i in support of A[i][k]");
+        // read[1] = A[i][j]: support {i, j}, translation on k.
+        let r1 = &by_read[1];
+        assert_eq!(
+            r1.support.iter().copied().collect::<Vec<_>>(),
+            vec![d[1], d[2]],
+            "support of A[i][j] is {{j, i}}"
+        );
+        assert!(r1.translated.contains(&d[0]), "k is a translation dim");
+        // read[2] = R[k][j]: support {k, j} (SR's reduction i dropped).
+        let r2 = &by_read[2];
+        assert_eq!(
+            r2.support.iter().copied().collect::<Vec<_>>(),
+            vec![d[0], d[1]],
+            "support of R[k][j] is {{k, j}}"
+        );
+        assert!(r2.translated.is_empty());
+    }
+
+    #[test]
+    fn sr_projections_match_paper() {
+        let p = mini_mgs();
+        let projs = read_projections(&p, &[vec![6, 4]]).unwrap();
+        let sr = p.stmt_id("SR").unwrap();
+        let d = dims_of(&p, "SR");
+        let by_read: Vec<_> = projs.iter().filter(|r| r.stmt == sr).collect();
+        // read[1] = A[i][j] produced by SU at k-1 → translation on k, support {i, j}.
+        let r1 = &by_read[1];
+        assert!(r1.support.contains(&d[1]) && r1.support.contains(&d[2]));
+        assert!(!r1.support.contains(&d[0]));
+        assert!(r1.translated.contains(&d[0]));
+    }
+
+    #[test]
+    fn same_iteration_scalar_producer_keeps_common_dims() {
+        // S1 writes t; S2 (later in the same k body) reads t → support {k}.
+        let mut b = ProgramBuilder::new("scalar_dep", &["N"]);
+        let t = b.scalar("t");
+        let y = b.array("y", &[b.p("N")]);
+        let k = b.open("k", b.c(0), b.p("N"));
+        let at = Access::new(t, vec![]);
+        b.stmt("S1", vec![], vec![at.clone()], move |c| {
+            c.wr(t, &[], c.v(0) as f64)
+        });
+        let wy = Access::new(y, vec![b.d(k)]);
+        b.stmt("S2", vec![at], vec![wy], move |c| {
+            let v = c.rd(t, &[]);
+            c.wr(y, &[c.v(0)], v);
+        });
+        b.close();
+        let p = b.finish();
+        let projs = read_projections(&p, &[vec![5]]).unwrap();
+        let s2 = p.stmt_id("S2").unwrap();
+        let proj = projs.iter().find(|r| r.stmt == s2).unwrap();
+        let kdim = p.stmt(s2).dims[0];
+        assert!(proj.support.contains(&kdim), "same-iteration keeps k");
+        assert!(proj.translated.is_empty());
+    }
+
+    #[test]
+    fn unify_rejects_mismatched_constants() {
+        let p = mini_mgs();
+        let a = p.array_id("A").unwrap();
+        // read A[0][j] vs write A[1][j]: constant mismatch on axis 0.
+        let su = p.stmt_id("SU").unwrap();
+        let d = dims_of(&p, "SU");
+        let read_idx = [Aff::constant(0), Aff::dim(d[1])];
+        let write_idx = [Aff::constant(1), Aff::dim(d[1])];
+        let r = Aff_slice { array: a, idx: &read_idx };
+        let w = Aff_slice { array: a, idx: &write_idx };
+        assert!(unify(&p, su, &r, su, &w).is_none());
+    }
+}

@@ -1,0 +1,621 @@
+//! Sequential interpreter for [`Program`]s.
+//!
+//! Executes statements in schedule order (the source listing's sequential
+//! order), carrying real `f64` array contents, and streams every performed
+//! access into an [`ExecSink`]. One interpreter serves four purposes:
+//!
+//! * **numerics** — running a kernel and checking its mathematical output,
+//! * **trace collection** — feeding the two-level cache simulator,
+//! * **CDAG construction** — last-writer tracking builds the exact
+//!   computational DAG the pebble game plays on,
+//! * **certification** — [`validate_accesses`] checks the declared affine
+//!   accesses against the performed ones on every executed instance.
+
+use crate::affine::DimId;
+use crate::program::{ArrayId, Loop, LoopStep, Program, Step, StmtId};
+use std::collections::BTreeSet;
+
+/// Receives execution events from the interpreter.
+///
+/// `on_stmt` fires before the instance's accesses; `on_read`/`on_write`
+/// report flat per-array element indices.
+pub trait ExecSink {
+    /// A statement instance is about to execute with iteration vector `iv`.
+    fn on_stmt(&mut self, _stmt: StmtId, _iv: &[i64]) {}
+    /// The current instance read `array[flat]`.
+    fn on_read(&mut self, _array: ArrayId, _flat: usize) {}
+    /// The current instance wrote `array[flat]`.
+    fn on_write(&mut self, _array: ArrayId, _flat: usize) {}
+    /// Execution finished.
+    fn on_finish(&mut self) {}
+}
+
+/// Sink that ignores everything (pure numeric runs).
+#[derive(Debug, Default)]
+pub struct NullSink;
+
+impl ExecSink for NullSink {}
+
+/// One access in a materialized trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Global cell id (array base offset + flat index).
+    pub cell: usize,
+    /// True for writes.
+    pub write: bool,
+}
+
+/// Sink that materializes the full access trace with global cell ids.
+///
+/// Events are packed `(cell << 1) | write` to keep long traces compact
+/// (8 bytes per access).
+#[derive(Debug)]
+pub struct TraceSink {
+    /// Packed events.
+    pub packed: Vec<u64>,
+    base: Vec<usize>,
+    /// Total number of distinct cells across all arrays.
+    pub num_cells: usize,
+}
+
+impl TraceSink {
+    /// Creates a trace sink for the given program instantiation.
+    pub fn new(program: &Program, params: &[i64]) -> TraceSink {
+        let mut base = Vec::with_capacity(program.arrays.len());
+        let mut acc = 0usize;
+        for i in 0..program.arrays.len() {
+            base.push(acc);
+            acc += program.array_len(ArrayId(i as u32), params).max(1);
+        }
+        TraceSink {
+            packed: Vec::new(),
+            base,
+            num_cells: acc,
+        }
+    }
+
+    /// Decodes event `i`.
+    pub fn event(&self, i: usize) -> TraceEvent {
+        let p = self.packed[i];
+        TraceEvent {
+            cell: (p >> 1) as usize,
+            write: (p & 1) == 1,
+        }
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.packed.len()
+    }
+
+    /// True when no event was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.packed.is_empty()
+    }
+
+    /// Iterates decoded events.
+    pub fn iter(&self) -> impl Iterator<Item = TraceEvent> + '_ {
+        self.packed.iter().map(|&p| TraceEvent {
+            cell: (p >> 1) as usize,
+            write: (p & 1) == 1,
+        })
+    }
+
+    /// Global cell id for `array[flat]`.
+    pub fn cell_id(&self, array: ArrayId, flat: usize) -> usize {
+        self.base[array.0 as usize] + flat
+    }
+}
+
+impl ExecSink for TraceSink {
+    fn on_read(&mut self, array: ArrayId, flat: usize) {
+        let cell = self.base[array.0 as usize] + flat;
+        self.packed.push((cell as u64) << 1);
+    }
+    fn on_write(&mut self, array: ArrayId, flat: usize) {
+        let cell = self.base[array.0 as usize] + flat;
+        self.packed.push(((cell as u64) << 1) | 1);
+    }
+}
+
+/// Array contents for one execution.
+#[derive(Debug, Clone)]
+pub struct Store {
+    /// Flat row-major contents per array.
+    pub data: Vec<Vec<f64>>,
+    strides: Vec<Vec<usize>>,
+}
+
+impl Store {
+    /// Allocates and fills all arrays using `init(array, flat) -> f64`.
+    pub fn init(
+        program: &Program,
+        params: &[i64],
+        mut init: impl FnMut(ArrayId, usize) -> f64,
+    ) -> Store {
+        let mut data = Vec::with_capacity(program.arrays.len());
+        let mut strides = Vec::with_capacity(program.arrays.len());
+        for i in 0..program.arrays.len() {
+            let id = ArrayId(i as u32);
+            let extents = program.array_extents(id, params);
+            let len: usize = extents.iter().product::<usize>().max(1);
+            let mut st = vec![1usize; extents.len()];
+            for k in (0..extents.len().saturating_sub(1)).rev() {
+                st[k] = st[k + 1] * extents[k + 1];
+            }
+            data.push((0..len).map(|f| init(id, f)).collect());
+            strides.push(st);
+        }
+        Store { data, strides }
+    }
+
+    /// Zero-initialized store.
+    pub fn zeros(program: &Program, params: &[i64]) -> Store {
+        Store::init(program, params, |_, _| 0.0)
+    }
+
+    /// Flattens a multi-dimensional index.
+    ///
+    /// # Panics
+    /// Panics (debug) on rank mismatch.
+    pub fn flatten(&self, array: ArrayId, idx: &[i64]) -> usize {
+        let st = &self.strides[array.0 as usize];
+        debug_assert_eq!(st.len(), idx.len(), "array rank mismatch");
+        let mut f = 0usize;
+        for (i, &x) in idx.iter().enumerate() {
+            debug_assert!(x >= 0, "negative subscript");
+            f += st[i] * x as usize;
+        }
+        f
+    }
+
+    /// Reads `array[idx]`.
+    pub fn get(&self, array: ArrayId, idx: &[i64]) -> f64 {
+        let f = self.flatten(array, idx);
+        self.data[array.0 as usize][f]
+    }
+
+    /// Writes `array[idx]`.
+    pub fn set(&mut self, array: ArrayId, idx: &[i64], v: f64) {
+        let f = self.flatten(array, idx);
+        self.data[array.0 as usize][f] = v;
+    }
+}
+
+/// Statement execution context handed to semantic closures.
+pub struct ExecCtx<'a> {
+    stmt: StmtId,
+    iv: &'a [i64],
+    params: &'a [i64],
+    store: &'a mut Store,
+    sink: &'a mut dyn ExecSink,
+}
+
+impl ExecCtx<'_> {
+    /// Value of the `i`-th enclosing loop (outermost first).
+    pub fn v(&self, i: usize) -> i64 {
+        self.iv[i]
+    }
+
+    /// Value of parameter `i`.
+    pub fn p(&self, i: usize) -> i64 {
+        self.params[i]
+    }
+
+    /// The executing statement.
+    pub fn stmt(&self) -> StmtId {
+        self.stmt
+    }
+
+    /// Reads `array[idx]`, reporting the access.
+    pub fn rd(&mut self, array: ArrayId, idx: &[i64]) -> f64 {
+        let f = self.store.flatten(array, idx);
+        self.sink.on_read(array, f);
+        self.store.data[array.0 as usize][f]
+    }
+
+    /// Writes `array[idx]`, reporting the access.
+    pub fn wr(&mut self, array: ArrayId, idx: &[i64], v: f64) {
+        let f = self.store.flatten(array, idx);
+        self.sink.on_write(array, f);
+        self.store.data[array.0 as usize][f] = v;
+    }
+}
+
+/// Schedule-order interpreter for one program instantiation.
+pub struct Interpreter<'p> {
+    program: &'p Program,
+    params: Vec<i64>,
+}
+
+impl<'p> Interpreter<'p> {
+    /// Binds `program` to concrete parameter values (same order as
+    /// `program.params`).
+    pub fn new(program: &'p Program, params: &[i64]) -> Interpreter<'p> {
+        assert_eq!(
+            params.len(),
+            program.params.len(),
+            "parameter count mismatch"
+        );
+        Interpreter {
+            program,
+            params: params.to_vec(),
+        }
+    }
+
+    /// Executes the program over `store`, streaming events into `sink`.
+    pub fn run(&self, store: &mut Store, sink: &mut dyn ExecSink) {
+        let mut dims = vec![0i64; self.program.num_dims as usize];
+        let mut iv_buf: Vec<i64> = Vec::with_capacity(8);
+        for step in &self.program.body {
+            self.run_step(step, &mut dims, &mut iv_buf, store, sink);
+        }
+        sink.on_finish();
+    }
+
+    fn run_step(
+        &self,
+        step: &Step,
+        dims: &mut Vec<i64>,
+        iv_buf: &mut Vec<i64>,
+        store: &mut Store,
+        sink: &mut dyn ExecSink,
+    ) {
+        match step {
+            Step::Stmt(id) => {
+                let stmt = self.program.stmt(*id);
+                iv_buf.clear();
+                iv_buf.extend(stmt.dims.iter().map(|d| dims[d.0 as usize]));
+                sink.on_stmt(*id, iv_buf);
+                let compute = stmt.compute.clone();
+                let mut ctx = ExecCtx {
+                    stmt: *id,
+                    iv: iv_buf,
+                    params: &self.params,
+                    store,
+                    sink,
+                };
+                compute(&mut ctx);
+            }
+            Step::Loop(l) => {
+                let (lo, hi, step_v) = self.loop_range(l, dims);
+                if hi <= lo {
+                    return;
+                }
+                if l.reverse {
+                    // Last valid value, stepping down.
+                    let count = (hi - 1 - lo) / step_v;
+                    let mut v = lo + count * step_v;
+                    loop {
+                        dims[l.dim.0 as usize] = v;
+                        for s in &l.body {
+                            self.run_step(s, dims, iv_buf, store, sink);
+                        }
+                        if v == lo {
+                            break;
+                        }
+                        v -= step_v;
+                    }
+                } else {
+                    let mut v = lo;
+                    while v < hi {
+                        dims[l.dim.0 as usize] = v;
+                        for s in &l.body {
+                            self.run_step(s, dims, iv_buf, store, sink);
+                        }
+                        v += step_v;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Effective `[lo, hi)` and step of a loop at the current outer values.
+    fn loop_range(&self, l: &Loop, dims: &[i64]) -> (i64, i64, i64) {
+        let dim_env = |d: DimId| dims[d.0 as usize];
+        let par_env = |p: crate::affine::ParamId| self.params[p.0 as usize];
+        let lo = l
+            .lo
+            .iter()
+            .map(|a| a.eval_with(&dim_env, &par_env))
+            .max()
+            .expect("loop has lower bounds");
+        let hi = l
+            .hi
+            .iter()
+            .map(|a| a.eval_with(&dim_env, &par_env))
+            .min()
+            .expect("loop has upper bounds");
+        let step = match l.step {
+            LoopStep::One => 1,
+            LoopStep::Const(c) => c,
+            LoopStep::Param(p) => self.params[p.0 as usize],
+        };
+        assert!(step > 0, "loop step must be positive");
+        (lo, hi, step)
+    }
+
+    /// Convenience: fresh store from `init`, run with [`NullSink`].
+    pub fn run_numeric(&self, init: impl FnMut(ArrayId, usize) -> f64) -> Store {
+        let mut store = Store::init(self.program, &self.params, init);
+        self.run(&mut store, &mut NullSink);
+        store
+    }
+}
+
+/// Certifies declared accesses against performed accesses.
+///
+/// Runs the program once; for every statement instance, the set of distinct
+/// `(array, cell)` pairs touched by the semantic closure must equal the set
+/// described by the declared affine accesses evaluated at the instance's
+/// iteration vector. Returns the number of certified instances.
+///
+/// # Errors
+/// Returns a human-readable description of the first mismatch.
+pub fn validate_accesses(program: &Program, params: &[i64]) -> Result<u64, String> {
+    struct Validator<'p> {
+        program: &'p Program,
+        params: Vec<i64>,
+        current: Option<(StmtId, Vec<i64>)>,
+        decl_reads: BTreeSet<(u32, usize)>,
+        decl_writes: BTreeSet<(u32, usize)>,
+        got_reads: BTreeSet<(u32, usize)>,
+        got_writes: BTreeSet<(u32, usize)>,
+        checked: u64,
+        error: Option<String>,
+        strides: Vec<Vec<usize>>,
+    }
+
+    impl Validator<'_> {
+        fn flush(&mut self) {
+            if self.error.is_some() {
+                return;
+            }
+            if let Some((stmt, iv)) = self.current.take() {
+                if self.decl_reads != self.got_reads || self.decl_writes != self.got_writes {
+                    self.error = Some(format!(
+                        "access mismatch in {}[{:?}]: declared reads {:?} performed {:?}; declared writes {:?} performed {:?}",
+                        self.program.stmt(stmt).name,
+                        iv,
+                        self.decl_reads,
+                        self.got_reads,
+                        self.decl_writes,
+                        self.got_writes
+                    ));
+                    return;
+                }
+                self.checked += 1;
+            }
+        }
+
+        fn flat(&self, access: &crate::program::Access, stmt: StmtId, iv: &[i64]) -> (u32, usize) {
+            let dims = &self.program.stmt(stmt).dims;
+            let dim_env = |d: DimId| {
+                let pos = dims
+                    .iter()
+                    .position(|x| *x == d)
+                    .expect("access uses a non-enclosing dim");
+                iv[pos]
+            };
+            let par_env = |p: crate::affine::ParamId| self.params[p.0 as usize];
+            let st = &self.strides[access.array.0 as usize];
+            let mut f = 0usize;
+            for (axis, a) in access.idx.iter().enumerate() {
+                let v = a.eval_with(&dim_env, &par_env);
+                assert!(v >= 0, "negative declared subscript");
+                f += st[axis] * v as usize;
+            }
+            (access.array.0, f)
+        }
+    }
+
+    impl ExecSink for Validator<'_> {
+        fn on_stmt(&mut self, stmt: StmtId, iv: &[i64]) {
+            self.flush();
+            if self.error.is_some() {
+                return;
+            }
+            self.decl_reads.clear();
+            self.decl_writes.clear();
+            self.got_reads.clear();
+            self.got_writes.clear();
+            let s = self.program.stmt(stmt);
+            let reads: Vec<_> = s.reads.iter().map(|a| self.flat(a, stmt, iv)).collect();
+            let writes: Vec<_> = s.writes.iter().map(|a| self.flat(a, stmt, iv)).collect();
+            self.decl_reads.extend(reads);
+            self.decl_writes.extend(writes);
+            self.current = Some((stmt, iv.to_vec()));
+        }
+        fn on_read(&mut self, array: ArrayId, flat: usize) {
+            self.got_reads.insert((array.0, flat));
+        }
+        fn on_write(&mut self, array: ArrayId, flat: usize) {
+            self.got_writes.insert((array.0, flat));
+        }
+        fn on_finish(&mut self) {
+            self.flush();
+        }
+    }
+
+    // Strides replicated from Store's layout logic.
+    let mut strides = Vec::with_capacity(program.arrays.len());
+    for i in 0..program.arrays.len() {
+        let extents = program.array_extents(ArrayId(i as u32), params);
+        let mut st = vec![1usize; extents.len()];
+        for k in (0..extents.len().saturating_sub(1)).rev() {
+            st[k] = st[k + 1] * extents[k + 1];
+        }
+        strides.push(st);
+    }
+
+    let mut v = Validator {
+        program,
+        params: params.to_vec(),
+        current: None,
+        decl_reads: BTreeSet::new(),
+        decl_writes: BTreeSet::new(),
+        got_reads: BTreeSet::new(),
+        got_writes: BTreeSet::new(),
+        checked: 0,
+        error: None,
+        strides,
+    };
+    let interp = Interpreter::new(program, params);
+    let mut store = Store::init(program, params, |a, f| (a.0 as f64) + f as f64 * 0.25 + 1.0);
+    interp.run(&mut store, &mut v);
+    match v.error {
+        Some(e) => Err(e),
+        None => Ok(v.checked),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::{Access, ProgramBuilder};
+
+    /// `for i in 0..N { y[i] = 2*x[i] }`
+    fn scale_prog() -> Program {
+        let mut b = ProgramBuilder::new("scale", &["N"]);
+        let x = b.array("x", &[b.p("N")]);
+        let y = b.array("y", &[b.p("N")]);
+        let i = b.open("i", b.c(0), b.p("N"));
+        let rx = Access::new(x, vec![b.d(i)]);
+        let wy = Access::new(y, vec![b.d(i)]);
+        b.stmt("S", vec![rx], vec![wy], move |c| {
+            let v = 2.0 * c.rd(x, &[c.v(0)]);
+            c.wr(y, &[c.v(0)], v);
+        });
+        b.close();
+        b.finish()
+    }
+
+    #[test]
+    fn numeric_execution() {
+        let p = scale_prog();
+        let interp = Interpreter::new(&p, &[5]);
+        let store = interp.run_numeric(|a, f| if a.0 == 0 { f as f64 } else { 0.0 });
+        assert_eq!(store.data[1], vec![0.0, 2.0, 4.0, 6.0, 8.0]);
+    }
+
+    #[test]
+    fn trace_records_all_accesses() {
+        let p = scale_prog();
+        let interp = Interpreter::new(&p, &[3]);
+        let mut sink = TraceSink::new(&p, &[3]);
+        let mut store = Store::zeros(&p, &[3]);
+        interp.run(&mut store, &mut sink);
+        // 3 instances × (1 read + 1 write)
+        assert_eq!(sink.len(), 6);
+        assert!(!sink.is_empty());
+        // x cells are 0..3, y cells are 3..6
+        assert_eq!(sink.event(0), TraceEvent { cell: 0, write: false });
+        assert_eq!(sink.event(1), TraceEvent { cell: 3, write: true });
+        assert_eq!(sink.num_cells, 6);
+    }
+
+    #[test]
+    fn reverse_loop_iterates_downward() {
+        let mut b = ProgramBuilder::new("rev", &["N"]);
+        let y = b.array("y", &[b.p("N")]);
+        let cnt = b.scalar("c");
+        let i = b.open_rev("i", b.c(0), b.p("N"));
+        let wy = Access::new(y, vec![b.d(i)]);
+        let rc = Access::new(cnt, vec![]);
+        b.stmt("S", vec![rc.clone()], vec![wy, rc], move |c| {
+            let n = c.rd(cnt, &[]);
+            c.wr(y, &[c.v(0)], n);
+            c.wr(cnt, &[], n + 1.0);
+        });
+        b.close();
+        let p = b.finish();
+        let interp = Interpreter::new(&p, &[4]);
+        let store = interp.run_numeric(|_, _| 0.0);
+        // i = 3,2,1,0 receive order stamps 0,1,2,3
+        assert_eq!(store.data[0], vec![3.0, 2.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn strided_loop_with_param_step() {
+        let mut b = ProgramBuilder::new("strided", &["N", "B"]);
+        let y = b.array("y", &[b.p("N")]);
+        let bstep = crate::program::LoopStep::Param(crate::affine::ParamId(1));
+        let i0 = b.open_strided("i0", b.c(0), b.p("N"), bstep);
+        let wy = Access::new(y, vec![b.d(i0)]);
+        b.stmt("S", vec![], vec![wy], move |c| {
+            c.wr(y, &[c.v(0)], 1.0);
+        });
+        b.close();
+        let p = b.finish();
+        let interp = Interpreter::new(&p, &[10, 3]);
+        let store = interp.run_numeric(|_, _| 0.0);
+        let marks: Vec<usize> = store.data[0]
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| **v == 1.0)
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(marks, vec![0, 3, 6, 9]);
+    }
+
+    #[test]
+    fn min_upper_bound_loops() {
+        // for j in j0..min(j0+B, N): tiled-style bound.
+        let mut b = ProgramBuilder::new("minb", &["N"]);
+        let y = b.array("y", &[b.p("N")]);
+        let j = b.open_general(
+            "j",
+            vec![b.c(2)],
+            vec![b.c(2) + 4, b.p("N")],
+            crate::program::LoopStep::One,
+            false,
+        );
+        let wy = Access::new(y, vec![b.d(j)]);
+        b.stmt("S", vec![], vec![wy], move |c| c.wr(y, &[c.v(0)], 1.0));
+        b.close();
+        let p = b.finish();
+        // N=4 < j0+B=6: loop runs j=2,3.
+        let store = Interpreter::new(&p, &[4]).run_numeric(|_, _| 0.0);
+        assert_eq!(store.data[0], vec![0.0, 0.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn empty_loop_body_skipped() {
+        let mut b = ProgramBuilder::new("empty", &["N"]);
+        let y = b.scalar("y");
+        let i = b.open("i", b.p("N"), b.c(0)); // empty when N > 0
+        let _ = i;
+        let wy = Access::new(y, vec![]);
+        b.stmt("S", vec![], vec![wy], move |c| c.wr(y, &[], 1.0));
+        b.close();
+        let p = b.finish();
+        let store = Interpreter::new(&p, &[5]).run_numeric(|_, _| 0.0);
+        assert_eq!(store.data[0], vec![0.0]);
+    }
+
+    #[test]
+    fn validation_accepts_consistent_program() {
+        let p = scale_prog();
+        let n = validate_accesses(&p, &[7]).expect("consistent");
+        assert_eq!(n, 7);
+    }
+
+    #[test]
+    fn validation_rejects_lying_metadata() {
+        // Declared read x[i], but closure reads x[0].
+        let mut b = ProgramBuilder::new("liar", &["N"]);
+        let x = b.array("x", &[b.p("N")]);
+        let y = b.array("y", &[b.p("N")]);
+        let i = b.open("i", b.c(0), b.p("N"));
+        let rx = Access::new(x, vec![b.d(i)]);
+        let wy = Access::new(y, vec![b.d(i)]);
+        b.stmt("S", vec![rx], vec![wy], move |c| {
+            let v = c.rd(x, &[0]);
+            c.wr(y, &[c.v(0)], v);
+        });
+        b.close();
+        let p = b.finish();
+        let err = validate_accesses(&p, &[3]).unwrap_err();
+        assert!(err.contains("access mismatch"), "got: {err}");
+    }
+}

@@ -1,0 +1,33 @@
+//! Polyhedral-lite program IR: the substrate IOLB analyses run on.
+//!
+//! The paper's derivations operate on *affine programs*: nested loops whose
+//! bounds and array subscripts are affine in the surrounding loop indices
+//! and program parameters (§2). IOLB consumes such programs through ISL;
+//! this crate provides a from-scratch equivalent sized for the kernel class
+//! of the paper:
+//!
+//! * [`affine`] — affine expressions over loop dimensions and parameters,
+//! * [`program`] — loop-tree programs: statements carry both *declared*
+//!   affine accesses (metadata for the symbolic analyses) and a *semantic
+//!   closure* (executable f64 semantics). A consistency checker verifies the
+//!   two views agree on every executed instance,
+//! * [`interp`] — a sequential interpreter that executes the program in
+//!   schedule order and streams every array access into an [`interp::ExecSink`]
+//!   (trace collection, CDAG construction, cache simulation),
+//! * [`deps`] — structural dependence analysis: unification of read/write
+//!   subscripts plus last-writer resolution, yielding the dependence-path
+//!   projections `Φ` of the K-partitioning method,
+//! * [`count`] — symbolic statement-instance counting (`|V|`, domain widths)
+//!   via Faulhaber summation.
+
+pub mod affine;
+pub mod count;
+pub mod deps;
+pub mod interp;
+pub mod program;
+
+pub use affine::{Aff, DimId, ParamId};
+pub use interp::{ExecCtx, ExecSink, Interpreter, NullSink, Store, TraceEvent, TraceSink};
+pub use program::{
+    Access, ArrayDecl, ArrayId, Loop, LoopStep, Program, ProgramBuilder, Statement, Step, StmtId,
+};

@@ -1,0 +1,125 @@
+//! Bridges from the IR interpreter to the cache simulator.
+
+use iolb_ir::{ArrayId, ExecSink, Program};
+use iolb_memsim::{Access, LruSim};
+
+/// [`ExecSink`] that streams every access straight into an LRU cache
+/// simulator — no trace materialization, so arbitrarily long executions fit
+/// in memory.
+#[derive(Debug)]
+pub struct MemSimSink {
+    sim: LruSim,
+    base: Vec<usize>,
+}
+
+impl MemSimSink {
+    /// Creates a streaming simulator for a program instantiation.
+    pub fn new(program: &Program, params: &[i64], capacity: usize) -> MemSimSink {
+        let mut base = Vec::with_capacity(program.arrays.len());
+        let mut acc = 0usize;
+        for i in 0..program.arrays.len() {
+            base.push(acc);
+            acc += program.array_len(ArrayId(i as u32), params).max(1);
+        }
+        MemSimSink {
+            sim: LruSim::new(capacity),
+            base,
+        }
+    }
+
+    /// Final statistics (with dirty flush).
+    pub fn finish(self) -> iolb_memsim::IoStats {
+        self.sim.finish()
+    }
+}
+
+impl ExecSink for MemSimSink {
+    fn on_read(&mut self, array: ArrayId, flat: usize) {
+        self.sim.read(self.base[array.0 as usize] + flat);
+    }
+    fn on_write(&mut self, array: ArrayId, flat: usize) {
+        self.sim.write(self.base[array.0 as usize] + flat);
+    }
+}
+
+/// Runs `program` at `params` with input init `f(array, flat)` and returns
+/// the LRU I/O statistics for fast-memory capacity `s`.
+pub fn measure_lru_io(
+    program: &Program,
+    params: &[i64],
+    s: usize,
+    init: impl FnMut(ArrayId, usize) -> f64,
+) -> iolb_memsim::IoStats {
+    let mut sink = MemSimSink::new(program, params, s);
+    let mut store = iolb_ir::Store::init(program, params, init);
+    iolb_ir::Interpreter::new(program, params).run(&mut store, &mut sink);
+    sink.finish()
+}
+
+/// Runs `program` and returns the Belady-MIN (optimal replacement) I/O
+/// statistics for capacity `s` — requires materializing the trace.
+pub fn measure_min_io(
+    program: &Program,
+    params: &[i64],
+    s: usize,
+    init: impl FnMut(ArrayId, usize) -> f64,
+) -> iolb_memsim::IoStats {
+    let mut sink = iolb_ir::TraceSink::new(program, params);
+    let mut store = iolb_ir::Store::init(program, params, init);
+    iolb_ir::Interpreter::new(program, params).run(&mut store, &mut sink);
+    let trace: Vec<Access> = sink
+        .iter()
+        .map(|e| Access {
+            cell: e.cell,
+            write: e.write,
+        })
+        .collect();
+    iolb_memsim::min_stats(s, &trace)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iolb_ir::{Access as IrAccess, ProgramBuilder};
+
+    /// Two sequential passes over x[0..N].
+    fn two_pass() -> iolb_ir::Program {
+        let mut b = ProgramBuilder::new("two_pass_sink", &["N"]);
+        let x = b.array("x", &[b.p("N")]);
+        let acc = b.scalar("acc");
+        let wa = IrAccess::new(acc, vec![]);
+        b.stmt("Z", vec![], vec![wa.clone()], move |c| c.wr(acc, &[], 0.0));
+        for pass in 0..2 {
+            let i = b.open("i", b.c(0), b.p("N"));
+            let xi = IrAccess::new(x, vec![b.d(i)]);
+            let nm = format!("S{pass}");
+            b.stmt(&nm, vec![xi, wa.clone()], vec![wa.clone()], move |c| {
+                let v = c.rd(x, &[c.v(0)]) + c.rd(acc, &[]);
+                c.wr(acc, &[], v);
+            });
+            b.close();
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn streaming_lru_measures_reuse() {
+        let p = two_pass();
+        // Capacity 4 < N=8 (+acc): thrash → 16 loads of x.
+        let small = measure_lru_io(&p, &[8], 4, |_, f| f as f64);
+        assert_eq!(small.loads, 16);
+        // Capacity 16 keeps x resident: 8 loads.
+        let big = measure_lru_io(&p, &[8], 16, |_, f| f as f64);
+        assert_eq!(big.loads, 8);
+    }
+
+    #[test]
+    fn min_never_worse_than_lru() {
+        let p = two_pass();
+        for s in [2usize, 3, 5, 9, 20] {
+            let lru = measure_lru_io(&p, &[8], s, |_, f| f as f64);
+            let min = measure_min_io(&p, &[8], s, |_, f| f as f64);
+            assert!(min.loads <= lru.loads, "S={s}");
+        }
+    }
+}

@@ -1,0 +1,443 @@
+//! Two-level memory simulator at element granularity.
+//!
+//! The paper's model (§2) has a small fast memory of size `S` and an
+//! unbounded slow memory; the I/O cost of a schedule is the number of
+//! transfers. This crate measures exactly that for concrete access traces:
+//!
+//! * [`LruSim`] — fully-associative LRU replacement, O(1) per access,
+//!   streaming (no trace materialization needed),
+//! * [`BeladySim`] — Belady's MIN (optimal offline replacement for a fixed
+//!   schedule), two passes over a materialized trace,
+//! * write semantics follow the red-white pebble game: a write *produces*
+//!   the value in fast memory (no load on a write miss); evicting a dirty
+//!   element counts a writeback.
+//!
+//! Measured `loads` of any schedule are an upper bound witness: lower bounds
+//! derived by `iolb-core` must sit below them.
+
+use std::collections::BTreeSet;
+use std::collections::HashMap;
+
+/// One memory access in a trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Access {
+    /// Global element id.
+    pub cell: usize,
+    /// True for writes.
+    pub write: bool,
+}
+
+impl Access {
+    /// Read access.
+    pub fn read(cell: usize) -> Access {
+        Access { cell, write: false }
+    }
+    /// Write access.
+    pub fn write(cell: usize) -> Access {
+        Access { cell, write: true }
+    }
+}
+
+/// I/O statistics of one simulated execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct IoStats {
+    /// Loads: slow→fast transfers (read misses).
+    pub loads: u64,
+    /// Writebacks: dirty evictions plus the final dirty flush.
+    pub writebacks: u64,
+    /// Total accesses processed.
+    pub accesses: u64,
+    /// Peak number of resident elements.
+    pub peak_resident: usize,
+}
+
+impl IoStats {
+    /// Loads + writebacks.
+    pub fn total(&self) -> u64 {
+        self.loads + self.writebacks
+    }
+}
+
+const NIL: u32 = u32::MAX;
+
+/// Fully-associative LRU cache of `capacity` elements, O(1) per access.
+///
+/// Implemented as an intrusive doubly-linked list over a slab, with a
+/// hash map from cell id to slab slot.
+#[derive(Debug)]
+pub struct LruSim {
+    capacity: usize,
+    map: HashMap<usize, u32>,
+    // Slab of list nodes.
+    cells: Vec<usize>,
+    dirty: Vec<bool>,
+    prev: Vec<u32>,
+    next: Vec<u32>,
+    head: u32, // most recently used
+    tail: u32, // least recently used
+    free: Vec<u32>,
+    stats: IoStats,
+}
+
+impl LruSim {
+    /// Creates a simulator with the given fast-memory capacity (elements).
+    ///
+    /// # Panics
+    /// Panics when `capacity == 0`.
+    pub fn new(capacity: usize) -> LruSim {
+        assert!(capacity > 0, "cache capacity must be positive");
+        LruSim {
+            capacity,
+            map: HashMap::with_capacity(capacity * 2),
+            cells: Vec::with_capacity(capacity + 1),
+            dirty: Vec::with_capacity(capacity + 1),
+            prev: Vec::with_capacity(capacity + 1),
+            next: Vec::with_capacity(capacity + 1),
+            head: NIL,
+            tail: NIL,
+            free: Vec::new(),
+            stats: IoStats::default(),
+        }
+    }
+
+    /// Processes one access.
+    pub fn access(&mut self, a: Access) {
+        self.stats.accesses += 1;
+        if let Some(&slot) = self.map.get(&a.cell) {
+            self.unlink(slot);
+            self.push_front(slot);
+            if a.write {
+                self.dirty[slot as usize] = true;
+            }
+            return;
+        }
+        // Miss.
+        if !a.write {
+            self.stats.loads += 1;
+        }
+        if self.map.len() == self.capacity {
+            self.evict_lru();
+        }
+        let slot = self.alloc(a.cell, a.write);
+        self.push_front(slot);
+        self.map.insert(a.cell, slot);
+        self.stats.peak_resident = self.stats.peak_resident.max(self.map.len());
+    }
+
+    /// Processes a read.
+    pub fn read(&mut self, cell: usize) {
+        self.access(Access::read(cell));
+    }
+
+    /// Processes a write.
+    pub fn write(&mut self, cell: usize) {
+        self.access(Access::write(cell));
+    }
+
+    /// Runs a whole trace.
+    pub fn run<'a>(&mut self, trace: impl IntoIterator<Item = &'a Access>) -> IoStats {
+        for a in trace {
+            self.access(*a);
+        }
+        self.stats
+    }
+
+    /// Statistics so far (without final flush).
+    pub fn stats(&self) -> IoStats {
+        self.stats
+    }
+
+    /// Flushes remaining dirty elements (counts writebacks) and returns the
+    /// final statistics.
+    pub fn finish(mut self) -> IoStats {
+        let dirty_resident = self
+            .map
+            .values()
+            .filter(|&&s| self.dirty[s as usize])
+            .count() as u64;
+        self.stats.writebacks += dirty_resident;
+        self.stats
+    }
+
+    fn alloc(&mut self, cell: usize, dirty: bool) -> u32 {
+        if let Some(slot) = self.free.pop() {
+            self.cells[slot as usize] = cell;
+            self.dirty[slot as usize] = dirty;
+            self.prev[slot as usize] = NIL;
+            self.next[slot as usize] = NIL;
+            slot
+        } else {
+            let slot = self.cells.len() as u32;
+            self.cells.push(cell);
+            self.dirty.push(dirty);
+            self.prev.push(NIL);
+            self.next.push(NIL);
+            slot
+        }
+    }
+
+    fn push_front(&mut self, slot: u32) {
+        self.prev[slot as usize] = NIL;
+        self.next[slot as usize] = self.head;
+        if self.head != NIL {
+            self.prev[self.head as usize] = slot;
+        }
+        self.head = slot;
+        if self.tail == NIL {
+            self.tail = slot;
+        }
+    }
+
+    fn unlink(&mut self, slot: u32) {
+        let (p, n) = (self.prev[slot as usize], self.next[slot as usize]);
+        if p != NIL {
+            self.next[p as usize] = n;
+        } else {
+            self.head = n;
+        }
+        if n != NIL {
+            self.prev[n as usize] = p;
+        } else {
+            self.tail = p;
+        }
+    }
+
+    fn evict_lru(&mut self) {
+        let victim = self.tail;
+        assert!(victim != NIL, "evict from empty cache");
+        self.unlink(victim);
+        let cell = self.cells[victim as usize];
+        if self.dirty[victim as usize] {
+            self.stats.writebacks += 1;
+        }
+        self.map.remove(&cell);
+        self.free.push(victim);
+    }
+}
+
+/// Belady's MIN: optimal replacement for a fixed trace.
+///
+/// Two passes: a backward pass computes each access's *next use position*,
+/// then a forward pass keeps the resident set in a `BTreeSet` keyed by next
+/// use and evicts the element used farthest in the future.
+#[derive(Debug)]
+pub struct BeladySim {
+    capacity: usize,
+}
+
+const INF_POS: usize = usize::MAX;
+
+impl BeladySim {
+    /// Creates a MIN simulator with the given capacity.
+    ///
+    /// # Panics
+    /// Panics when `capacity == 0`.
+    pub fn new(capacity: usize) -> BeladySim {
+        assert!(capacity > 0, "cache capacity must be positive");
+        BeladySim { capacity }
+    }
+
+    /// Simulates the trace under optimal replacement.
+    pub fn run(&self, trace: &[Access]) -> IoStats {
+        // Backward pass: next_use[t] = next position accessing the same cell.
+        let mut next_use = vec![INF_POS; trace.len()];
+        let mut last_seen: HashMap<usize, usize> = HashMap::new();
+        for (t, a) in trace.iter().enumerate().rev() {
+            if let Some(&n) = last_seen.get(&a.cell) {
+                next_use[t] = n;
+            }
+            last_seen.insert(a.cell, t);
+        }
+
+        let mut stats = IoStats::default();
+        // Resident set: (next_use_position, cell); invariant: the stored key
+        // of a resident cell is the position of its next access.
+        let mut resident: BTreeSet<(usize, usize)> = BTreeSet::new();
+        let mut resident_key: HashMap<usize, usize> = HashMap::new();
+        let mut dirty: HashMap<usize, bool> = HashMap::new();
+        for (t, a) in trace.iter().enumerate() {
+            stats.accesses += 1;
+            let nu = next_use[t];
+            if let Some(&key) = resident_key.get(&a.cell) {
+                // Hit: reposition by new next use.
+                debug_assert_eq!(key, t, "resident key must equal current position");
+                resident.remove(&(key, a.cell));
+                resident.insert((nu, a.cell));
+                resident_key.insert(a.cell, nu);
+                if a.write {
+                    dirty.insert(a.cell, true);
+                }
+                continue;
+            }
+            // Miss.
+            if !a.write {
+                stats.loads += 1;
+            }
+            if resident.len() == self.capacity {
+                let &(victim_key, victim) = resident.iter().next_back().expect("non-empty");
+                resident.remove(&(victim_key, victim));
+                resident_key.remove(&victim);
+                if dirty.remove(&victim).unwrap_or(false) {
+                    stats.writebacks += 1;
+                }
+            }
+            resident.insert((nu, a.cell));
+            resident_key.insert(a.cell, nu);
+            dirty.insert(a.cell, a.write);
+            stats.peak_resident = stats.peak_resident.max(resident.len());
+        }
+        // Final flush of dirty residents.
+        stats.writebacks += resident_key
+            .keys()
+            .filter(|c| dirty.get(c).copied().unwrap_or(false))
+            .count() as u64;
+        stats
+    }
+}
+
+/// Convenience: LRU stats for a trace (with final dirty flush).
+pub fn lru_stats(capacity: usize, trace: &[Access]) -> IoStats {
+    let mut sim = LruSim::new(capacity);
+    sim.run(trace);
+    sim.finish()
+}
+
+/// Convenience: MIN (optimal) stats for a trace.
+pub fn min_stats(capacity: usize, trace: &[Access]) -> IoStats {
+    BeladySim::new(capacity).run(trace)
+}
+
+/// Number of distinct cells read before being written (cold loads — the
+/// unavoidable input loads of any schedule).
+pub fn cold_loads(trace: &[Access]) -> u64 {
+    let mut seen_write: BTreeSet<usize> = BTreeSet::new();
+    let mut counted: BTreeSet<usize> = BTreeSet::new();
+    let mut loads = 0;
+    for a in trace {
+        if a.write {
+            seen_write.insert(a.cell);
+        } else if !seen_write.contains(&a.cell) && counted.insert(a.cell) {
+            loads += 1;
+        }
+    }
+    loads
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn reads(cells: &[usize]) -> Vec<Access> {
+        cells.iter().map(|&c| Access::read(c)).collect()
+    }
+
+    #[test]
+    fn lru_basic_hits_and_misses() {
+        let t = reads(&[0, 1, 0, 2, 0]);
+        let s = lru_stats(2, &t);
+        assert_eq!(s.loads, 3);
+        assert_eq!(s.writebacks, 0);
+        assert_eq!(s.accesses, 5);
+        assert_eq!(s.peak_resident, 2);
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        // capacity 2: a b c → evict a; then a misses again.
+        let t = reads(&[0, 1, 2, 0]);
+        assert_eq!(lru_stats(2, &t).loads, 4);
+        // capacity 3 keeps everything.
+        assert_eq!(lru_stats(3, &t).loads, 3);
+    }
+
+    #[test]
+    fn write_miss_costs_no_load() {
+        let t = vec![Access::write(0), Access::read(0)];
+        let s = lru_stats(4, &t);
+        assert_eq!(s.loads, 0);
+        // Final flush writes the dirty cell back once.
+        assert_eq!(s.writebacks, 1);
+    }
+
+    #[test]
+    fn dirty_eviction_counts_writeback() {
+        // capacity 1: write 0, read 1 → 0 evicted dirty.
+        let t = vec![Access::write(0), Access::read(1)];
+        let s = lru_stats(1, &t);
+        assert_eq!(s.loads, 1);
+        assert_eq!(s.writebacks, 1);
+    }
+
+    #[test]
+    fn belady_beats_lru_on_looping_pattern() {
+        // Cyclic scan of 3 cells with capacity 2: LRU misses every access,
+        // MIN hits more.
+        let t = reads(&[0, 1, 2, 0, 1, 2, 0, 1, 2]);
+        let lru = lru_stats(2, &t);
+        let min = min_stats(2, &t);
+        assert_eq!(lru.loads, 9);
+        assert!(min.loads < lru.loads);
+    }
+
+    #[test]
+    fn belady_with_infinite_capacity_is_cold_misses() {
+        let t = reads(&[5, 3, 5, 9, 3, 5, 11]);
+        let s = min_stats(100, &t);
+        assert_eq!(s.loads, 4);
+        assert_eq!(s.loads, cold_loads(&t));
+    }
+
+    #[test]
+    fn cold_loads_skips_written_cells() {
+        let t = vec![
+            Access::write(1),
+            Access::read(1),
+            Access::read(2),
+            Access::read(2),
+        ];
+        assert_eq!(cold_loads(&t), 1);
+    }
+
+    fn arb_trace() -> impl Strategy<Value = Vec<Access>> {
+        proptest::collection::vec((0usize..12, proptest::bool::ANY), 1..200)
+            .prop_map(|v| v.into_iter().map(|(cell, write)| Access { cell, write }).collect())
+    }
+
+    proptest! {
+        /// MIN is optimal: never more loads than LRU.
+        #[test]
+        fn min_never_beaten_by_lru(t in arb_trace(), cap in 1usize..8) {
+            prop_assert!(min_stats(cap, &t).loads <= lru_stats(cap, &t).loads);
+        }
+
+        /// Both policies are stack algorithms: loads monotone in capacity.
+        #[test]
+        fn loads_monotone_in_capacity(t in arb_trace(), cap in 1usize..8) {
+            prop_assert!(lru_stats(cap + 1, &t).loads <= lru_stats(cap, &t).loads);
+            prop_assert!(min_stats(cap + 1, &t).loads <= min_stats(cap, &t).loads);
+        }
+
+        /// Loads never drop below cold misses, and with huge capacity they
+        /// equal cold misses.
+        #[test]
+        fn cold_misses_are_floor(t in arb_trace(), cap in 1usize..8) {
+            let floor = cold_loads(&t);
+            prop_assert!(lru_stats(cap, &t).loads >= floor);
+            prop_assert!(min_stats(cap, &t).loads >= floor);
+            prop_assert_eq!(min_stats(1000, &t).loads, floor);
+            prop_assert_eq!(lru_stats(1000, &t).loads, floor);
+        }
+
+        /// Accesses are all counted and peak residency respects capacity.
+        #[test]
+        fn bookkeeping_invariants(t in arb_trace(), cap in 1usize..8) {
+            let s = lru_stats(cap, &t);
+            prop_assert_eq!(s.accesses, t.len() as u64);
+            prop_assert!(s.peak_resident <= cap);
+            let m = min_stats(cap, &t);
+            prop_assert_eq!(m.accesses, t.len() as u64);
+            prop_assert!(m.peak_resident <= cap);
+        }
+    }
+}

@@ -1,0 +1,472 @@
+//! Exact rational arithmetic over `i128`.
+//!
+//! Every value is kept in canonical form: `den > 0` and `gcd(num, den) == 1`.
+//! All arithmetic is overflow-checked; an overflow is a hard logic error in
+//! this workspace (bounds must never silently wrap), so it panics.
+
+use crate::gcd_i128;
+use std::cmp::Ordering;
+use std::fmt;
+use std::iter::{Product, Sum};
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+use std::str::FromStr;
+
+/// An exact rational number `num / den` with `den > 0`, reduced.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Rational {
+    num: i128,
+    den: i128,
+}
+
+impl Rational {
+    /// The rational 0/1.
+    pub const ZERO: Rational = Rational { num: 0, den: 1 };
+    /// The rational 1/1.
+    pub const ONE: Rational = Rational { num: 1, den: 1 };
+    /// The rational 2/1.
+    pub const TWO: Rational = Rational { num: 2, den: 1 };
+
+    /// Builds `num / den`, reducing to canonical form.
+    ///
+    /// # Panics
+    /// Panics if `den == 0`.
+    pub fn new(num: i128, den: i128) -> Rational {
+        assert!(den != 0, "rational with zero denominator");
+        let mut num = num;
+        let mut den = den;
+        if den < 0 {
+            num = num.checked_neg().expect("rational overflow (neg)");
+            den = den.checked_neg().expect("rational overflow (neg)");
+        }
+        let g = gcd_i128(num, den);
+        if g > 1 {
+            num /= g;
+            den /= g;
+        }
+        Rational { num, den }
+    }
+
+    /// Builds the integer rational `n / 1`.
+    pub const fn int(n: i128) -> Rational {
+        Rational { num: n, den: 1 }
+    }
+
+    /// Numerator (canonical sign).
+    pub fn num(&self) -> i128 {
+        self.num
+    }
+
+    /// Denominator (always positive).
+    pub fn den(&self) -> i128 {
+        self.den
+    }
+
+    /// True iff the value is zero.
+    pub fn is_zero(&self) -> bool {
+        self.num == 0
+    }
+
+    /// True iff the value is one.
+    pub fn is_one(&self) -> bool {
+        self.num == 1 && self.den == 1
+    }
+
+    /// True iff the value is an integer.
+    pub fn is_integer(&self) -> bool {
+        self.den == 1
+    }
+
+    /// True iff the value is negative.
+    pub fn is_negative(&self) -> bool {
+        self.num < 0
+    }
+
+    /// True iff the value is positive.
+    pub fn is_positive(&self) -> bool {
+        self.num > 0
+    }
+
+    /// Sign as -1, 0, or 1.
+    pub fn signum(&self) -> i32 {
+        self.num.signum() as i32
+    }
+
+    /// Absolute value.
+    pub fn abs(&self) -> Rational {
+        Rational {
+            num: self.num.checked_abs().expect("rational overflow (abs)"),
+            den: self.den,
+        }
+    }
+
+    /// Multiplicative inverse.
+    ///
+    /// # Panics
+    /// Panics on zero.
+    pub fn recip(&self) -> Rational {
+        assert!(self.num != 0, "reciprocal of zero");
+        Rational::new(self.den, self.num)
+    }
+
+    /// Exact integer power (negative exponents via [`Rational::recip`]).
+    pub fn pow(&self, exp: i32) -> Rational {
+        if exp == 0 {
+            return Rational::ONE;
+        }
+        let base = if exp < 0 { self.recip() } else { *self };
+        let mut acc = Rational::ONE;
+        for _ in 0..exp.unsigned_abs() {
+            acc = acc * base;
+        }
+        acc
+    }
+
+    /// Floor to the nearest integer toward negative infinity.
+    pub fn floor(&self) -> i128 {
+        if self.num >= 0 {
+            self.num / self.den
+        } else {
+            -((-self.num + self.den - 1) / self.den)
+        }
+    }
+
+    /// Ceiling to the nearest integer toward positive infinity.
+    pub fn ceil(&self) -> i128 {
+        -(-*self).floor()
+    }
+
+    /// Lossy conversion to `f64` (display / plotting only, never proofs).
+    pub fn to_f64(&self) -> f64 {
+        self.num as f64 / self.den as f64
+    }
+
+    /// Exact integer value.
+    ///
+    /// # Panics
+    /// Panics when the value is not an integer.
+    pub fn to_integer(&self) -> i128 {
+        assert!(self.den == 1, "rational {self} is not an integer");
+        self.num
+    }
+
+    /// Minimum of two rationals.
+    pub fn min(self, other: Rational) -> Rational {
+        if self <= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Maximum of two rationals.
+    pub fn max(self, other: Rational) -> Rational {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl Default for Rational {
+    fn default() -> Self {
+        Rational::ZERO
+    }
+}
+
+impl From<i128> for Rational {
+    fn from(n: i128) -> Self {
+        Rational::int(n)
+    }
+}
+
+impl From<i64> for Rational {
+    fn from(n: i64) -> Self {
+        Rational::int(n as i128)
+    }
+}
+
+impl From<i32> for Rational {
+    fn from(n: i32) -> Self {
+        Rational::int(n as i128)
+    }
+}
+
+impl From<usize> for Rational {
+    fn from(n: usize) -> Self {
+        Rational::int(n as i128)
+    }
+}
+
+fn cmul(a: i128, b: i128) -> i128 {
+    a.checked_mul(b).expect("rational overflow (mul)")
+}
+
+fn cadd(a: i128, b: i128) -> i128 {
+    a.checked_add(b).expect("rational overflow (add)")
+}
+
+impl Add for Rational {
+    type Output = Rational;
+    fn add(self, rhs: Rational) -> Rational {
+        // Reduce cross terms by gcd of denominators first to delay overflow.
+        let g = gcd_i128(self.den, rhs.den);
+        let (da, db) = (self.den / g, rhs.den / g);
+        let num = cadd(cmul(self.num, db), cmul(rhs.num, da));
+        let den = cmul(self.den, db);
+        Rational::new(num, den)
+    }
+}
+
+impl Sub for Rational {
+    type Output = Rational;
+    fn sub(self, rhs: Rational) -> Rational {
+        self + (-rhs)
+    }
+}
+
+impl Mul for Rational {
+    type Output = Rational;
+    fn mul(self, rhs: Rational) -> Rational {
+        // Cross-reduce before multiplying to delay overflow.
+        let g1 = gcd_i128(self.num, rhs.den);
+        let g2 = gcd_i128(rhs.num, self.den);
+        let num = cmul(self.num / g1, rhs.num / g2);
+        let den = cmul(self.den / g2, rhs.den / g1);
+        Rational::new(num, den)
+    }
+}
+
+impl Div for Rational {
+    type Output = Rational;
+    fn div(self, rhs: Rational) -> Rational {
+        self * rhs.recip()
+    }
+}
+
+impl Neg for Rational {
+    type Output = Rational;
+    fn neg(self) -> Rational {
+        Rational {
+            num: self.num.checked_neg().expect("rational overflow (neg)"),
+            den: self.den,
+        }
+    }
+}
+
+impl AddAssign for Rational {
+    fn add_assign(&mut self, rhs: Rational) {
+        *self = *self + rhs;
+    }
+}
+
+impl SubAssign for Rational {
+    fn sub_assign(&mut self, rhs: Rational) {
+        *self = *self - rhs;
+    }
+}
+
+impl MulAssign for Rational {
+    fn mul_assign(&mut self, rhs: Rational) {
+        *self = *self * rhs;
+    }
+}
+
+impl DivAssign for Rational {
+    fn div_assign(&mut self, rhs: Rational) {
+        *self = *self / rhs;
+    }
+}
+
+impl Sum for Rational {
+    fn sum<I: Iterator<Item = Rational>>(iter: I) -> Rational {
+        iter.fold(Rational::ZERO, |a, b| a + b)
+    }
+}
+
+impl Product for Rational {
+    fn product<I: Iterator<Item = Rational>>(iter: I) -> Rational {
+        iter.fold(Rational::ONE, |a, b| a * b)
+    }
+}
+
+impl PartialOrd for Rational {
+    fn partial_cmp(&self, other: &Rational) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Rational {
+    fn cmp(&self, other: &Rational) -> Ordering {
+        // a/b ? c/d  <=>  a*d ? c*b   (b, d > 0)
+        cmul(self.num, other.den).cmp(&cmul(other.num, self.den))
+    }
+}
+
+impl fmt::Display for Rational {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.den == 1 {
+            write!(f, "{}", self.num)
+        } else {
+            write!(f, "{}/{}", self.num, self.den)
+        }
+    }
+}
+
+impl fmt::Debug for Rational {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+/// Error from parsing a [`Rational`] out of a string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseRationalError(String);
+
+impl fmt::Display for ParseRationalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid rational literal: {}", self.0)
+    }
+}
+
+impl std::error::Error for ParseRationalError {}
+
+impl FromStr for Rational {
+    type Err = ParseRationalError;
+
+    /// Parses `"a"` or `"a/b"`.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let bad = || ParseRationalError(s.to_string());
+        match s.split_once('/') {
+            None => s.trim().parse::<i128>().map(Rational::int).map_err(|_| bad()),
+            Some((a, b)) => {
+                let num = a.trim().parse::<i128>().map_err(|_| bad())?;
+                let den = b.trim().parse::<i128>().map_err(|_| bad())?;
+                if den == 0 {
+                    return Err(bad());
+                }
+                Ok(Rational::new(num, den))
+            }
+        }
+    }
+}
+
+/// Convenience constructor: `rat(a, b) == a/b`.
+pub fn rat(num: i128, den: i128) -> Rational {
+    Rational::new(num, den)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn canonical_form() {
+        assert_eq!(rat(2, 4), rat(1, 2));
+        assert_eq!(rat(-2, -4), rat(1, 2));
+        assert_eq!(rat(2, -4), rat(-1, 2));
+        assert_eq!(rat(0, -7), Rational::ZERO);
+        assert_eq!(rat(2, -4).den(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero denominator")]
+    fn zero_denominator_panics() {
+        let _ = rat(1, 0);
+    }
+
+    #[test]
+    fn arithmetic_basics() {
+        assert_eq!(rat(1, 2) + rat(1, 3), rat(5, 6));
+        assert_eq!(rat(1, 2) - rat(1, 3), rat(1, 6));
+        assert_eq!(rat(2, 3) * rat(3, 4), rat(1, 2));
+        assert_eq!(rat(1, 2) / rat(1, 4), Rational::TWO);
+        assert_eq!(-rat(1, 2), rat(-1, 2));
+    }
+
+    #[test]
+    fn floor_ceil() {
+        assert_eq!(rat(7, 2).floor(), 3);
+        assert_eq!(rat(7, 2).ceil(), 4);
+        assert_eq!(rat(-7, 2).floor(), -4);
+        assert_eq!(rat(-7, 2).ceil(), -3);
+        assert_eq!(rat(6, 2).floor(), 3);
+        assert_eq!(rat(6, 2).ceil(), 3);
+        assert_eq!(Rational::ZERO.floor(), 0);
+    }
+
+    #[test]
+    fn pow_and_recip() {
+        assert_eq!(rat(2, 3).pow(3), rat(8, 27));
+        assert_eq!(rat(2, 3).pow(-2), rat(9, 4));
+        assert_eq!(rat(5, 7).pow(0), Rational::ONE);
+        assert_eq!(rat(3, 4).recip(), rat(4, 3));
+        assert_eq!(rat(-3, 4).recip(), rat(-4, 3));
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(rat(1, 3) < rat(1, 2));
+        assert!(rat(-1, 2) < rat(-1, 3));
+        assert!(rat(2, 4) == rat(1, 2));
+        assert_eq!(rat(3, 7).max(rat(2, 5)), rat(3, 7));
+        assert_eq!(rat(3, 7).min(rat(2, 5)), rat(2, 5));
+    }
+
+    #[test]
+    fn parse_roundtrip() {
+        assert_eq!("3/4".parse::<Rational>().unwrap(), rat(3, 4));
+        assert_eq!("-6/8".parse::<Rational>().unwrap(), rat(-3, 4));
+        assert_eq!("42".parse::<Rational>().unwrap(), Rational::int(42));
+        assert!("1/0".parse::<Rational>().is_err());
+        assert!("x".parse::<Rational>().is_err());
+    }
+
+    #[test]
+    fn sums_products() {
+        let v = [rat(1, 2), rat(1, 3), rat(1, 6)];
+        assert_eq!(v.iter().copied().sum::<Rational>(), Rational::ONE);
+        assert_eq!(v.iter().copied().product::<Rational>(), rat(1, 36));
+    }
+
+    fn arb_rat() -> impl Strategy<Value = Rational> {
+        (-1000i128..1000, 1i128..1000).prop_map(|(n, d)| Rational::new(n, d))
+    }
+
+    proptest! {
+        #[test]
+        fn field_axioms(a in arb_rat(), b in arb_rat(), c in arb_rat()) {
+            prop_assert_eq!(a + b, b + a);
+            prop_assert_eq!(a * b, b * a);
+            prop_assert_eq!((a + b) + c, a + (b + c));
+            prop_assert_eq!((a * b) * c, a * (b * c));
+            prop_assert_eq!(a * (b + c), a * b + a * c);
+            prop_assert_eq!(a + Rational::ZERO, a);
+            prop_assert_eq!(a * Rational::ONE, a);
+            prop_assert_eq!(a - a, Rational::ZERO);
+            if !a.is_zero() {
+                prop_assert_eq!(a * a.recip(), Rational::ONE);
+            }
+        }
+
+        #[test]
+        fn floor_ceil_consistent(a in arb_rat()) {
+            let fl = a.floor();
+            let ce = a.ceil();
+            prop_assert!(Rational::int(fl) <= a);
+            prop_assert!(a <= Rational::int(ce));
+            prop_assert!(ce - fl <= 1);
+            prop_assert_eq!(a.is_integer(), fl == ce);
+        }
+
+        #[test]
+        fn ordering_total(a in arb_rat(), b in arb_rat()) {
+            // antisymmetry + consistency with subtraction sign
+            let d = a - b;
+            prop_assert_eq!(a > b, d.is_positive());
+            prop_assert_eq!(a < b, d.is_negative());
+            prop_assert_eq!(a == b, d.is_zero());
+        }
+    }
+}

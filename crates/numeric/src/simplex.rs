@@ -1,0 +1,522 @@
+//! Exact two-phase simplex over rationals, with Bland's anti-cycling rule.
+//!
+//! The Brascamp–Lieb exponent optimization of the K-partitioning method is a
+//! tiny linear program (one variable per dependence projection, one covering
+//! constraint per iteration-space dimension), but its optimum must be *exact*:
+//! the exponent `σ = Σ_j s_j` appears in the final bound `Q = Ω(|V|/S^{σ-1})`
+//! and a floating-point `1.4999…` instead of `3/2` would corrupt every
+//! derived formula. Problems here have < 20 variables, so a dense rational
+//! tableau is both simple and fast.
+
+use crate::rational::Rational;
+
+/// Optimization direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Objective {
+    /// Minimize the objective function.
+    Minimize,
+    /// Maximize the objective function.
+    Maximize,
+}
+
+/// Comparison operator of a linear constraint `a·x ⋈ b`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Cmp {
+    /// `a·x ≤ b`
+    Le,
+    /// `a·x = b`
+    Eq,
+    /// `a·x ≥ b`
+    Ge,
+}
+
+/// A linear program over non-negative variables `x ≥ 0`.
+#[derive(Debug, Clone)]
+pub struct LinearProgram {
+    n: usize,
+    objective: Vec<Rational>,
+    direction: Objective,
+    constraints: Vec<(Vec<Rational>, Cmp, Rational)>,
+}
+
+/// Result of solving a [`LinearProgram`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LpOutcome {
+    /// An optimal solution was found.
+    Optimal {
+        /// Objective value at the optimum.
+        value: Rational,
+        /// Optimal assignment of the original variables.
+        x: Vec<Rational>,
+    },
+    /// The constraint set is empty.
+    Infeasible,
+    /// The objective is unbounded in the optimization direction.
+    Unbounded,
+}
+
+impl LpOutcome {
+    /// Unwraps the optimal solution.
+    ///
+    /// # Panics
+    /// Panics when the outcome is not [`LpOutcome::Optimal`].
+    pub fn unwrap_optimal(self) -> (Rational, Vec<Rational>) {
+        match self {
+            LpOutcome::Optimal { value, x } => (value, x),
+            other => panic!("expected optimal LP outcome, got {other:?}"),
+        }
+    }
+}
+
+impl LinearProgram {
+    /// Creates an LP over `n` non-negative variables with the given objective.
+    pub fn new(n: usize, objective: Vec<Rational>, direction: Objective) -> LinearProgram {
+        assert_eq!(objective.len(), n, "objective length mismatch");
+        LinearProgram {
+            n,
+            objective,
+            direction,
+            constraints: Vec::new(),
+        }
+    }
+
+    /// Adds the constraint `coeffs · x ⋈ rhs`.
+    pub fn constrain(&mut self, coeffs: Vec<Rational>, cmp: Cmp, rhs: Rational) -> &mut Self {
+        assert_eq!(coeffs.len(), self.n, "constraint length mismatch");
+        self.constraints.push((coeffs, cmp, rhs));
+        self
+    }
+
+    /// Adds `x_i ≤ ub` for every variable.
+    pub fn upper_bound_all(&mut self, ub: Rational) -> &mut Self {
+        for i in 0..self.n {
+            let mut c = vec![Rational::ZERO; self.n];
+            c[i] = Rational::ONE;
+            self.constraints.push((c, Cmp::Le, ub));
+        }
+        self
+    }
+
+    /// Solves the program exactly.
+    pub fn solve(&self) -> LpOutcome {
+        let m = self.constraints.len();
+        // Normalize to b >= 0.
+        let mut rows: Vec<(Vec<Rational>, Cmp, Rational)> = self.constraints.clone();
+        for (coeffs, cmp, rhs) in rows.iter_mut() {
+            if rhs.is_negative() {
+                for c in coeffs.iter_mut() {
+                    *c = -*c;
+                }
+                *rhs = -*rhs;
+                *cmp = match *cmp {
+                    Cmp::Le => Cmp::Ge,
+                    Cmp::Eq => Cmp::Eq,
+                    Cmp::Ge => Cmp::Le,
+                };
+            }
+        }
+
+        // Column layout: [x (n)] [slack/surplus (one per Le/Ge)] [artificial].
+        let n_slack = rows
+            .iter()
+            .filter(|(_, cmp, _)| matches!(cmp, Cmp::Le | Cmp::Ge))
+            .count();
+        let n_art = rows
+            .iter()
+            .filter(|(_, cmp, _)| matches!(cmp, Cmp::Eq | Cmp::Ge))
+            .count();
+        let total = self.n + n_slack + n_art;
+
+        let mut tab = vec![vec![Rational::ZERO; total + 1]; m];
+        let mut basis = vec![usize::MAX; m];
+        let mut slack_at = self.n;
+        let mut art_at = self.n + n_slack;
+        let mut art_cols = Vec::with_capacity(n_art);
+
+        for (i, (coeffs, cmp, rhs)) in rows.iter().enumerate() {
+            for (j, &c) in coeffs.iter().enumerate() {
+                tab[i][j] = c;
+            }
+            tab[i][total] = *rhs;
+            match cmp {
+                Cmp::Le => {
+                    tab[i][slack_at] = Rational::ONE;
+                    basis[i] = slack_at;
+                    slack_at += 1;
+                }
+                Cmp::Ge => {
+                    tab[i][slack_at] = -Rational::ONE;
+                    slack_at += 1;
+                    tab[i][art_at] = Rational::ONE;
+                    basis[i] = art_at;
+                    art_cols.push(art_at);
+                    art_at += 1;
+                }
+                Cmp::Eq => {
+                    tab[i][art_at] = Rational::ONE;
+                    basis[i] = art_at;
+                    art_cols.push(art_at);
+                    art_at += 1;
+                }
+            }
+        }
+
+        // Phase 1: minimize sum of artificial variables.
+        if !art_cols.is_empty() {
+            let mut cost1 = vec![Rational::ZERO; total];
+            for &a in &art_cols {
+                cost1[a] = Rational::ONE;
+            }
+            if run_simplex(&mut tab, &mut basis, &cost1).is_err() {
+                // Phase 1 objective is bounded below by 0; unbounded impossible.
+                unreachable!("phase-1 simplex cannot be unbounded");
+            }
+            let phase1: Rational = (0..m)
+                .map(|i| if cost1[basis[i]].is_one() { tab[i][total] } else { Rational::ZERO })
+                .sum();
+            if !phase1.is_zero() {
+                return LpOutcome::Infeasible;
+            }
+            // Drive remaining degenerate artificials out of the basis.
+            for i in 0..m {
+                if art_cols.contains(&basis[i]) {
+                    let pivot_col = (0..self.n + n_slack).find(|&j| !tab[i][j].is_zero());
+                    if let Some(j) = pivot_col {
+                        pivot(&mut tab, &mut basis, i, j);
+                    }
+                    // Otherwise the row is all-zero (redundant) and stays put;
+                    // its artificial is basic at value 0 and harmless.
+                }
+            }
+            // Freeze artificial columns at zero for phase 2.
+            for row in tab.iter_mut() {
+                for &a in &art_cols {
+                    row[a] = Rational::ZERO;
+                }
+            }
+        }
+
+        // Phase 2: the real objective (internally always minimize).
+        let mut cost2 = vec![Rational::ZERO; total];
+        for j in 0..self.n {
+            cost2[j] = match self.direction {
+                Objective::Minimize => self.objective[j],
+                Objective::Maximize => -self.objective[j],
+            };
+        }
+        if run_simplex(&mut tab, &mut basis, &cost2).is_err() {
+            return LpOutcome::Unbounded;
+        }
+
+        let mut x = vec![Rational::ZERO; self.n];
+        for i in 0..m {
+            if basis[i] < self.n {
+                x[basis[i]] = tab[i][total];
+            }
+        }
+        let mut value: Rational = (0..self.n).map(|j| self.objective[j] * x[j]).sum();
+        if self.direction == Objective::Maximize {
+            // objective vector was used as-is to compute value; nothing to flip
+        }
+        // `value` already uses the caller's objective, so no sign fixup needed.
+        let _ = &mut value;
+        LpOutcome::Optimal { value, x }
+    }
+}
+
+/// Runs the simplex loop with Bland's rule on a canonical tableau.
+///
+/// Returns `Err(())` when the problem is unbounded for the given costs.
+fn run_simplex(
+    tab: &mut [Vec<Rational>],
+    basis: &mut [usize],
+    cost: &[Rational],
+) -> Result<(), ()> {
+    let m = tab.len();
+    if m == 0 {
+        return Ok(());
+    }
+    let total = cost.len();
+    loop {
+        // Reduced costs r_j = c_j - Σ_i c_{B(i)} T[i][j]; entering = smallest
+        // index with r_j < 0 (Bland).
+        let mut entering = None;
+        for j in 0..total {
+            if basis.contains(&j) {
+                continue;
+            }
+            let mut r = cost[j];
+            for i in 0..m {
+                if !cost[basis[i]].is_zero() && !tab[i][j].is_zero() {
+                    r = r - cost[basis[i]] * tab[i][j];
+                }
+            }
+            if r.is_negative() {
+                entering = Some(j);
+                break;
+            }
+        }
+        let Some(j) = entering else {
+            return Ok(());
+        };
+        // Ratio test; Bland tie-break on the basis variable index.
+        let mut leave: Option<(usize, Rational)> = None;
+        for i in 0..m {
+            if tab[i][j].is_positive() {
+                let ratio = tab[i][total] / tab[i][j];
+                match &leave {
+                    None => leave = Some((i, ratio)),
+                    Some((li, lr)) => {
+                        if ratio < *lr || (ratio == *lr && basis[i] < basis[*li]) {
+                            leave = Some((i, ratio));
+                        }
+                    }
+                }
+            }
+        }
+        let Some((i, _)) = leave else {
+            return Err(());
+        };
+        pivot(tab, basis, i, j);
+    }
+}
+
+/// Pivots the tableau on `(row, col)`, making `col` basic in `row`.
+fn pivot(tab: &mut [Vec<Rational>], basis: &mut [usize], row: usize, col: usize) {
+    let inv = tab[row][col].recip();
+    for v in tab[row].iter_mut() {
+        *v = *v * inv;
+    }
+    let pivot_row = tab[row].clone();
+    for (i, r) in tab.iter_mut().enumerate() {
+        if i != row && !r[col].is_zero() {
+            let f = r[col];
+            for (v, p) in r.iter_mut().zip(pivot_row.iter()) {
+                *v = *v - f * *p;
+            }
+        }
+    }
+    basis[row] = col;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rational::rat;
+
+    fn r(n: i128) -> Rational {
+        Rational::int(n)
+    }
+
+    #[test]
+    fn simple_maximize() {
+        // max x + y s.t. x + 2y <= 4, 3x + y <= 6 → x=8/5, y=6/5, value 14/5.
+        let mut lp = LinearProgram::new(2, vec![r(1), r(1)], Objective::Maximize);
+        lp.constrain(vec![r(1), r(2)], Cmp::Le, r(4));
+        lp.constrain(vec![r(3), r(1)], Cmp::Le, r(6));
+        let (v, x) = lp.solve().unwrap_optimal();
+        assert_eq!(v, rat(14, 5));
+        assert_eq!(x, vec![rat(8, 5), rat(6, 5)]);
+    }
+
+    #[test]
+    fn minimize_with_ge() {
+        // min x + y s.t. x + y >= 3, x >= 1 → value 3.
+        let mut lp = LinearProgram::new(2, vec![r(1), r(1)], Objective::Minimize);
+        lp.constrain(vec![r(1), r(1)], Cmp::Ge, r(3));
+        lp.constrain(vec![r(1), r(0)], Cmp::Ge, r(1));
+        let (v, _) = lp.solve().unwrap_optimal();
+        assert_eq!(v, r(3));
+    }
+
+    #[test]
+    fn equality_constraints() {
+        // min 2x + 3y s.t. x + y = 5, x - y = 1 → x=3, y=2, value 12.
+        let mut lp = LinearProgram::new(2, vec![r(2), r(3)], Objective::Minimize);
+        lp.constrain(vec![r(1), r(1)], Cmp::Eq, r(5));
+        lp.constrain(vec![r(1), r(-1)], Cmp::Eq, r(1));
+        let (v, x) = lp.solve().unwrap_optimal();
+        assert_eq!(x, vec![r(3), r(2)]);
+        assert_eq!(v, r(12));
+    }
+
+    #[test]
+    fn infeasible_detected() {
+        let mut lp = LinearProgram::new(1, vec![r(1)], Objective::Minimize);
+        lp.constrain(vec![r(1)], Cmp::Ge, r(5));
+        lp.constrain(vec![r(1)], Cmp::Le, r(3));
+        assert_eq!(lp.solve(), LpOutcome::Infeasible);
+    }
+
+    #[test]
+    fn unbounded_detected() {
+        let mut lp = LinearProgram::new(1, vec![r(1)], Objective::Maximize);
+        lp.constrain(vec![r(-1)], Cmp::Le, r(0));
+        assert_eq!(lp.solve(), LpOutcome::Unbounded);
+    }
+
+    #[test]
+    fn negative_rhs_normalization() {
+        // min y s.t. -x - y <= -3 (i.e. x + y >= 3), x <= 2 → y = 1.
+        let mut lp = LinearProgram::new(2, vec![r(0), r(1)], Objective::Minimize);
+        lp.constrain(vec![r(-1), r(-1)], Cmp::Le, r(-3));
+        lp.constrain(vec![r(1), r(0)], Cmp::Le, r(2));
+        let (v, _) = lp.solve().unwrap_optimal();
+        assert_eq!(v, r(1));
+    }
+
+    /// The Brascamp–Lieb exponent LP for MGS (paper §4): projections
+    /// {i,j}, {i,k}, {k,j} over dims {i,j,k}; minimize Σ s_j subject to the
+    /// dimension-covering constraints. Optimum is s = (1/2, 1/2, 1/2), σ=3/2.
+    #[test]
+    fn brascamp_lieb_mgs_exponents() {
+        let mut lp = LinearProgram::new(3, vec![r(1), r(1), r(1)], Objective::Minimize);
+        // dim i covered by projections 0 ({i,j}) and 1 ({i,k})
+        lp.constrain(vec![r(1), r(1), r(0)], Cmp::Ge, r(1));
+        // dim j covered by projections 0 and 2
+        lp.constrain(vec![r(1), r(0), r(1)], Cmp::Ge, r(1));
+        // dim k covered by projections 1 and 2
+        lp.constrain(vec![r(0), r(1), r(1)], Cmp::Ge, r(1));
+        lp.upper_bound_all(r(1));
+        let (v, x) = lp.solve().unwrap_optimal();
+        assert_eq!(v, rat(3, 2));
+        assert_eq!(x, vec![rat(1, 2), rat(1, 2), rat(1, 2)]);
+    }
+
+    /// GEMM-style: projections {i,j}, {i,k}, {j,k} — same LP, σ = 3/2
+    /// (the classical Loomis–Whitney / Irony-Toledo-Tiskin exponent).
+    /// 1-D projections {i},{j},{k} instead give σ = 3.
+    #[test]
+    fn one_dimensional_projections() {
+        let mut lp = LinearProgram::new(3, vec![r(1), r(1), r(1)], Objective::Minimize);
+        lp.constrain(vec![r(1), r(0), r(0)], Cmp::Ge, r(1));
+        lp.constrain(vec![r(0), r(1), r(0)], Cmp::Ge, r(1));
+        lp.constrain(vec![r(0), r(0), r(1)], Cmp::Ge, r(1));
+        lp.upper_bound_all(r(1));
+        let (v, _) = lp.solve().unwrap_optimal();
+        assert_eq!(v, r(3));
+    }
+
+    /// Degenerate LP that would cycle without Bland's rule (Beale's example
+    /// shape); we only check it terminates with the right optimum.
+    #[test]
+    fn beale_degenerate_terminates() {
+        let c = vec![rat(-3, 4), r(150), rat(-1, 50), r(6)];
+        let mut lp = LinearProgram::new(4, c, Objective::Minimize);
+        lp.constrain(vec![rat(1, 4), r(-60), rat(-1, 25), r(9)], Cmp::Le, r(0));
+        lp.constrain(vec![rat(1, 2), r(-90), rat(-1, 50), r(3)], Cmp::Le, r(0));
+        lp.constrain(vec![r(0), r(0), r(1), r(0)], Cmp::Le, r(1));
+        let (v, _) = lp.solve().unwrap_optimal();
+        assert_eq!(v, rat(-1, 20));
+    }
+
+    mod brute_force {
+        use super::*;
+
+        /// Enumerates all basic solutions of `min c·x, Ax ⋈ b, x ≥ 0` by
+        /// intersecting every n-subset of the hyperplanes (constraint
+        /// boundaries + axes) and keeping the feasible ones.
+        fn brute_force_min(lp_n: usize, c: &[Rational], cons: &[(Vec<Rational>, Cmp, Rational)]) -> Option<Rational> {
+            use crate::matrix::QMatrix;
+            let mut planes: Vec<(Vec<Rational>, Rational)> = Vec::new();
+            for (a, _, b) in cons {
+                planes.push((a.clone(), *b));
+            }
+            for i in 0..lp_n {
+                let mut a = vec![Rational::ZERO; lp_n];
+                a[i] = Rational::ONE;
+                planes.push((a, Rational::ZERO));
+            }
+            let idx: Vec<usize> = (0..planes.len()).collect();
+            let mut best: Option<Rational> = None;
+            // all n-subsets
+            let mut comb: Vec<usize> = (0..lp_n).collect();
+            loop {
+                let mut m = QMatrix::zeros(0, 0);
+                let mut b = Vec::new();
+                for &i in &comb {
+                    m.push_row(&planes[i].0);
+                    b.push(planes[i].1);
+                }
+                if let Some(x) = m.solve(&b) {
+                    let feasible = x.iter().all(|v| !v.is_negative())
+                        && cons.iter().all(|(a, cmp, rhs)| {
+                            let lhs: Rational =
+                                a.iter().zip(&x).map(|(ai, xi)| *ai * *xi).sum();
+                            match cmp {
+                                Cmp::Le => lhs <= *rhs,
+                                Cmp::Eq => lhs == *rhs,
+                                Cmp::Ge => lhs >= *rhs,
+                            }
+                        });
+                    if feasible {
+                        let val: Rational = c.iter().zip(&x).map(|(ci, xi)| *ci * *xi).sum();
+                        best = Some(match best {
+                            None => val,
+                            Some(b0) => b0.min(val),
+                        });
+                    }
+                }
+                // next combination
+                let mut i = lp_n;
+                loop {
+                    if i == 0 {
+                        return best;
+                    }
+                    i -= 1;
+                    if comb[i] != idx.len() - lp_n + i {
+                        comb[i] += 1;
+                        for j in i + 1..lp_n {
+                            comb[j] = comb[j - 1] + 1;
+                        }
+                        break;
+                    }
+                }
+            }
+        }
+
+        /// Simplex agrees with brute-force vertex enumeration on random
+        /// bounded covering LPs (the exact family used for BL exponents).
+        #[test]
+        fn simplex_matches_vertex_enumeration() {
+            use rand::prelude::*;
+            let mut rng = StdRng::seed_from_u64(0xB1A);
+            for _ in 0..40 {
+                let n = rng.gen_range(2..=4usize);
+                let m = rng.gen_range(1..=3usize);
+                let c: Vec<Rational> =
+                    (0..n).map(|_| Rational::int(rng.gen_range(1..5))).collect();
+                let mut cons = Vec::new();
+                for _ in 0..m {
+                    let a: Vec<Rational> = (0..n)
+                        .map(|_| Rational::int(rng.gen_range(0..3)))
+                        .collect();
+                    if a.iter().all(|v| v.is_zero()) {
+                        continue;
+                    }
+                    cons.push((a, Cmp::Ge, Rational::ONE));
+                }
+                // Upper bounds keep it bounded.
+                for i in 0..n {
+                    let mut a = vec![Rational::ZERO; n];
+                    a[i] = Rational::ONE;
+                    cons.push((a, Cmp::Le, Rational::ONE));
+                }
+                let mut lp = LinearProgram::new(n, c.clone(), Objective::Minimize);
+                for (a, cmp, b) in &cons {
+                    lp.constrain(a.clone(), *cmp, *b);
+                }
+                match lp.solve() {
+                    LpOutcome::Optimal { value, .. } => {
+                        let bf = brute_force_min(n, &c, &cons).expect("brute force feasible");
+                        assert_eq!(value, bf);
+                    }
+                    LpOutcome::Infeasible => {
+                        assert!(brute_force_min(n, &c, &cons).is_none());
+                    }
+                    LpOutcome::Unbounded => panic!("bounded by construction"),
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,27 @@
+//! Symbolic machinery for parametric I/O bounds.
+//!
+//! IOLB derives bounds that are *functions of the program parameters*
+//! (matrix sizes `M`, `N`, cache size `S`…). This crate provides the pieces
+//! needed to manipulate such formulas exactly:
+//!
+//! * [`Var`] — globally interned symbolic variables,
+//! * [`Poly`] — sparse multivariate polynomials over exact rationals,
+//! * [`summation`] — Faulhaber-based symbolic summation `Σ_{v=lo..=hi} p(v)`,
+//!   the workspace's replacement for barvinok-style parametric counting,
+//! * [`RatFunc`] — quotients of polynomials (bounds like `K²/W + 2K`),
+//! * [`Expr`] — bound expression trees with `√`, `⌊·⌋`, `max`: the final
+//!   shape of a derived lower bound such as `S·⌊|V|/U(2S)⌋`.
+
+pub mod expr;
+pub mod poly;
+pub mod ratfunc;
+pub mod summation;
+pub mod vars;
+
+pub use expr::Expr;
+pub use poly::Poly;
+pub use ratfunc::RatFunc;
+pub use summation::{power_sum, sum_over};
+pub use vars::Var;
+
+pub use iolb_numeric::Rational;

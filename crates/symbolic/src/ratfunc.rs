@@ -1,0 +1,323 @@
+//! Rational functions (quotients of polynomials).
+//!
+//! Hourglass bounds have shapes like `U(K) = K²/W + 2K` and the wrapped
+//! bound `(K-S)·|V| / U(K)`: rational functions of the parameters. Full
+//! multivariate GCD simplification is overkill; we normalize by rational /
+//! monomial content and by exact divisibility, which keeps every formula in
+//! this workspace in its natural reduced form.
+
+use crate::poly::Poly;
+use crate::vars::Var;
+use iolb_numeric::Rational;
+use std::fmt;
+use std::ops::{Add, Div, Mul, Neg, Sub};
+
+/// A rational function `num / den` with `den ≠ 0`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RatFunc {
+    num: Poly,
+    den: Poly,
+}
+
+impl RatFunc {
+    /// Builds `num / den`, normalizing contents and exact common factors.
+    ///
+    /// # Panics
+    /// Panics if `den` is the zero polynomial.
+    pub fn new(num: Poly, den: Poly) -> RatFunc {
+        assert!(!den.is_zero(), "rational function with zero denominator");
+        let mut rf = RatFunc { num, den };
+        rf.normalize();
+        rf
+    }
+
+    /// The polynomial `p / 1`.
+    pub fn from_poly(p: Poly) -> RatFunc {
+        RatFunc {
+            num: p,
+            den: Poly::one(),
+        }
+    }
+
+    /// Constant rational function.
+    pub fn constant(c: Rational) -> RatFunc {
+        RatFunc::from_poly(Poly::constant(c))
+    }
+
+    /// The zero function.
+    pub fn zero() -> RatFunc {
+        RatFunc::from_poly(Poly::zero())
+    }
+
+    /// The one function.
+    pub fn one() -> RatFunc {
+        RatFunc::from_poly(Poly::one())
+    }
+
+    /// Single-variable rational function `v`.
+    pub fn var(v: Var) -> RatFunc {
+        RatFunc::from_poly(Poly::var(v))
+    }
+
+    /// Numerator after normalization.
+    pub fn num(&self) -> &Poly {
+        &self.num
+    }
+
+    /// Denominator after normalization.
+    pub fn den(&self) -> &Poly {
+        &self.den
+    }
+
+    /// True iff the function is identically zero.
+    pub fn is_zero(&self) -> bool {
+        self.num.is_zero()
+    }
+
+    /// Returns the numerator if the denominator is 1.
+    pub fn as_poly(&self) -> Option<&Poly> {
+        if self.den == Poly::one() {
+            Some(&self.num)
+        } else {
+            None
+        }
+    }
+
+    /// Multiplicative inverse.
+    ///
+    /// # Panics
+    /// Panics on the zero function.
+    pub fn recip(&self) -> RatFunc {
+        assert!(!self.is_zero(), "reciprocal of zero rational function");
+        RatFunc::new(self.den.clone(), self.num.clone())
+    }
+
+    /// Substitutes `v := value` (a polynomial) in numerator and denominator.
+    pub fn subst(&self, v: Var, value: &Poly) -> RatFunc {
+        RatFunc::new(self.num.subst(v, value), self.den.subst(v, value))
+    }
+
+    /// Exact evaluation; `None` when the denominator vanishes.
+    pub fn eval_ints(&self, env: &[(Var, i128)]) -> Option<Rational> {
+        let d = self.den.eval_ints(env);
+        if d.is_zero() {
+            return None;
+        }
+        Some(self.num.eval_ints(env) / d)
+    }
+
+    /// Lossy `f64` evaluation.
+    pub fn eval_f64(&self, env: &dyn Fn(Var) -> Option<f64>) -> f64 {
+        self.num.eval_f64(env) / self.den.eval_f64(env)
+    }
+
+    fn normalize(&mut self) {
+        if self.num.is_zero() {
+            self.den = Poly::one();
+            return;
+        }
+        // Cancel exact polynomial divisibility (covers all cases this
+        // workspace generates: common factors like (M-N), S, K...).
+        if let Some(q) = self.num.div_exact(&self.den) {
+            self.num = q;
+            self.den = Poly::one();
+        } else if let Some(q) = self.den.div_exact(&self.num) {
+            // num/den = 1 / (den/num)
+            self.den = q;
+            self.num = Poly::one();
+        }
+        // Cancel rational and monomial content.
+        let (cn, mn) = self.num.content();
+        let (cd, md) = self.den.content();
+        let mono = mn.gcd(&md);
+        let scale = cd / cn; // multiply num by 1/cn*cd⁻¹… handled below
+        let _ = scale;
+        // Divide both by content monomial.
+        let mono_poly = Poly::term(Rational::ONE, mono);
+        if let (Some(n2), Some(d2)) = (
+            self.num.div_exact(&mono_poly),
+            self.den.div_exact(&mono_poly),
+        ) {
+            self.num = n2;
+            self.den = d2;
+        }
+        // Normalize rational content of the denominator to make it monic-ish
+        // (leading coefficient content 1): divide both by cd.
+        let (cd, _) = self.den.content();
+        if !cd.is_zero() && !cd.is_one() {
+            self.num = self.num.scale(cd.recip());
+            self.den = self.den.scale(cd.recip());
+        }
+    }
+}
+
+impl Add for &RatFunc {
+    type Output = RatFunc;
+    fn add(self, rhs: &RatFunc) -> RatFunc {
+        RatFunc::new(
+            &(&self.num * &rhs.den) + &(&rhs.num * &self.den),
+            &self.den * &rhs.den,
+        )
+    }
+}
+
+impl Sub for &RatFunc {
+    type Output = RatFunc;
+    fn sub(self, rhs: &RatFunc) -> RatFunc {
+        self + &(-rhs)
+    }
+}
+
+impl Mul for &RatFunc {
+    type Output = RatFunc;
+    fn mul(self, rhs: &RatFunc) -> RatFunc {
+        RatFunc::new(&self.num * &rhs.num, &self.den * &rhs.den)
+    }
+}
+
+impl Div for &RatFunc {
+    type Output = RatFunc;
+    fn div(self, rhs: &RatFunc) -> RatFunc {
+        self * &rhs.recip()
+    }
+}
+
+impl Neg for &RatFunc {
+    type Output = RatFunc;
+    fn neg(self) -> RatFunc {
+        RatFunc {
+            num: -&self.num,
+            den: self.den.clone(),
+        }
+    }
+}
+
+macro_rules! owned_ops {
+    ($($trait:ident :: $m:ident),*) => {$(
+        impl $trait for RatFunc {
+            type Output = RatFunc;
+            fn $m(self, rhs: RatFunc) -> RatFunc { $trait::$m(&self, &rhs) }
+        }
+    )*};
+}
+owned_ops!(Add::add, Sub::sub, Mul::mul, Div::div);
+
+impl Neg for RatFunc {
+    type Output = RatFunc;
+    fn neg(self) -> RatFunc {
+        -&self
+    }
+}
+
+impl fmt::Display for RatFunc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.den == Poly::one() {
+            write!(f, "{}", self.num)
+        } else {
+            write!(f, "({}) / ({})", self.num, self.den)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vars::var;
+    use proptest::prelude::*;
+
+    fn k() -> Var {
+        var("rk")
+    }
+    fn w() -> Var {
+        var("rw")
+    }
+
+    #[test]
+    fn hourglass_u_of_k() {
+        // U(K) = K²/W + 2K = (K² + 2KW) / W = K(K + 2W)/W
+        let u = RatFunc::new(Poly::var(k()).pow(2), Poly::var(w()))
+            + RatFunc::from_poly(Poly::int(2) * Poly::var(k()));
+        assert_eq!(u.eval_ints(&[(k(), 10), (w(), 5)]), Some(Rational::int(40)));
+        // 100/5 + 20 = 40
+    }
+
+    #[test]
+    fn exact_cancellation() {
+        // (K² - W²)/(K - W) = K + W
+        let f = RatFunc::new(
+            Poly::var(k()).pow(2) - Poly::var(w()).pow(2),
+            Poly::var(k()) - Poly::var(w()),
+        );
+        assert_eq!(f.as_poly(), Some(&(Poly::var(k()) + Poly::var(w()))));
+    }
+
+    #[test]
+    fn monomial_content_cancellation() {
+        // (2K²W)/(4KW²) = K/(2W)
+        let f = RatFunc::new(
+            Poly::int(2) * Poly::var(k()).pow(2) * Poly::var(w()),
+            Poly::int(4) * Poly::var(k()) * Poly::var(w()).pow(2),
+        );
+        assert_eq!(f.eval_ints(&[(k(), 6), (w(), 3)]), Some(Rational::int(1)));
+        assert_eq!(f.num().total_degree(), 1);
+        assert_eq!(f.den().total_degree(), 1);
+    }
+
+    #[test]
+    fn zero_denominator_eval_is_none() {
+        let f = RatFunc::new(Poly::one(), Poly::var(k()) - Poly::int(3));
+        assert_eq!(f.eval_ints(&[(k(), 3)]), None);
+        assert_eq!(f.eval_ints(&[(k(), 4)]), Some(Rational::ONE));
+    }
+
+    #[test]
+    fn display_forms() {
+        let f = RatFunc::new(Poly::var(k()), Poly::var(w()) + Poly::one());
+        assert_eq!(format!("{f}"), "(rk) / (rw + 1)");
+        let g = RatFunc::from_poly(Poly::var(k()));
+        assert_eq!(format!("{g}"), "rk");
+    }
+
+    fn arb_rf() -> impl Strategy<Value = RatFunc> {
+        (
+            proptest::collection::vec((-3i128..=3, 0u32..=2), 1..3),
+            proptest::collection::vec((-3i128..=3, 0u32..=2), 1..3),
+        )
+            .prop_filter_map("nonzero denominator", |(ns, ds)| {
+                let build = |ts: &[(i128, u32)]| {
+                    let mut p = Poly::zero();
+                    for &(c, e) in ts {
+                        p = &p + &(Poly::int(c) * Poly::var(var("rp")).pow(e));
+                    }
+                    p
+                };
+                let den = build(&ds);
+                if den.is_zero() {
+                    None
+                } else {
+                    Some(RatFunc::new(build(&ns), den))
+                }
+            })
+    }
+
+    proptest! {
+        #[test]
+        fn field_ops_consistent_with_eval(a in arb_rf(), b in arb_rf(), x in 4i128..20) {
+            let env = [(var("rp"), x)];
+            let (ea, eb) = (a.eval_ints(&env), b.eval_ints(&env));
+            prop_assume!(ea.is_some() && eb.is_some());
+            let (ea, eb) = (ea.unwrap(), eb.unwrap());
+            if let Some(v) = (&a + &b).eval_ints(&env) {
+                prop_assert_eq!(v, ea + eb);
+            }
+            if let Some(v) = (&a * &b).eval_ints(&env) {
+                prop_assert_eq!(v, ea * eb);
+            }
+            if !b.is_zero() && !eb.is_zero() {
+                if let Some(v) = (&a / &b).eval_ints(&env) {
+                    prop_assert_eq!(v, ea / eb);
+                }
+            }
+        }
+    }
+}

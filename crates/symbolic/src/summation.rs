@@ -1,0 +1,201 @@
+//! Faulhaber-style symbolic summation.
+//!
+//! Counting statement instances over affine loop nests — the job barvinok
+//! does for IOLB — reduces, for the kernel class in the paper, to iterated
+//! closed-form summation of polynomials with polynomial bounds:
+//!
+//! `|{(k,j,i) : 0≤k<N, k<j<N, 0≤i<M}| = Σ_k Σ_j Σ_i 1 = M·N(N-1)/2`.
+//!
+//! [`power_sum`] builds the classical Faulhaber polynomials
+//! `S_p(n) = Σ_{t=0}^{n} t^p`; [`sum_over`] sums an arbitrary polynomial
+//! over an inclusive polynomial range.
+//!
+//! **Validity caveat** (standard in polyhedral counting): the closed form
+//! agrees with the concrete sum whenever `hi ≥ lo - 1` (empty ranges sum to
+//! zero); callers must ensure parameter regimes keep inner ranges
+//! non-degenerate, which the tests cross-check by brute force.
+
+use crate::poly::Poly;
+use crate::vars::Var;
+use iolb_numeric::{binomial, Rational};
+
+/// Returns `S_p(n) = Σ_{t=0}^{n} t^p` as a polynomial in the variable `n`.
+///
+/// Computed from the telescoping identity
+/// `(n+1)^{p+1} = Σ_{k=0}^{p} C(p+1,k) · S_k(n)`, solved iteratively — no
+/// precomputed Bernoulli table needed, exact for any `p`.
+pub fn power_sum(p: u32, n: Var) -> Poly {
+    let mut sums: Vec<Poly> = Vec::with_capacity(p as usize + 1);
+    let np1 = Poly::var(n) + Poly::one();
+    for q in 0..=p {
+        // S_q = [ (n+1)^{q+1} - Σ_{k<q} C(q+1,k) S_k ] / (q+1)
+        let mut rhs = np1.pow(q + 1);
+        for (k, sk) in sums.iter().enumerate() {
+            let c = Rational::int(binomial(q + 1, k as u32));
+            rhs = &rhs - &sk.scale(c);
+        }
+        sums.push(rhs.scale(Rational::new(1, (q + 1) as i128)));
+    }
+    sums.pop().expect("at least one power sum computed")
+}
+
+/// Symbolic `Σ_{v = lo}^{hi} p` (inclusive bounds).
+///
+/// `lo` and `hi` must not involve `v`. The result is exact whenever
+/// `hi ≥ lo - 1` at evaluation time.
+pub fn sum_over(p: &Poly, v: Var, lo: &Poly, hi: &Poly) -> Poly {
+    assert_eq!(lo.degree_in(v), 0, "lower bound must not involve {v}");
+    assert_eq!(hi.degree_in(v), 0, "upper bound must not involve {v}");
+    let mut out = Poly::zero();
+    let deg = p.degree_in(v);
+    // Fresh internal variable for the Faulhaber polynomials.
+    let t = Var::new("__faulhaber_n");
+    let lo_m1 = lo - &Poly::one();
+    for d in 0..=deg {
+        let coeff = p.coeff_of(v, d);
+        if coeff.is_zero() {
+            continue;
+        }
+        let s = power_sum(d, t);
+        let upper = s.subst(t, hi);
+        let lower = s.subst(t, &lo_m1);
+        out = &out + &(&coeff * &(&upper - &lower));
+    }
+    out
+}
+
+/// Symbolic `Σ_{v = lo}^{hi - 1} p` (half-open upper bound), matching the
+/// `for (v = lo; v < hi; v++)` loops of the paper's kernels.
+pub fn sum_half_open(p: &Poly, v: Var, lo: &Poly, hi_exclusive: &Poly) -> Poly {
+    sum_over(p, v, lo, &(hi_exclusive - &Poly::one()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vars::var;
+    use proptest::prelude::*;
+
+    #[test]
+    fn classical_faulhaber_forms() {
+        let n = var("fn");
+        // S_0(n) = n + 1 (t = 0..=n)
+        assert_eq!(power_sum(0, n), Poly::var(n) + Poly::one());
+        // S_1(n) = n(n+1)/2
+        let s1 = power_sum(1, n);
+        let expect = (Poly::var(n) * (Poly::var(n) + Poly::one())).scale(Rational::new(1, 2));
+        assert_eq!(s1, expect);
+        // S_2(n) = n(n+1)(2n+1)/6
+        let s2 = power_sum(2, n);
+        let expect = (Poly::var(n)
+            * (Poly::var(n) + Poly::one())
+            * (Poly::int(2) * Poly::var(n) + Poly::one()))
+        .scale(Rational::new(1, 6));
+        assert_eq!(s2, expect);
+        // S_3(n) = (n(n+1)/2)^2
+        let s3 = power_sum(3, n);
+        assert_eq!(s3, s1.pow(2));
+    }
+
+    #[test]
+    fn sum_of_constant_over_range() {
+        // Σ_{i=a}^{b} 1 = b - a + 1
+        let i = var("fi");
+        let a = Poly::var(var("fa"));
+        let b = Poly::var(var("fb"));
+        let s = sum_over(&Poly::one(), i, &a, &b);
+        assert_eq!(s, &(&b - &a) + &Poly::one());
+    }
+
+    #[test]
+    fn mgs_su_instance_count() {
+        // |{(k,j,i) : 0 ≤ k < N, k+1 ≤ j < N, 0 ≤ i < M}| = M·N(N-1)/2.
+        let (k, j, i) = (var("fk"), var("fj"), var("fi"));
+        let (mm, nn) = (var("fM"), var("fN"));
+        let inner = sum_half_open(&Poly::one(), i, &Poly::zero(), &Poly::var(mm));
+        let mid = sum_half_open(
+            &inner,
+            j,
+            &(Poly::var(k) + Poly::one()),
+            &Poly::var(nn),
+        );
+        let outer = sum_half_open(&mid, k, &Poly::zero(), &Poly::var(nn));
+        let expect = (Poly::var(mm) * Poly::var(nn) * (Poly::var(nn) - Poly::one()))
+            .scale(Rational::new(1, 2));
+        assert_eq!(outer, expect);
+    }
+
+    #[test]
+    fn a2v_su_instance_count() {
+        // Σ_{k=0}^{N-1} (N-1-k)(M-1-k) = N(N-1)(3M-N-1)/6 (verified
+        // against the closed form computed in the derivation notes).
+        let k = var("fk2");
+        let (mm, nn) = (var("fM2"), var("fN2"));
+        let term = (Poly::var(nn) - Poly::one() - Poly::var(k))
+            * (Poly::var(mm) - Poly::one() - Poly::var(k));
+        let s = sum_half_open(&term, k, &Poly::zero(), &Poly::var(nn));
+        let expect = (Poly::var(nn)
+            * (Poly::var(nn) - Poly::one())
+            * (Poly::int(3) * Poly::var(mm) - Poly::var(nn) - Poly::one()))
+        .scale(Rational::new(1, 6));
+        assert_eq!(s, expect);
+    }
+
+    #[test]
+    fn empty_range_evaluates_to_zero() {
+        // Σ_{i=5}^{4} 1 = 0: formula gives b - a + 1 = 0 exactly at hi = lo-1.
+        let i = var("fi3");
+        let s = sum_over(&Poly::one(), i, &Poly::int(5), &Poly::int(4));
+        assert_eq!(s.eval_ints(&[]), Rational::ZERO);
+    }
+
+    proptest! {
+        #[test]
+        fn faulhaber_matches_bruteforce(p in 0u32..=6, n in 0i128..40) {
+            let v = var("fbf");
+            let s = power_sum(p, v);
+            let symbolic = s.eval_ints(&[(v, n)]);
+            let brute: i128 = (0..=n).map(|t| t.pow(p)).sum();
+            prop_assert_eq!(symbolic, Rational::int(brute));
+        }
+
+        #[test]
+        fn sum_over_matches_bruteforce(
+            coeffs in proptest::collection::vec(-3i128..=3, 1..4),
+            lo in -5i128..5,
+            len in 0i128..12,
+        ) {
+            let v = var("fso");
+            let mut p = Poly::zero();
+            for (d, &c) in coeffs.iter().enumerate() {
+                p = &p + &(Poly::int(c) * Poly::var(v).pow(d as u32));
+            }
+            let hi = lo + len - 1; // possibly empty when len = 0
+            let s = sum_over(&p, v, &Poly::int(lo), &Poly::int(hi));
+            let symbolic = s.eval_ints(&[]);
+            let brute: Rational = (lo..=hi)
+                .map(|t| p.eval_ints(&[(v, t)]))
+                .fold(Rational::ZERO, |a, b| a + b);
+            prop_assert_eq!(symbolic, brute);
+        }
+
+        #[test]
+        fn nested_triangular_counts(nn in 1i128..15, mm in 1i128..15) {
+            // Σ_{k<N} Σ_{j=k+1..N} Σ_{i<M} 1 computed symbolically equals
+            // brute-force enumeration.
+            let (k, j, i) = (var("fk4"), var("fj4"), var("fi4"));
+            let (vm, vn) = (var("fM4"), var("fN4"));
+            let inner = sum_half_open(&Poly::one(), i, &Poly::zero(), &Poly::var(vm));
+            let mid = sum_half_open(&inner, j, &(Poly::var(k) + Poly::one()), &Poly::var(vn));
+            let outer = sum_half_open(&mid, k, &Poly::zero(), &Poly::var(vn));
+            let symbolic = outer.eval_ints(&[(vm, mm), (vn, nn)]);
+            let mut brute = 0i128;
+            for kk in 0..nn {
+                for _jj in kk + 1..nn {
+                    brute += mm;
+                }
+            }
+            prop_assert_eq!(symbolic, Rational::int(brute));
+        }
+    }
+}

@@ -1,0 +1,75 @@
+//! Globally interned symbolic variables.
+//!
+//! Bound formulas travel across crates (IR → derivation engine → bench
+//! harness); a global interner keeps `Var("M")` identical everywhere without
+//! threading a context object through every API.
+
+use std::fmt;
+use std::sync::{Mutex, OnceLock};
+
+/// A symbolic variable (program parameter or summation index).
+///
+/// Two variables with the same name are the same variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Var(u32);
+
+fn interner() -> &'static Mutex<Vec<String>> {
+    static INTERNER: OnceLock<Mutex<Vec<String>>> = OnceLock::new();
+    INTERNER.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+impl Var {
+    /// Interns `name` and returns its variable.
+    pub fn new(name: &str) -> Var {
+        let mut table = interner().lock().expect("var interner poisoned");
+        if let Some(i) = table.iter().position(|s| s == name) {
+            Var(i as u32)
+        } else {
+            table.push(name.to_string());
+            Var((table.len() - 1) as u32)
+        }
+    }
+
+    /// The interned name.
+    pub fn name(&self) -> String {
+        interner().lock().expect("var interner poisoned")[self.0 as usize].clone()
+    }
+
+    /// Raw interner index (stable within a process).
+    pub fn index(&self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+/// Convenience: interns `name`.
+pub fn var(name: &str) -> Var {
+    Var::new(name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_stable() {
+        let a = Var::new("M__test_vars");
+        let b = Var::new("M__test_vars");
+        let c = Var::new("N__test_vars");
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a.name(), "M__test_vars");
+        assert_eq!(c.name(), "N__test_vars");
+    }
+
+    #[test]
+    fn display_uses_name() {
+        let v = Var::new("S__test_vars");
+        assert_eq!(format!("{v}"), "S__test_vars");
+    }
+}

@@ -1,0 +1,23 @@
+//! Derives old and new bounds for all five paper kernels and prints the
+//! Figure-4/Figure-5 style tables.
+//!
+//! Run with `cargo run --example derive_bounds`.
+
+use hourglass_iolb::core::report::{analyze_kernel, fig4_table, fig5_table};
+use hourglass_iolb::kernels;
+
+fn main() {
+    let kernels: Vec<(iolb_ir::Program, &str, &str)> = vec![
+        (kernels::mgs::program(), "MGS", "SU"),
+        (kernels::householder::a2v_program(), "QR HH A2V", "SU"),
+        (kernels::householder::v2q_program(), "QR HH V2Q", "SU"),
+        (kernels::gebd2::program(), "GEBD2", "SU"),
+        (kernels::gehd2::program(), "GEHD2", "SU1"),
+    ];
+    let reports: Vec<_> = kernels
+        .iter()
+        .map(|(p, name, stmt)| analyze_kernel(p, name, stmt).expect("derivation"))
+        .collect();
+    println!("{}", fig4_table(&reports));
+    println!("{}", fig5_table(&reports));
+}
