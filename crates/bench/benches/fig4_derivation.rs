@@ -7,9 +7,7 @@ fn bench(c: &mut Criterion) {
     g.sample_size(10);
     for (program, name, stmt) in iolb_bench::paper_kernels() {
         g.bench_function(name, |b| {
-            b.iter(|| {
-                iolb_core::report::analyze_kernel(&program, name, stmt).expect("derivation")
-            })
+            b.iter(|| iolb_core::report::analyze_kernel(&program, name, stmt).expect("derivation"))
         });
     }
     g.finish();

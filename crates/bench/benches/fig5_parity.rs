@@ -6,7 +6,11 @@ fn bench(c: &mut Criterion) {
     let reports = iolb_bench::derive_all();
     // Assert the parity property once, so `cargo bench` also validates.
     for p in iolb_core::report::fig5_parity(&reports, 16384, 4096, 1024) {
-        assert!((p.engine_new / p.paper_new - 1.0).abs() < 0.05, "{}", p.kernel);
+        assert!(
+            (p.engine_new / p.paper_new - 1.0).abs() < 0.05,
+            "{}",
+            p.kernel
+        );
     }
     c.bench_function("fig5_parity_grid", |b| {
         b.iter(|| iolb_core::report::fig5_table(&reports))

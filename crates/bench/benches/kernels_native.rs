@@ -18,7 +18,9 @@ fn bench(c: &mut Criterion) {
     g.bench_function("v2q_128x64", |b| {
         b.iter(|| iolb_kernels::householder::v2q_native(&vr, &tau))
     });
-    g.bench_function("gebd2_128x64", |b| b.iter(|| iolb_kernels::gebd2::native(&a)));
+    g.bench_function("gebd2_128x64", |b| {
+        b.iter(|| iolb_kernels::gebd2::native(&a))
+    });
     let sq = Matrix::random(96, 96, 43);
     g.bench_function("gehd2_96", |b| b.iter(|| iolb_kernels::gehd2::native(&sq)));
     g.finish();

@@ -1,62 +1,36 @@
-//! Validation table: derived lower bounds vs legal red-white pebble plays
-//! on exact CDAGs, for every kernel over a grid of S.
-use iolb_cdag::{build_cdag, PebbleGame};
-use iolb_core::hourglass::SplitChoice;
-use iolb_core::{hourglass, theorems, Analysis};
-use iolb_symbolic::Var;
+//! Validation matrix: derived lower bounds vs legal red-white pebble plays
+//! on exact CDAGs, swept in parallel over the full (kernel × S × policy)
+//! grid at enlarged sizes (MGS 64×32, GEMM 24³, …).
+//!
+//! Writes `BENCH_pebble.json` (schema `hourglass-iolb/pebble-sweep/v1`)
+//! into the working directory so future runs can diff loads, bound ratios,
+//! and wall time.
+
+use iolb_bench::sweep::{default_sweep_kernels, render_sweep_table, run_sweep, sweep_report_json};
 
 fn main() {
     println!("Pebble-game validation: max(LB) must be ≤ loads of a legal play");
-    println!("{}", "=".repeat(88));
-    println!(
-        "{:<12} {:>10} {:>6} {:>12} {:>12} {:>12} {:>8}",
-        "kernel", "size", "S", "LB classic", "LB hourglass", "play loads", "play/LB"
-    );
-    let cases: Vec<(iolb_ir::Program, &str, Vec<i64>, Vec<(Var, i128)>)> = vec![
-        (iolb_kernels::mgs::program(), "SU", vec![16, 8],
-         vec![(Var::new("M"), 16), (Var::new("N"), 8)]),
-        (iolb_kernels::householder::a2v_program(), "SU", vec![18, 8],
-         vec![(Var::new("M"), 18), (Var::new("N"), 8)]),
-        (iolb_kernels::householder::v2q_program(), "SU", vec![18, 8],
-         vec![(Var::new("M"), 18), (Var::new("N"), 8)]),
-        (iolb_kernels::gebd2::program(), "SU", vec![16, 8],
-         vec![(Var::new("M"), 16), (Var::new("N"), 8)]),
-        (iolb_kernels::gehd2::program(), "SU1", vec![13],
-         vec![(Var::new("N"), 13), (theorems::split_var(), 6)]),
-        (iolb_kernels::gemm::program(), "SU", vec![10, 10, 10],
-         vec![(Var::new("M"), 10), (Var::new("N"), 10), (Var::new("K"), 10)]),
-    ];
-    for (program, stmt_name, params, env) in cases {
-        let analysis = Analysis::run(&program, &[params.clone()]).expect("analysis");
-        let stmt = program.stmt_id(stmt_name).unwrap();
-        let classical = analysis.classical_bound(stmt);
-        let hg = analysis.detect_hourglass(stmt).map(|pat| {
-            let split = if program.name == "gehd2" {
-                SplitChoice::At(iolb_symbolic::Poly::var(theorems::split_var()))
-            } else {
-                SplitChoice::None
-            };
-            hourglass::derive(&program, &pat, &split)
-        });
-        let cdag = build_cdag(&program, &params);
-        let min_s = cdag.max_in_degree() + 1;
-        for s in [min_s, min_s + 4, min_s + 12, min_s + 28] {
-            let play = PebbleGame::new(&cdag, s).best_play().expect("legal play");
-            let lb_c = classical.eval_floor(&env, s as i128);
-            let lb_h = hg.as_ref().map(|b| b.eval_floor(&env, s as i128)).unwrap_or(0.0);
-            let lb = lb_c.max(lb_h).max(1.0);
-            println!(
-                "{:<12} {:>10} {:>6} {:>12.0} {:>12.0} {:>12} {:>8.2}",
-                program.name,
-                format!("{params:?}"),
-                s,
-                lb_c,
-                lb_h,
-                play.loads,
-                play.loads as f64 / lb
+    println!("{}", "=".repeat(100));
+    let report = run_sweep(default_sweep_kernels());
+    print!("{}", render_sweep_table(&report));
+    let mut unsound = 0usize;
+    for r in &report.rows {
+        if !r.sound() {
+            eprintln!(
+                "UNSOUND: {} S={} {:?}: bound {} exceeds play loads {}",
+                r.kernel,
+                r.s,
+                r.policy,
+                r.lb(),
+                r.loads
             );
-            assert!(lb_c.max(lb_h) <= play.loads as f64, "UNSOUND BOUND");
+            unsound += 1;
         }
     }
-    println!("\nall bounds ≤ measured plays ✓");
+    let json = sweep_report_json(&report);
+    let path = "BENCH_pebble.json";
+    std::fs::write(path, &json).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+    println!("\nwrote {path} ({} rows)", report.rows.len());
+    assert_eq!(unsound, 0, "{unsound} unsound bounds — see stderr");
+    println!("all bounds ≤ measured plays ✓");
 }

@@ -15,15 +15,39 @@ fn main() {
     };
     println!("Theorems 5–9: paper closed forms vs engine derivations");
     println!("{}", "=".repeat(88));
-    let grid = [(4096i128, 1024i128, 512i128), (16384, 2048, 1024), (65536, 8192, 4096)];
+    let grid = [
+        (4096i128, 1024i128, 512i128),
+        (16384, 2048, 1024),
+        (65536, 8192, 4096),
+    ];
     for (m, n, s) in grid {
         println!("M={m} N={n} S={s}");
         let thm: Vec<(&str, f64, usize)> = vec![
-            ("Thm5 (MGS)", theorems::thm5_mgs().eval_ints_f64(&env(m, n, s)), 0),
-            ("Thm6 (A2V)", theorems::thm6_a2v().eval_ints_f64(&env(m, n, s)), 1),
-            ("Thm7 (V2Q)", theorems::thm7_v2q().eval_ints_f64(&env(m, n, s)), 2),
-            ("Thm8 (GEBD2)", theorems::thm8_gebd2().eval_ints_f64(&env(m, n, s)), 3),
-            ("Thm9 (GEHD2)", theorems::thm9_gehd2().eval_ints_f64(&env(0, n, s)), 4),
+            (
+                "Thm5 (MGS)",
+                theorems::thm5_mgs().eval_ints_f64(&env(m, n, s)),
+                0,
+            ),
+            (
+                "Thm6 (A2V)",
+                theorems::thm6_a2v().eval_ints_f64(&env(m, n, s)),
+                1,
+            ),
+            (
+                "Thm7 (V2Q)",
+                theorems::thm7_v2q().eval_ints_f64(&env(m, n, s)),
+                2,
+            ),
+            (
+                "Thm8 (GEBD2)",
+                theorems::thm8_gebd2().eval_ints_f64(&env(m, n, s)),
+                3,
+            ),
+            (
+                "Thm9 (GEHD2)",
+                theorems::thm9_gehd2().eval_ints_f64(&env(0, n, s)),
+                4,
+            ),
         ];
         for (name, paper, idx) in thm {
             let r = &reports[idx];
@@ -32,11 +56,16 @@ fn main() {
             } else {
                 r.new.refined.eval_ints_f64(&env(m, n, s))
             };
-            println!("  {name:<14} paper {paper:>16.4e}   engine(refined) {engine:>16.4e}   ratio {:.4}", engine / paper);
+            println!(
+                "  {name:<14} paper {paper:>16.4e}   engine(refined) {engine:>16.4e}   ratio {:.4}",
+                engine / paper
+            );
         }
         // §5.1 regimes for MGS.
         let small = theorems::mgs_regime_small_s().eval_ints_f64(&env(m, n, s));
         let large = theorems::mgs_regime_large_s().eval_ints_f64(&env(m, n, s));
-        println!("  §5.1 regimes   MN²/8 = {small:.4e} (S ≤ M/2)   M²N²/24S = {large:.4e} (M/2 ≤ S)");
+        println!(
+            "  §5.1 regimes   MN²/8 = {small:.4e} (S ≤ M/2)   M²N²/24S = {large:.4e} (M/2 ≤ S)"
+        );
     }
 }

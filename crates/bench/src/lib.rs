@@ -14,6 +14,8 @@
 //!
 //! Criterion benches under `benches/` time the same artifacts.
 
+pub mod sweep;
+
 use iolb_core::report::{analyze_kernel, KernelReport};
 use iolb_ir::Program;
 
@@ -68,8 +70,8 @@ pub fn sweep_tiled_mgs(m: usize, n: usize, s_values: &[usize]) -> Vec<TiledIoRow
     use iolb_symbolic::Var;
     let program = iolb_kernels::mgs::tiled_program();
     let a = iolb_kernels::Matrix::random(m, n, 0xA11CE);
-    let report = analyze_kernel(&iolb_kernels::mgs::program(), "MGS", "SU")
-        .expect("MGS derivation");
+    let report =
+        analyze_kernel(&iolb_kernels::mgs::program(), "MGS", "SU").expect("MGS derivation");
     s_values
         .iter()
         .map(|&s| {
@@ -104,12 +106,8 @@ pub fn sweep_tiled_a2v(m: usize, n: usize, s_values: &[usize]) -> Vec<TiledIoRow
     use iolb_symbolic::Var;
     let program = iolb_kernels::householder::a2v_tiled_program();
     let a = iolb_kernels::Matrix::random(m, n, 0xB0B);
-    let report = analyze_kernel(
-        &iolb_kernels::householder::a2v_program(),
-        "QR HH A2V",
-        "SU",
-    )
-    .expect("A2V derivation");
+    let report = analyze_kernel(&iolb_kernels::householder::a2v_program(), "QR HH A2V", "SU")
+        .expect("A2V derivation");
     s_values
         .iter()
         .map(|&s| {
@@ -182,7 +180,13 @@ mod tests {
             assert!(r.lower_bound <= r.min_loads as f64, "S={}", r.s);
             assert!(r.min_loads <= r.lru_loads);
             let ratio = r.lru_loads as f64 / r.model;
-            assert!(ratio < 4.0, "S={}: measured {} vs model {}", r.s, r.lru_loads, r.model);
+            assert!(
+                ratio < 4.0,
+                "S={}: measured {} vs model {}",
+                r.s,
+                r.lru_loads,
+                r.model
+            );
         }
         // I/O decreases as S grows.
         assert!(rows.windows(2).all(|w| w[1].lru_loads <= w[0].lru_loads));

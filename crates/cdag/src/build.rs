@@ -1,55 +1,150 @@
-//! Exact CDAG construction from an interpreted run.
+//! Exact CDAG construction.
 //!
-//! The builder is an [`ExecSink`]: the interpreter executes the program in
-//! schedule order; every read is wired to the *last writer* of the cell (or
-//! to an input node when the cell was never written). The result is the
-//! precise flow-dependence CDAG of the paper — no approximation — which the
-//! symbolic analyses are certified against.
+//! Two synchronized paths produce the precise flow-dependence CDAG of the
+//! paper:
+//!
+//! * [`build_cdag`] — the fast path: walks the loop tree enumerating
+//!   statement instances (no store, no f64 execution) and evaluates each
+//!   statement's *declared* affine accesses. The declared accesses are
+//!   certified to match the executed ones instance-by-instance by
+//!   `iolb_ir::validate_accesses`, so this is exact for every certified
+//!   program — and it is pure integer work over dense tables.
+//! * [`build_cdag_executed`] — the original path: [`CdagBuilder`] is an
+//!   [`ExecSink`]; the interpreter executes the program and every performed
+//!   read is wired to the *last writer* of the cell (or to an input node
+//!   when the cell was never written). Ground truth for the fast path (a
+//!   test asserts both produce identical graphs on all paper kernels).
 //!
 //! Inputs and computes are allocated in separate id spaces during the run
-//! and merged at [`CdagBuilder::finish`]: all inputs first (they carry the
-//! initial white pebbles), then computes in schedule order, so every edge is
+//! and merged at finish time: all inputs first (they carry the initial
+//! white pebbles), then computes in schedule order, so every edge is
 //! forward and `inputs.len()..len()` is a valid sequential schedule.
 
-use crate::graph::{Cdag, NodeKind};
-#[cfg(test)]
-use crate::graph::NodeId;
-use iolb_ir::{ArrayId, ExecSink, Interpreter, Program, StmtId, Store};
-use std::collections::HashMap;
+use crate::graph::Cdag;
+use iolb_ir::{for_each_instance, ArrayId, ExecSink, Interpreter, Program, StmtId, Store};
 
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum End {
     Input(u32),
     Compute(u32),
 }
 
-/// [`ExecSink`] that records nodes and flow edges.
+const NIL: u32 = u32::MAX;
+
+/// Dense per-array cell table (`tbl[array][flat]`), grown on demand — cell
+/// ids are flat array offsets, so this is two array indexations instead of
+/// a hash per access.
 #[derive(Debug, Default)]
-pub struct CdagBuilder {
-    computes: Vec<(StmtId, Box<[i32]>)>,
-    inputs: Vec<(ArrayId, usize)>,
-    edges: Vec<(End, u32)>,
-    /// cell → producing compute (in compute id space)
-    last_writer: HashMap<(u32, usize), u32>,
-    /// cell → input node (in input id space)
-    input_node: HashMap<(u32, usize), u32>,
+struct CellTable {
+    cols: Vec<Vec<u32>>,
 }
 
-impl CdagBuilder {
-    /// Fresh builder.
-    pub fn new() -> CdagBuilder {
-        CdagBuilder::default()
+impl CellTable {
+    #[inline]
+    fn get(&self, array: u32, flat: usize) -> u32 {
+        match self.cols.get(array as usize) {
+            Some(col) => col.get(flat).copied().unwrap_or(NIL),
+            None => NIL,
+        }
     }
 
-    /// Finalizes into a [`Cdag`].
-    pub fn finish(self) -> Cdag {
-        let n_in = self.inputs.len() as u32;
-        let mut kinds = Vec::with_capacity(self.inputs.len() + self.computes.len());
-        for (array, flat) in self.inputs {
-            kinds.push(NodeKind::Input { array, flat });
+    #[inline]
+    fn slot(&mut self, array: u32, flat: usize) -> &mut u32 {
+        let a = array as usize;
+        if a >= self.cols.len() {
+            self.cols.resize_with(a + 1, Vec::new);
         }
-        for (stmt, iv) in self.computes {
-            kinds.push(NodeKind::Compute { stmt, iv });
+        let col = &mut self.cols[a];
+        if flat >= col.len() {
+            col.resize(flat + 1, NIL);
+        }
+        &mut col[flat]
+    }
+}
+
+/// Shared recording state of both construction paths.
+#[derive(Debug, Default)]
+struct Recorder {
+    /// Per compute node: statement id.
+    stmts: Vec<u32>,
+    /// Iteration-vector arena (compute `c` owns `iv_off[c]..iv_off[c+1]`).
+    iv_off: Vec<u32>,
+    iv_data: Vec<i32>,
+    inputs: Vec<(ArrayId, usize)>,
+    edges: Vec<(End, u32)>,
+    /// Index into `edges` where the current instance's edges begin (for
+    /// within-instance duplicate-read filtering).
+    instance_start: usize,
+    /// cell → producing compute (in compute id space)
+    last_writer: CellTable,
+    /// cell → input node (in input id space)
+    input_node: CellTable,
+}
+
+impl Recorder {
+    fn new() -> Recorder {
+        Recorder {
+            iv_off: vec![0],
+            ..Recorder::default()
+        }
+    }
+
+    #[inline]
+    fn current(&self) -> u32 {
+        (self.stmts.len() - 1) as u32
+    }
+
+    #[inline]
+    fn record_stmt(&mut self, stmt: StmtId, iv: impl Iterator<Item = i64>) {
+        self.stmts.push(stmt.0);
+        self.iv_data.extend(iv.map(|x| x as i32));
+        self.iv_off.push(self.iv_data.len() as u32);
+        self.instance_start = self.edges.len();
+    }
+
+    #[inline]
+    fn record_read(&mut self, array: ArrayId, flat: usize) {
+        let cur = self.current();
+        let from = match self.last_writer.get(array.0, flat) {
+            w if w != NIL => End::Compute(w),
+            _ => {
+                let slot = self.input_node.slot(array.0, flat);
+                if *slot == NIL {
+                    self.inputs.push((array, flat));
+                    *slot = (self.inputs.len() - 1) as u32;
+                }
+                End::Input(*slot)
+            }
+        };
+        // Repeated reads of one cell within an instance are one edge; this
+        // is the only duplicate source (targets are per-instance), so the
+        // recorded stream is globally duplicate-free.
+        if !self.edges[self.instance_start..]
+            .iter()
+            .any(|&(f, _)| f == from)
+        {
+            self.edges.push((from, cur));
+        }
+    }
+
+    #[inline]
+    fn record_write(&mut self, array: ArrayId, flat: usize) {
+        let cur = self.current();
+        *self.last_writer.slot(array.0, flat) = cur;
+    }
+
+    fn finish(self) -> Cdag {
+        let n_in = self.inputs.len();
+        let n = n_in + self.stmts.len();
+        let mut meta = Vec::with_capacity(n);
+        let mut is_input = Vec::with_capacity(n);
+        for (array, flat) in self.inputs {
+            meta.push((array.0, flat as u32));
+            is_input.push(true);
+        }
+        for (c, stmt) in self.stmts.iter().enumerate() {
+            meta.push((*stmt, c as u32));
+            is_input.push(false);
         }
         let edges = self
             .edges
@@ -57,49 +152,152 @@ impl CdagBuilder {
             .map(|(from, to)| {
                 let f = match from {
                     End::Input(i) => i,
-                    End::Compute(c) => n_in + c,
+                    End::Compute(c) => n_in as u32 + c,
                 };
-                (f, n_in + to)
+                (f, n_in as u32 + to)
             })
             .collect();
-        Cdag::from_edges(kinds, edges)
+        // Recording order is schedule order: targets nondecreasing, and
+        // record_read filtered duplicates, so the linear CSR build applies.
+        Cdag::from_grouped_edges(meta, is_input, n_in, self.iv_off, self.iv_data, edges)
+    }
+}
+
+/// [`ExecSink`] that records nodes and flow edges from an *executed* run.
+#[derive(Debug)]
+pub struct CdagBuilder {
+    rec: Recorder,
+}
+
+impl Default for CdagBuilder {
+    fn default() -> CdagBuilder {
+        CdagBuilder::new()
+    }
+}
+
+impl CdagBuilder {
+    /// Fresh builder.
+    pub fn new() -> CdagBuilder {
+        CdagBuilder {
+            rec: Recorder::new(),
+        }
     }
 
-    fn current(&self) -> u32 {
-        (self.computes.len() - 1) as u32
+    /// Finalizes into a [`Cdag`].
+    pub fn finish(self) -> Cdag {
+        self.rec.finish()
     }
 }
 
 impl ExecSink for CdagBuilder {
     fn on_stmt(&mut self, stmt: StmtId, iv: &[i64]) {
-        self.computes
-            .push((stmt, iv.iter().map(|&x| x as i32).collect()));
+        self.rec.record_stmt(stmt, iv.iter().copied());
     }
 
     fn on_read(&mut self, array: ArrayId, flat: usize) {
-        let cur = self.current();
-        let key = (array.0, flat);
-        let from = match self.last_writer.get(&key) {
-            Some(&w) => End::Compute(w),
-            None => {
-                let id = *self.input_node.entry(key).or_insert_with(|| {
-                    self.inputs.push((array, flat));
-                    (self.inputs.len() - 1) as u32
-                });
-                End::Input(id)
-            }
-        };
-        self.edges.push((from, cur));
+        self.rec.record_read(array, flat);
     }
 
     fn on_write(&mut self, array: ArrayId, flat: usize) {
-        let cur = self.current();
-        self.last_writer.insert((array.0, flat), cur);
+        self.rec.record_write(array, flat);
     }
 }
 
-/// Runs `program` at `params` and returns its exact CDAG.
+/// Runs `program` at `params` and returns its exact CDAG — fast path.
+///
+/// Enumerates instances with `iolb_ir::for_each_instance` and evaluates the
+/// *declared* affine accesses of each statement (reads wired before writes,
+/// matching the read-then-write convention of the executable semantics).
+/// Exact whenever the program's metadata is certified by
+/// `iolb_ir::validate_accesses` — all shipped kernels are.
+///
+/// All state is pre-sized flat storage — per-array cell tables sized from
+/// the array extents, one iteration-vector arena, and a packed edge list —
+/// so construction is a branch-light integer pass over the instances.
 pub fn build_cdag(program: &Program, params: &[i64]) -> Cdag {
+    let n_arrays = program.arrays.len();
+    let strides: Vec<Vec<usize>> = (0..n_arrays)
+        .map(|i| program.array_strides(ArrayId(i as u32), params))
+        .collect();
+    let lens: Vec<usize> = (0..n_arrays)
+        .map(|i| program.array_len(ArrayId(i as u32), params).max(1))
+        .collect();
+    // One packed state per cell, doubling as the edge's `from` endpoint:
+    // NIL = untouched, `input_id << 1 | 1` = first touch was a read (input
+    // node), `compute_id << 1` = last written by that compute.
+    let mut cells: Vec<Vec<u32>> = lens.iter().map(|&l| vec![NIL; l]).collect();
+    let mut stmts: Vec<u32> = Vec::new();
+    let mut iv_off: Vec<u32> = vec![0];
+    let mut iv_data: Vec<i32> = Vec::new();
+    let mut inputs: Vec<(u32, u32)> = Vec::new();
+    // Packed `from` endpoint: `input_id << 1 | 1` or `compute_id << 1`.
+    let mut edges: Vec<(u32, u32)> = Vec::new();
+
+    for_each_instance(program, params, |stmt_id, dims| {
+        let stmt = program.stmt(stmt_id);
+        stmts.push(stmt_id.0);
+        iv_data.extend(stmt.dims.iter().map(|d| dims[d.0 as usize] as i32));
+        iv_off.push(iv_data.len() as u32);
+        let cur = (stmts.len() - 1) as u32;
+        let flat_of = |access: &iolb_ir::Access| -> usize {
+            let st = &strides[access.array.0 as usize];
+            let mut f = 0usize;
+            for (axis, aff) in access.idx.iter().enumerate() {
+                let v = aff.eval_envs(dims, params);
+                debug_assert!(v >= 0, "negative declared subscript");
+                f += st[axis] * v as usize;
+            }
+            f
+        };
+        let instance_start = edges.len();
+        for access in &stmt.reads {
+            let f = flat_of(access);
+            let slot = &mut cells[access.array.0 as usize][f];
+            if *slot == NIL {
+                *slot = ((inputs.len() as u32) << 1) | 1;
+                inputs.push((access.array.0, f as u32));
+            }
+            let from = *slot;
+            // Duplicate declared reads of one producer within an instance
+            // are a single edge.
+            if !edges[instance_start..].iter().any(|&(e, _)| e == from) {
+                edges.push((from, cur));
+            }
+        }
+        for access in &stmt.writes {
+            cells[access.array.0 as usize][flat_of(access)] = cur << 1;
+        }
+    });
+
+    // Merge id spaces: inputs first, then computes in schedule order.
+    let n_in = inputs.len();
+    let n = n_in + stmts.len();
+    let mut meta = Vec::with_capacity(n);
+    let mut is_input = Vec::with_capacity(n);
+    for (array, flat) in inputs {
+        meta.push((array, flat));
+        is_input.push(true);
+    }
+    for (c, stmt) in stmts.iter().enumerate() {
+        meta.push((*stmt, c as u32));
+        is_input.push(false);
+    }
+    for (from, to) in &mut edges {
+        *from = if *from & 1 == 1 {
+            *from >> 1
+        } else {
+            n_in as u32 + (*from >> 1)
+        };
+        *to += n_in as u32;
+    }
+    // Enumeration order is schedule order: targets nondecreasing and
+    // duplicates filtered above, so the linear CSR build applies.
+    Cdag::from_grouped_edges(meta, is_input, n_in, iv_off, iv_data, edges)
+}
+
+/// Runs `program` at `params` through the interpreter and returns the CDAG
+/// of the *performed* accesses — the ground-truth construction.
+pub fn build_cdag_executed(program: &Program, params: &[i64]) -> Cdag {
     let mut builder = CdagBuilder::new();
     let mut store = Store::init(program, params, |a, f| 1.0 + a.0 as f64 + f as f64 * 0.25);
     Interpreter::new(program, params).run(&mut store, &mut builder);
@@ -109,6 +307,7 @@ pub fn build_cdag(program: &Program, params: &[i64]) -> Cdag {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::graph::NodeId;
     use iolb_ir::{Access, ProgramBuilder};
 
     /// prefix-sum: `for i in 1..N { x[i] = x[i] + x[i-1] }`
@@ -199,5 +398,53 @@ mod tests {
         let p = b.finish();
         let g = build_cdag(&p, &[3]);
         assert_eq!(g.num_edges(), 1);
+    }
+
+    /// The declared-access fast path and the executed ground-truth path must
+    /// agree exactly on structure.
+    fn assert_same_graph(p: &iolb_ir::Program, params: &[i64]) {
+        let fast = build_cdag(p, params);
+        let slow = build_cdag_executed(p, params);
+        assert_eq!(fast.len(), slow.len(), "{}: node count", p.name);
+        assert_eq!(fast.num_edges(), slow.num_edges(), "{}: edge count", p.name);
+        assert_eq!(fast.num_computes(), slow.num_computes(), "{}", p.name);
+        for v in 0..fast.len() as u32 {
+            assert_eq!(
+                fast.preds(NodeId(v)),
+                slow.preds(NodeId(v)),
+                "{}: preds of {v}",
+                p.name
+            );
+            assert_eq!(
+                fast.kind(NodeId(v)),
+                slow.kind(NodeId(v)),
+                "{}: kind of {v}",
+                p.name
+            );
+        }
+    }
+
+    #[test]
+    fn declared_path_matches_executed_path() {
+        assert_same_graph(&prefix(), &[7]);
+    }
+
+    /// The fast path must agree with the executed ground truth on every
+    /// paper kernel, not just toys — this is what licenses `build_cdag`'s
+    /// reliance on certified declared accesses.
+    #[test]
+    fn declared_path_matches_executed_path_on_paper_kernels() {
+        let cases: Vec<(iolb_ir::Program, Vec<i64>)> = vec![
+            (iolb_kernels::mgs::program(), vec![10, 5]),
+            (iolb_kernels::mgs::tiled_program(), vec![10, 5, 2]),
+            (iolb_kernels::householder::a2v_program(), vec![10, 5]),
+            (iolb_kernels::householder::v2q_program(), vec![10, 5]),
+            (iolb_kernels::gebd2::program(), vec![8, 4]),
+            (iolb_kernels::gehd2::program(), vec![8]),
+            (iolb_kernels::gemm::program(), vec![5, 4, 3]),
+        ];
+        for (program, params) in &cases {
+            assert_same_graph(program, params);
+        }
     }
 }

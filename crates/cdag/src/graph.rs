@@ -7,10 +7,32 @@ use std::collections::{BTreeSet, VecDeque};
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct NodeId(pub u32);
 
-/// Kind of a CDAG node.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum NodeKind {
+/// Kind of a CDAG node — a borrowed view into the graph's flat node
+/// metadata (iteration vectors live in one shared arena, not one allocation
+/// per node).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeKind<'a> {
     /// A program input datum (`array[flat]` before any write).
+    Input {
+        /// Array holding the datum.
+        array: ArrayId,
+        /// Flat element index.
+        flat: usize,
+    },
+    /// A statement instance.
+    Compute {
+        /// The statement.
+        stmt: StmtId,
+        /// Its iteration vector.
+        iv: &'a [i32],
+    },
+}
+
+/// Owning node description used to *construct* a [`Cdag`] (the graph
+/// immediately flattens these into its arena storage).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NodeSpec {
+    /// A program input datum.
     Input {
         /// Array holding the datum.
         array: ArrayId,
@@ -31,9 +53,21 @@ pub enum NodeKind {
 /// Compute nodes appear in *schedule order* (the order the interpreter
 /// executed them), so `0..n` restricted to compute nodes is always a valid
 /// sequential schedule.
+///
+/// Storage is fully flat: adjacency in two CSR pairs, node metadata in
+/// parallel arrays, and all iteration vectors concatenated in one arena —
+/// building a graph performs O(1) allocations, not O(nodes).
 #[derive(Debug)]
 pub struct Cdag {
-    kinds: Vec<NodeKind>,
+    /// Per node: `(array, flat)` for inputs, `(stmt, compute index)` for
+    /// computes, discriminated by `is_input`.
+    meta: Vec<(u32, u32)>,
+    is_input: Vec<bool>,
+    num_inputs: usize,
+    /// Iteration-vector arena: compute `c` owns
+    /// `iv_data[iv_off[c] .. iv_off[c + 1]]`.
+    iv_off: Vec<u32>,
+    iv_data: Vec<i32>,
     pred_off: Vec<u32>,
     preds: Vec<u32>,
     succ_off: Vec<u32>,
@@ -41,39 +75,116 @@ pub struct Cdag {
 }
 
 impl Cdag {
-    /// Builds from node kinds and a (deduplicated) edge list `from → to`.
-    pub fn from_edges(kinds: Vec<NodeKind>, mut edges: Vec<(u32, u32)>) -> Cdag {
-        let n = kinds.len();
-        edges.sort_unstable();
+    /// Builds from node specs and a (possibly duplicated) edge list
+    /// `from → to`.
+    pub fn from_edges(kinds: Vec<NodeSpec>, edges: Vec<(u32, u32)>) -> Cdag {
+        let mut meta = Vec::with_capacity(kinds.len());
+        let mut is_input = Vec::with_capacity(kinds.len());
+        let mut iv_off = vec![0u32];
+        let mut iv_data = Vec::new();
+        let mut num_inputs = 0usize;
+        for kind in kinds {
+            match kind {
+                NodeSpec::Input { array, flat } => {
+                    meta.push((array.0, flat as u32));
+                    is_input.push(true);
+                    num_inputs += 1;
+                }
+                NodeSpec::Compute { stmt, iv } => {
+                    let c = iv_off.len() - 1;
+                    iv_data.extend_from_slice(&iv);
+                    iv_off.push(iv_data.len() as u32);
+                    meta.push((stmt.0, c as u32));
+                    is_input.push(false);
+                }
+            }
+        }
+        Cdag::from_parts(meta, is_input, num_inputs, iv_off, iv_data, edges)
+    }
+
+    /// Arena-level constructor for arbitrary edge lists: sorts and
+    /// deduplicates, then defers to the linear CSR build.
+    pub(crate) fn from_parts(
+        meta: Vec<(u32, u32)>,
+        is_input: Vec<bool>,
+        num_inputs: usize,
+        iv_off: Vec<u32>,
+        iv_data: Vec<i32>,
+        mut edges: Vec<(u32, u32)>,
+    ) -> Cdag {
+        edges.sort_unstable_by_key(|&(a, b)| (b, a));
         edges.dedup();
+        Cdag::from_grouped_edges(meta, is_input, num_inputs, iv_off, iv_data, edges)
+    }
+
+    /// Arena-level constructor for the builders' native edge order:
+    /// duplicate-free edges grouped by nondecreasing `to` (the natural
+    /// output of schedule-order recording). The CSR pairs are assembled
+    /// with counting passes only — no comparison sort:
+    ///
+    /// * successor rows fill in stream order, so each row's targets come
+    ///   out ascending (the stream is `to`-ordered);
+    /// * predecessor rows then fill by walking successors in source order,
+    ///   so each row's sources come out ascending too.
+    pub(crate) fn from_grouped_edges(
+        meta: Vec<(u32, u32)>,
+        is_input: Vec<bool>,
+        num_inputs: usize,
+        iv_off: Vec<u32>,
+        iv_data: Vec<i32>,
+        edges: Vec<(u32, u32)>,
+    ) -> Cdag {
+        let n = meta.len();
+        let mut last_to = 0u32;
         for &(a, b) in &edges {
-            assert!(a < b, "edges must go forward in schedule order ({a} -> {b})");
+            assert!(
+                a < b,
+                "edges must go forward in schedule order ({a} -> {b})"
+            );
             assert!((b as usize) < n, "edge endpoint out of range");
+            debug_assert!(b >= last_to, "edges must be grouped by target");
+            last_to = b;
         }
-        let mut pred_cnt = vec![0u32; n];
-        let mut succ_cnt = vec![0u32; n];
-        for &(a, b) in &edges {
-            succ_cnt[a as usize] += 1;
-            pred_cnt[b as usize] += 1;
-        }
+        // Degree counts accumulate directly into the offset arrays (shifted
+        // by one), then a prefix sum turns them into row starts.
         let mut pred_off = vec![0u32; n + 1];
         let mut succ_off = vec![0u32; n + 1];
-        for i in 0..n {
-            pred_off[i + 1] = pred_off[i] + pred_cnt[i];
-            succ_off[i + 1] = succ_off[i] + succ_cnt[i];
-        }
-        let mut preds = vec![0u32; edges.len()];
-        let mut succs = vec![0u32; edges.len()];
-        let mut pfill = pred_off.clone();
-        let mut sfill = succ_off.clone();
         for &(a, b) in &edges {
-            succs[sfill[a as usize] as usize] = b;
-            sfill[a as usize] += 1;
-            preds[pfill[b as usize] as usize] = a;
-            pfill[b as usize] += 1;
+            succ_off[a as usize + 1] += 1;
+            pred_off[b as usize + 1] += 1;
         }
+        for i in 0..n {
+            pred_off[i + 1] += pred_off[i];
+            succ_off[i + 1] += succ_off[i];
+        }
+        let mut succs = vec![0u32; edges.len()];
+        // The offset array doubles as the fill cursor; each row's cursor
+        // ends at the next row's start, so one backward shift restores it.
+        for &(a, b) in &edges {
+            succs[succ_off[a as usize] as usize] = b;
+            succ_off[a as usize] += 1;
+        }
+        for i in (1..=n).rev() {
+            succ_off[i] = succ_off[i - 1];
+        }
+        succ_off[0] = 0;
+        let mut preds = vec![0u32; edges.len()];
+        for a in 0..n {
+            for &b in &succs[succ_off[a] as usize..succ_off[a + 1] as usize] {
+                preds[pred_off[b as usize] as usize] = a as u32;
+                pred_off[b as usize] += 1;
+            }
+        }
+        for i in (1..=n).rev() {
+            pred_off[i] = pred_off[i - 1];
+        }
+        pred_off[0] = 0;
         Cdag {
-            kinds,
+            meta,
+            is_input,
+            num_inputs,
+            iv_off,
+            iv_data,
             pred_off,
             preds,
             succ_off,
@@ -83,17 +194,31 @@ impl Cdag {
 
     /// Number of nodes (inputs + computes).
     pub fn len(&self) -> usize {
-        self.kinds.len()
+        self.meta.len()
     }
 
     /// True when the graph has no node.
     pub fn is_empty(&self) -> bool {
-        self.kinds.is_empty()
+        self.meta.is_empty()
     }
 
-    /// Node kind.
-    pub fn kind(&self, v: NodeId) -> &NodeKind {
-        &self.kinds[v.0 as usize]
+    /// Node kind (a borrowed view; iteration vectors point into the graph's
+    /// shared arena).
+    pub fn kind(&self, v: NodeId) -> NodeKind<'_> {
+        let i = v.0 as usize;
+        let (a, b) = self.meta[i];
+        if self.is_input[i] {
+            NodeKind::Input {
+                array: ArrayId(a),
+                flat: b as usize,
+            }
+        } else {
+            let c = b as usize;
+            NodeKind::Compute {
+                stmt: StmtId(a),
+                iv: &self.iv_data[self.iv_off[c] as usize..self.iv_off[c + 1] as usize],
+            }
+        }
     }
 
     /// Predecessors of `v`.
@@ -113,29 +238,38 @@ impl Cdag {
 
     /// Iterator over compute nodes in schedule order.
     pub fn compute_nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
-        (0..self.kinds.len() as u32)
-            .map(NodeId)
-            .filter(|v| matches!(self.kind(*v), NodeKind::Compute { .. }))
+        self.is_input
+            .iter()
+            .enumerate()
+            .filter(|(_, &inp)| !inp)
+            .map(|(i, _)| NodeId(i as u32))
     }
 
     /// Iterator over input nodes.
     pub fn input_nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
-        (0..self.kinds.len() as u32)
-            .map(NodeId)
-            .filter(|v| matches!(self.kind(*v), NodeKind::Input { .. }))
+        self.is_input
+            .iter()
+            .enumerate()
+            .filter(|(_, &inp)| inp)
+            .map(|(i, _)| NodeId(i as u32))
     }
 
     /// Number of compute nodes.
     pub fn num_computes(&self) -> usize {
-        self.compute_nodes().count()
+        self.meta.len() - self.num_inputs
+    }
+
+    /// Number of input nodes.
+    pub fn num_inputs(&self) -> usize {
+        self.num_inputs
     }
 
     /// Finds the compute node of `stmt` at iteration vector `iv` (linear
     /// scan: meant for tests/validation on small graphs).
     pub fn node_of(&self, stmt: StmtId, iv: &[i32]) -> Option<NodeId> {
-        (0..self.kinds.len() as u32).map(NodeId).find(|v| {
+        (0..self.meta.len() as u32).map(NodeId).find(|v| {
             matches!(self.kind(*v),
-                NodeKind::Compute { stmt: s, iv: x } if *s == stmt && x.as_ref() == iv)
+                NodeKind::Compute { stmt: s, iv: x } if s == stmt && x == iv)
         })
     }
 
@@ -270,23 +404,23 @@ mod tests {
     fn diamond() -> Cdag {
         // 0: input; 1: a; 2: b; 3: c; 4: d  with edges 0→1, 1→2, 1→3, 2→4, 3→4
         let kinds = vec![
-            NodeKind::Input {
+            NodeSpec::Input {
                 array: ArrayId(0),
                 flat: 0,
             },
-            NodeKind::Compute {
+            NodeSpec::Compute {
                 stmt: StmtId(0),
                 iv: vec![0].into(),
             },
-            NodeKind::Compute {
+            NodeSpec::Compute {
                 stmt: StmtId(0),
                 iv: vec![1].into(),
             },
-            NodeKind::Compute {
+            NodeSpec::Compute {
                 stmt: StmtId(1),
                 iv: vec![0].into(),
             },
-            NodeKind::Compute {
+            NodeSpec::Compute {
                 stmt: StmtId(1),
                 iv: vec![1].into(),
             },
@@ -348,11 +482,11 @@ mod tests {
     #[should_panic(expected = "forward")]
     fn backward_edge_rejected() {
         let kinds = vec![
-            NodeKind::Compute {
+            NodeSpec::Compute {
                 stmt: StmtId(0),
                 iv: vec![0].into(),
             },
-            NodeKind::Compute {
+            NodeSpec::Compute {
                 stmt: StmtId(0),
                 iv: vec![1].into(),
             },

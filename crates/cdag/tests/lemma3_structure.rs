@@ -55,7 +55,7 @@ fn nodes_of(g: &Cdag, stmt: StmtId, pred: impl Fn(&[i32]) -> bool) -> Vec<NodeId
     (0..g.len() as u32)
         .map(NodeId)
         .filter(|v| match g.kind(*v) {
-            NodeKind::Compute { stmt: s, iv } if *s == stmt => pred(iv),
+            NodeKind::Compute { stmt: s, iv } if s == stmt => pred(iv),
             _ => false,
         })
         .collect()
@@ -139,7 +139,7 @@ fn hourglass_chain_count_matches_paper_width() {
         let v = NodeId(v);
         if g.has_path(a, v) && g.has_path(v, b) && v != a && v != b {
             if let NodeKind::Compute { stmt, iv } = g.kind(v) {
-                if (*stmt == su || *stmt == sr) && iv[0] == 1 {
+                if (stmt == su || stmt == sr) && iv[0] == 1 {
                     on_chain += 1;
                 }
             }

@@ -13,14 +13,21 @@ fn main() {
         };
         let analysis = match iolb_core::Analysis::run(&p, &observe) {
             Ok(a) => a,
-            Err(e) => { println!("{name}: analysis error: {e}"); continue; }
+            Err(e) => {
+                println!("{name}: analysis error: {e}");
+                continue;
+            }
         };
         let sid = p.stmt_id(stmt).unwrap();
         let dimname = |d: &iolb_ir::DimId| format!("{}#{}", p.loop_info(*d).name, d.0);
         match analysis.detect_hourglass(sid) {
             None => println!("{name}: no hourglass"),
             Some(pat) => {
-                let b = iolb_core::hourglass::derive(&p, &pat, &iolb_core::hourglass::SplitChoice::None);
+                let b = iolb_core::hourglass::derive(
+                    &p,
+                    &pat,
+                    &iolb_core::hourglass::SplitChoice::None,
+                );
                 println!(
                     "{name}: temporal={:?} neutral={:?} rb={:?} bread={} ({}) Z={} | W=[{}, {}] R={} vol_tool={}",
                     pat.temporal.iter().map(dimname).collect::<Vec<_>>(),

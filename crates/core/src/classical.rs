@@ -58,11 +58,7 @@ pub fn derive(program: &Program, stmt: StmtId, phi: &PhiSet) -> ClassicalBound {
         assert_eq!(info.lo.len(), 1);
         iolb_ir::count::aff_to_poly(program, &info.lo[0])
     };
-    let volume = instance_count_with(
-        program,
-        stmt,
-        &[(outer, &outer_lo + &Poly::one())],
-    );
+    let volume = instance_count_with(program, stmt, &[(outer, &outer_lo + &Poly::one())]);
     let _ = dim_var(program, outer); // dimension variables are summed away
     let expr = wrap_expr(&volume, sigma, m);
     ClassicalBound {
@@ -86,9 +82,7 @@ fn wrap_expr(volume: &Poly, sigma: Rational, m: usize) -> Expr {
     }
     let sm1 = sigma - Rational::ONE;
     let base = Rational::int(m as i128) * sm1 / sigma;
-    let c = Expr::Const(base)
-        .pow(sigma)
-        .div(Expr::Const(sm1));
+    let c = Expr::Const(base).pow(sigma).div(Expr::Const(sm1));
     c.mul(vol).mul(s.pow(Rational::ONE - sigma))
 }
 
@@ -172,11 +166,9 @@ mod tests {
         assert_eq!(b.m, 3);
         // Bound = 2·|V|/√S with |V| = M(N-1)(N-2)/2 → M(N-1)(N-2)/√S.
         let (m, n, s) = (1000i128, 100i128, 400i128);
-        let got = b.expr.eval_ints_f64(&[
-            (Var::new("M"), m),
-            (Var::new("N"), n),
-            (crate::s_var(), s),
-        ]);
+        let got =
+            b.expr
+                .eval_ints_f64(&[(Var::new("M"), m), (Var::new("N"), n), (crate::s_var(), s)]);
         let expect = (m * (n - 1) * (n - 2)) as f64 / (s as f64).sqrt();
         assert!(
             (got / expect - 1.0).abs() < 1e-9,

@@ -192,9 +192,9 @@ pub fn detect(
             .iter()
             .flat_map(|a| a.dims_used().collect::<Vec<_>>())
             .collect();
-        zs.dims.iter().any(|d| {
-            !written_dims.contains(d) && !common.contains(d) && read_dims.contains(d)
-        })
+        zs.dims
+            .iter()
+            .any(|d| !written_dims.contains(d) && !common.contains(d) && read_dims.contains(d))
     };
     let reductions: Vec<StmtId> = projections
         .iter()
@@ -230,10 +230,7 @@ pub fn detect(
             })
             .collect();
         for &z in &reductions {
-            let dist = producers
-                .iter()
-                .filter_map(|&p| distance(z, p, stmt))
-                .min();
+            let dist = producers.iter().filter_map(|&p| distance(z, p, stmt)).min();
             if std::env::var("IOLB_DEBUG_DETECT").is_ok() {
                 eprintln!(
                     "  candidate read={} support={:?} dropped={:?} z={} producers={:?} dist={:?}",
@@ -241,7 +238,10 @@ pub fn detect(
                     support,
                     dropped,
                     program.stmt(z).name,
-                    producers.iter().map(|p| &program.stmt(*p).name).collect::<Vec<_>>(),
+                    producers
+                        .iter()
+                        .map(|p| &program.stmt(*p).name)
+                        .collect::<Vec<_>>(),
                     dist
                 );
             }
@@ -453,21 +453,22 @@ pub fn derive(
     let four = Expr::int(4);
     let mk_main = |vol: &Poly, w: &Poly, r: &Poly| -> Expr {
         // |V|·W / (4(S + R·W))
-        Expr::from_poly(vol).mul(Expr::from_poly(w)).div(
-            four.clone()
-                .mul(s.clone().add(Expr::from_poly(&(r * w)))),
-        )
+        Expr::from_poly(vol)
+            .mul(Expr::from_poly(w))
+            .div(four.clone().mul(s.clone().add(Expr::from_poly(&(r * w)))))
     };
     let main = mk_main(&volume, &w_min, &r_factor);
     let main_tool = mk_main(&volume_tool, &w_min, &r_factor);
     // Refined: |V|·W_min² / (4(S·W_max + W_min²)).
     let refined = Expr::from_poly(&volume_tool)
         .mul(Expr::from_poly(&(&w_min * &w_min)))
-        .div(Expr::int(4).mul(
-            s.clone()
-                .mul(Expr::from_poly(&w_max))
-                .add(Expr::from_poly(&(&w_min * &w_min))),
-        ));
+        .div(
+            Expr::int(4).mul(
+                s.clone()
+                    .mul(Expr::from_poly(&w_max))
+                    .add(Expr::from_poly(&(&w_min * &w_min))),
+            ),
+        );
     // Small-S branch: (W − S)·|V_nodrop| / (2W).
     let small_s = Expr::from_poly(&w_min)
         .sub(s.clone())
@@ -618,7 +619,10 @@ mod tests {
         ];
         let got = b.main_tool.eval_ints_f64(&env);
         let expect = (100.0f64 * 100.0 * 39.0 * 38.0) / (8.0 * (256.0 + 100.0));
-        assert!((got / expect - 1.0).abs() < 1e-12, "got {got} expect {expect}");
+        assert!(
+            (got / expect - 1.0).abs() < 1e-12,
+            "got {got} expect {expect}"
+        );
         // small_s = (M−S)·(MN(N-1)/2)/(2M) = (M−S)N(N-1)/4 (Theorem 5).
         let got_small = b.small_s.eval_ints_f64(&[
             (Var::new("M"), 100),

@@ -38,11 +38,7 @@ pub struct PhiSet {
 
 impl PhiSet {
     /// Builds Φ from the analyzed read projections.
-    pub fn for_statement(
-        program: &Program,
-        stmt: StmtId,
-        reads: &[ReadProjection],
-    ) -> PhiSet {
+    pub fn for_statement(program: &Program, stmt: StmtId, reads: &[ReadProjection]) -> PhiSet {
         let s = program.stmt(stmt);
         let mut projections = Vec::new();
         for rp in reads.iter().filter(|r| r.stmt == stmt) {
@@ -51,10 +47,9 @@ impl PhiSet {
                 .idx
                 .iter()
                 .map(|a| {
-                    a.display_with(
-                        &|d| format!("d{}", d.0),
-                        &|p| program.params[p.0 as usize].clone(),
-                    )
+                    a.display_with(&|d| format!("d{}", d.0), &|p| {
+                        program.params[p.0 as usize].clone()
+                    })
                 })
                 .collect::<Vec<_>>()
                 .join(",");
@@ -72,8 +67,7 @@ impl PhiSet {
 
     /// Number of pairwise-disjoint in-set regions (distinct region keys).
     pub fn disjoint_regions(&self) -> usize {
-        let keys: BTreeSet<&(u32, String)> =
-            self.projections.iter().map(|p| &p.region).collect();
+        let keys: BTreeSet<&(u32, String)> = self.projections.iter().map(|p| &p.region).collect();
         keys.len()
     }
 
@@ -151,7 +145,7 @@ impl PhiSet {
                         .collect();
                     m.push_row(&row);
                 }
-                rhs = rhs + *sj * Rational::int(m.rank() as i128);
+                rhs += *sj * Rational::int(m.rank() as i128);
             }
             if Rational::int(rank_h) > rhs {
                 return false;

@@ -104,7 +104,8 @@ pub fn fig4_table(reports: &[KernelReport]) -> String {
         ));
         out.push_str(&format!(
             "  engine new: W∈[{}, {}] → {}\n",
-            report.new.w_min, report.new.w_max,
+            report.new.w_min,
+            report.new.w_max,
             render_expr(&report.new.main_tool)
         ));
         if report.split {
@@ -164,8 +165,16 @@ pub fn fig5_table(reports: &[KernelReport]) -> String {
     out.push('\n');
     out.push_str(&format!(
         "{:<12} {:>8} {:>8} {:>8} | {:>14} {:>14} {:>6} | {:>14} {:>14} {:>6}\n",
-        "kernel", "M", "N", "S", "old(paper)", "old(engine)", "ratio", "new(paper)",
-        "new(engine)", "ratio"
+        "kernel",
+        "M",
+        "N",
+        "S",
+        "old(paper)",
+        "old(engine)",
+        "ratio",
+        "new(paper)",
+        "new(engine)",
+        "ratio"
     ));
     for (m, n, s) in [
         (1024i128, 256i128, 128i128),

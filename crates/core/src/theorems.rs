@@ -136,7 +136,8 @@ pub fn fig5_rows() -> Vec<Fig5Row> {
     };
     // Numerators shared between old (over 3√S) and new (over 24(1+S/W)).
     let a2v_num = || {
-        c(3).mul(m()).mul(n().pow(Rational::TWO))
+        c(3).mul(m())
+            .mul(n().pow(Rational::TWO))
             .sub(n().pow(Rational::int(3)))
             .sub(c(9).mul(m()).mul(n()))
             .add(c(6).mul(m()))
@@ -213,7 +214,8 @@ pub fn fig5_rows() -> Vec<Fig5Row> {
                 .sub(c(30))
                 .div(c(3).mul(sqrt_s()))
                 .add(
-                    c(69).mul(n())
+                    c(69)
+                        .mul(n())
                         .sub(c(9).mul(n().pow(Rational::TWO)).div(c(2)))
                         .sub(c(3).mul(s()))
                         .sub(c(56)),
@@ -226,7 +228,8 @@ pub fn fig5_rows() -> Vec<Fig5Row> {
                 .sub(c(6))
                 .div(c(12).mul(c(1).add(s().div(n().sub(ms()).sub(c(1))))))
                 .add(
-                    c(12).mul(n())
+                    c(12)
+                        .mul(n())
                         .sub(n().pow(Rational::TWO))
                         .sub(s())
                         .sub(c(19)),

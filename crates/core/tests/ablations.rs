@@ -45,12 +45,19 @@ fn k_equals_2s_is_near_optimal() {
     // two branches.
     let s = 128f64;
     let wrapped = |k: f64| (k - s) * vol / (k * k / w + 2.0 * k);
-    let best = (11..400).map(|t| wrapped(s * t as f64 / 10.0)).fold(0.0f64, f64::max);
-    let vol_nodrop =
-        iolb_ir::count::eval_params(&b.volume_nodrop, &envp).to_f64();
+    let best = (11..400)
+        .map(|t| wrapped(s * t as f64 / 10.0))
+        .fold(0.0f64, f64::max);
+    let vol_nodrop = iolb_ir::count::eval_params(&b.volume_nodrop, &envp).to_f64();
     let small_branch = (w - s) * vol_nodrop / (2.0 * w);
-    assert!(wrapped(2.0 * s) < 0.75 * best, "K=2S alone is loose at S ≪ W");
-    assert!(small_branch > best, "…but the small-S branch dominates there");
+    assert!(
+        wrapped(2.0 * s) < 0.75 * best,
+        "K=2S alone is loose at S ≪ W"
+    );
+    assert!(
+        small_branch > best,
+        "…but the small-S branch dominates there"
+    );
 }
 
 /// The disjoint-inset refinement multiplies the classical bound by
@@ -95,7 +102,10 @@ fn width_variant_ordering() {
     ];
     let u = mgs.main_tool.eval_ints_f64(&env);
     let r = mgs.refined.eval_ints_f64(&env);
-    assert!((u / r - 1.0).abs() < 1e-12, "constant width: variants agree");
+    assert!(
+        (u / r - 1.0).abs() < 1e-12,
+        "constant width: variants agree"
+    );
 
     let p = iolb_kernels::householder::a2v_program();
     let analysis = Analysis::run(&p, &[vec![9, 6]]).unwrap();
@@ -141,9 +151,7 @@ fn gehd2_split_point_ablation() {
     let b = hourglass::derive(
         &p,
         &pat,
-        &hourglass::SplitChoice::At(iolb_symbolic::Poly::var(
-            iolb_core::theorems::split_var(),
-        )),
+        &hourglass::SplitChoice::At(iolb_symbolic::Poly::var(iolb_core::theorems::split_var())),
     );
     let n = 4096i128;
     // The sound (split-restricted volume) bound exposes the tradeoff: a
@@ -158,15 +166,20 @@ fn gehd2_split_point_ablation() {
     };
     for s in [64i128, n] {
         let mid = value(s, n / 2 - 1);
-        assert!(mid > value(s, 8), "S={s}: tiny split keeps too few instances");
+        assert!(
+            mid > value(s, 8),
+            "S={s}: tiny split keeps too few instances"
+        );
         assert!(mid > value(s, n - 3), "S={s}: late split leaves no width");
     }
     // And the Theorem-9 instantiation Ms = N/2 − 1 tracks N⁴/(12(N+2S)):
     // the tool-volume variant equals it exactly (tested in kernel_bounds);
     // the sound variant stays within a constant factor below it.
     let s = 512i128;
-    let thm9 = iolb_core::theorems::thm9_gehd2()
-        .eval_ints_f64(&[(Var::new("N"), n), (s_var(), s)]);
+    let thm9 = iolb_core::theorems::thm9_gehd2().eval_ints_f64(&[(Var::new("N"), n), (s_var(), s)]);
     let sound = value(s, n / 2 - 1);
-    assert!(sound <= thm9 && sound > 0.5 * thm9, "sound {sound} vs thm9 {thm9}");
+    assert!(
+        sound <= thm9 && sound > 0.5 * thm9,
+        "sound {sound} vs thm9 {thm9}"
+    );
 }

@@ -26,7 +26,10 @@ fn mgs_engine_matches_fig5_exactly() {
     let e = env(2048, 512, 256);
     let got = r.new.main_tool.eval_ints_f64(&e);
     let expect = (2048.0f64 * 2048.0 * 511.0 * 510.0) / (8.0 * (2048.0 + 256.0));
-    assert!((got / expect - 1.0).abs() < 1e-12, "got {got} expect {expect}");
+    assert!(
+        (got / expect - 1.0).abs() < 1e-12,
+        "got {got} expect {expect}"
+    );
     // Old bound dominant: M(N−1)(N−2)/√S.
     let got_old = r.old.expr.eval_ints_f64(&e);
     let expect_old = 2048.0 * 511.0 * 510.0 / 16.0;
@@ -46,7 +49,10 @@ fn a2v_engine_matches_fig5_dominant() {
     let (mf, nf, sf) = (m as f64, n as f64, s as f64);
     let num = 3.0 * mf * nf * nf - nf * nf * nf - 9.0 * mf * nf + 6.0 * mf + 7.0 * nf - 6.0;
     let expect = num * (mf - nf) / (24.0 * (sf + mf - nf));
-    assert!((got / expect - 1.0).abs() < 1e-12, "got {got} expect {expect}");
+    assert!(
+        (got / expect - 1.0).abs() < 1e-12,
+        "got {got} expect {expect}"
+    );
 }
 
 #[test]
@@ -58,7 +64,10 @@ fn v2q_engine_matches_fig5_dominant() {
     let (mf, nf, sf) = (m as f64, n as f64, s as f64);
     let num = 3.0 * mf * nf * nf - nf * nf * nf - 9.0 * mf * nf + 6.0 * mf + 7.0 * nf - 6.0;
     let expect = num * (mf - nf) / (24.0 * (sf + mf - nf));
-    assert!((got / expect - 1.0).abs() < 1e-12, "got {got} expect {expect}");
+    assert!(
+        (got / expect - 1.0).abs() < 1e-12,
+        "got {got} expect {expect}"
+    );
 }
 
 #[test]
@@ -92,7 +101,10 @@ fn gehd2_engine_splits_and_matches_fig5() {
     let (nf, sf, msf) = (n as f64, s as f64, ms as f64);
     let w = nf - msf - 1.0;
     let expect = (nf - 1.0) * (nf - 2.0) * (nf - 3.0) * w / (12.0 * (w + sf));
-    assert!((got / expect - 1.0).abs() < 1e-9, "got {got} expect {expect}");
+    assert!(
+        (got / expect - 1.0).abs() < 1e-9,
+        "got {got} expect {expect}"
+    );
     // And that instantiation tracks Theorem 9's N⁴/(12(N+2S)).
     let thm9 = theorems::thm9_gehd2().eval_ints_f64(&env(0, n, s));
     assert!((got / thm9 - 1.0).abs() < 0.05, "got {got} thm9 {thm9}");
@@ -161,7 +173,10 @@ fn new_bounds_beat_old_bounds_parametrically() {
         for s in [256i128, 1024, 4096] {
             let e = env(1 << 14, 1 << 12, s);
             let ratio = r.new.main_tool.eval_ints_f64(&e) / r.old.expr.eval_ints_f64(&e);
-            assert!(ratio > 1.0, "{name}: new must beat old at S={s}, got {ratio}");
+            assert!(
+                ratio > 1.0,
+                "{name}: new must beat old at S={s}, got {ratio}"
+            );
             assert!(ratio > prev_ratio, "{name}: improvement grows with S");
             prev_ratio = ratio;
         }

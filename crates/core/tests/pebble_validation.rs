@@ -60,11 +60,7 @@ fn cases() -> Vec<Case> {
             program: iolb_kernels::gemm::program(),
             hourglass_stmt: None,
             params: vec![8, 8, 8],
-            env: vec![
-                (Var::new("M"), 8),
-                (Var::new("N"), 8),
-                (Var::new("K"), 8),
-            ],
+            env: vec![(Var::new("M"), 8), (Var::new("N"), 8), (Var::new("K"), 8)],
         },
     ]
 }
@@ -73,7 +69,7 @@ fn cases() -> Vec<Case> {
 fn bounds_never_exceed_pebble_plays() {
     let mut nontrivial = 0usize;
     for case in cases() {
-        let analysis = Analysis::run(&case.program, &[case.params.clone()]).unwrap();
+        let analysis = Analysis::run(&case.program, std::slice::from_ref(&case.params)).unwrap();
         let stmt_name = case.hourglass_stmt.unwrap_or("SU");
         let stmt = case.program.stmt_id(stmt_name).unwrap();
         let classical = analysis.classical_bound(stmt);
@@ -96,9 +92,9 @@ fn bounds_never_exceed_pebble_plays() {
         let min_s = cdag.max_in_degree() + 1;
         for s in [min_s, min_s + 2, min_s + 6, min_s + 14, min_s + 30] {
             let game = PebbleGame::new(&cdag, s);
-            let play = game.best_play().unwrap_or_else(|e| {
-                panic!("{}: pebble play failed at S={s}: {e}", case.name)
-            });
+            let play = game
+                .best_play()
+                .unwrap_or_else(|e| panic!("{}: pebble play failed at S={s}: {e}", case.name));
             let lb_classical = classical.eval_floor(&case.env, s as i128);
             let lb_hourglass = hg
                 .as_ref()
@@ -128,7 +124,7 @@ fn hourglass_certification_passes_for_all_kernels() {
         let Some(stmt_name) = case.hourglass_stmt else {
             continue;
         };
-        let analysis = Analysis::run(&case.program, &[case.params.clone()]).unwrap();
+        let analysis = Analysis::run(&case.program, std::slice::from_ref(&case.params)).unwrap();
         let stmt = case.program.stmt_id(stmt_name).unwrap();
         let pat = analysis
             .detect_hourglass(stmt)

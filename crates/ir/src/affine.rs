@@ -116,6 +116,24 @@ impl Aff {
         acc
     }
 
+    /// Evaluates against flat environments indexed by id — the hot-path
+    /// variant of [`eval_with`](Aff::eval_with): no closure dispatch, fully
+    /// inlineable.
+    ///
+    /// # Panics
+    /// Panics when a referenced dimension or parameter id is out of range.
+    #[inline]
+    pub fn eval_envs(&self, dims: &[i64], params: &[i64]) -> i64 {
+        let mut acc = self.cst;
+        for (d, c) in &self.dims {
+            acc += c * dims[d.0 as usize];
+        }
+        for (p, c) in &self.params {
+            acc += c * params[p.0 as usize];
+        }
+        acc
+    }
+
     /// Removes the term for dimension `d`, returning its coefficient.
     pub fn take_dim(&mut self, d: DimId) -> i64 {
         if let Some(pos) = self.dims.iter().position(|(x, _)| *x == d) {
@@ -308,7 +326,10 @@ mod tests {
         let e = (Aff::dim(k) + 2) * 3;
         assert_eq!(e.dim_coeff(k), 3);
         assert_eq!(e.cst(), 6);
-        assert_eq!((e * 0), Aff::zero());
+        // Multiplying by zero collapses to the zero form (intentional).
+        #[allow(clippy::erasing_op)]
+        let z = e * 0;
+        assert_eq!(z, Aff::zero());
     }
 
     #[test]
@@ -330,6 +351,9 @@ mod tests {
             e.display_with(&|_| "k".into(), &|_| "N".into()),
             "-k + N - 1"
         );
-        assert_eq!(Aff::zero().display_with(&|_| "x".into(), &|_| "P".into()), "0");
+        assert_eq!(
+            Aff::zero().display_with(&|_| "x".into(), &|_| "P".into()),
+            "0"
+        );
     }
 }

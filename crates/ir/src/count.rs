@@ -16,7 +16,12 @@ use iolb_symbolic::{summation::sum_half_open, Poly, Var};
 /// Loop names may repeat (several `i` loops), so the variable is keyed by
 /// the unique [`DimId`].
 pub fn dim_var(program: &Program, d: DimId) -> Var {
-    Var::new(&format!("{}~{}#{}", program.name, program.loop_info(d).name, d.0))
+    Var::new(&format!(
+        "{}~{}#{}",
+        program.name,
+        program.loop_info(d).name,
+        d.0
+    ))
 }
 
 /// Symbolic variable of a parameter (global: `"M"`, `"N"`, …).
@@ -127,11 +132,7 @@ pub fn extent(program: &Program, d: DimId) -> Poly {
 /// chosen according to the sign of its (constant) coefficient, producing
 /// `(min, max)` polynomials in the parameters only. Supports the affine
 /// triangular nests of the paper (coefficients must be constants).
-pub fn poly_range_over_dims(
-    program: &Program,
-    p: &Poly,
-    dims: &[DimId],
-) -> (Poly, Poly) {
+pub fn poly_range_over_dims(program: &Program, p: &Poly, dims: &[DimId]) -> (Poly, Poly) {
     poly_range_over_dims_bounded(program, p, dims, &[])
 }
 
@@ -168,7 +169,10 @@ fn subst_extreme(p: &Poly, v: Var, vmin: &Poly, vmax: &Poly, minimize: bool) -> 
     if deg == 0 {
         return p.clone();
     }
-    assert!(deg <= 1, "extent analysis requires affine dependence on {v}");
+    assert!(
+        deg <= 1,
+        "extent analysis requires affine dependence on {v}"
+    );
     let coeff = p
         .coeff_of(v, 1)
         .as_constant()
@@ -274,12 +278,21 @@ mod tests {
         // extent(j) = N - k - 1; over k ∈ [0, N-1]: min = 0 (k=N-1), max = N-1.
         let ext_j = extent(&p, j);
         let (lo, hi) = poly_range_over_dims(&p, &ext_j, &[k]);
-        assert_eq!(eval_params(&lo, &[("M", 9), ("N", 6)]), iolb_symbolic::Rational::int(0));
-        assert_eq!(eval_params(&hi, &[("M", 9), ("N", 6)]), iolb_symbolic::Rational::int(5));
+        assert_eq!(
+            eval_params(&lo, &[("M", 9), ("N", 6)]),
+            iolb_symbolic::Rational::int(0)
+        );
+        assert_eq!(
+            eval_params(&hi, &[("M", 9), ("N", 6)]),
+            iolb_symbolic::Rational::int(5)
+        );
         // extent(i) = M, independent of outer dims.
         let ext_i = extent(&p, i);
         let (lo2, hi2) = poly_range_over_dims(&p, &ext_i, &[k, j]);
         assert_eq!(lo2, hi2);
-        assert_eq!(eval_params(&lo2, &[("M", 9), ("N", 6)]), iolb_symbolic::Rational::int(9));
+        assert_eq!(
+            eval_params(&lo2, &[("M", 9), ("N", 6)]),
+            iolb_symbolic::Rational::int(9)
+        );
     }
 }

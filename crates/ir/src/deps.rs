@@ -91,7 +91,10 @@ pub fn observe_producers(program: &Program, params: &[i64]) -> Observations {
         fn flat(&self, access: &crate::program::Access, stmt: StmtId, iv: &[i64]) -> (u32, usize) {
             let dims = &self.program.stmt(stmt).dims;
             let dim_env = |d: DimId| {
-                let pos = dims.iter().position(|x| *x == d).expect("non-enclosing dim");
+                let pos = dims
+                    .iter()
+                    .position(|x| *x == d)
+                    .expect("non-enclosing dim");
                 iv[pos]
             };
             let par_env = |p: crate::affine::ParamId| self.params[p.0 as usize];
@@ -516,8 +519,14 @@ mod tests {
         let d = dims_of(&p, "SU");
         let read_idx = [Aff::constant(0), Aff::dim(d[1])];
         let write_idx = [Aff::constant(1), Aff::dim(d[1])];
-        let r = Aff_slice { array: a, idx: &read_idx };
-        let w = Aff_slice { array: a, idx: &write_idx };
+        let r = Aff_slice {
+            array: a,
+            idx: &read_idx,
+        };
+        let w = Aff_slice {
+            array: a,
+            idx: &write_idx,
+        };
         assert!(unify(&p, su, &r, su, &w).is_none());
     }
 }

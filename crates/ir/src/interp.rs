@@ -182,6 +182,43 @@ impl Store {
     }
 }
 
+/// Maximum loop-nest depth supported by the interpreter's fixed iteration
+/// buffer (the paper's kernels use at most 5).
+const MAX_DIMS: usize = 16;
+
+/// Fixed-capacity iteration-vector buffer: one stack array reused for every
+/// statement instance, so building `iv` never touches the allocator.
+struct IvBuf {
+    vals: [i64; MAX_DIMS],
+    len: usize,
+}
+
+impl IvBuf {
+    fn new() -> IvBuf {
+        IvBuf {
+            vals: [0; MAX_DIMS],
+            len: 0,
+        }
+    }
+
+    #[inline]
+    fn fill_from(&mut self, stmt_dims: &[DimId], dims: &[i64]) {
+        assert!(
+            stmt_dims.len() <= MAX_DIMS,
+            "loop nest deeper than {MAX_DIMS}"
+        );
+        for (slot, d) in self.vals.iter_mut().zip(stmt_dims) {
+            *slot = dims[d.0 as usize];
+        }
+        self.len = stmt_dims.len();
+    }
+
+    #[inline]
+    fn as_slice(&self) -> &[i64] {
+        &self.vals[..self.len]
+    }
+}
+
 /// Statement execution context handed to semantic closures.
 pub struct ExecCtx<'a> {
     stmt: StmtId,
@@ -244,38 +281,43 @@ impl<'p> Interpreter<'p> {
     }
 
     /// Executes the program over `store`, streaming events into `sink`.
-    pub fn run(&self, store: &mut Store, sink: &mut dyn ExecSink) {
+    ///
+    /// Monomorphized over the sink type: the schedule-walking driver, loop
+    /// bound evaluation, and `on_stmt`/`on_finish` notifications compile to
+    /// static calls per sink. (The per-access `on_read`/`on_write` events
+    /// still go through [`ExecCtx`]'s erased sink reference, because the
+    /// semantic closures are type-erased `Arc<dyn Fn>`s.)
+    pub fn run<S: ExecSink>(&self, store: &mut Store, sink: &mut S) {
         let mut dims = vec![0i64; self.program.num_dims as usize];
-        let mut iv_buf: Vec<i64> = Vec::with_capacity(8);
+        let mut iv_buf = IvBuf::new();
         for step in &self.program.body {
             self.run_step(step, &mut dims, &mut iv_buf, store, sink);
         }
         sink.on_finish();
     }
 
-    fn run_step(
+    fn run_step<S: ExecSink>(
         &self,
         step: &Step,
         dims: &mut Vec<i64>,
-        iv_buf: &mut Vec<i64>,
+        iv_buf: &mut IvBuf,
         store: &mut Store,
-        sink: &mut dyn ExecSink,
+        sink: &mut S,
     ) {
         match step {
             Step::Stmt(id) => {
                 let stmt = self.program.stmt(*id);
-                iv_buf.clear();
-                iv_buf.extend(stmt.dims.iter().map(|d| dims[d.0 as usize]));
-                sink.on_stmt(*id, iv_buf);
-                let compute = stmt.compute.clone();
+                iv_buf.fill_from(&stmt.dims, dims);
+                let iv = iv_buf.as_slice();
+                sink.on_stmt(*id, iv);
                 let mut ctx = ExecCtx {
                     stmt: *id,
-                    iv: iv_buf,
+                    iv,
                     params: &self.params,
                     store,
                     sink,
                 };
-                compute(&mut ctx);
+                (stmt.compute)(&mut ctx);
             }
             Step::Loop(l) => {
                 let (lo, hi, step_v) = self.loop_range(l, dims);
@@ -312,20 +354,16 @@ impl<'p> Interpreter<'p> {
 
     /// Effective `[lo, hi)` and step of a loop at the current outer values.
     fn loop_range(&self, l: &Loop, dims: &[i64]) -> (i64, i64, i64) {
-        let dim_env = |d: DimId| dims[d.0 as usize];
-        let par_env = |p: crate::affine::ParamId| self.params[p.0 as usize];
-        let lo = l
-            .lo
-            .iter()
-            .map(|a| a.eval_with(&dim_env, &par_env))
-            .max()
-            .expect("loop has lower bounds");
-        let hi = l
-            .hi
-            .iter()
-            .map(|a| a.eval_with(&dim_env, &par_env))
-            .min()
-            .expect("loop has upper bounds");
+        let lo =
+            l.lo.iter()
+                .map(|a| a.eval_envs(dims, &self.params))
+                .max()
+                .expect("loop has lower bounds");
+        let hi =
+            l.hi.iter()
+                .map(|a| a.eval_envs(dims, &self.params))
+                .min()
+                .expect("loop has upper bounds");
         let step = match l.step {
             LoopStep::One => 1,
             LoopStep::Const(c) => c,
@@ -340,6 +378,62 @@ impl<'p> Interpreter<'p> {
         let mut store = Store::init(self.program, &self.params, init);
         self.run(&mut store, &mut NullSink);
         store
+    }
+}
+
+/// Enumerates every statement instance in schedule order *without executing
+/// semantics*: no store, no f64 work, no access events — just the loop-tree
+/// walk. `f` receives the statement and the full loop-dimension environment
+/// (indexed by [`DimId`]; only the statement's own `dims` are meaningful).
+///
+/// This is the substrate for consumers that derive per-instance information
+/// from the *declared* affine accesses (certified against the executed ones
+/// by [`validate_accesses`]), e.g. fast CDAG construction.
+pub fn for_each_instance(program: &Program, params: &[i64], mut f: impl FnMut(StmtId, &[i64])) {
+    let interp = Interpreter::new(program, params);
+    let mut dims = vec![0i64; program.num_dims as usize];
+    for step in &program.body {
+        walk_step(&interp, step, &mut dims, &mut f);
+    }
+}
+
+fn walk_step(
+    interp: &Interpreter<'_>,
+    step: &Step,
+    dims: &mut Vec<i64>,
+    f: &mut impl FnMut(StmtId, &[i64]),
+) {
+    match step {
+        Step::Stmt(id) => f(*id, dims),
+        Step::Loop(l) => {
+            let (lo, hi, step_v) = interp.loop_range(l, dims);
+            if hi <= lo {
+                return;
+            }
+            if l.reverse {
+                let count = (hi - 1 - lo) / step_v;
+                let mut v = lo + count * step_v;
+                loop {
+                    dims[l.dim.0 as usize] = v;
+                    for s in &l.body {
+                        walk_step(interp, s, dims, f);
+                    }
+                    if v == lo {
+                        break;
+                    }
+                    v -= step_v;
+                }
+            } else {
+                let mut v = lo;
+                while v < hi {
+                    dims[l.dim.0 as usize] = v;
+                    for s in &l.body {
+                        walk_step(interp, s, dims, f);
+                    }
+                    v += step_v;
+                }
+            }
+        }
     }
 }
 
@@ -509,8 +603,20 @@ mod tests {
         assert_eq!(sink.len(), 6);
         assert!(!sink.is_empty());
         // x cells are 0..3, y cells are 3..6
-        assert_eq!(sink.event(0), TraceEvent { cell: 0, write: false });
-        assert_eq!(sink.event(1), TraceEvent { cell: 3, write: true });
+        assert_eq!(
+            sink.event(0),
+            TraceEvent {
+                cell: 0,
+                write: false
+            }
+        );
+        assert_eq!(
+            sink.event(1),
+            TraceEvent {
+                cell: 3,
+                write: true
+            }
+        );
         assert_eq!(sink.num_cells, 6);
     }
 

@@ -27,7 +27,9 @@ pub mod interp;
 pub mod program;
 
 pub use affine::{Aff, DimId, ParamId};
-pub use interp::{ExecCtx, ExecSink, Interpreter, NullSink, Store, TraceEvent, TraceSink};
+pub use interp::{
+    for_each_instance, ExecCtx, ExecSink, Interpreter, NullSink, Store, TraceEvent, TraceSink,
+};
 pub use program::{
     Access, ArrayDecl, ArrayId, Loop, LoopStep, Program, ProgramBuilder, Statement, Step, StmtId,
 };

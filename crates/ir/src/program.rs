@@ -176,7 +176,10 @@ impl fmt::Debug for Program {
         f.debug_struct("Program")
             .field("name", &self.name)
             .field("params", &self.params)
-            .field("arrays", &self.arrays.iter().map(|a| &a.name).collect::<Vec<_>>())
+            .field(
+                "arrays",
+                &self.arrays.iter().map(|a| &a.name).collect::<Vec<_>>(),
+            )
             .field(
                 "stmts",
                 &self.stmts.iter().map(|s| &s.name).collect::<Vec<_>>(),
@@ -254,6 +257,17 @@ impl Program {
     pub fn array_len(&self, array: ArrayId, params: &[i64]) -> usize {
         self.array_extents(array, params).iter().product()
     }
+
+    /// Row-major strides of an array at concrete parameters (the layout used
+    /// by the interpreter's store and the trace sinks).
+    pub fn array_strides(&self, array: ArrayId, params: &[i64]) -> Vec<usize> {
+        let extents = self.array_extents(array, params);
+        let mut st = vec![1usize; extents.len()];
+        for k in (0..extents.len().saturating_sub(1)).rev() {
+            st[k] = st[k + 1] * extents[k + 1];
+        }
+        st
+    }
 }
 
 /// Incremental builder for [`Program`]s.
@@ -285,9 +299,13 @@ pub struct ProgramBuilder {
     next_pos: u32,
 }
 
+/// Header of a loop under construction: dimension, name, lower and upper
+/// bounds, step, and the reverse flag.
+type LoopHeader = (DimId, String, Vec<Aff>, Vec<Aff>, LoopStep, bool);
+
 struct Frame {
     /// Loop under construction (None for the root frame).
-    looph: Option<(DimId, String, Vec<Aff>, Vec<Aff>, LoopStep, bool)>,
+    looph: Option<LoopHeader>,
     body: Vec<Step>,
 }
 
@@ -482,12 +500,9 @@ mod tests {
         let a = b.array("A", &[b.p("M")]);
         let s = b.scalar("acc");
         let k = b.open("k", b.c(0), b.p("N"));
-        b.stmt(
-            "S0",
-            vec![],
-            vec![Access::new(s, vec![])],
-            move |c| c.wr(s, &[], 0.0),
-        );
+        b.stmt("S0", vec![], vec![Access::new(s, vec![])], move |c| {
+            c.wr(s, &[], 0.0)
+        });
         let i = b.open("i", b.c(0), b.p("M"));
         let rd = Access::new(a, vec![b.d(i)]);
         let _ = k;

@@ -10,10 +10,7 @@ use iolb_ir::{ArrayId, Interpreter, Program, Store};
 pub fn run_with_inputs(program: &Program, params: &[i64], inputs: &[(&str, &Matrix)]) -> Store {
     let lookup = |a: ArrayId| -> Option<&Matrix> {
         let name = &program.arrays[a.0 as usize].name;
-        inputs
-            .iter()
-            .find(|(n, _)| n == name)
-            .map(|(_, m)| *m)
+        inputs.iter().find(|(n, _)| n == name).map(|(_, m)| *m)
     };
     let mut store = Store::init(program, params, |a, f| match lookup(a) {
         Some(m) => m.data[f],
@@ -27,12 +24,7 @@ pub fn run_with_inputs(program: &Program, params: &[i64], inputs: &[(&str, &Matr
 ///
 /// # Panics
 /// Panics when the array is unknown or its flat size mismatches.
-pub fn extract_matrix(
-    program: &Program,
-    params: &[i64],
-    store: &Store,
-    name: &str,
-) -> Matrix {
+pub fn extract_matrix(program: &Program, params: &[i64], store: &Store, name: &str) -> Matrix {
     let id = program
         .array_id(name)
         .unwrap_or_else(|| panic!("unknown array {name}"));

@@ -30,12 +30,17 @@ pub fn program() -> Program {
     {
         let i = b.open("i", b.d(k) + 1, b.p("M"));
         let r_aik = Access::new(a, vec![b.d(i), b.d(k)]);
-        b.stmt("Bn1", vec![r_aik, w_n2.clone()], vec![w_n2.clone()], move |c| {
-            let (k, i) = (c.v(0), c.v(1));
-            let x = c.rd(a, &[i, k]);
-            let v = c.rd(norma2, &[]) + x * x;
-            c.wr(norma2, &[], v);
-        });
+        b.stmt(
+            "Bn1",
+            vec![r_aik, w_n2.clone()],
+            vec![w_n2.clone()],
+            move |c| {
+                let (k, i) = (c.v(0), c.v(1));
+                let x = c.rd(a, &[i, k]);
+                let v = c.rd(norma2, &[]) + x * x;
+                c.wr(norma2, &[], v);
+            },
+        );
         b.close();
     }
     let w_nrm = Access::new(norma, vec![]);
@@ -105,11 +110,16 @@ pub fn program() -> Program {
         let j = b.open("j", b.d(k) + 1, b.p("N"));
         let rw_akj = Access::new(a, vec![b.d(k), b.d(j)]);
         let w_tmpj = Access::new(tmp, vec![b.d(j)]);
-        b.stmt("Bt0", vec![rw_akj.clone()], vec![w_tmpj.clone()], move |c| {
-            let (k, j) = (c.v(0), c.v(1));
-            let v = c.rd(a, &[k, j]);
-            c.wr(tmp, &[j], v);
-        });
+        b.stmt(
+            "Bt0",
+            vec![rw_akj.clone()],
+            vec![w_tmpj.clone()],
+            move |c| {
+                let (k, j) = (c.v(0), c.v(1));
+                let v = c.rd(a, &[k, j]);
+                c.wr(tmp, &[j], v);
+            },
+        );
         {
             let i = b.open("i", b.d(k) + 1, b.p("M"));
             let r_aik = Access::new(a, vec![b.d(i), b.d(k)]);
@@ -180,12 +190,17 @@ pub fn program() -> Program {
         {
             let j = b.open("j", b.d(k) + 2, b.p("N"));
             let r_akj = Access::new(a, vec![b.d(k), b.d(j)]);
-            b.stmt("Cn1", vec![r_akj, w_n2.clone()], vec![w_n2.clone()], move |c| {
-                let (k, j) = (c.v(0), c.v(2));
-                let x = c.rd(a, &[k, j]);
-                let v = c.rd(norma2, &[]) + x * x;
-                c.wr(norma2, &[], v);
-            });
+            b.stmt(
+                "Cn1",
+                vec![r_akj, w_n2.clone()],
+                vec![w_n2.clone()],
+                move |c| {
+                    let (k, j) = (c.v(0), c.v(2));
+                    let x = c.rd(a, &[k, j]);
+                    let v = c.rd(norma2, &[]) + x * x;
+                    c.wr(norma2, &[], v);
+                },
+            );
             b.close();
         }
         let rw_ak1 = Access::new(a, vec![b.d(k), b.d(k) + 1]);
@@ -254,11 +269,16 @@ pub fn program() -> Program {
             let i = b.open("i", b.d(k) + 1, b.p("M"));
             let rw_ai1 = Access::new(a, vec![b.d(i), b.d(k) + 1]);
             let w_tmp2 = Access::new(tmp2, vec![b.d(i)]);
-            b.stmt("Ct0", vec![rw_ai1.clone()], vec![w_tmp2.clone()], move |c| {
-                let (k, i) = (c.v(0), c.v(2));
-                let v = c.rd(a, &[i, k + 1]);
-                c.wr(tmp2, &[i], v);
-            });
+            b.stmt(
+                "Ct0",
+                vec![rw_ai1.clone()],
+                vec![w_tmp2.clone()],
+                move |c| {
+                    let (k, i) = (c.v(0), c.v(2));
+                    let v = c.rd(a, &[i, k + 1]);
+                    c.wr(tmp2, &[i], v);
+                },
+            );
             {
                 let j = b.open("j", b.d(k) + 2, b.p("N"));
                 let r_akj = Access::new(a, vec![b.d(k), b.d(j)]);

@@ -26,12 +26,17 @@ pub fn program() -> Program {
     {
         let i = b.open("i", b.d(j) + 2, b.p("N"));
         let r_aij = Access::new(a, vec![b.d(i), b.d(j)]);
-        b.stmt("Gn1", vec![r_aij, w_n2.clone()], vec![w_n2.clone()], move |c| {
-            let (j, i) = (c.v(0), c.v(1));
-            let x = c.rd(a, &[i, j]);
-            let v = c.rd(norma2, &[]) + x * x;
-            c.wr(norma2, &[], v);
-        });
+        b.stmt(
+            "Gn1",
+            vec![r_aij, w_n2.clone()],
+            vec![w_n2.clone()],
+            move |c| {
+                let (j, i) = (c.v(0), c.v(1));
+                let x = c.rd(a, &[i, j]);
+                let v = c.rd(norma2, &[]) + x * x;
+                c.wr(norma2, &[], v);
+            },
+        );
         b.close();
     }
     let w_nrm = Access::new(norma, vec![]);
@@ -44,7 +49,7 @@ pub fn program() -> Program {
             let j = c.v(0);
             let x = c.rd(a, &[j + 1, j]);
             let n2 = c.rd(norma2, &[]);
-                c.wr(norma, &[], (x * x + n2).sqrt());
+            c.wr(norma, &[], (x * x + n2).sqrt());
         },
     );
     b.stmt(
@@ -143,11 +148,16 @@ pub fn program() -> Program {
         let i = b.open("i", b.d(j) + 1, b.p("N"));
         let rw_a1i = Access::new(a, vec![b.d(j) + 1, b.d(i)]);
         let r_tmpi = Access::new(tmp, vec![b.d(i)]);
-        b.stmt("Gr1", vec![rw_a1i.clone(), r_tmpi], vec![rw_a1i], move |c| {
-            let (j, i) = (c.v(0), c.v(1));
-            let v = c.rd(a, &[j + 1, i]) - c.rd(tmp, &[i]);
-            c.wr(a, &[j + 1, i], v);
-        });
+        b.stmt(
+            "Gr1",
+            vec![rw_a1i.clone(), r_tmpi],
+            vec![rw_a1i],
+            move |c| {
+                let (j, i) = (c.v(0), c.v(1));
+                let v = c.rd(a, &[j + 1, i]) - c.rd(tmp, &[i]);
+                c.wr(a, &[j + 1, i], v);
+            },
+        );
         b.close();
     }
     {
@@ -216,11 +226,16 @@ pub fn program() -> Program {
         let i = b.open("i", b.c(0), b.p("N"));
         let rw_ai1 = Access::new(a, vec![b.d(i), b.d(j) + 1]);
         let r_tmpi = Access::new(tmp, vec![b.d(i)]);
-        b.stmt("Gr2", vec![rw_ai1.clone(), r_tmpi], vec![rw_ai1], move |c| {
-            let (j, i) = (c.v(0), c.v(1));
-            let v = c.rd(a, &[i, j + 1]) - c.rd(tmp, &[i]);
-            c.wr(a, &[i, j + 1], v);
-        });
+        b.stmt(
+            "Gr2",
+            vec![rw_ai1.clone(), r_tmpi],
+            vec![rw_ai1],
+            move |c| {
+                let (j, i) = (c.v(0), c.v(1));
+                let v = c.rd(a, &[i, j + 1]) - c.rd(tmp, &[i]);
+                c.wr(a, &[i, j + 1], v);
+            },
+        );
         b.close();
     }
     {

@@ -106,11 +106,16 @@ pub fn a2v_program() -> Program {
         let j = b.open("j", b.d(k) + 1, b.p("N"));
         let rw_akj = Access::new(a, vec![b.d(k), b.d(j)]);
         let w_tauj = Access::new(tau, vec![b.d(j)]);
-        b.stmt("Ht0", vec![rw_akj.clone()], vec![w_tauj.clone()], move |c| {
-            let (k, j) = (c.v(0), c.v(1));
-            let v = c.rd(a, &[k, j]);
-            c.wr(tau, &[j], v);
-        });
+        b.stmt(
+            "Ht0",
+            vec![rw_akj.clone()],
+            vec![w_tauj.clone()],
+            move |c| {
+                let (k, j) = (c.v(0), c.v(1));
+                let v = c.rd(a, &[k, j]);
+                c.wr(tau, &[j], v);
+            },
+        );
         {
             let i = b.open("i", b.d(k) + 1, b.p("M"));
             let r_aik = Access::new(a, vec![b.d(i), b.d(k)]);
@@ -734,9 +739,7 @@ mod tests {
     fn all_ir_variants_validate() {
         assert!(iolb_ir::interp::validate_accesses(&a2v_program(), &[8, 5]).unwrap() > 0);
         assert!(iolb_ir::interp::validate_accesses(&v2q_program(), &[8, 5]).unwrap() > 0);
-        assert!(
-            iolb_ir::interp::validate_accesses(&a2v_tiled_program(), &[8, 5, 2]).unwrap() > 0
-        );
+        assert!(iolb_ir::interp::validate_accesses(&a2v_tiled_program(), &[8, 5, 2]).unwrap() > 0);
     }
 
     #[test]

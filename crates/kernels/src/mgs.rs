@@ -49,16 +49,11 @@ pub fn program() -> Program {
         let i = b.open("i", b.c(0), b.p("M"));
         let r_aik = Access::new(a, vec![b.d(i), b.d(k)]);
         let w_qik = Access::new(q, vec![b.d(i), b.d(k)]);
-        b.stmt(
-            "qdiv",
-            vec![r_aik, w_rkk.clone()],
-            vec![w_qik],
-            move |c| {
-                let (k, i) = (c.v(0), c.v(1));
-                let v = c.rd(a, &[i, k]) / c.rd(r, &[k, k]);
-                c.wr(q, &[i, k], v);
-            },
-        );
+        b.stmt("qdiv", vec![r_aik, w_rkk.clone()], vec![w_qik], move |c| {
+            let (k, i) = (c.v(0), c.v(1));
+            let v = c.rd(a, &[i, k]) / c.rd(r, &[k, k]);
+            c.wr(q, &[i, k], v);
+        });
         b.close();
     }
     {
@@ -232,16 +227,11 @@ pub fn tiled_program() -> Program {
             );
             b.close();
         }
-        b.stmt(
-            "Tdsq",
-            vec![w_rjj.clone()],
-            vec![w_rjj.clone()],
-            move |c| {
-                let j = c.v(1);
-                let v = c.rd(r, &[j, j]).sqrt();
-                c.wr(r, &[j, j], v);
-            },
-        );
+        b.stmt("Tdsq", vec![w_rjj.clone()], vec![w_rjj.clone()], move |c| {
+            let j = c.v(1);
+            let v = c.rd(r, &[j, j]).sqrt();
+            c.wr(r, &[j, j], v);
+        });
         {
             let kk = b.open("k", b.c(0), b.p("M"));
             let rw_akj = Access::new(a, vec![b.d(kk), b.d(j)]);
@@ -429,15 +419,11 @@ mod tests {
             let a = a.clone();
             move |arr, f| if arr.0 == 0 { a.data[f] } else { 0.0 }
         });
-        let tiled = crate::sinks::measure_lru_io(
-            &tiled_program(),
-            &[m as i64, n as i64, block],
-            s,
-            {
+        let tiled =
+            crate::sinks::measure_lru_io(&tiled_program(), &[m as i64, n as i64, block], s, {
                 let a = a.clone();
                 move |arr, f| if arr.0 == 0 { a.data[f] } else { 0.0 }
-            },
-        );
+            });
         assert!(
             tiled.loads < untiled.loads,
             "tiled {} < untiled {}",

@@ -1,7 +1,17 @@
 //! Bridges from the IR interpreter to the cache simulator.
+//!
+//! Two shapes, both single-materialization at worst:
+//!
+//! * [`MemSimSink`] streams every access straight into an LRU simulator —
+//!   no trace is ever materialized, so arbitrarily long executions fit in
+//!   memory,
+//! * [`measure_min_io`] / [`measure_lru_min_io`] run the interpreter once
+//!   into the packed `TraceSink` encoding and feed the simulators directly
+//!   from the packed words — the old intermediate `Vec<Access>` decode pass
+//!   is gone.
 
 use iolb_ir::{ArrayId, ExecSink, Program};
-use iolb_memsim::{Access, LruSim};
+use iolb_memsim::LruSim;
 
 /// [`ExecSink`] that streams every access straight into an LRU cache
 /// simulator — no trace materialization, so arbitrarily long executions fit
@@ -22,7 +32,8 @@ impl MemSimSink {
             acc += program.array_len(ArrayId(i as u32), params).max(1);
         }
         MemSimSink {
-            sim: LruSim::new(capacity),
+            // Pre-size the cell table: ids are dense in [0, total cells).
+            sim: LruSim::with_cells(capacity, acc),
             base,
         }
     }
@@ -43,7 +54,8 @@ impl ExecSink for MemSimSink {
 }
 
 /// Runs `program` at `params` with input init `f(array, flat)` and returns
-/// the LRU I/O statistics for fast-memory capacity `s`.
+/// the LRU I/O statistics for fast-memory capacity `s` (streaming — no
+/// trace materialization).
 pub fn measure_lru_io(
     program: &Program,
     params: &[i64],
@@ -57,7 +69,8 @@ pub fn measure_lru_io(
 }
 
 /// Runs `program` and returns the Belady-MIN (optimal replacement) I/O
-/// statistics for capacity `s` — requires materializing the trace.
+/// statistics for capacity `s` — materializes the packed trace once and
+/// simulates straight from it.
 pub fn measure_min_io(
     program: &Program,
     params: &[i64],
@@ -67,14 +80,26 @@ pub fn measure_min_io(
     let mut sink = iolb_ir::TraceSink::new(program, params);
     let mut store = iolb_ir::Store::init(program, params, init);
     iolb_ir::Interpreter::new(program, params).run(&mut store, &mut sink);
-    let trace: Vec<Access> = sink
-        .iter()
-        .map(|e| Access {
-            cell: e.cell,
-            write: e.write,
-        })
-        .collect();
-    iolb_memsim::min_stats(s, &trace)
+    iolb_memsim::BeladySim::new(s).run_packed(&sink.packed)
+}
+
+/// Runs `program` once and returns `(LRU, MIN)` statistics for capacity `s`
+/// from the same packed trace — one interpreter execution, one trace, both
+/// policies.
+pub fn measure_lru_min_io(
+    program: &Program,
+    params: &[i64],
+    s: usize,
+    init: impl FnMut(ArrayId, usize) -> f64,
+) -> (iolb_memsim::IoStats, iolb_memsim::IoStats) {
+    let mut sink = iolb_ir::TraceSink::new(program, params);
+    let mut store = iolb_ir::Store::init(program, params, init);
+    iolb_ir::Interpreter::new(program, params).run(&mut store, &mut sink);
+    let mut lru = LruSim::with_cells(s, sink.num_cells);
+    lru.run_packed(&sink.packed);
+    let lru_stats = lru.finish();
+    let min_stats = iolb_memsim::BeladySim::new(s).run_packed(&sink.packed);
+    (lru_stats, min_stats)
 }
 
 #[cfg(test)]
@@ -120,6 +145,18 @@ mod tests {
             let lru = measure_lru_io(&p, &[8], s, |_, f| f as f64);
             let min = measure_min_io(&p, &[8], s, |_, f| f as f64);
             assert!(min.loads <= lru.loads, "S={s}");
+        }
+    }
+
+    #[test]
+    fn fused_path_matches_separate_measurements() {
+        let p = two_pass();
+        for s in [2usize, 4, 9, 20] {
+            let lru = measure_lru_io(&p, &[8], s, |_, f| f as f64);
+            let min = measure_min_io(&p, &[8], s, |_, f| f as f64);
+            let (lru2, min2) = measure_lru_min_io(&p, &[8], s, |_, f| f as f64);
+            assert_eq!(lru, lru2, "S={s}");
+            assert_eq!(min, min2, "S={s}");
         }
     }
 }

@@ -7,16 +7,21 @@
 //! * [`LruSim`] — fully-associative LRU replacement, O(1) per access,
 //!   streaming (no trace materialization needed),
 //! * [`BeladySim`] — Belady's MIN (optimal offline replacement for a fixed
-//!   schedule), two passes over a materialized trace,
+//!   schedule), one reverse pass to thread next-use chains through the
+//!   trace, then one forward pass over a hierarchical-bitmap "farthest
+//!   resident position" structure — no per-access allocation, and all
+//!   working buffers are reused across runs,
 //! * write semantics follow the red-white pebble game: a write *produces*
 //!   the value in fast memory (no load on a write miss); evicting a dirty
 //!   element counts a writeback.
 //!
+//! Cell ids are expected to be *dense* (array base offset + flat element
+//! index, as produced by the IR trace sinks); every structure here is a flat
+//! slab indexed by cell or by trace position — the hot paths perform no
+//! hashing and no ordered-map rebalancing.
+//!
 //! Measured `loads` of any schedule are an upper bound witness: lower bounds
 //! derived by `iolb-core` must sit below them.
-
-use std::collections::BTreeSet;
-use std::collections::HashMap;
 
 /// One memory access in a trace.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -62,21 +67,30 @@ const NIL: u32 = u32::MAX;
 
 /// Fully-associative LRU cache of `capacity` elements, O(1) per access.
 ///
-/// Implemented as an intrusive doubly-linked list over a slab, with a
-/// hash map from cell id to slab slot.
+/// Implemented as an intrusive doubly-linked list over a slab of at most
+/// `capacity` slots, with a flat cell→slot table (grown on demand — cell
+/// ids are dense program offsets, so this is a plain array lookup, not a
+/// hash). Each slab slot packs cell, links, and the dirty flag into one
+/// 16-byte record, so a hit touches one cache line of the slab.
 #[derive(Debug)]
 pub struct LruSim {
     capacity: usize,
-    map: HashMap<usize, u32>,
-    // Slab of list nodes.
-    cells: Vec<usize>,
-    dirty: Vec<bool>,
-    prev: Vec<u32>,
-    next: Vec<u32>,
+    /// cell → slot, NIL when not resident. Grows to the largest cell seen.
+    slot_of: Vec<u32>,
+    resident: usize,
+    slots: Vec<Slot>,
     head: u32, // most recently used
     tail: u32, // least recently used
-    free: Vec<u32>,
     stats: IoStats,
+}
+
+/// One slab record of [`LruSim`] (16 bytes).
+#[derive(Debug, Clone, Copy)]
+struct Slot {
+    cell: u32,
+    prev: u32,
+    next: u32,
+    dirty: u32,
 }
 
 impl LruSim {
@@ -88,26 +102,51 @@ impl LruSim {
         assert!(capacity > 0, "cache capacity must be positive");
         LruSim {
             capacity,
-            map: HashMap::with_capacity(capacity * 2),
-            cells: Vec::with_capacity(capacity + 1),
-            dirty: Vec::with_capacity(capacity + 1),
-            prev: Vec::with_capacity(capacity + 1),
-            next: Vec::with_capacity(capacity + 1),
+            slot_of: Vec::new(),
+            resident: 0,
+            slots: Vec::with_capacity(capacity),
             head: NIL,
             tail: NIL,
-            free: Vec::new(),
             stats: IoStats::default(),
         }
     }
 
+    /// Creates a simulator that additionally pre-sizes the cell table for
+    /// ids `< num_cells` (avoids growth stalls on the streaming path).
+    pub fn with_cells(capacity: usize, num_cells: usize) -> LruSim {
+        let mut sim = LruSim::new(capacity);
+        sim.slot_of = vec![NIL; num_cells];
+        sim
+    }
+
+    #[inline]
+    fn slot_entry(&mut self, cell: usize) -> u32 {
+        if cell >= self.slot_of.len() {
+            assert!(cell < NIL as usize, "cell id out of range");
+            self.slot_of.resize(cell + 1, NIL);
+        }
+        self.slot_of[cell]
+    }
+
     /// Processes one access.
+    #[inline]
     pub fn access(&mut self, a: Access) {
         self.stats.accesses += 1;
-        if let Some(&slot) = self.map.get(&a.cell) {
-            self.unlink(slot);
-            self.push_front(slot);
+        self.access_uncounted(a);
+    }
+
+    /// Access without the `accesses` counter (bulk paths count once).
+    #[inline]
+    fn access_uncounted(&mut self, a: Access) {
+        let slot = self.slot_entry(a.cell);
+        if slot != NIL {
+            // Hit: refresh recency (no-op when already most recent).
+            if self.head != slot {
+                self.unlink(slot);
+                self.push_front(slot);
+            }
             if a.write {
-                self.dirty[slot as usize] = true;
+                self.slots[slot as usize].dirty = 1;
             }
             return;
         }
@@ -115,21 +154,32 @@ impl LruSim {
         if !a.write {
             self.stats.loads += 1;
         }
-        if self.map.len() == self.capacity {
-            self.evict_lru();
-        }
-        let slot = self.alloc(a.cell, a.write);
+        let slot = if self.resident == self.capacity {
+            self.recycle_lru(a.cell, a.write)
+        } else {
+            self.resident += 1;
+            self.stats.peak_resident = self.stats.peak_resident.max(self.resident);
+            let slot = self.slots.len() as u32;
+            self.slots.push(Slot {
+                cell: a.cell as u32,
+                prev: NIL,
+                next: NIL,
+                dirty: a.write as u32,
+            });
+            slot
+        };
         self.push_front(slot);
-        self.map.insert(a.cell, slot);
-        self.stats.peak_resident = self.stats.peak_resident.max(self.map.len());
+        self.slot_of[a.cell] = slot;
     }
 
     /// Processes a read.
+    #[inline]
     pub fn read(&mut self, cell: usize) {
         self.access(Access::read(cell));
     }
 
     /// Processes a write.
+    #[inline]
     pub fn write(&mut self, cell: usize) {
         self.access(Access::write(cell));
     }
@@ -142,6 +192,32 @@ impl LruSim {
         self.stats
     }
 
+    /// Bulk entry point: runs a materialized trace slice.
+    ///
+    /// Identical semantics to calling [`access`](LruSim::access) per
+    /// element; the slice form lets the compiler unroll the dispatch-free
+    /// inner loop.
+    pub fn run_trace(&mut self, trace: &[Access]) -> IoStats {
+        self.stats.accesses += trace.len() as u64;
+        for &a in trace {
+            self.access_uncounted(a);
+        }
+        self.stats
+    }
+
+    /// Runs a packed trace (`(cell << 1) | write` per event, the `iolb-ir`
+    /// `TraceSink` encoding) without decoding into [`Access`] structs.
+    pub fn run_packed(&mut self, packed: &[u64]) -> IoStats {
+        self.stats.accesses += packed.len() as u64;
+        for &p in packed {
+            self.access_uncounted(Access {
+                cell: (p >> 1) as usize,
+                write: (p & 1) == 1,
+            });
+        }
+        self.stats
+    }
+
     /// Statistics so far (without final flush).
     pub fn stats(&self) -> IoStats {
         self.stats
@@ -150,37 +226,24 @@ impl LruSim {
     /// Flushes remaining dirty elements (counts writebacks) and returns the
     /// final statistics.
     pub fn finish(mut self) -> IoStats {
-        let dirty_resident = self
-            .map
-            .values()
-            .filter(|&&s| self.dirty[s as usize])
-            .count() as u64;
+        let mut v = self.head;
+        let mut dirty_resident = 0u64;
+        while v != NIL {
+            if self.slots[v as usize].dirty != 0 {
+                dirty_resident += 1;
+            }
+            v = self.slots[v as usize].next;
+        }
         self.stats.writebacks += dirty_resident;
         self.stats
     }
 
-    fn alloc(&mut self, cell: usize, dirty: bool) -> u32 {
-        if let Some(slot) = self.free.pop() {
-            self.cells[slot as usize] = cell;
-            self.dirty[slot as usize] = dirty;
-            self.prev[slot as usize] = NIL;
-            self.next[slot as usize] = NIL;
-            slot
-        } else {
-            let slot = self.cells.len() as u32;
-            self.cells.push(cell);
-            self.dirty.push(dirty);
-            self.prev.push(NIL);
-            self.next.push(NIL);
-            slot
-        }
-    }
-
+    #[inline]
     fn push_front(&mut self, slot: u32) {
-        self.prev[slot as usize] = NIL;
-        self.next[slot as usize] = self.head;
+        self.slots[slot as usize].prev = NIL;
+        self.slots[slot as usize].next = self.head;
         if self.head != NIL {
-            self.prev[self.head as usize] = slot;
+            self.slots[self.head as usize].prev = slot;
         }
         self.head = slot;
         if self.tail == NIL {
@@ -188,44 +251,141 @@ impl LruSim {
         }
     }
 
+    #[inline]
     fn unlink(&mut self, slot: u32) {
-        let (p, n) = (self.prev[slot as usize], self.next[slot as usize]);
+        let Slot {
+            prev: p, next: n, ..
+        } = self.slots[slot as usize];
         if p != NIL {
-            self.next[p as usize] = n;
+            self.slots[p as usize].next = n;
         } else {
             self.head = n;
         }
         if n != NIL {
-            self.prev[n as usize] = p;
+            self.slots[n as usize].prev = p;
         } else {
             self.tail = p;
         }
     }
 
-    fn evict_lru(&mut self) {
+    /// Evicts the LRU element and reuses its slot for `cell` (unlinked;
+    /// caller pushes it to the front).
+    #[inline]
+    fn recycle_lru(&mut self, cell: usize, dirty: bool) -> u32 {
         let victim = self.tail;
         assert!(victim != NIL, "evict from empty cache");
         self.unlink(victim);
-        let cell = self.cells[victim as usize];
-        if self.dirty[victim as usize] {
+        let s = &mut self.slots[victim as usize];
+        if s.dirty != 0 {
             self.stats.writebacks += 1;
         }
-        self.map.remove(&cell);
-        self.free.push(victim);
+        let old_cell = s.cell;
+        *s = Slot {
+            cell: cell as u32,
+            prev: NIL,
+            next: NIL,
+            dirty: dirty as u32,
+        };
+        self.slot_of[old_cell as usize] = NIL;
+        victim
+    }
+}
+
+/// Hierarchical bitmap over a dense position universe answering `max` /
+/// `set` / `clear` in a handful of word operations (three u64 levels ≈
+/// positions up to 2²⁴ in two cache lines of summaries).
+///
+/// This is the replacement-policy workhorse shared by the simulators here
+/// and the pebble-game engine in `iolb-cdag`: "farthest next use" queries
+/// reduce to `max` over a set of positions.
+#[derive(Debug, Default)]
+pub struct MaxPosSet {
+    l0: Vec<u64>,
+    l1: Vec<u64>,
+    l2: Vec<u64>,
+}
+
+impl MaxPosSet {
+    /// Creates an empty set over positions `0..n`.
+    pub fn new(n: usize) -> MaxPosSet {
+        let mut s = MaxPosSet::default();
+        s.reset(n);
+        s
+    }
+
+    /// Clears the set and resizes it to positions `0..n`.
+    pub fn reset(&mut self, n: usize) {
+        let w0 = n.div_ceil(64);
+        let w1 = w0.div_ceil(64);
+        let w2 = w1.div_ceil(64).max(1);
+        self.l0.clear();
+        self.l0.resize(w0.max(1), 0);
+        self.l1.clear();
+        self.l1.resize(w1.max(1), 0);
+        self.l2.clear();
+        self.l2.resize(w2, 0);
+    }
+
+    /// Inserts `pos`.
+    #[inline]
+    pub fn set(&mut self, pos: usize) {
+        self.l0[pos >> 6] |= 1 << (pos & 63);
+        self.l1[pos >> 12] |= 1 << ((pos >> 6) & 63);
+        self.l2[pos >> 18] |= 1 << ((pos >> 12) & 63);
+    }
+
+    /// Removes `pos` (no-op when absent... except the summary bits assume
+    /// it was present — only clear positions previously set).
+    #[inline]
+    pub fn clear(&mut self, pos: usize) {
+        let w0 = pos >> 6;
+        self.l0[w0] &= !(1 << (pos & 63));
+        if self.l0[w0] == 0 {
+            let w1 = pos >> 12;
+            self.l1[w1] &= !(1 << (w0 & 63));
+            if self.l1[w1] == 0 {
+                self.l2[pos >> 18] &= !(1 << (w1 & 63));
+            }
+        }
+    }
+
+    /// Highest set position, if any.
+    #[inline]
+    pub fn max(&self) -> Option<usize> {
+        let w2 = self.l2.iter().rposition(|&w| w != 0)?;
+        let b2 = 63 - self.l2[w2].leading_zeros() as usize;
+        let w1 = (w2 << 6) | b2;
+        let b1 = 63 - self.l1[w1].leading_zeros() as usize;
+        let w0 = (w1 << 6) | b1;
+        let b0 = 63 - self.l0[w0].leading_zeros() as usize;
+        Some((w0 << 6) | b0)
     }
 }
 
 /// Belady's MIN: optimal replacement for a fixed trace.
 ///
-/// Two passes: a backward pass computes each access's *next use position*,
-/// then a forward pass keeps the resident set in a `BTreeSet` keyed by next
-/// use and evicts the element used farthest in the future.
+/// One reverse pass threads a next-use chain through the trace (`chain[t]` =
+/// next position touching `trace[t]`'s cell); the forward pass keeps the
+/// resident set as the *set of next-use positions* in a [`MaxPosSet`] — the
+/// victim is the maximum position, and `trace[pos]` recovers its cell, so no
+/// ordered map and no per-access allocation is needed. Elements that are
+/// never used again live on a separate dead-stack and are evicted first
+/// (they compare as `+∞`).
+///
+/// All buffers are reused across [`run`](BeladySim::run) calls on the same
+/// simulator.
 #[derive(Debug)]
 pub struct BeladySim {
     capacity: usize,
+    // Reusable buffers (sized per run, never per access).
+    chain: Vec<u32>,
+    head: Vec<u32>,
+    next_pos: Vec<u32>,
+    dirty: Vec<bool>,
+    is_resident: Vec<bool>,
+    alive: MaxPosSet,
+    dead: Vec<u32>,
 }
-
-const INF_POS: usize = usize::MAX;
 
 impl BeladySim {
     /// Creates a MIN simulator with the given capacity.
@@ -234,63 +394,120 @@ impl BeladySim {
     /// Panics when `capacity == 0`.
     pub fn new(capacity: usize) -> BeladySim {
         assert!(capacity > 0, "cache capacity must be positive");
-        BeladySim { capacity }
+        BeladySim {
+            capacity,
+            chain: Vec::new(),
+            head: Vec::new(),
+            next_pos: Vec::new(),
+            dirty: Vec::new(),
+            is_resident: Vec::new(),
+            alive: MaxPosSet::default(),
+            dead: Vec::new(),
+        }
     }
 
     /// Simulates the trace under optimal replacement.
-    pub fn run(&self, trace: &[Access]) -> IoStats {
-        // Backward pass: next_use[t] = next position accessing the same cell.
-        let mut next_use = vec![INF_POS; trace.len()];
-        let mut last_seen: HashMap<usize, usize> = HashMap::new();
-        for (t, a) in trace.iter().enumerate().rev() {
-            if let Some(&n) = last_seen.get(&a.cell) {
-                next_use[t] = n;
-            }
-            last_seen.insert(a.cell, t);
+    pub fn run(&mut self, trace: &[Access]) -> IoStats {
+        self.run_by(trace.len(), |t| {
+            let a = trace[t];
+            (a.cell, a.write)
+        })
+    }
+
+    /// Simulates a packed trace (`(cell << 1) | write` per event, the
+    /// [`iolb-ir`] `TraceSink` encoding) without decoding it into
+    /// [`Access`] structs first.
+    pub fn run_packed(&mut self, packed: &[u64]) -> IoStats {
+        self.run_by(packed.len(), |t| {
+            let p = packed[t];
+            ((p >> 1) as usize, (p & 1) == 1)
+        })
+    }
+
+    /// Core simulation, monomorphized over the trace accessor
+    /// (`at(t) -> (cell, write)` must be pure).
+    fn run_by(&mut self, len: usize, at: impl Fn(usize) -> (usize, bool)) -> IoStats {
+        // Reverse pass: chain[t] = next position accessing the same cell.
+        let mut max_cell = 0usize;
+        for t in 0..len {
+            max_cell = max_cell.max(at(t).0);
+        }
+        let cells = if len == 0 { 0 } else { max_cell + 1 };
+        self.chain.clear();
+        self.chain.resize(len, NIL);
+        self.head.clear();
+        self.head.resize(cells, NIL);
+        for t in (0..len).rev() {
+            let (cell, _) = at(t);
+            self.chain[t] = self.head[cell];
+            self.head[cell] = t as u32;
         }
 
+        // Forward pass state, all dense by cell or position.
+        self.next_pos.clear();
+        self.next_pos.resize(cells, NIL);
+        self.dirty.clear();
+        self.dirty.resize(cells, false);
+        self.is_resident.clear();
+        self.is_resident.resize(cells, false);
+        self.alive.reset(len);
+        self.dead.clear();
+
         let mut stats = IoStats::default();
-        // Resident set: (next_use_position, cell); invariant: the stored key
-        // of a resident cell is the position of its next access.
-        let mut resident: BTreeSet<(usize, usize)> = BTreeSet::new();
-        let mut resident_key: HashMap<usize, usize> = HashMap::new();
-        let mut dirty: HashMap<usize, bool> = HashMap::new();
-        for (t, a) in trace.iter().enumerate() {
+        let mut resident = 0usize;
+        for t in 0..len {
+            let (cell, write) = at(t);
             stats.accesses += 1;
-            let nu = next_use[t];
-            if let Some(&key) = resident_key.get(&a.cell) {
+            let nu = self.chain[t];
+            if self.is_resident[cell] {
                 // Hit: reposition by new next use.
-                debug_assert_eq!(key, t, "resident key must equal current position");
-                resident.remove(&(key, a.cell));
-                resident.insert((nu, a.cell));
-                resident_key.insert(a.cell, nu);
-                if a.write {
-                    dirty.insert(a.cell, true);
+                debug_assert_eq!(self.next_pos[cell], t as u32);
+                self.alive.clear(t);
+                if nu == NIL {
+                    self.dead.push(cell as u32);
+                } else {
+                    self.alive.set(nu as usize);
+                }
+                self.next_pos[cell] = nu;
+                if write {
+                    self.dirty[cell] = true;
                 }
                 continue;
             }
             // Miss.
-            if !a.write {
+            if !write {
                 stats.loads += 1;
             }
-            if resident.len() == self.capacity {
-                let &(victim_key, victim) = resident.iter().next_back().expect("non-empty");
-                resident.remove(&(victim_key, victim));
-                resident_key.remove(&victim);
-                if dirty.remove(&victim).unwrap_or(false) {
+            if resident == self.capacity {
+                // Victim: any never-used-again element first (+∞ key),
+                // otherwise the maximum next-use position.
+                let victim = match self.dead.pop() {
+                    Some(c) => c as usize,
+                    None => {
+                        let pos = self.alive.max().expect("resident set not empty");
+                        self.alive.clear(pos);
+                        at(pos).0
+                    }
+                };
+                self.is_resident[victim] = false;
+                resident -= 1;
+                if std::mem::replace(&mut self.dirty[victim], false) {
                     stats.writebacks += 1;
                 }
             }
-            resident.insert((nu, a.cell));
-            resident_key.insert(a.cell, nu);
-            dirty.insert(a.cell, a.write);
-            stats.peak_resident = stats.peak_resident.max(resident.len());
+            self.is_resident[cell] = true;
+            self.next_pos[cell] = nu;
+            if nu == NIL {
+                self.dead.push(cell as u32);
+            } else {
+                self.alive.set(nu as usize);
+            }
+            self.dirty[cell] = write;
+            resident += 1;
+            stats.peak_resident = stats.peak_resident.max(resident);
         }
         // Final flush of dirty residents.
-        stats.writebacks += resident_key
-            .keys()
-            .filter(|c| dirty.get(c).copied().unwrap_or(false))
-            .count() as u64;
+        stats.writebacks += self.dirty.iter().filter(|&&d| d).count() as u64;
         stats
     }
 }
@@ -298,7 +515,7 @@ impl BeladySim {
 /// Convenience: LRU stats for a trace (with final dirty flush).
 pub fn lru_stats(capacity: usize, trace: &[Access]) -> IoStats {
     let mut sim = LruSim::new(capacity);
-    sim.run(trace);
+    sim.run_trace(trace);
     sim.finish()
 }
 
@@ -310,13 +527,18 @@ pub fn min_stats(capacity: usize, trace: &[Access]) -> IoStats {
 /// Number of distinct cells read before being written (cold loads — the
 /// unavoidable input loads of any schedule).
 pub fn cold_loads(trace: &[Access]) -> u64 {
-    let mut seen_write: BTreeSet<usize> = BTreeSet::new();
-    let mut counted: BTreeSet<usize> = BTreeSet::new();
+    let max_cell = trace.iter().map(|a| a.cell).max().unwrap_or(0);
+    // 0 = unseen, 1 = written first, 2 = counted as cold read.
+    let mut state = vec![0u8; max_cell + 1];
     let mut loads = 0;
     for a in trace {
+        let s = &mut state[a.cell];
         if a.write {
-            seen_write.insert(a.cell);
-        } else if !seen_write.contains(&a.cell) && counted.insert(a.cell) {
+            if *s == 0 {
+                *s = 1;
+            }
+        } else if *s == 0 {
+            *s = 2;
             loads += 1;
         }
     }
@@ -389,6 +611,40 @@ mod tests {
     }
 
     #[test]
+    fn belady_buffers_are_reusable() {
+        let mut sim = BeladySim::new(2);
+        let t1 = reads(&[0, 1, 2, 0, 1, 2]);
+        let a = sim.run(&t1);
+        let b = sim.run(&t1);
+        assert_eq!(a, b, "same trace twice through one simulator");
+        // A different (shorter, different cells) trace after the first.
+        let t2 = vec![Access::write(7), Access::read(7)];
+        let c = sim.run(&t2);
+        assert_eq!(c.loads, 0);
+        assert_eq!(c.writebacks, 1);
+    }
+
+    #[test]
+    fn packed_trace_matches_access_structs() {
+        let t: Vec<Access> = vec![
+            Access::write(3),
+            Access::read(0),
+            Access::read(3),
+            Access::read(1),
+            Access::read(0),
+        ];
+        let packed: Vec<u64> = t
+            .iter()
+            .map(|a| ((a.cell as u64) << 1) | a.write as u64)
+            .collect();
+        for cap in 1..4 {
+            let via_structs = BeladySim::new(cap).run(&t);
+            let via_packed = BeladySim::new(cap).run_packed(&packed);
+            assert_eq!(via_structs, via_packed, "cap={cap}");
+        }
+    }
+
+    #[test]
     fn cold_loads_skips_written_cells() {
         let t = vec![
             Access::write(1),
@@ -399,9 +655,72 @@ mod tests {
         assert_eq!(cold_loads(&t), 1);
     }
 
+    #[test]
+    fn empty_trace() {
+        assert_eq!(min_stats(4, &[]).accesses, 0);
+        assert_eq!(lru_stats(4, &[]).accesses, 0);
+        assert_eq!(cold_loads(&[]), 0);
+    }
+
+    /// Reference MIN implementation (ordered map, two materialized passes) —
+    /// the original engine, kept as an executable specification.
+    fn min_stats_reference(capacity: usize, trace: &[Access]) -> IoStats {
+        use std::collections::{BTreeSet, HashMap};
+        const INF_POS: usize = usize::MAX;
+        let mut next_use = vec![INF_POS; trace.len()];
+        let mut last_seen: HashMap<usize, usize> = HashMap::new();
+        for (t, a) in trace.iter().enumerate().rev() {
+            if let Some(&n) = last_seen.get(&a.cell) {
+                next_use[t] = n;
+            }
+            last_seen.insert(a.cell, t);
+        }
+        let mut stats = IoStats::default();
+        let mut resident: BTreeSet<(usize, usize)> = BTreeSet::new();
+        let mut resident_key: HashMap<usize, usize> = HashMap::new();
+        let mut dirty: HashMap<usize, bool> = HashMap::new();
+        for (t, a) in trace.iter().enumerate() {
+            stats.accesses += 1;
+            let nu = next_use[t];
+            if let Some(&key) = resident_key.get(&a.cell) {
+                debug_assert_eq!(key, t);
+                resident.remove(&(key, a.cell));
+                resident.insert((nu, a.cell));
+                resident_key.insert(a.cell, nu);
+                if a.write {
+                    dirty.insert(a.cell, true);
+                }
+                continue;
+            }
+            if !a.write {
+                stats.loads += 1;
+            }
+            if resident.len() == capacity {
+                let &(victim_key, victim) = resident.iter().next_back().expect("non-empty");
+                resident.remove(&(victim_key, victim));
+                resident_key.remove(&victim);
+                if dirty.remove(&victim).unwrap_or(false) {
+                    stats.writebacks += 1;
+                }
+            }
+            resident.insert((nu, a.cell));
+            resident_key.insert(a.cell, nu);
+            dirty.insert(a.cell, a.write);
+            stats.peak_resident = stats.peak_resident.max(resident.len());
+        }
+        stats.writebacks += resident_key
+            .keys()
+            .filter(|c| dirty.get(c).copied().unwrap_or(false))
+            .count() as u64;
+        stats
+    }
+
     fn arb_trace() -> impl Strategy<Value = Vec<Access>> {
-        proptest::collection::vec((0usize..12, proptest::bool::ANY), 1..200)
-            .prop_map(|v| v.into_iter().map(|(cell, write)| Access { cell, write }).collect())
+        proptest::collection::vec((0usize..12, proptest::bool::ANY), 1..200).prop_map(|v| {
+            v.into_iter()
+                .map(|(cell, write)| Access { cell, write })
+                .collect()
+        })
     }
 
     proptest! {
@@ -438,6 +757,20 @@ mod tests {
             let m = min_stats(cap, &t);
             prop_assert_eq!(m.accesses, t.len() as u64);
             prop_assert!(m.peak_resident <= cap);
+        }
+
+        /// The streaming MIN engine matches the ordered-map reference on
+        /// loads and total residency (victim ties among dead elements may be
+        /// broken differently, which legally reorders *when* a writeback
+        /// happens but never how many there are in total).
+        #[test]
+        fn streaming_min_matches_reference(t in arb_trace(), cap in 1usize..8) {
+            let fast = min_stats(cap, &t);
+            let slow = min_stats_reference(cap, &t);
+            prop_assert_eq!(fast.loads, slow.loads);
+            prop_assert_eq!(fast.accesses, slow.accesses);
+            prop_assert_eq!(fast.peak_resident, slow.peak_resident);
+            prop_assert_eq!(fast.writebacks, slow.writebacks);
         }
     }
 }

@@ -52,9 +52,7 @@ pub fn binomial(n: u32, k: u32) -> i128 {
     let k = k.min(n - k);
     let mut num: i128 = 1;
     for i in 0..k {
-        num = num
-            .checked_mul((n - i) as i128)
-            .expect("binomial overflow");
+        num = num.checked_mul((n - i) as i128).expect("binomial overflow");
         num /= (i + 1) as i128; // exact: product of j consecutive ints divisible by j!
     }
     num

@@ -116,7 +116,7 @@ impl Rational {
         let base = if exp < 0 { self.recip() } else { *self };
         let mut acc = Rational::ONE;
         for _ in 0..exp.unsigned_abs() {
-            acc = acc * base;
+            acc *= base;
         }
         acc
     }
@@ -239,6 +239,8 @@ impl Mul for Rational {
 
 impl Div for Rational {
     type Output = Rational;
+    // Division via the multiplicative inverse is the intended arithmetic.
+    #[allow(clippy::suspicious_arithmetic_impl)]
     fn div(self, rhs: Rational) -> Rational {
         self * rhs.recip()
     }
@@ -338,7 +340,11 @@ impl FromStr for Rational {
     fn from_str(s: &str) -> Result<Self, Self::Err> {
         let bad = || ParseRationalError(s.to_string());
         match s.split_once('/') {
-            None => s.trim().parse::<i128>().map(Rational::int).map_err(|_| bad()),
+            None => s
+                .trim()
+                .parse::<i128>()
+                .map(Rational::int)
+                .map_err(|_| bad()),
             Some((a, b)) => {
                 let num = a.trim().parse::<i128>().map_err(|_| bad())?;
                 let den = b.trim().parse::<i128>().map_err(|_| bad())?;

@@ -172,7 +172,13 @@ impl LinearProgram {
                 unreachable!("phase-1 simplex cannot be unbounded");
             }
             let phase1: Rational = (0..m)
-                .map(|i| if cost1[basis[i]].is_one() { tab[i][total] } else { Rational::ZERO })
+                .map(|i| {
+                    if cost1[basis[i]].is_one() {
+                        tab[i][total]
+                    } else {
+                        Rational::ZERO
+                    }
+                })
                 .sum();
             if !phase1.is_zero() {
                 return LpOutcome::Infeasible;
@@ -198,10 +204,10 @@ impl LinearProgram {
 
         // Phase 2: the real objective (internally always minimize).
         let mut cost2 = vec![Rational::ZERO; total];
-        for j in 0..self.n {
-            cost2[j] = match self.direction {
-                Objective::Minimize => self.objective[j],
-                Objective::Maximize => -self.objective[j],
+        for (slot, &obj) in cost2.iter_mut().zip(&self.objective) {
+            *slot = match self.direction {
+                Objective::Minimize => obj,
+                Objective::Maximize => -obj,
             };
         }
         if run_simplex(&mut tab, &mut basis, &cost2).is_err() {
@@ -248,7 +254,7 @@ fn run_simplex(
             let mut r = cost[j];
             for i in 0..m {
                 if !cost[basis[i]].is_zero() && !tab[i][j].is_zero() {
-                    r = r - cost[basis[i]] * tab[i][j];
+                    r -= cost[basis[i]] * tab[i][j];
                 }
             }
             if r.is_negative() {
@@ -285,14 +291,14 @@ fn run_simplex(
 fn pivot(tab: &mut [Vec<Rational>], basis: &mut [usize], row: usize, col: usize) {
     let inv = tab[row][col].recip();
     for v in tab[row].iter_mut() {
-        *v = *v * inv;
+        *v *= inv;
     }
     let pivot_row = tab[row].clone();
     for (i, r) in tab.iter_mut().enumerate() {
         if i != row && !r[col].is_zero() {
             let f = r[col];
             for (v, p) in r.iter_mut().zip(pivot_row.iter()) {
-                *v = *v - f * *p;
+                *v -= f * *p;
             }
         }
     }
@@ -416,7 +422,11 @@ mod tests {
         /// Enumerates all basic solutions of `min c·x, Ax ⋈ b, x ≥ 0` by
         /// intersecting every n-subset of the hyperplanes (constraint
         /// boundaries + axes) and keeping the feasible ones.
-        fn brute_force_min(lp_n: usize, c: &[Rational], cons: &[(Vec<Rational>, Cmp, Rational)]) -> Option<Rational> {
+        fn brute_force_min(
+            lp_n: usize,
+            c: &[Rational],
+            cons: &[(Vec<Rational>, Cmp, Rational)],
+        ) -> Option<Rational> {
             use crate::matrix::QMatrix;
             let mut planes: Vec<(Vec<Rational>, Rational)> = Vec::new();
             for (a, _, b) in cons {
@@ -441,8 +451,7 @@ mod tests {
                 if let Some(x) = m.solve(&b) {
                     let feasible = x.iter().all(|v| !v.is_negative())
                         && cons.iter().all(|(a, cmp, rhs)| {
-                            let lhs: Rational =
-                                a.iter().zip(&x).map(|(ai, xi)| *ai * *xi).sum();
+                            let lhs: Rational = a.iter().zip(&x).map(|(ai, xi)| *ai * *xi).sum();
                             match cmp {
                                 Cmp::Le => lhs <= *rhs,
                                 Cmp::Eq => lhs == *rhs,
@@ -484,13 +493,11 @@ mod tests {
             for _ in 0..40 {
                 let n = rng.gen_range(2..=4usize);
                 let m = rng.gen_range(1..=3usize);
-                let c: Vec<Rational> =
-                    (0..n).map(|_| Rational::int(rng.gen_range(1..5))).collect();
+                let c: Vec<Rational> = (0..n).map(|_| Rational::int(rng.gen_range(1..5))).collect();
                 let mut cons = Vec::new();
                 for _ in 0..m {
-                    let a: Vec<Rational> = (0..n)
-                        .map(|_| Rational::int(rng.gen_range(0..3)))
-                        .collect();
+                    let a: Vec<Rational> =
+                        (0..n).map(|_| Rational::int(rng.gen_range(0..3))).collect();
                     if a.iter().all(|v| v.is_zero()) {
                         continue;
                     }

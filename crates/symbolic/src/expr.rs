@@ -11,7 +11,7 @@ use crate::ratfunc::RatFunc;
 use crate::vars::Var;
 use iolb_numeric::Rational;
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// A closed-form bound expression.
 #[derive(Debug, Clone, PartialEq)]
@@ -25,11 +25,11 @@ pub enum Expr {
     /// Product of sub-expressions.
     Mul(Vec<Expr>),
     /// Quotient.
-    Div(Rc<Expr>, Rc<Expr>),
+    Div(Arc<Expr>, Arc<Expr>),
     /// Power with a rational exponent (`Pow(S, 1/2) = √S`).
-    Pow(Rc<Expr>, Rational),
+    Pow(Arc<Expr>, Rational),
     /// Floor to an integer.
-    Floor(Rc<Expr>),
+    Floor(Arc<Expr>),
     /// Maximum of sub-expressions.
     Max(Vec<Expr>),
     /// Minimum of sub-expressions.
@@ -65,10 +65,7 @@ impl Expr {
                 if e == 1 {
                     prod.push(Expr::Var(v));
                 } else {
-                    prod.push(Expr::Pow(
-                        Rc::new(Expr::Var(v)),
-                        Rational::int(e as i128),
-                    ));
+                    prod.push(Expr::Pow(Arc::new(Expr::Var(v)), Rational::int(e as i128)));
                 }
             }
             sum.push(if prod.len() == 1 {
@@ -90,13 +87,14 @@ impl Expr {
             Expr::from_poly(p)
         } else {
             Expr::Div(
-                Rc::new(Expr::from_poly(f.num())),
-                Rc::new(Expr::from_poly(f.den())),
+                Arc::new(Expr::from_poly(f.num())),
+                Arc::new(Expr::from_poly(f.den())),
             )
         }
     }
 
     /// `self + other` with light constant folding.
+    #[allow(clippy::should_implement_trait)]
     pub fn add(self, other: Expr) -> Expr {
         match (self, other) {
             (Expr::Const(a), Expr::Const(b)) => Expr::Const(a + b),
@@ -118,11 +116,13 @@ impl Expr {
     }
 
     /// `self - other`.
+    #[allow(clippy::should_implement_trait)]
     pub fn sub(self, other: Expr) -> Expr {
         self.add(Expr::Const(-Rational::ONE).mul(other))
     }
 
     /// `self * other` with light constant folding.
+    #[allow(clippy::should_implement_trait)]
     pub fn mul(self, other: Expr) -> Expr {
         match (self, other) {
             (Expr::Const(a), Expr::Const(b)) => Expr::Const(a * b),
@@ -145,8 +145,9 @@ impl Expr {
     }
 
     /// `self / other`.
+    #[allow(clippy::should_implement_trait)]
     pub fn div(self, other: Expr) -> Expr {
-        Expr::Div(Rc::new(self), Rc::new(other))
+        Expr::Div(Arc::new(self), Arc::new(other))
     }
 
     /// `self ^ exp` for a rational exponent (folds rational constants with
@@ -163,7 +164,7 @@ impl Expr {
                 return Expr::Const(c.pow(exp.to_integer() as i32));
             }
         }
-        Expr::Pow(Rc::new(self), exp)
+        Expr::Pow(Arc::new(self), exp)
     }
 
     /// `√self`.
@@ -173,7 +174,7 @@ impl Expr {
 
     /// `⌊self⌋`.
     pub fn floor(self) -> Expr {
-        Expr::Floor(Rc::new(self))
+        Expr::Floor(Arc::new(self))
     }
 
     /// `max(self, other)`.
@@ -219,11 +220,7 @@ impl Expr {
 
     /// Evaluates over an integer environment slice.
     pub fn eval_ints_f64(&self, env: &[(Var, i128)]) -> f64 {
-        self.eval_f64(&|v| {
-            env.iter()
-                .find(|(w, _)| *w == v)
-                .map(|(_, x)| *x as f64)
-        })
+        self.eval_f64(&|v| env.iter().find(|(w, _)| *w == v).map(|(_, x)| *x as f64))
     }
 
     /// Exact rational evaluation; `None` when the expression uses a
@@ -235,14 +232,14 @@ impl Expr {
             Expr::Add(es) => {
                 let mut acc = Rational::ZERO;
                 for e in es {
-                    acc = acc + e.eval_exact(env)?;
+                    acc += e.eval_exact(env)?;
                 }
                 Some(acc)
             }
             Expr::Mul(es) => {
                 let mut acc = Rational::ONE;
                 for e in es {
-                    acc = acc * e.eval_exact(env)?;
+                    acc *= e.eval_exact(env)?;
                 }
                 Some(acc)
             }
@@ -455,7 +452,10 @@ mod tests {
         assert_eq!(Expr::int(0).add(v.clone()), v);
         assert_eq!(Expr::int(1).mul(v.clone()), v);
         assert_eq!(Expr::int(0).mul(v.clone()), Expr::zero());
-        assert_eq!(Expr::Const(rat(1, 2)).add(Expr::Const(rat(1, 2))), Expr::int(1));
+        assert_eq!(
+            Expr::Const(rat(1, 2)).add(Expr::Const(rat(1, 2))),
+            Expr::int(1)
+        );
     }
 
     #[test]

@@ -240,7 +240,11 @@ impl Poly {
 
     /// Total degree.
     pub fn total_degree(&self) -> u32 {
-        self.terms.keys().map(|m| m.total_degree()).max().unwrap_or(0)
+        self.terms
+            .keys()
+            .map(|m| m.total_degree())
+            .max()
+            .unwrap_or(0)
     }
 
     /// Coefficient of `v^d`, as a polynomial in the remaining variables.
@@ -280,7 +284,11 @@ impl Poly {
             return Poly::zero();
         }
         Poly {
-            terms: self.terms.iter().map(|(m, k)| (m.clone(), *k * c)).collect(),
+            terms: self
+                .terms
+                .iter()
+                .map(|(m, k)| (m.clone(), *k * c))
+                .collect(),
         }
     }
 
@@ -321,11 +329,10 @@ impl Poly {
         for (m, c) in &self.terms {
             let mut t = *c;
             for (v, e) in &m.0 {
-                let val = env(*v)
-                    .unwrap_or_else(|| panic!("unbound variable {} in Poly::eval", v));
-                t = t * val.pow(*e as i32);
+                let val = env(*v).unwrap_or_else(|| panic!("unbound variable {} in Poly::eval", v));
+                t *= val.pow(*e as i32);
             }
-            acc = acc + t;
+            acc += t;
         }
         acc
     }
@@ -397,7 +404,9 @@ impl Poly {
             mono = mono.gcd(m);
             num_gcd = iolb_numeric::gcd_i128(num_gcd, c.num());
             let g = iolb_numeric::gcd_i128(den_lcm, c.den());
-            den_lcm = (den_lcm / g).checked_mul(c.den()).expect("content overflow");
+            den_lcm = (den_lcm / g)
+                .checked_mul(c.den())
+                .expect("content overflow");
         }
         let mut content = Rational::new(num_gcd, den_lcm);
         // Sign convention: leading coefficient positive after removing content.
@@ -515,17 +524,16 @@ impl fmt::Display for Poly {
                 write!(f, " + ")?;
             }
             let mono_str = {
-                let parts: Vec<String> = m
-                    .0
-                    .iter()
-                    .map(|(v, e)| {
-                        if *e == 1 {
-                            format!("{v}")
-                        } else {
-                            format!("{v}^{e}")
-                        }
-                    })
-                    .collect();
+                let parts: Vec<String> =
+                    m.0.iter()
+                        .map(|(v, e)| {
+                            if *e == 1 {
+                                format!("{v}")
+                            } else {
+                                format!("{v}^{e}")
+                            }
+                        })
+                        .collect();
                 parts.join("*")
             };
             if mono_str.is_empty() {
@@ -631,8 +639,7 @@ mod tests {
         proptest::collection::vec((-4i128..=4, 0u32..=2, 0u32..=2), 0..5).prop_map(move |ts| {
             let mut p = Poly::zero();
             for (c, e0, e1) in ts {
-                let mono =
-                    Monomial::var_pow(vs[0], e0).mul(&Monomial::var_pow(vs[1], e1));
+                let mono = Monomial::var_pow(vs[0], e0).mul(&Monomial::var_pow(vs[1], e1));
                 p = &p + &Poly::term(Rational::int(c), mono);
             }
             p

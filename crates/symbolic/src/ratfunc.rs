@@ -177,6 +177,8 @@ impl Mul for &RatFunc {
 
 impl Div for &RatFunc {
     type Output = RatFunc;
+    // Division via the multiplicative inverse is the intended arithmetic.
+    #[allow(clippy::suspicious_arithmetic_impl)]
     fn div(self, rhs: &RatFunc) -> RatFunc {
         self * &rhs.recip()
     }

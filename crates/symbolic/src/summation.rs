@@ -113,12 +113,7 @@ mod tests {
         let (k, j, i) = (var("fk"), var("fj"), var("fi"));
         let (mm, nn) = (var("fM"), var("fN"));
         let inner = sum_half_open(&Poly::one(), i, &Poly::zero(), &Poly::var(mm));
-        let mid = sum_half_open(
-            &inner,
-            j,
-            &(Poly::var(k) + Poly::one()),
-            &Poly::var(nn),
-        );
+        let mid = sum_half_open(&inner, j, &(Poly::var(k) + Poly::one()), &Poly::var(nn));
         let outer = sum_half_open(&mid, k, &Poly::zero(), &Poly::var(nn));
         let expect = (Poly::var(mm) * Poly::var(nn) * (Poly::var(nn) - Poly::one()))
             .scale(Rational::new(1, 2));

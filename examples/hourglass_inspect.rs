@@ -18,7 +18,7 @@ fn main() {
         (kernels::gemm::program(), "SU", vec![5, 6, 4]),
     ];
     for (program, stmt_name, params) in cases {
-        let analysis = Analysis::run(&program, &[params.clone()]).expect("analysis");
+        let analysis = Analysis::run(&program, std::slice::from_ref(&params)).expect("analysis");
         let stmt = program.stmt_id(stmt_name).unwrap();
         let dim_name = |d: &iolb_ir::DimId| program.loop_info(*d).name.clone();
         print!("{:<12} ", program.name);
@@ -26,8 +26,7 @@ fn main() {
             None => println!("no hourglass (expected for gemm)"),
             Some(pat) => {
                 let b = hourglass::derive(&program, &pat, &hourglass::SplitChoice::None);
-                let checked =
-                    hourglass::certify(&program, &pat, &params).expect("chain property");
+                let checked = hourglass::certify(&program, &pat, &params).expect("chain property");
                 println!(
                     "temporal {:?}  neutral {:?}  rb {:?}  reduction {}  W ∈ [{}, {}]  ({checked} chains certified)",
                     pat.temporal.iter().map(dim_name).collect::<Vec<_>>(),

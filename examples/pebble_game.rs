@@ -17,12 +17,17 @@ fn main() {
         g.input_nodes().count(),
         g.num_edges()
     );
-    println!("{:>6} {:>12} {:>12} {:>10}", "S", "LRU loads", "MIN loads", "MIN/LRU");
+    println!(
+        "{:>6} {:>12} {:>12} {:>10}",
+        "S", "LRU loads", "MIN loads", "MIN/LRU"
+    );
     let smin = g.max_in_degree() + 1;
     for s in [smin, smin + 8, smin + 24, smin + 56, smin + 120] {
         let game = PebbleGame::new(&g, s);
         let lru = game.play_program_order(SpillPolicy::Lru).expect("play");
-        let min = game.play_program_order(SpillPolicy::MinNextUse).expect("play");
+        let min = game
+            .play_program_order(SpillPolicy::MinNextUse)
+            .expect("play");
         println!(
             "{:>6} {:>12} {:>12} {:>10.3}",
             s,

@@ -26,7 +26,10 @@ fn main() {
     for (m, n, s) in [(4096i128, 512i128, 256i128), (4096, 512, 2048)] {
         let old = report.old.expr.eval_ints_f64(&env(m, n, s));
         let new = report.new.main_tool.eval_ints_f64(&env(m, n, s));
-        println!("  M={m:>6} N={n:>4} S={s:>5}: old {old:>14.3e}  new {new:>14.3e}  gain ×{:.1}", new / old);
+        println!(
+            "  M={m:>6} N={n:>4} S={s:>5}: old {old:>14.3e}  new {new:>14.3e}  gain ×{:.1}",
+            new / old
+        );
     }
 
     // 4. Soundness check on an exact CDAG: a legal pebble-game play can

@@ -11,8 +11,7 @@ use hourglass_iolb::prelude::*;
 fn main() {
     let (m, n) = (64usize, 32usize);
     let a = Matrix::random(m, n, 1);
-    let report =
-        analyze_kernel(&kernels::mgs::program(), "MGS", "SU").expect("derivation");
+    let report = analyze_kernel(&kernels::mgs::program(), "MGS", "SU").expect("derivation");
     let tiled = kernels::mgs::tiled_program();
     println!("tiled MGS I/O sweep (M={m}, N={n}):");
     println!(
@@ -24,11 +23,19 @@ fn main() {
         let params = [m as i64, n as i64, block as i64];
         let data = a.data.clone();
         let lru = kernels::sinks::measure_lru_io(&tiled, &params, s, move |arr, f| {
-            if arr.0 == 0 { data[f] } else { 0.0 }
+            if arr.0 == 0 {
+                data[f]
+            } else {
+                0.0
+            }
         });
         let data = a.data.clone();
         let min = kernels::sinks::measure_min_io(&tiled, &params, s, move |arr, f| {
-            if arr.0 == 0 { data[f] } else { 0.0 }
+            if arr.0 == 0 {
+                data[f]
+            } else {
+                0.0
+            }
         });
         let lb = report.new.combined.eval_ints_f64(&[
             (Var::new("M"), m as i128),

@@ -7,9 +7,16 @@ use hourglass_iolb::ir::interp::validate_accesses;
 use hourglass_iolb::kernels;
 use iolb_numeric::Rational;
 
+/// One case: program, parameter grids, and the matching symbolic envs.
+type CountCase = (
+    iolb_ir::Program,
+    Vec<Vec<i64>>,
+    Vec<Vec<(&'static str, i64)>>,
+);
+
 #[test]
 fn symbolic_counts_match_enumeration_everywhere() {
-    let cases: Vec<(iolb_ir::Program, Vec<Vec<i64>>, Vec<Vec<(&str, i64)>>)> = vec![
+    let cases: Vec<CountCase> = vec![
         (
             kernels::mgs::program(),
             vec![vec![7, 5], vec![10, 6]],

@@ -1,0 +1,303 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! The build environment cannot reach crates.io, so the workspace vendors
+//! the subset of the criterion API its benches use: `criterion_group!` /
+//! `criterion_main!`, [`Criterion::benchmark_group`], `bench_function`,
+//! `bench_with_input`, `sample_size`, `throughput`, and [`BenchmarkId`].
+//!
+//! Measurement model: each sample times `iters` adaptive iterations of the
+//! closure (targeting ≥ ~2 ms per sample so short closures are resolvable),
+//! reports min / median / max ns per iteration, and optionally elements/s
+//! throughput. Results also land in `target/criterion-mini/<group>.txt` so
+//! successive runs can be diffed. No statistical regression machinery —
+//! honest medians only.
+
+use std::hint::black_box as std_black_box;
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier (re-export of `std::hint::black_box`).
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifier of one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{}/{}", function.into(), parameter),
+        }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Anything usable as a benchmark name.
+pub trait IntoBenchmarkId {
+    /// The rendered name.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// Per-iteration timer handed to benchmark closures.
+pub struct Bencher {
+    /// (total duration, iterations) per sample.
+    samples: Vec<(Duration, u64)>,
+    sample_count: usize,
+}
+
+impl Bencher {
+    /// Times `f`, adaptively batching iterations per sample.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warmup + batch sizing: aim for ≥ 2 ms per sample.
+        let mut iters: u64 = 1;
+        loop {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                std_black_box(f());
+            }
+            let dt = t0.elapsed();
+            if dt >= Duration::from_millis(2) || iters >= 1 << 20 {
+                break;
+            }
+            iters = (iters * 4).min(1 << 20);
+        }
+        for _ in 0..self.sample_count {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                std_black_box(f());
+            }
+            self.samples.push((t0.elapsed(), iters));
+        }
+    }
+}
+
+/// A named group of benchmarks sharing sample settings.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Declares the work per iteration for throughput reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher {
+            samples: Vec::new(),
+            sample_count: self.sample_size,
+        };
+        f(&mut b);
+        self.report(&id.into_id(), &b);
+        self
+    }
+
+    /// Runs one benchmark with an explicit input value.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher {
+            samples: Vec::new(),
+            sample_count: self.sample_size,
+        };
+        f(&mut b, input);
+        self.report(&id.into_id(), &b);
+        self
+    }
+
+    /// Finishes the group (flushes the report file).
+    pub fn finish(&mut self) {
+        self.criterion.flush(&self.name);
+    }
+
+    fn report(&mut self, id: &str, b: &Bencher) {
+        let mut per_iter: Vec<f64> = b
+            .samples
+            .iter()
+            .map(|(d, n)| d.as_nanos() as f64 / *n as f64)
+            .collect();
+        per_iter.sort_by(|a, b| a.total_cmp(b));
+        let (lo, med, hi) = match per_iter.len() {
+            0 => (f64::NAN, f64::NAN, f64::NAN),
+            n => (per_iter[0], per_iter[n / 2], per_iter[n - 1]),
+        };
+        let mut line = format!(
+            "{}/{:<28} time: [{} {} {}]",
+            self.name,
+            id,
+            fmt_ns(lo),
+            fmt_ns(med),
+            fmt_ns(hi)
+        );
+        if let Some(Throughput::Elements(n)) = self.throughput {
+            let eps = n as f64 / (med * 1e-9);
+            line.push_str(&format!("  thrpt: {:.3} Melem/s", eps / 1e6));
+        }
+        if let Some(Throughput::Bytes(n)) = self.throughput {
+            let bps = n as f64 / (med * 1e-9);
+            line.push_str(&format!("  thrpt: {:.3} MiB/s", bps / (1024.0 * 1024.0)));
+        }
+        println!("{line}");
+        self.criterion.lines.push(line);
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns.is_nan() {
+        "n/a".to_string()
+    } else if ns >= 1e9 {
+        format!("{:.4} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.4} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.4} µs", ns / 1e3)
+    } else {
+        format!("{ns:.2} ns")
+    }
+}
+
+/// The benchmark harness entry object.
+#[derive(Default)]
+pub struct Criterion {
+    lines: Vec<String>,
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 10,
+            throughput: None,
+        }
+    }
+
+    /// Runs a standalone benchmark (an implicit single-entry group).
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        let mut g = self.benchmark_group(id.to_string());
+        g.bench_function("bench", f);
+        g.finish();
+        self
+    }
+
+    fn flush(&mut self, group: &str) {
+        let dir = std::path::Path::new("target").join("criterion-mini");
+        if std::fs::create_dir_all(&dir).is_err() {
+            return;
+        }
+        let path = dir.join(format!("{}.txt", group.replace('/', "_")));
+        if let Ok(mut f) = std::fs::File::create(&path) {
+            for l in &self.lines {
+                let _ = writeln!(f, "{l}");
+            }
+        }
+        self.lines.clear();
+    }
+}
+
+/// Declares a benchmark group runner, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn work(c: &mut Criterion) {
+        let mut g = c.benchmark_group("stub_smoke");
+        g.sample_size(3);
+        g.throughput(Throughput::Elements(100));
+        g.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        g.bench_with_input(BenchmarkId::from_parameter(7), &7u64, |b, &n| {
+            b.iter(|| n * 2)
+        });
+        g.finish();
+    }
+
+    criterion_group!(benches, work);
+
+    #[test]
+    fn harness_runs() {
+        benches();
+    }
+
+    #[test]
+    fn ids_render() {
+        assert_eq!(BenchmarkId::new("f", 3).into_id(), "f/3");
+        assert_eq!(BenchmarkId::from_parameter(9).into_id(), "9");
+    }
+}

@@ -1,0 +1,442 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment cannot reach crates.io, so the workspace vendors
+//! the subset of proptest it uses: the [`Strategy`] trait with `prop_map` /
+//! `prop_filter` / `prop_filter_map`, range and tuple strategies,
+//! `collection::vec`, `bool::ANY`, and the `proptest!` / `prop_assert!` /
+//! `prop_assert_eq!` / `prop_assume!` macros. Differences from upstream:
+//!
+//! * no shrinking — a failing case reports the generated inputs verbatim,
+//! * the RNG is seeded per test from the test name, so runs are
+//!   deterministic and reproducible without a persistence file,
+//! * `prop_assume!` skips the case without replacement (counts as passed).
+
+use rand::prelude::*;
+
+/// Test-runner configuration (only `cases` is honored).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` random cases.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// A generator of random values of `Self::Value`.
+pub trait Strategy {
+    /// The generated type.
+    type Value: core::fmt::Debug;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U: core::fmt::Debug, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Keeps only values satisfying `pred` (rejection sampling).
+    fn prop_filter<F: Fn(&Self::Value) -> bool>(
+        self,
+        whence: &'static str,
+        pred: F,
+    ) -> Filter<Self, F>
+    where
+        Self: Sized,
+    {
+        Filter {
+            inner: self,
+            whence,
+            pred,
+        }
+    }
+
+    /// Filters and maps in one step (rejection sampling on `None`).
+    fn prop_filter_map<U: core::fmt::Debug, F: Fn(Self::Value) -> Option<U>>(
+        self,
+        whence: &'static str,
+        f: F,
+    ) -> FilterMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FilterMap {
+            inner: self,
+            whence,
+            f,
+        }
+    }
+
+    /// Boxes the strategy (API parity helper).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Box::new(self))
+    }
+}
+
+/// Boxed strategy, `Strategy` object with erased type.
+pub struct BoxedStrategy<T>(Box<dyn Strategy<Value = T>>);
+
+impl<T: core::fmt::Debug> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut StdRng) -> T {
+        self.0.sample(rng)
+    }
+}
+
+/// Output of [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U: core::fmt::Debug, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn sample(&self, rng: &mut StdRng) -> U {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+const MAX_REJECTS: u32 = 10_000;
+
+/// Output of [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    inner: S,
+    whence: &'static str,
+    pred: F,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+    fn sample(&self, rng: &mut StdRng) -> S::Value {
+        for _ in 0..MAX_REJECTS {
+            let v = self.inner.sample(rng);
+            if (self.pred)(&v) {
+                return v;
+            }
+        }
+        panic!("prop_filter rejected too many values: {}", self.whence);
+    }
+}
+
+/// Output of [`Strategy::prop_filter_map`].
+pub struct FilterMap<S, F> {
+    inner: S,
+    whence: &'static str,
+    f: F,
+}
+
+impl<S: Strategy, U: core::fmt::Debug, F: Fn(S::Value) -> Option<U>> Strategy for FilterMap<S, F> {
+    type Value = U;
+    fn sample(&self, rng: &mut StdRng) -> U {
+        for _ in 0..MAX_REJECTS {
+            if let Some(v) = (self.f)(self.inner.sample(rng)) {
+                return v;
+            }
+        }
+        panic!("prop_filter_map rejected too many values: {}", self.whence);
+    }
+}
+
+/// Strategy yielding exactly `self.0`.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone + core::fmt::Debug> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_range_strategies {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategies!(u8, u16, u32, u64, usize, i8, i16, i32, i64, i128, isize);
+
+macro_rules! impl_tuple_strategies {
+    ($(($($s:ident . $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn sample(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategies! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::{StdRng, Strategy};
+    use rand::Rng;
+
+    /// Length specification for [`vec`]: an exact size or a half-open range.
+    #[derive(Debug, Clone)]
+    pub struct SizeRange(core::ops::Range<usize>);
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange(n..n + 1)
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> SizeRange {
+            SizeRange(r)
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> SizeRange {
+            SizeRange(*r.start()..r.end() + 1)
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from `len`.
+    pub struct VecStrategy<S> {
+        elem: S,
+        len: SizeRange,
+    }
+
+    /// `vec(elem, lo..hi)`: vectors of `lo..hi` elements (`vec(elem, n)` for
+    /// exactly `n`).
+    pub fn vec<S: Strategy>(elem: S, len: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            elem,
+            len: len.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let n = rng.gen_range(self.len.0.clone());
+            (0..n).map(|_| self.elem.sample(rng)).collect()
+        }
+    }
+}
+
+/// Boolean strategies.
+pub mod bool {
+    use super::{StdRng, Strategy};
+    use rand::Rng;
+
+    /// Uniform `bool`.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any;
+
+    /// Uniform `bool` strategy.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+        fn sample(&self, rng: &mut StdRng) -> bool {
+            rng.gen_bool(0.5)
+        }
+    }
+}
+
+/// Error raised by `prop_assert!` family (test-runner internal).
+#[derive(Debug)]
+pub struct TestCaseError(pub String);
+
+/// Outcome of one generated case (test-runner internal).
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+#[doc(hidden)]
+pub mod runner {
+    use super::*;
+
+    /// Drives `cases` random executions of `body`. Used by `proptest!`.
+    pub fn run_cases<F: FnMut(&mut StdRng) -> TestCaseResult>(
+        cfg: &ProptestConfig,
+        test_name: &str,
+        mut body: F,
+    ) {
+        // Deterministic per-test seed: FNV-1a over the test name.
+        let mut seed = 0xcbf2_9ce4_8422_2325u64;
+        for b in test_name.bytes() {
+            seed ^= b as u64;
+            seed = seed.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        for case in 0..cfg.cases {
+            if let Err(TestCaseError(msg)) = body(&mut rng) {
+                panic!("proptest case {case}/{} failed: {msg}", cfg.cases);
+            }
+        }
+    }
+}
+
+/// Asserts a condition inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($lhs:expr, $rhs:expr) => {{
+        let (l, r) = (&$lhs, &$rhs);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+            stringify!($lhs),
+            stringify!($rhs),
+            l,
+            r
+        );
+    }};
+    ($lhs:expr, $rhs:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$lhs, &$rhs);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: {}\n  left: {:?}\n right: {:?}",
+            format!($($fmt)*),
+            l,
+            r
+        );
+    }};
+}
+
+/// Skips the current case when the precondition fails.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            // No replacement sampling in this offline subset: an assumed-out
+            // case simply passes.
+            return ::core::result::Result::Ok(());
+        }
+    };
+}
+
+/// Declares property tests: `proptest! { #[test] fn f(x in 0..9) { … } }`.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::proptest!(@impl ($cfg) $($rest)*);
+    };
+    (
+        $(#[$meta:meta])*
+        fn $name:ident($($args:tt)*) $body:block
+        $($rest:tt)*
+    ) => {
+        $crate::proptest!(@impl ($crate::ProptestConfig::default())
+            $(#[$meta])* fn $name($($args)*) $body $($rest)*);
+    };
+    (@impl ($cfg:expr)) => {};
+    (@impl ($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let cfg: $crate::ProptestConfig = $cfg;
+            $crate::runner::run_cases(&cfg, stringify!($name), |rng| {
+                $(let $arg = $crate::Strategy::sample(&($strat), rng);)+
+                $body
+                ::core::result::Result::Ok(())
+            });
+        }
+        $crate::proptest!(@impl ($cfg) $($rest)*);
+    };
+}
+
+/// `use proptest::prelude::*` convenience.
+pub mod prelude {
+    pub use super::{
+        prop_assert, prop_assert_eq, prop_assume, proptest, BoxedStrategy, Just, ProptestConfig,
+        Strategy, TestCaseError, TestCaseResult,
+    };
+    /// Re-export used by strategy signatures.
+    pub use rand::rngs::StdRng;
+}
+
+pub use rand::rngs::StdRng;
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_in_bounds(x in 3u32..17, y in -4i128..=4) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((-4..=4).contains(&y));
+        }
+
+        #[test]
+        fn tuples_and_vecs(v in super::collection::vec((0usize..5, super::bool::ANY), 1..20)) {
+            prop_assert!(!v.is_empty() && v.len() < 20);
+            prop_assert!(v.iter().all(|(c, _)| *c < 5));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+        #[test]
+        fn config_header_accepted(x in 0u8..3) {
+            prop_assert!(x < 3);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "proptest case")]
+    fn failing_property_panics() {
+        super::runner::run_cases(&ProptestConfig::with_cases(4), "boom", |_rng| {
+            prop_assert!(false);
+            #[allow(unreachable_code)]
+            Ok(())
+        });
+    }
+}

@@ -1,0 +1,235 @@
+//! Offline stand-in for `rayon`.
+//!
+//! The build environment cannot reach crates.io, so the workspace vendors
+//! the subset of the rayon API it uses: `par_iter()` / `into_par_iter()`
+//! with `map(...).collect::<Vec<_>>()`, [`join`], [`scope`], and
+//! [`current_num_threads`]. Parallelism is real — a shared atomic work
+//! cursor over `std::thread::scope` workers, one worker per available core —
+//! only the work-stealing scheduler and the full adapter zoo are missing.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Number of worker threads used by the parallel bridges.
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Runs `a` and `b` potentially in parallel, returning both results.
+pub fn join<RA: Send, RB: Send>(
+    a: impl FnOnce() -> RA + Send,
+    b: impl FnOnce() -> RB + Send,
+) -> (RA, RB) {
+    std::thread::scope(|s| {
+        let hb = s.spawn(b);
+        let ra = a();
+        (ra, hb.join().expect("rayon::join worker panicked"))
+    })
+}
+
+/// Task scope: `scope(|s| { s.spawn(...); ... })`.
+pub fn scope<'env, R>(f: impl for<'scope> FnOnce(&Scope<'scope, 'env>) -> R) -> R {
+    std::thread::scope(|std_scope| {
+        let s = Scope { std_scope };
+        f(&s)
+    })
+}
+
+/// Scope handle for spawning parallel tasks.
+pub struct Scope<'scope, 'env> {
+    std_scope: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope> Scope<'scope, '_> {
+    /// Spawns a task; the scope waits for it before returning.
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: for<'a> FnOnce(&'a Scope<'scope, '_>) + Send + 'scope,
+    {
+        let std_scope = self.std_scope;
+        std_scope.spawn(move || {
+            let inner = Scope { std_scope };
+            f(&inner);
+        });
+    }
+}
+
+/// Parallel counterpart of [`Iterator`] (map/collect subset).
+pub struct ParIter<I> {
+    items: Vec<I>,
+}
+
+impl<I: Send> ParIter<I> {
+    /// Maps every item through `f` in parallel, preserving order.
+    pub fn map<O: Send, F: Fn(I) -> O + Sync>(self, f: F) -> ParMap<I, F> {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+}
+
+/// Pending parallel map.
+pub struct ParMap<I, F> {
+    items: Vec<I>,
+    f: F,
+}
+
+impl<I: Send, F> ParMap<I, F> {
+    /// Executes the map over a worker pool and collects in input order.
+    pub fn collect<C: FromParallel<I, F>>(self) -> C {
+        C::from_parallel(self)
+    }
+}
+
+/// Collection types buildable from a [`ParMap`].
+pub trait FromParallel<I, F>: Sized {
+    /// Runs the parallel map and gathers results.
+    fn from_parallel(pm: ParMap<I, F>) -> Self;
+}
+
+impl<I: Send, O: Send, F: Fn(I) -> O + Sync> FromParallel<I, F> for Vec<O> {
+    fn from_parallel(pm: ParMap<I, F>) -> Vec<O> {
+        let ParMap { items, f } = pm;
+        let n = items.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        // Move items into Option slots so workers can take them by index.
+        let slots: Vec<std::sync::Mutex<Option<I>>> = items
+            .into_iter()
+            .map(|x| std::sync::Mutex::new(Some(x)))
+            .collect();
+        let out: Vec<std::sync::Mutex<Option<O>>> =
+            (0..n).map(|_| std::sync::Mutex::new(None)).collect();
+        let cursor = AtomicUsize::new(0);
+        let workers = current_num_threads().min(n);
+        std::thread::scope(|s| {
+            for _ in 0..workers {
+                s.spawn(|| loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let item = slots[i]
+                        .lock()
+                        .expect("poisoned slot")
+                        .take()
+                        .expect("slot taken twice");
+                    let r = f(item);
+                    *out[i].lock().expect("poisoned result") = Some(r);
+                });
+            }
+        });
+        out.into_iter()
+            .map(|m| {
+                m.into_inner()
+                    .expect("poisoned result")
+                    .expect("worker skipped an item")
+            })
+            .collect()
+    }
+}
+
+/// Types with a by-reference parallel iterator.
+pub trait IntoParallelRefIterator<'a> {
+    /// Borrowed item type.
+    type Item: Send;
+    /// `iter()` counterpart.
+    fn par_iter(&'a self) -> ParIter<Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+/// Types convertible into an owning parallel iterator.
+pub trait IntoParallelIterator {
+    /// Owned item type.
+    type Item: Send;
+    /// `into_iter()` counterpart.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+/// `use rayon::prelude::*` convenience.
+pub mod prelude {
+    pub use super::{IntoParallelIterator, IntoParallelRefIterator};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_map_preserves_order() {
+        let xs: Vec<u64> = (0..500).collect();
+        let doubled: Vec<u64> = xs.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, (0..500).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn into_par_iter_owns() {
+        let out: Vec<String> = vec![1, 2, 3]
+            .into_par_iter()
+            .map(|x| format!("v{x}"))
+            .collect();
+        assert_eq!(out, vec!["v1", "v2", "v3"]);
+    }
+
+    #[test]
+    fn join_runs_both() {
+        let (a, b) = super::join(|| 6 * 7, || "ok");
+        assert_eq!((a, b), (42, "ok"));
+    }
+
+    #[test]
+    fn scope_spawn_joins() {
+        let counter = std::sync::atomic::AtomicUsize::new(0);
+        super::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|_| {
+                    counter.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                });
+            }
+        });
+        assert_eq!(counter.load(std::sync::atomic::Ordering::SeqCst), 8);
+    }
+
+    #[test]
+    fn empty_input() {
+        let out: Vec<u8> = Vec::<u8>::new().into_par_iter().map(|x| x).collect();
+        assert!(out.is_empty());
+    }
+}
