@@ -7,107 +7,159 @@
 //! concurrently — and renders the outcome as both a table and a
 //! machine-readable `BENCH_pebble.json` so successive PRs have a recorded
 //! perf/soundness trajectory.
+//!
+//! [`SweepKernel`] is fully data-driven (owned names, per-kernel split
+//! bindings, env derived from the program's own parameter list), so the
+//! same machinery validates the built-in paper kernels and arbitrary
+//! workloads parsed from `.iolb` files by the `iolb` CLI.
 
 use iolb_cdag::{build_cdag, Cdag, PebbleGame, SpillPolicy};
-use iolb_core::hourglass::SplitChoice;
-use iolb_core::{hourglass, theorems, Analysis, ClassicalBound};
+use iolb_core::report::SplitBinding;
+use iolb_core::{report, Analysis, ClassicalBound};
 use iolb_symbolic::Var;
 use rayon::prelude::*;
 use std::sync::Arc;
 use std::time::Instant;
 
-/// One kernel in the sweep: program + derivation inputs + evaluation env.
+/// One kernel in the sweep: program + derivation inputs + concrete sizes.
 pub struct SweepKernel {
     /// Display name.
-    pub name: &'static str,
+    pub name: String,
     /// The IR program.
     pub program: iolb_ir::Program,
     /// Statement whose bounds are derived.
-    pub stmt: &'static str,
-    /// Concrete parameter values.
+    pub stmt: String,
+    /// Concrete parameter values (same order as `program.params`).
     pub params: Vec<i64>,
-    /// Symbolic environment matching `params`.
-    pub env: Vec<(Var, i128)>,
-    /// Loop-split choice for the hourglass derivation.
-    pub split: SplitChoice,
+    /// Split-variable binding override; `None` auto-derives the midpoint
+    /// binding when §5.3 splitting turns out to be needed.
+    pub split: Option<SplitBinding>,
     /// Offsets added to the kernel's minimum feasible S to form the S grid.
     pub s_offsets: Vec<usize>,
 }
 
-/// The default validation matrix: every paper kernel at sizes well beyond
-/// the original 16×8 grids (MGS 64×32, GEMM 24³, …).
-pub fn default_sweep_kernels() -> Vec<SweepKernel> {
+impl SweepKernel {
+    /// Named concrete parameters (`program.params` zipped with `params`).
+    pub fn named_params(&self) -> Vec<(String, i64)> {
+        self.program
+            .params
+            .iter()
+            .cloned()
+            .zip(self.params.iter().copied())
+            .collect()
+    }
+
+    /// The symbolic evaluation environment: every program parameter bound
+    /// to its concrete value, plus the split variable when `binding` is
+    /// given — all derived from data, no per-kernel hardcoding.
+    pub fn env(&self, binding: Option<&SplitBinding>) -> Vec<(Var, i128)> {
+        let mut env: Vec<(Var, i128)> = self
+            .named_params()
+            .iter()
+            .map(|(n, v)| (Var::new(n), *v as i128))
+            .collect();
+        if let Some(b) = binding {
+            env.push((b.var, b.eval(&self.named_params())));
+        }
+        env
+    }
+}
+
+/// Problem-size tier of the default validation matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SweepSize {
+    /// Enlarged sizes (MGS 64×32, GEMM 24³, …) — the CI soundness gate.
+    Full,
+    /// The seed's fast test-grid sizes.
+    Small,
+}
+
+/// The default validation matrix: every paper kernel at the chosen size
+/// tier, as one data table (no per-kernel match-arms at use sites).
+pub fn default_sweep_kernels_at(size: SweepSize) -> Vec<SweepKernel> {
+    /// One row of the kernel table: name, program, statement, full-size
+    /// params, small-size params.
+    type Spec = (
+        &'static str,
+        iolb_ir::Program,
+        &'static str,
+        Vec<i64>,
+        Vec<i64>,
+    );
     let s_offsets = vec![0, 4, 16, 64, 256];
-    vec![
-        SweepKernel {
-            name: "MGS",
-            program: iolb_kernels::mgs::program(),
-            stmt: "SU",
-            params: vec![64, 32],
-            env: vec![(Var::new("M"), 64), (Var::new("N"), 32)],
-            split: SplitChoice::None,
+    let specs: Vec<Spec> = vec![
+        (
+            "MGS",
+            iolb_kernels::mgs::program(),
+            "SU",
+            vec![64, 32],
+            vec![12, 6],
+        ),
+        (
+            "QR HH A2V",
+            iolb_kernels::householder::a2v_program(),
+            "SU",
+            vec![40, 20],
+            vec![14, 6],
+        ),
+        (
+            "QR HH V2Q",
+            iolb_kernels::householder::v2q_program(),
+            "SU",
+            vec![40, 20],
+            vec![14, 6],
+        ),
+        (
+            "GEBD2",
+            iolb_kernels::gebd2::program(),
+            "SU",
+            vec![36, 18],
+            vec![12, 6],
+        ),
+        (
+            "GEHD2",
+            iolb_kernels::gehd2::program(),
+            "SU1",
+            vec![25],
+            vec![11],
+        ),
+        (
+            "GEMM",
+            iolb_kernels::gemm::program(),
+            "SU",
+            vec![24, 24, 24],
+            vec![8, 8, 8],
+        ),
+    ];
+    specs
+        .into_iter()
+        .map(|(name, program, stmt, full, small)| SweepKernel {
+            name: name.to_string(),
+            program,
+            stmt: stmt.to_string(),
+            params: match size {
+                SweepSize::Full => full,
+                SweepSize::Small => small,
+            },
+            split: None,
             s_offsets: s_offsets.clone(),
-        },
-        SweepKernel {
-            name: "QR HH A2V",
-            program: iolb_kernels::householder::a2v_program(),
-            stmt: "SU",
-            params: vec![40, 20],
-            env: vec![(Var::new("M"), 40), (Var::new("N"), 20)],
-            split: SplitChoice::None,
-            s_offsets: s_offsets.clone(),
-        },
-        SweepKernel {
-            name: "QR HH V2Q",
-            program: iolb_kernels::householder::v2q_program(),
-            stmt: "SU",
-            params: vec![40, 20],
-            env: vec![(Var::new("M"), 40), (Var::new("N"), 20)],
-            split: SplitChoice::None,
-            s_offsets: s_offsets.clone(),
-        },
-        SweepKernel {
-            name: "GEBD2",
-            program: iolb_kernels::gebd2::program(),
-            stmt: "SU",
-            params: vec![36, 18],
-            env: vec![(Var::new("M"), 36), (Var::new("N"), 18)],
-            split: SplitChoice::None,
-            s_offsets: s_offsets.clone(),
-        },
-        SweepKernel {
-            name: "GEHD2",
-            program: iolb_kernels::gehd2::program(),
-            stmt: "SU1",
-            params: vec![25],
-            env: vec![(Var::new("N"), 25), (theorems::split_var(), 12)],
-            split: SplitChoice::At(iolb_symbolic::Poly::var(theorems::split_var())),
-            s_offsets: s_offsets.clone(),
-        },
-        SweepKernel {
-            name: "GEMM",
-            program: iolb_kernels::gemm::program(),
-            stmt: "SU",
-            params: vec![24, 24, 24],
-            env: vec![
-                (Var::new("M"), 24),
-                (Var::new("N"), 24),
-                (Var::new("K"), 24),
-            ],
-            split: SplitChoice::None,
-            s_offsets,
-        },
-    ]
+        })
+        .collect()
+}
+
+/// [`default_sweep_kernels_at`] at the full (CI gate) sizes.
+pub fn default_sweep_kernels() -> Vec<SweepKernel> {
+    default_sweep_kernels_at(SweepSize::Full)
 }
 
 /// A prepared kernel: exact CDAG plus derived bounds, shared across cells.
 struct Prepared {
-    name: &'static str,
+    name: String,
     params: Vec<i64>,
     env: Vec<(Var, i128)>,
     s_offsets: Vec<usize>,
     cdag: Cdag,
-    classical: ClassicalBound,
+    classical: Option<ClassicalBound>,
     hourglass: Option<iolb_core::HourglassBound>,
     prep_ms: f64,
 }
@@ -116,7 +168,7 @@ struct Prepared {
 #[derive(Debug, Clone)]
 pub struct SweepRow {
     /// Kernel display name.
-    pub kernel: &'static str,
+    pub kernel: String,
     /// Concrete parameter values.
     pub params: Vec<i64>,
     /// CDAG size (nodes, edges).
@@ -133,7 +185,7 @@ pub struct SweepRow {
     pub computes: u64,
     /// Peak red pebbles.
     pub peak_red: usize,
-    /// Classical K-partition bound at (env, S).
+    /// Classical K-partition bound at (env, S); 0 when none is derivable.
     pub lb_classical: f64,
     /// Hourglass bound at (env, S), 0 when the kernel has no pattern.
     pub lb_hourglass: f64,
@@ -178,18 +230,26 @@ pub fn run_sweep(kernels: Vec<SweepKernel>) -> SweepReport {
         .into_par_iter()
         .map(|k| {
             let t = Instant::now();
-            let analysis = Analysis::run(&k.program, std::slice::from_ref(&k.params))
+            // Same observation sizes as the `iolb` CLI's derivation pass,
+            // so printed bounds and validated bounds can never diverge.
+            let analysis = Analysis::run(&k.program, &report::observation_sizes(&k.params))
                 .unwrap_or_else(|e| panic!("{}: analysis failed: {e}", k.name));
-            let stmt = k.program.stmt_id(k.stmt).expect("sweep stmt");
-            let classical = analysis.classical_bound(stmt);
-            let hg = analysis
-                .detect_hourglass(stmt)
-                .map(|pat| hourglass::derive(&k.program, &pat, &k.split));
+            let stmt = k.program.stmt_id(&k.stmt).expect("sweep stmt");
+            let classical = analysis.try_classical_bound(stmt);
+            let (hg, binding) = match analysis.detect_hourglass(stmt) {
+                None => (None, None),
+                Some(pat) => {
+                    let (b, binding) = report::derive_with_split(&k.program, &pat, k.split.clone())
+                        .unwrap_or_else(|e| panic!("{}: {e}", k.name));
+                    (Some(b), binding)
+                }
+            };
+            let env = k.env(binding.as_ref());
             let cdag = build_cdag(&k.program, &k.params);
             Arc::new(Prepared {
                 name: k.name,
                 params: k.params,
-                env: k.env,
+                env,
                 s_offsets: k.s_offsets,
                 cdag,
                 classical,
@@ -216,7 +276,11 @@ pub fn run_sweep(kernels: Vec<SweepKernel>) -> SweepReport {
             let play = PebbleGame::new(&p.cdag, s)
                 .play_program_order(policy)
                 .unwrap_or_else(|e| panic!("{}: play failed at S={s}: {e}", p.name));
-            let lb_classical = p.classical.eval_floor(&p.env, s as i128);
+            let lb_classical = p
+                .classical
+                .as_ref()
+                .map(|b| b.eval_floor(&p.env, s as i128))
+                .unwrap_or(0.0);
             let lb_hourglass = p
                 .hourglass
                 .as_ref()
@@ -224,7 +288,7 @@ pub fn run_sweep(kernels: Vec<SweepKernel>) -> SweepReport {
                 .unwrap_or(0.0);
             let lb = lb_classical.max(lb_hourglass).max(1.0);
             SweepRow {
-                kernel: p.name,
+                kernel: p.name.clone(),
                 params: p.params.clone(),
                 nodes: p.cdag.len(),
                 edges: p.cdag.num_edges(),
@@ -345,29 +409,11 @@ mod tests {
 
     /// Small-size sweep: the full matrix machinery on fast cases, asserting
     /// soundness (bound ≤ play) and the MIN ≤ LRU invariant per cell pair.
+    /// The shrunken sizes come from the same data table as the CI-gate
+    /// sizes — no per-kernel match-arms here.
     #[test]
     fn small_sweep_is_sound_and_min_beats_lru() {
-        let mut kernels = default_sweep_kernels();
-        for k in &mut kernels {
-            // Shrink to test sizes (same shapes as the seed's grids).
-            let (params, env): (Vec<i64>, Vec<(Var, i128)>) = match k.name {
-                "MGS" => (vec![12, 6], vec![(Var::new("M"), 12), (Var::new("N"), 6)]),
-                "QR HH A2V" | "QR HH V2Q" => {
-                    (vec![14, 6], vec![(Var::new("M"), 14), (Var::new("N"), 6)])
-                }
-                "GEBD2" => (vec![12, 6], vec![(Var::new("M"), 12), (Var::new("N"), 6)]),
-                "GEHD2" => (
-                    vec![11],
-                    vec![(Var::new("N"), 11), (theorems::split_var(), 5)],
-                ),
-                _ => (
-                    vec![8, 8, 8],
-                    vec![(Var::new("M"), 8), (Var::new("N"), 8), (Var::new("K"), 8)],
-                ),
-            };
-            k.params = params;
-            k.env = env;
-        }
+        let kernels = default_sweep_kernels_at(SweepSize::Small);
         let report = run_sweep(kernels);
         assert_eq!(report.rows.len(), 6 * 5 * 2);
         let mut nontrivial = 0;
@@ -400,5 +446,20 @@ mod tests {
             json.matches('}').count(),
             "balanced JSON"
         );
+    }
+
+    /// The env of a sweep kernel is derived from program parameters plus
+    /// the split binding — the GEHD2-style data path.
+    #[test]
+    fn env_is_data_driven() {
+        let kernels = default_sweep_kernels_at(SweepSize::Small);
+        let gehd2 = kernels.iter().find(|k| k.name == "GEHD2").unwrap();
+        let env = gehd2.env(None);
+        assert_eq!(env, vec![(Var::new("N"), 11)]);
+        let binding =
+            iolb_core::report::midpoint_split_binding(&gehd2.program, iolb_ir::DimId(0)).unwrap();
+        let env = gehd2.env(Some(&binding));
+        // Midpoint of j ∈ [0, N−2) at N = 11: ⌊9/2⌋ = 4.
+        assert_eq!(env[1], (iolb_core::theorems::split_var(), 4));
     }
 }

@@ -1,0 +1,446 @@
+//! `iolb` — the end-to-end I/O lower-bound pipeline on textual kernels.
+//! (Library half: the `iolb` binary is a thin wrapper around [`run`].)
+//!
+//! For every `.iolb` file: parse → access-consistency certification →
+//! φ-set extraction → classical σ-bound → hourglass detect / certify /
+//! derive (§3–4, with §5.3 splitting) → exact CDAG → MIN/LRU pebble-game
+//! validation over an S grid. Prints a per-kernel derivation summary and
+//! the validation table; optionally emits a machine-readable JSON report.
+//!
+//! Exit codes: `0` all kernels validated sound, `1` an unsound cell or a
+//! failed validation, `2` usage / parse / analysis errors.
+
+use iolb_bench::sweep::{run_sweep, sweep_report_json, SweepKernel, SweepReport};
+use iolb_core::hourglass;
+use iolb_core::report::{derive_with_split, observation_sizes, SplitBinding};
+use iolb_core::Analysis;
+use iolb_ir::parse::{parse_kernel, print_kernel, KernelFile, ParamExpr};
+use iolb_ir::Program;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// CLI usage text.
+pub const USAGE: &str = "\
+iolb — I/O lower bounds for affine kernels (hourglass-tightened)
+
+USAGE:
+    iolb [OPTIONS] <FILE.iolb>...
+    iolb emit-builtin <DIR>      regenerate the built-in paper kernels as .iolb files
+
+OPTIONS:
+    --params M=64,N=32    override the file's `default` parameter values
+    --stmt NAME           override the file's `analyze` statement
+    --s-grid 0,4,16,...   offsets added to the minimum feasible S (default 0,4,16,64,256)
+    --json PATH           write the validation matrix as JSON
+    --derive-only         skip the pebble-game validation (bounds only)
+    -h, --help            this text
+";
+
+/// Parsed command-line options.
+#[derive(Debug)]
+pub struct Options {
+    /// `.iolb` files to process.
+    pub files: Vec<PathBuf>,
+    /// `--params` overrides.
+    pub params_override: Vec<(String, i64)>,
+    /// `--stmt` override.
+    pub stmt_override: Option<String>,
+    /// `--s-grid` offsets.
+    pub s_offsets: Vec<usize>,
+    /// `--json` output path.
+    pub json: Option<PathBuf>,
+    /// `--derive-only` flag.
+    pub derive_only: bool,
+}
+
+/// Parses command-line arguments (everything after the binary name).
+///
+/// # Errors
+/// Returns usage/diagnostic text to print.
+pub fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut o = Options {
+        files: Vec::new(),
+        params_override: Vec::new(),
+        stmt_override: None,
+        s_offsets: vec![0, 4, 16, 64, 256],
+        json: None,
+        derive_only: false,
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--params" => {
+                let v = it.next().ok_or("--params needs a value")?;
+                for kv in v.split(',') {
+                    let (k, val) = kv
+                        .split_once('=')
+                        .ok_or_else(|| format!("bad --params entry `{kv}` (want NAME=INT)"))?;
+                    let val: i64 = val
+                        .trim()
+                        .parse()
+                        .map_err(|_| format!("bad integer in --params entry `{kv}`"))?;
+                    o.params_override.push((k.trim().to_string(), val));
+                }
+            }
+            "--stmt" => {
+                o.stmt_override = Some(it.next().ok_or("--stmt needs a value")?.clone());
+            }
+            "--s-grid" => {
+                let v = it.next().ok_or("--s-grid needs a value")?;
+                o.s_offsets = v
+                    .split(',')
+                    .map(|x| x.trim().parse::<usize>())
+                    .collect::<Result<_, _>>()
+                    .map_err(|_| format!("bad --s-grid list `{v}`"))?;
+                if o.s_offsets.is_empty() {
+                    return Err("--s-grid needs at least one offset".to_string());
+                }
+            }
+            "--json" => {
+                o.json = Some(PathBuf::from(it.next().ok_or("--json needs a path")?));
+            }
+            "--derive-only" => o.derive_only = true,
+            "-h" | "--help" => return Err(USAGE.to_string()),
+            other if other.starts_with('-') => {
+                return Err(format!("unknown option `{other}`\n\n{USAGE}"))
+            }
+            file => o.files.push(PathBuf::from(file)),
+        }
+    }
+    if o.files.is_empty() {
+        return Err(USAGE.to_string());
+    }
+    if o.derive_only && o.json.is_some() {
+        return Err(
+            "--derive-only skips validation, so --json would write an empty report; \
+             drop one of the two flags"
+                .to_string(),
+        );
+    }
+    Ok(o)
+}
+
+/// The CLI entry point (argument vector without the binary name).
+pub fn run(args: &[String]) -> ExitCode {
+    let args = args.to_vec();
+    if args.first().map(String::as_str) == Some("emit-builtin") {
+        return match args.get(1) {
+            Some(dir) => emit_builtin(Path::new(dir)),
+            None => {
+                eprintln!("emit-builtin needs a target directory\n\n{USAGE}");
+                ExitCode::from(2)
+            }
+        };
+    }
+    let opts = match parse_args(&args) {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let mut all_sound = true;
+    let mut json_reports: Vec<(String, SweepReport)> = Vec::new();
+    for file in &opts.files {
+        match run_file(file, &opts) {
+            Ok(Some((name, report, sound))) => {
+                all_sound &= sound;
+                json_reports.push((name, report));
+            }
+            Ok(None) => {} // --derive-only
+            Err(msg) => {
+                eprintln!("{}: {msg}", file.display());
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    if let Some(path) = &opts.json {
+        let mut combined = SweepReport {
+            rows: Vec::new(),
+            total_wall_ms: 0.0,
+            threads: 0,
+        };
+        for (_, r) in &json_reports {
+            combined.rows.extend(r.rows.iter().cloned());
+            combined.total_wall_ms += r.total_wall_ms;
+            combined.threads = combined.threads.max(r.threads);
+        }
+        if let Err(e) = std::fs::write(path, sweep_report_json(&combined)) {
+            eprintln!("writing {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+        println!("wrote {}", path.display());
+    }
+
+    if !all_sound {
+        eprintln!("UNSOUND cells found — a derived bound exceeded a legal play");
+        return ExitCode::from(1);
+    }
+    if json_reports.is_empty() {
+        println!("derivations complete (pebble validation skipped)");
+    } else {
+        println!("all cells sound ✓");
+    }
+    ExitCode::SUCCESS
+}
+
+/// Parses, analyzes, and (unless `--derive-only`) pebble-validates one
+/// file. Returns `Ok(None)` in derive-only mode.
+pub fn run_file(
+    file: &Path,
+    opts: &Options,
+) -> Result<Option<(String, SweepReport, bool)>, String> {
+    let src = std::fs::read_to_string(file).map_err(|e| format!("cannot read: {e}"))?;
+    let kernel = parse_kernel(&src).map_err(|e| e.to_string())?;
+    let program = &kernel.program;
+    println!("── {} ({})", program.name, file.display());
+
+    let params = resolve_params(&kernel, &opts.params_override)?;
+    let named: Vec<(String, i64)> = program.params.iter().cloned().zip(params.clone()).collect();
+    println!(
+        "   params: {}",
+        named
+            .iter()
+            .map(|(n, v)| format!("{n}={v}"))
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+
+    // 1. The synthesized semantics must perform exactly the declared
+    // accesses (the certification that lets everything downstream trust
+    // the declared affine structure).
+    let certified = iolb_ir::interp::validate_accesses(program, &params)
+        .map_err(|e| format!("access certification failed: {e}"))?;
+    println!("   access-certified {certified} statement instances");
+
+    // 2. Statement under analysis: --stmt, else the `analyze` directive,
+    // else the deepest (latest) statement.
+    let stmt_name = opts
+        .stmt_override
+        .clone()
+        .or_else(|| kernel.analyze.clone())
+        .unwrap_or_else(|| deepest_stmt(program));
+    let stmt = program
+        .stmt_id(&stmt_name)
+        .ok_or_else(|| format!("no statement named {stmt_name}"))?;
+
+    // 3. Dependence analysis + bounds at small observation sizes.
+    let observe = observation_sizes(&params);
+    let analysis = Analysis::run(program, &observe).map_err(|e| format!("analysis: {e}"))?;
+    let classical = analysis.try_classical_bound(stmt);
+    match &classical {
+        Some(b) => println!("   classical: σ={} m={} → {}", b.sigma, b.m, b.expr),
+        None => println!("   classical: no covering projection set (no σ-bound)"),
+    }
+
+    let split_binding = dsl_split_binding(&kernel);
+    let pattern = analysis.detect_hourglass(stmt);
+    match &pattern {
+        Some(pat) => {
+            let checked = hourglass::certify(program, pat, &observe[0])
+                .map_err(|e| format!("hourglass certification: {e}"))?;
+            // The same split decision `run_sweep` makes (shared helper +
+            // identical observation sizes), so the printed derivation and
+            // the validated bound cannot diverge.
+            let (b, applied) = derive_with_split(program, pat, split_binding.clone())?;
+            if let Some(binding) = &applied {
+                println!("   split: {} = {} (§5.3)", binding.var.name(), binding.expr);
+            }
+            println!(
+                "   hourglass on {stmt_name}: certified {checked} chains, W∈[{}, {}] → {}",
+                b.w_min, b.w_max, b.main_tool
+            );
+        }
+        None => println!("   hourglass: no pattern on {stmt_name}"),
+    }
+
+    if opts.derive_only {
+        return Ok(None);
+    }
+
+    // 4. Exact CDAG + MIN/LRU pebble validation over the S grid.
+    let sweep = SweepKernel {
+        name: program.name.clone(),
+        program: reparse(&src)?,
+        stmt: stmt_name,
+        params,
+        split: split_binding,
+        s_offsets: opts.s_offsets.clone(),
+    };
+    let report = run_sweep(vec![sweep]);
+    print!("{}", iolb_bench::sweep::render_sweep_table(&report));
+    let mut sound = true;
+    for r in &report.rows {
+        if !r.sound() {
+            eprintln!(
+                "   UNSOUND: S={} {:?}: bound {} exceeds play loads {}",
+                r.s,
+                r.policy,
+                r.lb(),
+                r.loads
+            );
+            sound = false;
+        }
+    }
+    println!();
+    Ok(Some((program.name.clone(), report, sound)))
+}
+
+/// Concrete parameter values: CLI override wins over the `default`
+/// directive, which must cover everything else. Override entries naming no
+/// program parameter are an error, not a silent no-op.
+fn resolve_params(kernel: &KernelFile, over: &[(String, i64)]) -> Result<Vec<i64>, String> {
+    for (n, _) in over {
+        if !kernel.program.params.contains(n) {
+            return Err(format!(
+                "--params names unknown parameter {n} (kernel has: {})",
+                kernel.program.params.join(", ")
+            ));
+        }
+    }
+    kernel
+        .program
+        .params
+        .iter()
+        .map(|p| {
+            over.iter()
+                .find(|(n, _)| n == p)
+                .map(|(_, v)| *v)
+                .or_else(|| {
+                    kernel
+                        .defaults
+                        .iter()
+                        .find(|(n, _)| n == p)
+                        .map(|(_, v)| *v)
+                })
+                .ok_or_else(|| {
+                    format!("parameter {p} has no `default` directive (pass --params {p}=…)")
+                })
+        })
+        .collect()
+}
+
+/// Fallback analysis target: the deepest statement (ties → latest in
+/// schedule order) — the dominant update of every kernel shipped here.
+fn deepest_stmt(program: &Program) -> String {
+    program
+        .stmts
+        .iter()
+        .max_by_key(|s| (s.dims.len(), s.position))
+        .map(|s| s.name.clone())
+        .unwrap_or_default()
+}
+
+/// The DSL `split` directive as a [`SplitBinding`] on the paper's `Ms`.
+fn dsl_split_binding(kernel: &KernelFile) -> Option<SplitBinding> {
+    kernel.split.as_ref().map(|(name, expr)| SplitBinding {
+        var: iolb_symbolic::Var::new(name),
+        expr: expr.clone(),
+    })
+}
+
+/// A second, independent parse of the same source (the [`Program`] is not
+/// clonable: its statements carry closures).
+fn reparse(src: &str) -> Result<Program, String> {
+    Ok(parse_kernel(src).map_err(|e| e.to_string())?.program)
+}
+
+// ---------------------------------------------------------------------------
+// emit-builtin
+// ---------------------------------------------------------------------------
+
+/// Writes the six paper kernels as `.iolb` files (the shipped `kernels/`
+/// directory is regenerated this way, so the DSL front-end and the
+/// builder-constructed originals can never drift apart silently).
+pub fn emit_builtin(dir: &Path) -> ExitCode {
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("creating {}: {e}", dir.display());
+        return ExitCode::from(2);
+    }
+    for (program, stmt, defaults, split) in builtin_kernels() {
+        let file = KernelFile {
+            analyze: Some(stmt.to_string()),
+            defaults,
+            split,
+            program,
+        };
+        let path = dir.join(format!("{}.iolb", file.program.name));
+        let text = format!(
+            "# Generated by `iolb emit-builtin` from the builder-constructed paper kernel.\n{}",
+            print_kernel(&file)
+        );
+        match iolb_ir::parse::parse_program(&text) {
+            Ok(p) => {
+                if let Some(diff) = iolb_ir::parse::structural_diff(&file.program, &p) {
+                    eprintln!("{}: round-trip mismatch: {diff}", path.display());
+                    return ExitCode::from(2);
+                }
+            }
+            Err(e) => {
+                eprintln!("{}: generated text does not re-parse: {e}", path.display());
+                return ExitCode::from(2);
+            }
+        }
+        if let Err(e) = std::fs::write(&path, text) {
+            eprintln!("writing {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+        println!("wrote {}", path.display());
+    }
+    ExitCode::SUCCESS
+}
+
+/// One built-in paper kernel: program, analysis statement, full-size
+/// validation parameters, and (GEHD2) the §5.3 split binding.
+pub type BuiltinKernel = (
+    Program,
+    &'static str,
+    Vec<(String, i64)>,
+    Option<(String, ParamExpr)>,
+);
+
+/// The paper kernels with their pipeline directives: analysis statement,
+/// full-size validation parameters, and (GEHD2) the §5.3 split binding.
+pub fn builtin_kernels() -> Vec<BuiltinKernel> {
+    let mn = |m: i64, n: i64| vec![("M".to_string(), m), ("N".to_string(), n)];
+    vec![
+        (iolb_kernels::mgs::program(), "SU", mn(64, 32), None),
+        (
+            iolb_kernels::householder::a2v_program(),
+            "SU",
+            mn(40, 20),
+            None,
+        ),
+        (
+            iolb_kernels::householder::v2q_program(),
+            "SU",
+            mn(40, 20),
+            None,
+        ),
+        (iolb_kernels::gebd2::program(), "SU", mn(36, 18), None),
+        (
+            iolb_kernels::gehd2::program(),
+            "SU1",
+            vec![("N".to_string(), 25)],
+            Some((
+                "Ms".to_string(),
+                ParamExpr {
+                    terms: vec![("N".to_string(), iolb_numeric::rational::rat(1, 2))],
+                    cst: iolb_numeric::Rational::int(-1),
+                },
+            )),
+        ),
+        (
+            iolb_kernels::gemm::program(),
+            "SU",
+            vec![
+                ("M".to_string(), 24),
+                ("N".to_string(), 24),
+                ("K".to_string(), 24),
+            ],
+            None,
+        ),
+    ]
+}

@@ -1,0 +1,8 @@
+//! The `iolb` binary: thin wrapper around [`iolb_cli::run`].
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    iolb_cli::run(&args)
+}

@@ -1,0 +1,113 @@
+//! End-to-end CLI runs over shipped `.iolb` files: parse → bounds → CDAG →
+//! MIN/LRU pebble validation, every cell sound, non-paper workloads
+//! included.
+
+use iolb_cli::{parse_args, run_file, Options};
+use std::path::PathBuf;
+
+fn kernels_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../kernels")
+}
+
+fn small_opts() -> Options {
+    parse_args(&[
+        "--s-grid".to_string(),
+        "0,8,64".to_string(),
+        "x".to_string(),
+    ])
+    .unwrap()
+}
+
+#[test]
+fn cholesky_full_pipeline_is_sound() {
+    let opts = small_opts();
+    let (name, report, sound) = run_file(&kernels_dir().join("cholesky.iolb"), &opts)
+        .expect("pipeline")
+        .expect("validation ran");
+    assert_eq!(name, "cholesky");
+    assert!(sound, "every cell must be sound");
+    assert_eq!(report.rows.len(), 3 * 2, "S grid × {{LRU, MIN}}");
+    // A non-paper kernel must still produce non-trivial classical bounds.
+    assert!(
+        report.rows.iter().all(|r| r.lb_classical > 0.0),
+        "cholesky must have a real σ-bound in every cell"
+    );
+}
+
+#[test]
+fn lu_and_syrk_full_pipeline_is_sound() {
+    let opts = small_opts();
+    for file in ["lu_nopiv.iolb", "syrk.iolb"] {
+        let (_, report, sound) = run_file(&kernels_dir().join(file), &opts)
+            .expect("pipeline")
+            .expect("validation ran");
+        assert!(sound, "{file}: every cell must be sound");
+        assert!(
+            report.rows.iter().all(|r| r.lb_classical > 0.0),
+            "{file}: non-trivial bounds expected"
+        );
+    }
+}
+
+#[test]
+fn jacobi_stencil_degrades_gracefully() {
+    // No covering projection set and no hourglass: the pipeline must not
+    // abort, and the trivial bound is (vacuously) sound in every cell.
+    let opts = small_opts();
+    let (_, report, sound) = run_file(&kernels_dir().join("jacobi2d.iolb"), &opts)
+        .expect("pipeline")
+        .expect("validation ran");
+    assert!(sound);
+    assert!(report.rows.iter().all(|r| r.lb() == 0.0));
+}
+
+#[test]
+fn params_override_applies() {
+    let mut opts = small_opts();
+    opts.params_override = vec![("N".to_string(), 12)];
+    let (_, report, sound) = run_file(&kernels_dir().join("cholesky.iolb"), &opts)
+        .expect("pipeline")
+        .expect("validation ran");
+    assert!(sound);
+    assert!(report.rows.iter().all(|r| r.params == vec![12]));
+}
+
+#[test]
+fn missing_file_and_bad_args_are_errors() {
+    let opts = small_opts();
+    assert!(run_file(&kernels_dir().join("nope.iolb"), &opts).is_err());
+    assert!(parse_args(&["--s-grid".to_string(), "a,b".to_string()]).is_err());
+    assert!(parse_args(&[]).is_err());
+    assert!(parse_args(&["--params".to_string(), "N".to_string(), "f".to_string()]).is_err());
+    // --derive-only writes no cells, so combining it with --json is a
+    // usage error rather than an empty report.
+    let err = parse_args(&[
+        "--derive-only".to_string(),
+        "--json".to_string(),
+        "out.json".to_string(),
+        "f.iolb".to_string(),
+    ])
+    .unwrap_err();
+    assert!(err.contains("--derive-only"), "{err}");
+}
+
+#[test]
+fn unknown_params_override_is_an_error() {
+    let mut opts = small_opts();
+    opts.params_override = vec![("NN".to_string(), 12)];
+    let err = run_file(&kernels_dir().join("cholesky.iolb"), &opts).unwrap_err();
+    assert!(err.contains("unknown parameter NN"), "{err}");
+}
+
+#[test]
+fn paper_kernel_through_cli_matches_builder_sweep() {
+    // MGS from the shipped file at the default full size: the hourglass
+    // bound column must be non-trivial (the tightened bound survives the
+    // DSL round-trip into the validation matrix).
+    let opts = small_opts();
+    let (_, report, sound) = run_file(&kernels_dir().join("mgs.iolb"), &opts)
+        .expect("pipeline")
+        .expect("validation ran");
+    assert!(sound);
+    assert!(report.rows.iter().all(|r| r.lb_hourglass > 0.0));
+}

@@ -43,32 +43,41 @@ pub struct ClassicalBound {
 /// Panics when the projection set cannot cover the iteration space (no
 /// bound derivable) — the kernels in this workspace always can.
 pub fn derive(program: &Program, stmt: StmtId, phi: &PhiSet) -> ClassicalBound {
-    let (sigma, exponents) = phi
-        .bl_exponents()
-        .expect("projections must cover the iteration space");
-    assert!(
-        phi.check_subgroups(&exponents),
-        "Brascamp-Lieb subgroup condition violated"
-    );
+    try_derive(program, stmt, phi)
+        .expect("projections must cover the iteration space (no classical bound derivable)")
+}
+
+/// Like [`derive`], but returns `None` when no classical bound exists for
+/// the statement: the projections do not cover the iteration space (a time
+/// loop every access drops, as in stencils) or the subgroup condition
+/// fails. Arbitrary DSL workloads go through this path so the pipeline
+/// degrades to "no classical bound" instead of aborting.
+pub fn try_derive(program: &Program, stmt: StmtId, phi: &PhiSet) -> Option<ClassicalBound> {
+    let (sigma, exponents) = phi.bl_exponents()?;
+    if !phi.check_subgroups(&exponents) {
+        return None;
+    }
     let m = phi.disjoint_regions();
     // |V| with the first outer iteration dropped (matches IOLB's tables).
-    let outer = program.stmt(stmt).dims[0];
+    let outer = *program.stmt(stmt).dims.first()?;
     let outer_lo = {
         let info = program.loop_info(outer);
-        assert_eq!(info.lo.len(), 1);
+        if info.lo.len() != 1 {
+            return None; // multi-bound outer loops have no closed-form count
+        }
         iolb_ir::count::aff_to_poly(program, &info.lo[0])
     };
     let volume = instance_count_with(program, stmt, &[(outer, &outer_lo + &Poly::one())]);
     let _ = dim_var(program, outer); // dimension variables are summed away
     let expr = wrap_expr(&volume, sigma, m);
-    ClassicalBound {
+    Some(ClassicalBound {
         stmt,
         sigma,
         exponents,
         m,
         volume,
         expr,
-    }
+    })
 }
 
 /// Builds `c(σ, m) · |V| · S^{1−σ}` with
@@ -90,22 +99,29 @@ impl ClassicalBound {
     /// Exact (floored) Theorem-1 evaluation at concrete parameters: maximize
     /// `T·⌊|V| / (K/m)^σ⌋` over a grid of `K = S + T`. This is the form to
     /// compare against pebble-game plays — never above the real bound.
+    ///
+    /// The set count `⌊|V| / (K/m)^σ⌋` is computed exactly: with
+    /// `σ = p/q`, it is the largest `t ≥ 0` with `t^q·K^p ≤ |V|^q·m^p`,
+    /// found by binary search over checked `i128` products (the fractional
+    /// power itself is irrational; its *floor comparison* is pure integer
+    /// arithmetic). An `f64` pipeline rounds `|V|` before flooring and can
+    /// overshoot the true bound beyond 2^53. Product overflow at
+    /// astronomically large parameters resolves conservatively — see
+    /// [`floored_set_count`].
     pub fn eval_floor(&self, env: &[(iolb_symbolic::Var, i128)], s: i128) -> f64 {
         let vol = self.volume.eval(&|v| {
             env.iter()
                 .find(|(w, _)| *w == v)
                 .map(|(_, x)| Rational::int(*x))
         });
-        let vol = vol.to_f64();
-        if vol <= 0.0 {
+        if !vol.is_positive() {
             return 0.0;
         }
-        let sigma = self.sigma.to_f64();
-        let m = self.m as f64;
+        let m = self.m as i128;
         let mut best = 0.0f64;
         // Scan candidate K around the analytic optimum and a coarse grid.
-        let opt = if sigma > 1.0 {
-            sigma / (sigma - 1.0) * s as f64
+        let opt = if self.sigma > Rational::ONE {
+            (self.sigma / (self.sigma - Rational::ONE)).to_f64() * s as f64
         } else {
             4.0 * s as f64
         };
@@ -118,12 +134,65 @@ impl ClassicalBound {
                 continue;
             }
             let t = (k - s) as f64;
-            let u = (k as f64 / m).powf(sigma);
-            let sets = (vol / u).floor();
-            best = best.max(t * sets);
+            let sets = floored_set_count(vol, k, m, self.sigma);
+            best = best.max(t * sets as f64);
         }
         best
     }
+}
+
+/// Exact `⌊|V| / (K/m)^σ⌋` for `σ = p/q > 0`: the largest `t ≥ 0` with
+/// `t^q·K^p·b^q ≤ a^q·m^p` where `|V| = a/b`. Binary search with checked
+/// `i128` products. When one side overflows `i128`, the comparison is still
+/// decided soundly: an overflowing side exceeds every representable value,
+/// so `lhs` overflow ⇒ not-fits and `rhs` overflow (with finite `lhs`) ⇒
+/// fits; only when *both* overflow does the search give up and answer
+/// not-fits — conservative (a smaller floored count), never an overshoot.
+fn floored_set_count(vol: Rational, k: i128, m: i128, sigma: Rational) -> i128 {
+    let (p, q) = (sigma.num() as u32, sigma.den() as u32);
+    let (a, b) = (vol.num(), vol.den());
+    let fits = |t: i128| -> bool {
+        let lhs = checked_pow(t, q)
+            .and_then(|x| x.checked_mul(checked_pow(k, p)?))
+            .and_then(|x| x.checked_mul(checked_pow(b, q)?));
+        let rhs = checked_pow(a, q).and_then(|x| x.checked_mul(checked_pow(m, p)?));
+        match (lhs, rhs) {
+            (Some(l), Some(r)) => l <= r,
+            (None, Some(_)) => false, // lhs > i128::MAX ≥ rhs
+            (Some(_), None) => true,  // rhs > i128::MAX ≥ lhs
+            (None, None) => false,    // undecidable: round the count down
+        }
+    };
+    if !fits(0) {
+        return 0;
+    }
+    // Grow an upper bracket, then binary-search the boundary.
+    let mut hi: i128 = 1;
+    while fits(hi) {
+        match hi.checked_mul(2) {
+            Some(next) => hi = next,
+            None => return hi, // beyond any physical set count
+        }
+    }
+    let mut lo: i128 = hi / 2; // fits(lo) holds
+    while hi - lo > 1 {
+        let mid = lo + (hi - lo) / 2;
+        if fits(mid) {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    lo
+}
+
+/// `x^e` with overflow checking (`None` on overflow).
+fn checked_pow(x: i128, e: u32) -> Option<i128> {
+    let mut acc: i128 = 1;
+    for _ in 0..e {
+        acc = acc.checked_mul(x)?;
+    }
+    Some(acc)
 }
 
 #[cfg(test)]
@@ -192,6 +261,27 @@ mod tests {
             assert!(floored <= asym * 1.0 + 1e-9, "floored {floored} vs {asym}");
             assert!(floored > 0.0);
         }
+    }
+
+    #[test]
+    fn floored_eval_survives_i128_overflow_conservatively() {
+        // |V| ≈ 2^64: |V|² overflows i128, so the q-th-root comparison loses
+        // one side (or both) — the count must round *down*, keeping the
+        // bound sound (≤ the unfloored asymptotic form), not panic.
+        let (p, su) = mgs_like();
+        let analysis = crate::Analysis::run(&p, &[vec![7, 5]]).unwrap();
+        let b = analysis.classical_bound(su);
+        let (m, n, s) = ((1i128 << 31) - 1, 1i128 << 17, 1i128 << 12);
+        let env = [(Var::new("M"), m), (Var::new("N"), n)];
+        let floored = b.eval_floor(&env, s);
+        let asym =
+            b.expr
+                .eval_ints_f64(&[(Var::new("M"), m), (Var::new("N"), n), (crate::s_var(), s)]);
+        assert!(floored > 0.0);
+        assert!(
+            floored <= asym * (1.0 + 1e-9),
+            "floored {floored} vs {asym}"
+        );
     }
 
     #[test]

@@ -496,14 +496,28 @@ impl HourglassBound {
     /// Exact floored Theorem-1 evaluation at concrete parameters (the form
     /// compared against pebble plays): `max` of the `K = 2S` branch
     /// `S·⌊|V|/U(2S)⌋` and the `K = W` branch `(W−S)·⌊|V'|/(2W)⌋`.
-    pub fn eval_floor(&self, env: &[(iolb_symbolic::Var, i128)], s: i128) -> f64 {
-        let ev = |p: &Poly| -> f64 {
+    ///
+    /// Every intermediate (`|V|`, `W`, `U(2S)`, the floors) is evaluated in
+    /// exact [`iolb_numeric::Rational`] arithmetic; beyond 2^53 an `f64`
+    /// pipeline rounds the volume *before* flooring and can push the result
+    /// above the true bound, breaking the "never above a legal play"
+    /// contract (see the `exact_floor_beats_f64_at_scale` regression test).
+    ///
+    /// # Panics
+    /// Panics when the exact arithmetic overflows `i128` (the workspace
+    /// treats silent wrapping of a bound as a hard logic error).
+    pub fn eval_floor_exact(
+        &self,
+        env: &[(iolb_symbolic::Var, i128)],
+        s: i128,
+    ) -> iolb_numeric::Rational {
+        use iolb_numeric::Rational;
+        let ev = |p: &Poly| -> Rational {
             p.eval(&|v| {
                 env.iter()
                     .find(|(w, _)| *w == v)
-                    .map(|(_, x)| iolb_numeric::Rational::int(*x))
+                    .map(|(_, x)| Rational::int(*x))
             })
-            .to_f64()
         };
         let (w, r, vol, vol_nd) = (
             ev(&self.w_min),
@@ -511,16 +525,28 @@ impl HourglassBound {
             ev(&self.volume),
             ev(&self.volume_nodrop),
         );
-        let sf = s as f64;
-        let mut best = 0.0f64;
-        if w > 0.0 && vol > 0.0 {
-            let u = (2.0 * sf) * (2.0 * sf) / w + 2.0 * r * (2.0 * sf);
-            best = best.max(sf * (vol / u).floor());
+        let s_r = Rational::int(s);
+        let mut best = Rational::ZERO;
+        if w.is_positive() && vol.is_positive() {
+            // U(2S) = (2S)²/W + 2R·(2S), all exact.
+            let two_s = Rational::TWO * s_r;
+            let u = two_s * two_s / w + Rational::TWO * r * two_s;
+            if u.is_positive() {
+                let sets = (vol / u).floor();
+                best = best.max(s_r * Rational::int(sets));
+            }
         }
-        if w > sf && vol_nd > 0.0 {
-            best = best.max((w - sf) * (vol_nd / (2.0 * w)).floor());
+        if w > s_r && vol_nd.is_positive() {
+            let sets = (vol_nd / (Rational::TWO * w)).floor();
+            best = best.max((w - s_r) * Rational::int(sets));
         }
         best
+    }
+
+    /// [`Self::eval_floor_exact`] converted to `f64` as the very last step
+    /// (the only lossy operation; error ≤ 1 ulp of the exact value).
+    pub fn eval_floor(&self, env: &[(iolb_symbolic::Var, i128)], s: i128) -> f64 {
+        self.eval_floor_exact(env, s).to_f64()
     }
 }
 

@@ -67,6 +67,13 @@ impl<'p> Analysis<'p> {
         classical::derive(self.program, stmt, &self.phi(stmt))
     }
 
+    /// Classical bound, or `None` when the projections cannot cover the
+    /// iteration space (stencil-like statements) — the non-panicking path
+    /// arbitrary DSL workloads go through.
+    pub fn try_classical_bound(&self, stmt: StmtId) -> Option<ClassicalBound> {
+        classical::try_derive(self.program, stmt, &self.phi(stmt))
+    }
+
     /// Detects the hourglass pattern on `stmt` (§3.2), if present.
     pub fn detect_hourglass(&self, stmt: StmtId) -> Option<HourglassPattern> {
         hourglass::detect(self.program, stmt, &self.projections)

@@ -3,8 +3,30 @@
 
 use crate::hourglass::{self, SplitChoice};
 use crate::{theorems, Analysis, ClassicalBound, HourglassBound};
+use iolb_ir::parse::ParamExpr;
 use iolb_ir::Program;
+use iolb_numeric::Rational;
 use iolb_symbolic::{Expr, Poly, Var};
+
+/// Per-kernel binding of a symbolic split variable (§5.3) to a value
+/// computed from the concrete parameters — carried as data on
+/// [`KernelReport`] so dynamically parsed kernels evaluate correctly
+/// instead of every kernel sharing a hardcoded `Ms = N/2 − 1` injection.
+#[derive(Debug, Clone)]
+pub struct SplitBinding {
+    /// The symbolic split variable (the paper's `Ms`).
+    pub var: Var,
+    /// Its value as a rational-affine function of the named parameters,
+    /// floored at evaluation.
+    pub expr: ParamExpr,
+}
+
+impl SplitBinding {
+    /// Evaluates the binding against named parameter values.
+    pub fn eval(&self, params: &[(String, i64)]) -> i128 {
+        self.expr.eval_floor(params)
+    }
+}
 
 /// A complete derivation for one kernel: the classical ("old") bound and
 /// the hourglass-tightened ("new") bound.
@@ -17,6 +39,8 @@ pub struct KernelReport {
     pub new: HourglassBound,
     /// True when §5.3 loop splitting was applied (GEHD2).
     pub split: bool,
+    /// The split-variable binding when splitting was applied.
+    pub split_binding: Option<SplitBinding>,
 }
 
 /// Derives both bounds for a kernel program.
@@ -33,6 +57,22 @@ pub fn analyze_kernel(
     name: &str,
     hourglass_stmt: &str,
 ) -> Result<KernelReport, String> {
+    analyze_kernel_with(program, name, hourglass_stmt, None)
+}
+
+/// [`analyze_kernel`] with an explicit split-variable binding (the DSL's
+/// `split Ms = …;` directive). Without one, a kernel that needs §5.3
+/// splitting gets the temporal-loop midpoint `⌊(lo + hi)/2⌋` — which is
+/// exactly the paper's `Ms = N/2 − 1` for GEHD2's `j ∈ [0, N−2)`.
+///
+/// # Errors
+/// Propagates dependence-analysis, detection or certification failures.
+pub fn analyze_kernel_with(
+    program: &Program,
+    name: &str,
+    hourglass_stmt: &str,
+    split_override: Option<SplitBinding>,
+) -> Result<KernelReport, String> {
     let observe: Vec<Vec<i64>> = match program.params.len() {
         1 => vec![vec![8], vec![9]],
         2 => vec![vec![9, 6], vec![8, 5]],
@@ -47,32 +87,108 @@ pub fn analyze_kernel(
         .detect_hourglass(stmt)
         .ok_or_else(|| format!("no hourglass pattern detected on {name}.{hourglass_stmt}"))?;
     hourglass::certify(program, &pattern, &observe[0])?;
-
-    // First try without splitting; if the minimal width degenerates to a
-    // constant, split the temporal loop at the symbolic point `Ms` (§5.3).
-    let plain = hourglass::derive(program, &pattern, &SplitChoice::None);
-    let (new, split) = if plain.w_min.is_constant() && !plain.w_max.is_constant() {
-        let split_point = Poly::var(theorems::split_var());
-        (
-            hourglass::derive(program, &pattern, &SplitChoice::At(split_point)),
-            true,
-        )
-    } else {
-        (plain, false)
-    };
+    let (new, split_binding) = derive_with_split(program, &pattern, split_override)?;
     Ok(KernelReport {
         name: name.to_string(),
         old,
         new,
-        split,
+        split: split_binding.is_some(),
+        split_binding,
     })
 }
 
-/// Improvement ratio new/old at concrete parameters.
-pub fn improvement_ratio(report: &KernelReport, env: &[(Var, i128)]) -> f64 {
+/// Derives the hourglass bound, applying §5.3 loop splitting when the
+/// plain minimal width collapses to a constant. Returns the bound plus the
+/// binding that was applied — the override first, the temporal-loop
+/// midpoint otherwise, `None` when no splitting was needed. Every consumer
+/// (the report pipeline, the validation sweep, the `iolb` CLI) shares this
+/// one decision point.
+///
+/// # Errors
+/// Propagates [`midpoint_split_binding`] failures.
+pub fn derive_with_split(
+    program: &Program,
+    pattern: &crate::HourglassPattern,
+    split_override: Option<SplitBinding>,
+) -> Result<(HourglassBound, Option<SplitBinding>), String> {
+    let plain = hourglass::derive(program, pattern, &SplitChoice::None);
+    if plain.w_min.is_constant() && !plain.w_max.is_constant() {
+        let binding = match split_override {
+            Some(b) => b,
+            None => midpoint_split_binding(program, pattern.temporal[0])?,
+        };
+        let split = SplitChoice::At(Poly::var(binding.var));
+        Ok((hourglass::derive(program, pattern, &split), Some(binding)))
+    } else {
+        Ok((plain, None))
+    }
+}
+
+/// Observation size vectors for analyzing a kernel at concrete validation
+/// parameters: the parameters themselves plus a slightly smaller sibling —
+/// unifying projections across two sizes rejects coincidental producers.
+pub fn observation_sizes(params: &[i64]) -> Vec<Vec<i64>> {
+    let a = params.to_vec();
+    let b: Vec<i64> = params
+        .iter()
+        .map(|&v| if v > 3 { v - 1 } else { v })
+        .collect();
+    if a == b {
+        vec![a]
+    } else {
+        vec![a, b]
+    }
+}
+
+/// The default split point: the midpoint of the temporal loop's parametric
+/// range, as a rational-affine function of the parameters (GEHD2's
+/// `j ∈ [0, N−2)` resolves to the paper's `Ms = N/2 − 1`).
+///
+/// # Errors
+/// Reports temporal loops whose bounds are not single parameter-only
+/// affine expressions.
+pub fn midpoint_split_binding(
+    program: &Program,
+    temporal: iolb_ir::DimId,
+) -> Result<SplitBinding, String> {
+    let info = program.loop_info(temporal);
+    if info.lo.len() != 1 || info.hi.len() != 1 {
+        return Err("split binding needs single-bound temporal loop".to_string());
+    }
+    let mut terms: Vec<(String, Rational)> = Vec::new();
+    let mut cst = Rational::ZERO;
+    for a in [&info.lo[0], &info.hi[0]] {
+        if !a.is_dim_free() {
+            return Err("split binding needs parameter-only temporal bounds".to_string());
+        }
+        cst += Rational::new(a.cst() as i128, 2);
+        for (p, c) in a.param_terms() {
+            let name = program.params[p.0 as usize].clone();
+            let coeff = Rational::new(*c as i128, 2);
+            match terms.iter_mut().find(|(n, _)| *n == name) {
+                Some((_, acc)) => *acc += coeff,
+                None => terms.push((name, coeff)),
+            }
+        }
+    }
+    terms.retain(|(_, c)| !c.is_zero());
+    Ok(SplitBinding {
+        var: theorems::split_var(),
+        expr: ParamExpr { terms, cst },
+    })
+}
+
+/// Improvement ratio new/old at concrete parameters. `None` when the old
+/// bound is zero or either bound is non-finite at the evaluation point
+/// (degenerate parameters) — previously those produced `inf`/`NaN` that
+/// silently flowed into tables.
+pub fn improvement_ratio(report: &KernelReport, env: &[(Var, i128)]) -> Option<f64> {
     let new = report.new.main_tool.eval_ints_f64(env);
     let old = report.old.expr.eval_ints_f64(env);
-    new / old
+    if !new.is_finite() || !old.is_finite() || old == 0.0 {
+        return None;
+    }
+    Some(new / old)
 }
 
 fn render_expr(e: &Expr) -> String {
@@ -132,20 +248,20 @@ pub struct Fig5Parity {
     pub engine_new: f64,
 }
 
-/// Evaluates Figure 5 parity at `(M, N, S)` (GEHD2 uses `N` and the
-/// `Ms = N/2 − 1` split).
+/// Evaluates Figure 5 parity at `(M, N, S)`. A kernel that needed §5.3
+/// splitting contributes its own [`SplitBinding`] (GEHD2's resolves to the
+/// paper's `Ms = N/2 − 1`) instead of a global hardcoded injection.
 pub fn fig5_parity(reports: &[KernelReport], m: i128, n: i128, s: i128) -> Vec<Fig5Parity> {
-    let env = [
-        (Var::new("M"), m),
-        (Var::new("N"), n),
-        (crate::s_var(), s),
-        (theorems::split_var(), n / 2 - 1),
-    ];
     let rows = theorems::fig5_rows();
     reports
         .iter()
         .filter_map(|r| {
             let paper = rows.iter().find(|p| p.kernel == r.name)?;
+            let mut env = vec![(Var::new("M"), m), (Var::new("N"), n), (crate::s_var(), s)];
+            if let Some(binding) = &r.split_binding {
+                let named = [("M".to_string(), m as i64), ("N".to_string(), n as i64)];
+                env.push((binding.var, binding.eval(&named)));
+            }
             Some(Fig5Parity {
                 kernel: r.name.clone(),
                 paper_old: paper.old.eval_ints_f64(&env),
@@ -258,9 +374,18 @@ mod tests {
             (Var::new("N"), 1 << 10),
             (crate::s_var(), 1 << 10),
         ];
-        let ratio = improvement_ratio(&report, &env);
+        let ratio = improvement_ratio(&report, &env).expect("finite ratio");
         // √S/8 = 4 up to the drop-first convention constants.
         assert!(ratio > 2.0 && ratio < 8.0, "ratio {ratio}");
+
+        // Degenerate parameters (N = 1 empties the iteration space, so the
+        // old bound is 0): the ratio must be None, not inf/NaN.
+        let degenerate = [
+            (Var::new("M"), 16),
+            (Var::new("N"), 1),
+            (crate::s_var(), 64),
+        ];
+        assert_eq!(improvement_ratio(&report, &degenerate), None);
     }
 
     #[test]

@@ -18,18 +18,23 @@
 //!   subscripts plus last-writer resolution, yielding the dependence-path
 //!   projections `Φ` of the K-partitioning method,
 //! * [`count`] — symbolic statement-instance counting (`|V|`, domain widths)
-//!   via Faulhaber summation.
+//!   via Faulhaber summation,
+//! * [`parse`] — the textual `.iolb` kernel DSL: parser with spanned
+//!   errors, pretty-printer, and structural program equality, opening the
+//!   analyses to workloads beyond the built-in paper kernels.
 
 pub mod affine;
 pub mod count;
 pub mod deps;
 pub mod interp;
+pub mod parse;
 pub mod program;
 
 pub use affine::{Aff, DimId, ParamId};
 pub use interp::{
     for_each_instance, ExecCtx, ExecSink, Interpreter, NullSink, Store, TraceEvent, TraceSink,
 };
+pub use parse::{parse_kernel, parse_program, print_kernel, print_program, KernelFile, ParseError};
 pub use program::{
     Access, ArrayDecl, ArrayId, Loop, LoopStep, Program, ProgramBuilder, Statement, Step, StmtId,
 };

@@ -344,12 +344,16 @@ impl ProgramBuilder {
     /// # Panics
     /// Panics on unknown parameter names.
     pub fn pid(&self, name: &str) -> ParamId {
-        let i = self
-            .params
+        self.try_pid(name)
+            .unwrap_or_else(|| panic!("unknown parameter {name}"))
+    }
+
+    /// Parameter id by name, or `None` when unknown (the parser's lookup).
+    pub fn try_pid(&self, name: &str) -> Option<ParamId> {
+        self.params
             .iter()
             .position(|p| p == name)
-            .unwrap_or_else(|| panic!("unknown parameter {name}"));
-        ParamId(i as u32)
+            .map(|i| ParamId(i as u32))
     }
 
     /// Affine loop-dimension reference.
