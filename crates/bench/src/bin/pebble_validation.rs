@@ -2,9 +2,11 @@
 //! on exact CDAGs, swept in parallel over the full (kernel × S × policy)
 //! grid at enlarged sizes (MGS 64×32, GEMM 24³, …).
 //!
-//! Writes `BENCH_pebble.json` (schema `hourglass-iolb/pebble-sweep/v1`)
-//! into the working directory so future runs can diff loads, bound ratios,
-//! and wall time.
+//! Writes `BENCH_pebble.json` (schema `hourglass-iolb/pebble-sweep/v2`)
+//! into the working directory — or to the path given as the first
+//! argument, so CI can generate a fresh copy next to the committed
+//! baseline and diff the two — letting future runs compare loads, bound
+//! ratios, and soundness.
 
 use iolb_bench::sweep::{default_sweep_kernels, render_sweep_table, run_sweep, sweep_report_json};
 
@@ -28,8 +30,10 @@ fn main() {
         }
     }
     let json = sweep_report_json(&report);
-    let path = "BENCH_pebble.json";
-    std::fs::write(path, &json).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+    let path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_pebble.json".to_string());
+    std::fs::write(&path, &json).unwrap_or_else(|e| panic!("writing {path}: {e}"));
     println!("\nwrote {path} ({} rows)", report.rows.len());
     assert_eq!(unsound, 0, "{unsound} unsound bounds — see stderr");
     println!("all bounds ≤ measured plays ✓");

@@ -15,6 +15,7 @@
 //! Criterion benches under `benches/` time the same artifacts.
 
 pub mod sweep;
+pub mod tightness;
 
 use iolb_core::report::{analyze_kernel, KernelReport};
 use iolb_ir::Program;

@@ -358,7 +358,19 @@ pub fn render_sweep_table(report: &SweepReport) -> String {
 
 /// Serializes the report as JSON (hand-rolled — the offline workspace has
 /// no serde; all emitted values are finite numbers or plain ASCII strings).
+///
+/// Deterministic by construction: rows are sorted by `(kernel, params, s,
+/// policy)` and keys have a fixed order, so the comparable sections are
+/// byte-stable across machines and thread counts. Volatile data (worker
+/// threads, wall times) lives only in the `meta` object, which the CI diff
+/// gate ignores.
 pub fn sweep_report_json(report: &SweepReport) -> String {
+    sweep_report_json_with(report, false)
+}
+
+/// [`sweep_report_json`] with optional redaction of the volatile `meta`
+/// object (zeroed for byte-stable golden snapshots).
+pub fn sweep_report_json_with(report: &SweepReport, redact_volatile: bool) -> String {
     fn num(x: f64) -> String {
         if x.is_finite() {
             format!("{x:.4}")
@@ -366,27 +378,41 @@ pub fn sweep_report_json(report: &SweepReport) -> String {
             "null".to_string()
         }
     }
+    let policy_name = |p: SpillPolicy| match p {
+        SpillPolicy::Lru => "lru",
+        SpillPolicy::MinNextUse => "min_next_use",
+    };
+    let mut rows: Vec<&SweepRow> = report.rows.iter().collect();
+    rows.sort_by(|a, b| {
+        (&a.kernel, &a.params, a.s, policy_name(a.policy)).cmp(&(
+            &b.kernel,
+            &b.params,
+            b.s,
+            policy_name(b.policy),
+        ))
+    });
+    let (threads, wall) = if redact_volatile {
+        (0, 0.0)
+    } else {
+        (report.threads, report.total_wall_ms)
+    };
     let mut out = String::from("{\n");
-    out.push_str("  \"schema\": \"hourglass-iolb/pebble-sweep/v1\",\n");
-    out.push_str(&format!("  \"threads\": {},\n", report.threads));
+    out.push_str("  \"schema\": \"hourglass-iolb/pebble-sweep/v2\",\n");
     out.push_str(&format!(
-        "  \"total_wall_ms\": {},\n",
-        num(report.total_wall_ms)
+        "  \"meta\": {{\"threads\": {threads}, \"total_wall_ms\": {}}},\n",
+        num(wall)
     ));
     out.push_str("  \"rows\": [\n");
-    for (i, r) in report.rows.iter().enumerate() {
+    for (i, r) in rows.iter().enumerate() {
         let params: Vec<String> = r.params.iter().map(|p| p.to_string()).collect();
         out.push_str(&format!(
-            "    {{\"kernel\": \"{}\", \"params\": [{}], \"nodes\": {}, \"edges\": {}, \"s\": {}, \"policy\": \"{}\", \"loads\": {}, \"computes\": {}, \"peak_red\": {}, \"lb_classical\": {}, \"lb_hourglass\": {}, \"ratio_loads_over_lb\": {}, \"sound\": {}, \"prep_ms\": {}, \"wall_ms\": {}}}{}\n",
+            "    {{\"kernel\": \"{}\", \"params\": [{}], \"nodes\": {}, \"edges\": {}, \"s\": {}, \"policy\": \"{}\", \"loads\": {}, \"computes\": {}, \"peak_red\": {}, \"lb_classical\": {}, \"lb_hourglass\": {}, \"ratio_loads_over_lb\": {}, \"sound\": {}}}{}\n",
             r.kernel,
             params.join(", "),
             r.nodes,
             r.edges,
             r.s,
-            match r.policy {
-                SpillPolicy::Lru => "lru",
-                SpillPolicy::MinNextUse => "min_next_use",
-            },
+            policy_name(r.policy),
             r.loads,
             r.computes,
             r.peak_red,
@@ -394,9 +420,7 @@ pub fn sweep_report_json(report: &SweepReport) -> String {
             num(r.lb_hourglass),
             num(r.ratio),
             r.sound(),
-            num(r.prep_ms),
-            num(r.wall_ms),
-            if i + 1 == report.rows.len() { "" } else { "," }
+            if i + 1 == rows.len() { "" } else { "," }
         ));
     }
     out.push_str("  ]\n}\n");
@@ -440,12 +464,30 @@ mod tests {
         }
         // JSON smoke: parsers only need balance + key presence here.
         let json = sweep_report_json(&report);
-        assert!(json.contains("\"schema\""));
+        assert!(json.contains("\"schema\": \"hourglass-iolb/pebble-sweep/v2\""));
         assert_eq!(
             json.matches('{').count(),
             json.matches('}').count(),
             "balanced JSON"
         );
+        // Deterministic comparable sections: rows sorted by kernel name and
+        // no volatile field outside `meta`.
+        let kernels: Vec<&str> = json
+            .lines()
+            .filter_map(|l| l.trim().strip_prefix("{\"kernel\": \""))
+            .map(|l| l.split('"').next().unwrap())
+            .collect();
+        let mut sorted = kernels.clone();
+        sorted.sort();
+        assert_eq!(kernels, sorted, "rows sorted by kernel");
+        // No volatile field may leak into the comparable rows section.
+        let rows_section = json.split("\"rows\"").nth(1).expect("rows array");
+        assert!(
+            !rows_section.contains("_ms") && !rows_section.contains("threads"),
+            "volatile field outside meta"
+        );
+        let redacted = sweep_report_json_with(&report, true);
+        assert!(redacted.contains("\"meta\": {\"threads\": 0, \"total_wall_ms\": 0.0000}"));
     }
 
     /// The env of a sweep kernel is derived from program parameters plus

@@ -1,0 +1,577 @@
+//! Upper-bound schedule engine: measured I/O of concrete blocked
+//! executions vs the derived lower bounds.
+//!
+//! The paper's tightness claim is that the hourglass-raised bounds *match*
+//! the data movement of known blocked/tiled implementations. This module
+//! closes that loop empirically, per kernel and per fast-memory size `S`:
+//!
+//! 1. the kernel's exact CDAG is built once from the *untiled* program
+//!    (node ids in program order — the canonical instance identity);
+//! 2. every candidate schedule — program order plus tile-size assignments
+//!    for the kernel's `schedule { tile … }` directives, swept by an
+//!    auto-tuner — is lowered to a permutation of the compute nodes via
+//!    [`tile_program`] + instance enumeration;
+//! 3. each permutation is played through the red-white pebble engine with
+//!    the MIN spill policy; the play validates the permutation (topological
+//!    order, exactly-once coverage) and its loads are the *achieved* I/O
+//!    Q(S) of that blocked execution — a legal upper-bound witness;
+//! 4. the best schedule per `S` is kept, its access trace is additionally
+//!    driven through the element-granularity cache simulators
+//!    (`LruSim`/`BeladySim`), and its final store is cross-checked against
+//!    the untiled interpreter (an illegal interchange can never win
+//!    silently: the play rejects non-topological orders and the store
+//!    comparison rejects changed numerics).
+//!
+//! The outcome per `(kernel, S)` is a [`TightnessPoint`]: lower bound,
+//! best measured upper bound, and their ratio — emitted as
+//! `BENCH_tightness.json` and gated in CI against regressions.
+
+use iolb_cdag::{build_cdag, NodeId, PebbleGame, SpillPolicy};
+use iolb_core::report::TightnessPoint;
+use iolb_core::{ClassicalBound, HourglassBound};
+use iolb_ir::parse::TileDirective;
+use iolb_ir::schedule::{tile_program, TileSpec};
+use iolb_ir::{for_each_instance, Interpreter, Program, Store, TraceSink};
+use iolb_memsim::{BeladySim, LruSim};
+use iolb_symbolic::Var;
+use rayon::prelude::*;
+use std::collections::HashMap;
+use std::time::Instant;
+
+/// One kernel's tightness measurement inputs.
+pub struct TightnessJob {
+    /// Display name.
+    pub name: String,
+    /// The untiled program (instance identity and lower bounds live here).
+    pub program: Program,
+    /// Concrete parameter values.
+    pub params: Vec<i64>,
+    /// Symbolic evaluation environment for the bounds (parameters plus any
+    /// split-variable binding).
+    pub env: Vec<(Var, i128)>,
+    /// Classical K-partition bound, when derivable.
+    pub classical: Option<ClassicalBound>,
+    /// Hourglass bound, when the kernel has the pattern.
+    pub hourglass: Option<HourglassBound>,
+    /// `schedule { tile … }` directives from the kernel file (empty means
+    /// only program order is measured).
+    pub schedule: Vec<TileDirective>,
+    /// Offsets added to the minimum feasible S.
+    pub s_offsets: Vec<usize>,
+}
+
+/// Tightness outcome of one kernel.
+#[derive(Debug, Clone)]
+pub struct KernelTightness {
+    /// Kernel display name.
+    pub kernel: String,
+    /// Concrete parameter values.
+    pub params: Vec<i64>,
+    /// One point per swept S, ascending.
+    pub points: Vec<TightnessPoint>,
+}
+
+/// Full tightness report across a kernel suite.
+#[derive(Debug, Clone)]
+pub struct TightnessReport {
+    /// Per-kernel outcomes, sorted by kernel name.
+    pub kernels: Vec<KernelTightness>,
+    /// End-to-end wall time (milliseconds) — volatile, excluded from the
+    /// comparable JSON sections.
+    pub total_wall_ms: f64,
+    /// Worker threads used — volatile, excluded likewise.
+    pub threads: usize,
+}
+
+/// One candidate schedule of the auto-tuner.
+struct Candidate {
+    /// Human-readable description (`"program-order"`, `"tile i=8 j=8"`).
+    desc: String,
+    /// Tile specs; `None` is the untransformed program order.
+    tiles: Option<Vec<TileSpec>>,
+}
+
+/// Runs the tightness measurement for every job concurrently.
+///
+/// # Errors
+/// Propagates tiling failures, schedule-mapping failures (an enumerated
+/// instance missing from the CDAG), and numeric cross-check mismatches.
+pub fn run_tightness(jobs: Vec<TightnessJob>) -> Result<TightnessReport, String> {
+    let t_total = Instant::now();
+    let mut kernels = jobs
+        .into_par_iter()
+        .map(measure_kernel)
+        .collect::<Vec<Result<KernelTightness, String>>>()
+        .into_iter()
+        .collect::<Result<Vec<KernelTightness>, String>>()?;
+    kernels.sort_by(|a, b| a.kernel.cmp(&b.kernel));
+    Ok(TightnessReport {
+        kernels,
+        total_wall_ms: t_total.elapsed().as_secs_f64() * 1e3,
+        threads: rayon::current_num_threads(),
+    })
+}
+
+/// The auto-tuner's tile-size candidates for one unsized directive: powers
+/// of two (plus 1, the pure-interchange driver), capped near the largest
+/// concrete parameter so degenerate single-tile candidates are skipped.
+fn size_candidates(params: &[i64], n_unsized: usize) -> Vec<i64> {
+    let cap = params.iter().copied().max().unwrap_or(1);
+    let base: &[i64] = if n_unsized >= 3 {
+        &[1, 2, 4, 8, 16]
+    } else {
+        &[1, 2, 4, 8, 16, 32]
+    };
+    base.iter().copied().filter(|&c| c <= cap).collect()
+}
+
+/// Expands the schedule directives into the candidate list (program order
+/// first, then the cartesian product of per-loop size choices).
+fn candidates(schedule: &[TileDirective], params: &[i64]) -> Vec<Candidate> {
+    let mut out = vec![Candidate {
+        desc: "program-order".to_string(),
+        tiles: None,
+    }];
+    if schedule.is_empty() {
+        return out;
+    }
+    let n_unsized = schedule.iter().filter(|d| d.size.is_none()).count();
+    let auto = size_candidates(params, n_unsized);
+    let per_loop: Vec<(&str, Vec<i64>)> = schedule
+        .iter()
+        .map(|d| {
+            let sizes = match d.size {
+                Some(s) => vec![s],
+                None => auto.clone(),
+            };
+            (d.loop_name.as_str(), sizes)
+        })
+        .collect();
+    let mut chosen: Vec<i64> = Vec::with_capacity(per_loop.len());
+    expand(&per_loop, &mut chosen, &mut out);
+    out
+}
+
+fn expand(per_loop: &[(&str, Vec<i64>)], chosen: &mut Vec<i64>, out: &mut Vec<Candidate>) {
+    if chosen.len() == per_loop.len() {
+        let desc = per_loop
+            .iter()
+            .zip(chosen.iter())
+            .map(|((n, _), s)| format!("{n}={s}"))
+            .collect::<Vec<_>>()
+            .join(" ");
+        let tiles = per_loop
+            .iter()
+            .zip(chosen.iter())
+            .map(|((n, _), &s)| TileSpec::new(n, s))
+            .collect();
+        out.push(Candidate {
+            desc: format!("tile {desc}"),
+            tiles: Some(tiles),
+        });
+        return;
+    }
+    let sizes = per_loop[chosen.len()].1.clone();
+    for s in sizes {
+        chosen.push(s);
+        expand(per_loop, chosen, out);
+        chosen.pop();
+    }
+}
+
+/// Lowers a program's instance enumeration to a compute-node permutation
+/// of `cdag` (built from the untiled twin).
+fn schedule_order(
+    program: &Program,
+    params: &[i64],
+    node_of: &HashMap<(u32, Vec<i32>), u32>,
+) -> Result<Vec<NodeId>, String> {
+    let mut order = Vec::with_capacity(node_of.len());
+    let mut missing = None;
+    for_each_instance(program, params, |stmt, dims| {
+        let s = program.stmt(stmt);
+        let iv: Vec<i32> = s.dims.iter().map(|d| dims[d.0 as usize] as i32).collect();
+        match node_of.get(&(stmt.0, iv)) {
+            Some(&n) => order.push(NodeId(n)),
+            None => missing = Some(s.name.clone()),
+        }
+    });
+    match missing {
+        Some(stmt) => Err(format!(
+            "tiled enumeration produced an instance of {stmt} unknown to the untiled CDAG"
+        )),
+        None => Ok(order),
+    }
+}
+
+fn measure_kernel(job: TightnessJob) -> Result<KernelTightness, String> {
+    let cdag = build_cdag(&job.program, &job.params);
+    let min_s = cdag.max_in_degree() + 1;
+    let s_values: Vec<usize> = job.s_offsets.iter().map(|&off| min_s + off).collect();
+
+    // Instance → compute-node map: compute ids follow program order, which
+    // is exactly the untiled enumeration order.
+    let mut node_of: HashMap<(u32, Vec<i32>), u32> = HashMap::with_capacity(cdag.num_computes());
+    {
+        let mut next = cdag.num_inputs() as u32;
+        for_each_instance(&job.program, &job.params, |stmt, dims| {
+            let s = job.program.stmt(stmt);
+            let iv: Vec<i32> = s.dims.iter().map(|d| dims[d.0 as usize] as i32).collect();
+            node_of.insert((stmt.0, iv), next);
+            next += 1;
+        });
+    }
+
+    // Measure every candidate schedule at every S (the order is built once
+    // per candidate; illegal interchanges fail the play and are skipped).
+    let cands = candidates(&job.schedule, &job.params);
+    // Per S: (loads, candidate index). Program order (index 0) is always
+    // legal, so every cell ends up populated.
+    let mut best: Vec<Option<(u64, usize)>> = vec![None; s_values.len()];
+    let mut program_order_loads: Vec<u64> = vec![0; s_values.len()];
+    let mut tiled_programs: HashMap<usize, Program> = HashMap::new();
+    for (ci, cand) in cands.iter().enumerate() {
+        let order = match &cand.tiles {
+            None => cdag.compute_nodes().collect::<Vec<NodeId>>(),
+            Some(tiles) => {
+                let tiled =
+                    tile_program(&job.program, tiles).map_err(|e| format!("{}: {e}", job.name))?;
+                let order = schedule_order(&tiled, &job.params, &node_of)
+                    .map_err(|e| format!("{}: {e}", job.name))?;
+                tiled_programs.insert(ci, tiled);
+                order
+            }
+        };
+        for (si, &s) in s_values.iter().enumerate() {
+            let game = PebbleGame::new(&cdag, s);
+            // A blocked order may violate dependences (illegal interchange)
+            // or exceed the budget; both simply disqualify this cell.
+            let Ok(play) = game.play(&order, SpillPolicy::MinNextUse) else {
+                continue;
+            };
+            if ci == 0 {
+                program_order_loads[si] = play.loads;
+            }
+            if best[si].is_none_or(|(l, _)| play.loads < l) {
+                best[si] = Some((play.loads, ci));
+            }
+        }
+    }
+
+    // Cross-check every winning tiled schedule against the untiled
+    // interpreter: identical final stores, bit for bit.
+    let winning: Vec<usize> = {
+        let mut w: Vec<usize> = best.iter().flatten().map(|&(_, ci)| ci).collect();
+        w.sort_unstable();
+        w.dedup();
+        w
+    };
+    let init = |a: iolb_ir::ArrayId, f: usize| 1.0 + a.0 as f64 + f as f64 * 0.25;
+    let base_store = Interpreter::new(&job.program, &job.params).run_numeric(init);
+    for &ci in &winning {
+        let Some(tiled) = tiled_programs.get(&ci) else {
+            continue; // program order needs no cross-check
+        };
+        let got = Interpreter::new(tiled, &job.params).run_numeric(init);
+        if got.data != base_store.data {
+            return Err(format!(
+                "{}: schedule `{}` changed the numeric result — illegal interchange",
+                job.name, cands[ci].desc
+            ));
+        }
+    }
+
+    // Element-granularity cache-simulator view of each winning schedule's
+    // trace (informative columns; the in-place model differs from the
+    // no-recomputation pebble model). One materialized trace per winning
+    // candidate, shared by every S it wins.
+    let mut traces: HashMap<usize, TraceSink> = HashMap::new();
+    for &ci in &winning {
+        let program = tiled_programs.get(&ci).unwrap_or(&job.program);
+        let mut sink = TraceSink::new(program, &job.params);
+        let mut store = Store::zeros(program, &job.params);
+        Interpreter::new(program, &job.params).run(&mut store, &mut sink);
+        traces.insert(ci, sink);
+    }
+
+    let mut points = Vec::with_capacity(s_values.len());
+    for (si, &s) in s_values.iter().enumerate() {
+        let (upper_loads, ci) = best[si].ok_or_else(|| {
+            format!(
+                "{}: no legal schedule at S={s} (program order must always play)",
+                job.name
+            )
+        })?;
+        let packed = &traces[&ci].packed;
+        let trace_min = BeladySim::new(s).run_packed(packed);
+        let mut lru = LruSim::new(s);
+        lru.run_packed(packed);
+        let trace_lru = lru.finish();
+        points.push(TightnessPoint {
+            s,
+            lb_classical: job
+                .classical
+                .as_ref()
+                .map(|b| b.eval_floor(&job.env, s as i128))
+                .unwrap_or(0.0),
+            lb_hourglass: job
+                .hourglass
+                .as_ref()
+                .map(|b| b.eval_floor(&job.env, s as i128))
+                .unwrap_or(0.0),
+            lb_inputs: cdag.num_inputs() as f64,
+            upper_loads,
+            upper_schedule: cands[ci].desc.clone(),
+            program_order_loads: program_order_loads[si],
+            trace_min_loads: trace_min.loads,
+            trace_lru_loads: trace_lru.loads,
+        });
+    }
+    Ok(KernelTightness {
+        kernel: job.name,
+        params: job.params,
+        points,
+    })
+}
+
+/// Renders the tightness report as an aligned table.
+pub fn render_tightness_table(report: &TightnessReport) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<14} {:>12} {:>6} {:>12} {:>12} {:>12} {:>7} {:>8}  {:<22}\n",
+        "kernel", "size", "S", "LB", "upper", "prog-order", "ratio", "hg-rat", "best schedule"
+    ));
+    for k in &report.kernels {
+        for t in &k.points {
+            out.push_str(&format!(
+                "{:<14} {:>12} {:>6} {:>12.0} {:>12} {:>12} {:>7.2} {:>8}  {:<22}\n",
+                k.kernel,
+                format!("{:?}", k.params),
+                t.s,
+                t.lower_bound(),
+                t.upper_loads,
+                t.program_order_loads,
+                t.ratio(),
+                t.hourglass_ratio()
+                    .map(|r| format!("{r:.2}"))
+                    .unwrap_or_else(|| "-".to_string()),
+                t.upper_schedule,
+            ));
+        }
+    }
+    out.push_str(&format!(
+        "{} kernels on {} threads in {:.1} ms\n",
+        report.kernels.len(),
+        report.threads,
+        report.total_wall_ms
+    ));
+    out
+}
+
+/// Serializes the tightness report as deterministic JSON: kernels sorted
+/// by name, points by S, fixed key order, volatile data (threads, wall
+/// times) confined to the `meta` object. `redact_volatile` zeroes `meta`
+/// for byte-stable golden snapshots.
+pub fn tightness_report_json(report: &TightnessReport, redact_volatile: bool) -> String {
+    fn num(x: f64) -> String {
+        if x.is_finite() {
+            format!("{x:.4}")
+        } else {
+            "null".to_string()
+        }
+    }
+    let mut out = String::from("{\n");
+    out.push_str("  \"schema\": \"hourglass-iolb/tightness/v1\",\n");
+    let (threads, wall) = if redact_volatile {
+        (0, 0.0)
+    } else {
+        (report.threads, report.total_wall_ms)
+    };
+    out.push_str(&format!(
+        "  \"meta\": {{\"threads\": {threads}, \"total_wall_ms\": {}}},\n",
+        num(wall)
+    ));
+    out.push_str("  \"kernels\": [\n");
+    for (i, k) in report.kernels.iter().enumerate() {
+        let params: Vec<String> = k.params.iter().map(|p| p.to_string()).collect();
+        out.push_str(&format!(
+            "    {{\"kernel\": \"{}\", \"params\": [{}], \"points\": [\n",
+            k.kernel,
+            params.join(", ")
+        ));
+        for (j, t) in k.points.iter().enumerate() {
+            out.push_str(&format!(
+                "      {{\"s\": {}, \"lb_classical\": {}, \"lb_hourglass\": {}, \"lb_inputs\": {}, \"lower_bound\": {}, \"upper_loads\": {}, \"upper_schedule\": \"{}\", \"program_order_loads\": {}, \"trace_min_loads\": {}, \"trace_lru_loads\": {}, \"ratio\": {}, \"hourglass_ratio\": {}}}{}\n",
+                t.s,
+                num(t.lb_classical),
+                num(t.lb_hourglass),
+                num(t.lb_inputs),
+                num(t.lower_bound()),
+                t.upper_loads,
+                t.upper_schedule,
+                t.program_order_loads,
+                t.trace_min_loads,
+                t.trace_lru_loads,
+                num(t.ratio()),
+                t.hourglass_ratio()
+                    .map(num)
+                    .unwrap_or_else(|| "null".to_string()),
+                if j + 1 == k.points.len() { "" } else { "," }
+            ));
+        }
+        out.push_str(&format!(
+            "    ]}}{}\n",
+            if i + 1 == report.kernels.len() {
+                ""
+            } else {
+                ","
+            }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iolb_core::Analysis;
+
+    fn job_from_src(src: &str, params: Vec<i64>, stmt: &str) -> TightnessJob {
+        let kernel = iolb_ir::parse_kernel(src).expect("parse");
+        let observe = iolb_core::report::observation_sizes(&params);
+        let analysis = Analysis::run(&kernel.program, &observe).expect("analysis");
+        let sid = kernel.program.stmt_id(stmt).expect("stmt");
+        let classical = analysis.try_classical_bound(sid);
+        let hourglass = analysis.detect_hourglass(sid).map(|pat| {
+            iolb_core::report::derive_with_split(&kernel.program, &pat, None)
+                .expect("derive")
+                .0
+        });
+        let env: Vec<(Var, i128)> = kernel
+            .program
+            .params
+            .iter()
+            .zip(params.iter())
+            .map(|(n, &v)| (Var::new(n), v as i128))
+            .collect();
+        TightnessJob {
+            name: kernel.program.name.clone(),
+            program: kernel.program,
+            params,
+            env,
+            classical,
+            hourglass,
+            schedule: kernel.schedule,
+            s_offsets: vec![0, 8, 64],
+        }
+    }
+
+    const GEMM_TILED: &str = "
+kernel gemm_mini(M, N, K) {
+  array A[M][K];
+  array B[K][N];
+  array C[M][N];
+  analyze SU;
+  schedule { tile i; tile j; tile k; }
+
+  for i in 0..M {
+    for j in 0..N {
+      Cz: C[i][j] = op();
+    }
+  }
+  for i in 0..M {
+    for j in 0..N {
+      for k in 0..K {
+        SU: C[i][j] = op(A[i][k], B[k][j], C[i][j]);
+      }
+    }
+  }
+}
+";
+
+    #[test]
+    fn tuner_beats_or_matches_program_order_and_stays_sound() {
+        let job = job_from_src(GEMM_TILED, vec![12, 12, 12], "SU");
+        let report = run_tightness(vec![job]).expect("tightness");
+        assert_eq!(report.kernels.len(), 1);
+        let k = &report.kernels[0];
+        assert_eq!(k.points.len(), 3);
+        for t in &k.points {
+            // Upper bound is a legal play: it must sit at or above every
+            // derived lower bound (soundness), and the tuner never loses to
+            // its own baseline.
+            assert!(t.upper_loads as f64 + 1e-9 >= t.lb_classical, "S={}", t.s);
+            assert!(t.upper_loads as f64 + 1e-9 >= t.lb_hourglass, "S={}", t.s);
+            assert!(t.upper_loads <= t.program_order_loads, "S={}", t.s);
+            assert!(
+                t.ratio().is_finite() && t.ratio() >= 1.0 - 1e-9,
+                "S={}",
+                t.s
+            );
+        }
+        // At a generous S the tuner must find a genuinely better blocked
+        // schedule than straight program order.
+        let last = k.points.last().unwrap();
+        assert!(
+            last.upper_schedule.starts_with("tile"),
+            "expected a tiled winner at S={}, got {}",
+            last.s,
+            last.upper_schedule
+        );
+        assert!(last.upper_loads < last.program_order_loads);
+    }
+
+    #[test]
+    fn kernels_without_schedule_report_program_order() {
+        let src = "
+kernel plain(N) {
+  array A[N];
+  scalar acc;
+  analyze S;
+  for i in 0..N {
+    S: acc = op(acc, A[i]);
+  }
+}
+";
+        let job = job_from_src(src, vec![32], "S");
+        let report = run_tightness(vec![job]).expect("tightness");
+        let k = &report.kernels[0];
+        for t in &k.points {
+            assert_eq!(t.upper_schedule, "program-order");
+            assert_eq!(t.upper_loads, t.program_order_loads);
+            // The input floor keeps the ratio finite even without bounds.
+            assert!(t.lower_bound() >= 32.0);
+            assert!(t.ratio().is_finite());
+        }
+        let json = tightness_report_json(&report, true);
+        assert!(json.contains("\"schema\": \"hourglass-iolb/tightness/v1\""));
+        assert!(json.contains("\"threads\": 0"), "volatile meta redacted");
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn json_is_deterministic_and_sorted() {
+        let jobs = vec![
+            job_from_src(GEMM_TILED, vec![8, 8, 8], "SU"),
+            job_from_src(
+                "kernel aaa(N) { array A[N]; analyze S; for i in 0..N { S: A[i] = op(A[i]); } }",
+                vec![16],
+                "S",
+            ),
+        ];
+        let report = run_tightness(jobs).expect("tightness");
+        assert_eq!(report.kernels[0].kernel, "aaa", "sorted by name");
+        let a = tightness_report_json(&report, true);
+        let jobs = vec![
+            job_from_src(GEMM_TILED, vec![8, 8, 8], "SU"),
+            job_from_src(
+                "kernel aaa(N) { array A[N]; analyze S; for i in 0..N { S: A[i] = op(A[i]); } }",
+                vec![16],
+                "S",
+            ),
+        ];
+        let b = tightness_report_json(&run_tightness(jobs).expect("tightness"), true);
+        assert_eq!(a, b, "same inputs produce byte-identical redacted JSON");
+    }
+}

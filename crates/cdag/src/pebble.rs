@@ -26,7 +26,7 @@
 //!   evict are O(1), with eviction skipping at most the few pinned nodes of
 //!   the current compute step, not scanning the whole red set;
 //! * **MinNextUse** buckets red nodes by their next-use position
-//!   ([`MinRedSet`]): hierarchical bitmaps answer "farthest next use" in a
+//!   (`MinRedSet`): hierarchical bitmaps answer "farthest next use" in a
 //!   few word ops, a whole bucket drains in O(1) when the schedule reaches
 //!   its position, and dead (never-used-again) nodes live in their own
 //!   bitmap evicted first;
@@ -35,7 +35,7 @@
 //!   them).
 //!
 //! The straightforward ordered-map engine the workspace started with is kept
-//! verbatim in [`reference`]; property tests assert both engines produce
+//! verbatim in [`reference`](mod@reference); property tests assert both engines produce
 //! identical [`PlayStats`] on randomized CDAGs.
 
 use crate::graph::{Cdag, NodeId, NodeKind};

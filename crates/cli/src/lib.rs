@@ -4,18 +4,30 @@
 //! For every `.iolb` file: parse → access-consistency certification →
 //! φ-set extraction → classical σ-bound → hourglass detect / certify /
 //! derive (§3–4, with §5.3 splitting) → exact CDAG → MIN/LRU pebble-game
-//! validation over an S grid. Prints a per-kernel derivation summary and
-//! the validation table; optionally emits a machine-readable JSON report.
+//! validation over an S grid → tightness measurement (the best blocked
+//! upper-bound schedule from the file's `schedule { tile … }` directives,
+//! auto-tuned over tile sizes, vs the derived lower bound). Files are
+//! processed in parallel (rayon); per-file output is buffered and printed
+//! in input order. Errors are collected across *all* inputs and reported
+//! together — one run shows the full failure set.
 //!
 //! Exit codes: `0` all kernels validated sound, `1` an unsound cell or a
 //! failed validation, `2` usage / parse / analysis errors.
 
 use iolb_bench::sweep::{run_sweep, sweep_report_json, SweepKernel, SweepReport};
+use iolb_bench::tightness::{
+    run_tightness, tightness_report_json, KernelTightness, TightnessJob, TightnessReport,
+};
 use iolb_core::hourglass;
-use iolb_core::report::{derive_with_split, observation_sizes, SplitBinding};
+use iolb_core::report::{
+    derive_with_split, observation_sizes, render_tightness_points, SplitBinding,
+};
 use iolb_core::Analysis;
-use iolb_ir::parse::{parse_kernel, print_kernel, KernelFile, ParamExpr};
+use iolb_ir::parse::{parse_kernel, print_kernel, KernelFile, ParamExpr, TileDirective};
 use iolb_ir::Program;
+use iolb_symbolic::Var;
+use rayon::prelude::*;
+use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
@@ -32,6 +44,8 @@ OPTIONS:
     --stmt NAME           override the file's `analyze` statement
     --s-grid 0,4,16,...   offsets added to the minimum feasible S (default 0,4,16,64,256)
     --json PATH           write the validation matrix as JSON
+    --tightness-json PATH write the tightness report (lower vs measured upper bounds) as JSON
+    --no-tightness        skip the upper-bound schedule measurement
     --derive-only         skip the pebble-game validation (bounds only)
     -h, --help            this text
 ";
@@ -49,6 +63,10 @@ pub struct Options {
     pub s_offsets: Vec<usize>,
     /// `--json` output path.
     pub json: Option<PathBuf>,
+    /// `--tightness-json` output path.
+    pub tightness_json: Option<PathBuf>,
+    /// `--no-tightness` flag.
+    pub no_tightness: bool,
     /// `--derive-only` flag.
     pub derive_only: bool,
 }
@@ -64,6 +82,8 @@ pub fn parse_args(args: &[String]) -> Result<Options, String> {
         stmt_override: None,
         s_offsets: vec![0, 4, 16, 64, 256],
         json: None,
+        tightness_json: None,
+        no_tightness: false,
         derive_only: false,
     };
     let mut it = args.iter();
@@ -99,6 +119,12 @@ pub fn parse_args(args: &[String]) -> Result<Options, String> {
             "--json" => {
                 o.json = Some(PathBuf::from(it.next().ok_or("--json needs a path")?));
             }
+            "--tightness-json" => {
+                o.tightness_json = Some(PathBuf::from(
+                    it.next().ok_or("--tightness-json needs a path")?,
+                ));
+            }
+            "--no-tightness" => o.no_tightness = true,
             "--derive-only" => o.derive_only = true,
             "-h" | "--help" => return Err(USAGE.to_string()),
             other if other.starts_with('-') => {
@@ -117,7 +143,33 @@ pub fn parse_args(args: &[String]) -> Result<Options, String> {
                 .to_string(),
         );
     }
+    if o.derive_only && o.tightness_json.is_some() {
+        return Err(
+            "--derive-only skips validation, so --tightness-json would write an empty report; \
+             drop one of the two flags"
+                .to_string(),
+        );
+    }
+    if o.no_tightness && o.tightness_json.is_some() {
+        return Err("--no-tightness contradicts --tightness-json".to_string());
+    }
     Ok(o)
+}
+
+/// Everything one `.iolb` file produced: buffered human-readable output
+/// plus the machine-readable reports.
+#[derive(Debug)]
+pub struct FileOutcome {
+    /// Kernel name.
+    pub name: String,
+    /// Buffered per-file text (printed in input order by [`run`]).
+    pub output: String,
+    /// The validation matrix (`None` under `--derive-only`).
+    pub report: Option<SweepReport>,
+    /// Tightness measurement (absent under `--no-tightness`/`--derive-only`).
+    pub tightness: Option<KernelTightness>,
+    /// All validation cells sound (vacuously true under `--derive-only`).
+    pub sound: bool,
 }
 
 /// The CLI entry point (argument vector without the binary name).
@@ -140,34 +192,74 @@ pub fn run(args: &[String]) -> ExitCode {
         }
     };
 
-    let mut all_sound = true;
-    let mut json_reports: Vec<(String, SweepReport)> = Vec::new();
-    for file in &opts.files {
-        match run_file(file, &opts) {
-            Ok(Some((name, report, sound))) => {
-                all_sound &= sound;
-                json_reports.push((name, report));
+    // Every file runs through the full pipeline concurrently; output is
+    // buffered per file and printed in input order below.
+    let t_batch = std::time::Instant::now();
+    let results: Vec<(PathBuf, Result<FileOutcome, String>)> = opts
+        .files
+        .par_iter()
+        .map(|file| (file.clone(), run_file(file, &opts)))
+        .collect();
+    let batch_wall_ms = t_batch.elapsed().as_secs_f64() * 1e3;
+
+    // Errors are collected across the whole batch (not fail-fast), so one
+    // CI run surfaces every broken kernel file at once.
+    let mut errors: Vec<String> = Vec::new();
+    let mut outcomes: Vec<FileOutcome> = Vec::new();
+    for (file, res) in results {
+        match res {
+            Ok(outcome) => {
+                print!("{}", outcome.output);
+                outcomes.push(outcome);
             }
-            Ok(None) => {} // --derive-only
-            Err(msg) => {
-                eprintln!("{}: {msg}", file.display());
-                return ExitCode::from(2);
-            }
+            Err(msg) => errors.push(format!("{}: {msg}", file.display())),
         }
     }
+    if !errors.is_empty() {
+        eprintln!(
+            "{} of {} kernel files failed:",
+            errors.len(),
+            opts.files.len()
+        );
+        for e in &errors {
+            eprintln!("  {e}");
+        }
+        return ExitCode::from(2);
+    }
 
+    let all_sound = outcomes.iter().all(|o| o.sound);
+    let validated = outcomes.iter().any(|o| o.report.is_some());
     if let Some(path) = &opts.json {
         let mut combined = SweepReport {
             rows: Vec::new(),
             total_wall_ms: 0.0,
             threads: 0,
         };
-        for (_, r) in &json_reports {
-            combined.rows.extend(r.rows.iter().cloned());
-            combined.total_wall_ms += r.total_wall_ms;
-            combined.threads = combined.threads.max(r.threads);
+        for o in outcomes.iter().filter_map(|o| o.report.as_ref()) {
+            combined.rows.extend(o.rows.iter().cloned());
+            combined.total_wall_ms += o.total_wall_ms;
+            combined.threads = combined.threads.max(o.threads);
         }
         if let Err(e) = std::fs::write(path, sweep_report_json(&combined)) {
+            eprintln!("writing {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+        println!("wrote {}", path.display());
+    }
+    if let Some(path) = &opts.tightness_json {
+        let mut kernels: Vec<KernelTightness> = outcomes
+            .iter()
+            .filter_map(|o| o.tightness.clone())
+            .collect();
+        kernels.sort_by(|a, b| a.kernel.cmp(&b.kernel));
+        // Live volatile data goes under `meta` only (the gate and the
+        // golden snapshots ignore/redact it).
+        let combined = TightnessReport {
+            kernels,
+            total_wall_ms: batch_wall_ms,
+            threads: rayon::current_num_threads(),
+        };
+        if let Err(e) = std::fs::write(path, tightness_report_json(&combined, false)) {
             eprintln!("writing {}: {e}", path.display());
             return ExitCode::from(2);
         }
@@ -178,7 +270,7 @@ pub fn run(args: &[String]) -> ExitCode {
         eprintln!("UNSOUND cells found — a derived bound exceeded a legal play");
         return ExitCode::from(1);
     }
-    if json_reports.is_empty() {
+    if !validated {
         println!("derivations complete (pebble validation skipped)");
     } else {
         println!("all cells sound ✓");
@@ -186,20 +278,20 @@ pub fn run(args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
-/// Parses, analyzes, and (unless `--derive-only`) pebble-validates one
-/// file. Returns `Ok(None)` in derive-only mode.
-pub fn run_file(
-    file: &Path,
-    opts: &Options,
-) -> Result<Option<(String, SweepReport, bool)>, String> {
+/// Parses, analyzes, and (unless `--derive-only`) pebble-validates plus
+/// tightness-measures one file. All human-readable output is buffered on
+/// the returned outcome.
+pub fn run_file(file: &Path, opts: &Options) -> Result<FileOutcome, String> {
     let src = std::fs::read_to_string(file).map_err(|e| format!("cannot read: {e}"))?;
     let kernel = parse_kernel(&src).map_err(|e| e.to_string())?;
     let program = &kernel.program;
-    println!("── {} ({})", program.name, file.display());
+    let mut out = String::new();
+    let _ = writeln!(out, "── {} ({})", program.name, file.display());
 
     let params = resolve_params(&kernel, &opts.params_override)?;
     let named: Vec<(String, i64)> = program.params.iter().cloned().zip(params.clone()).collect();
-    println!(
+    let _ = writeln!(
+        out,
         "   params: {}",
         named
             .iter()
@@ -213,7 +305,7 @@ pub fn run_file(
     // the declared affine structure).
     let certified = iolb_ir::interp::validate_accesses(program, &params)
         .map_err(|e| format!("access certification failed: {e}"))?;
-    println!("   access-certified {certified} statement instances");
+    let _ = writeln!(out, "   access-certified {certified} statement instances");
 
     // 2. Statement under analysis: --stmt, else the `analyze` directive,
     // else the deepest (latest) statement.
@@ -231,13 +323,17 @@ pub fn run_file(
     let analysis = Analysis::run(program, &observe).map_err(|e| format!("analysis: {e}"))?;
     let classical = analysis.try_classical_bound(stmt);
     match &classical {
-        Some(b) => println!("   classical: σ={} m={} → {}", b.sigma, b.m, b.expr),
-        None => println!("   classical: no covering projection set (no σ-bound)"),
+        Some(b) => {
+            let _ = writeln!(out, "   classical: σ={} m={} → {}", b.sigma, b.m, b.expr);
+        }
+        None => {
+            let _ = writeln!(out, "   classical: no covering projection set (no σ-bound)");
+        }
     }
 
     let split_binding = dsl_split_binding(&kernel);
     let pattern = analysis.detect_hourglass(stmt);
-    match &pattern {
+    let (hourglass, applied_binding) = match &pattern {
         Some(pat) => {
             let checked = hourglass::certify(program, pat, &observe[0])
                 .map_err(|e| format!("hourglass certification: {e}"))?;
@@ -246,18 +342,35 @@ pub fn run_file(
             // the validated bound cannot diverge.
             let (b, applied) = derive_with_split(program, pat, split_binding.clone())?;
             if let Some(binding) = &applied {
-                println!("   split: {} = {} (§5.3)", binding.var.name(), binding.expr);
+                let _ = writeln!(
+                    out,
+                    "   split: {} = {} (§5.3)",
+                    binding.var.name(),
+                    binding.expr
+                );
             }
-            println!(
+            let _ = writeln!(
+                out,
                 "   hourglass on {stmt_name}: certified {checked} chains, W∈[{}, {}] → {}",
                 b.w_min, b.w_max, b.main_tool
             );
+            (Some(b), applied)
         }
-        None => println!("   hourglass: no pattern on {stmt_name}"),
-    }
+        None => {
+            let _ = writeln!(out, "   hourglass: no pattern on {stmt_name}");
+            (None, None)
+        }
+    };
 
     if opts.derive_only {
-        return Ok(None);
+        let _ = writeln!(out);
+        return Ok(FileOutcome {
+            name: program.name.clone(),
+            output: out,
+            report: None,
+            tightness: None,
+            sound: true,
+        });
     }
 
     // 4. Exact CDAG + MIN/LRU pebble validation over the S grid.
@@ -265,16 +378,17 @@ pub fn run_file(
         name: program.name.clone(),
         program: reparse(&src)?,
         stmt: stmt_name,
-        params,
+        params: params.clone(),
         split: split_binding,
         s_offsets: opts.s_offsets.clone(),
     };
     let report = run_sweep(vec![sweep]);
-    print!("{}", iolb_bench::sweep::render_sweep_table(&report));
+    let _ = write!(out, "{}", iolb_bench::sweep::render_sweep_table(&report));
     let mut sound = true;
     for r in &report.rows {
         if !r.sound() {
-            eprintln!(
+            let _ = writeln!(
+                out,
                 "   UNSOUND: S={} {:?}: bound {} exceeds play loads {}",
                 r.s,
                 r.policy,
@@ -284,8 +398,47 @@ pub fn run_file(
             sound = false;
         }
     }
-    println!();
-    Ok(Some((program.name.clone(), report, sound)))
+
+    // 5. Tightness: the best measured blocked upper bound per S (the
+    // file's `schedule` directives swept by the auto-tuner) vs the bound.
+    let tightness = if opts.no_tightness {
+        None
+    } else {
+        let mut env: Vec<(Var, i128)> = named
+            .iter()
+            .map(|(n, v)| (Var::new(n), *v as i128))
+            .collect();
+        if let Some(b) = &applied_binding {
+            env.push((b.var, b.eval(&named)));
+        }
+        let job = TightnessJob {
+            name: program.name.clone(),
+            program: reparse(&src)?,
+            params: params.clone(),
+            env,
+            classical,
+            hourglass,
+            schedule: kernel.schedule.clone(),
+            s_offsets: opts.s_offsets.clone(),
+        };
+        let tightness_report = run_tightness(vec![job])?;
+        let k = tightness_report
+            .kernels
+            .into_iter()
+            .next()
+            .ok_or("tightness produced no kernel")?;
+        let _ = write!(out, "{}", render_tightness_points(&k.kernel, &k.points));
+        Some(k)
+    };
+
+    let _ = writeln!(out);
+    Ok(FileOutcome {
+        name: program.name.clone(),
+        output: out,
+        report: Some(report),
+        tightness,
+        sound,
+    })
 }
 
 /// Concrete parameter values: CLI override wins over the `default`
@@ -359,11 +512,12 @@ pub fn emit_builtin(dir: &Path) -> ExitCode {
         eprintln!("creating {}: {e}", dir.display());
         return ExitCode::from(2);
     }
-    for (program, stmt, defaults, split) in builtin_kernels() {
+    for (program, stmt, defaults, split, schedule) in builtin_kernels() {
         let file = KernelFile {
             analyze: Some(stmt.to_string()),
             defaults,
             split,
+            schedule,
             program,
         };
         let path = dir.join(format!("{}.iolb", file.program.name));
@@ -393,33 +547,53 @@ pub fn emit_builtin(dir: &Path) -> ExitCode {
 }
 
 /// One built-in paper kernel: program, analysis statement, full-size
-/// validation parameters, and (GEHD2) the §5.3 split binding.
+/// validation parameters, (GEHD2) the §5.3 split binding, and the blocked
+/// `schedule` directives for the tightness harness.
 pub type BuiltinKernel = (
     Program,
     &'static str,
     Vec<(String, i64)>,
     Option<(String, ParamExpr)>,
+    Vec<TileDirective>,
 );
 
 /// The paper kernels with their pipeline directives: analysis statement,
-/// full-size validation parameters, and (GEHD2) the §5.3 split binding.
+/// full-size validation parameters, (GEHD2) the §5.3 split binding, and
+/// (GEMM) the tiling schedule.
 pub fn builtin_kernels() -> Vec<BuiltinKernel> {
     let mn = |m: i64, n: i64| vec![("M".to_string(), m), ("N".to_string(), n)];
+    let tile = |names: &[&str]| -> Vec<TileDirective> {
+        names
+            .iter()
+            .map(|n| TileDirective {
+                loop_name: n.to_string(),
+                size: None,
+            })
+            .collect()
+    };
     vec![
-        (iolb_kernels::mgs::program(), "SU", mn(64, 32), None),
+        (iolb_kernels::mgs::program(), "SU", mn(64, 32), None, vec![]),
         (
             iolb_kernels::householder::a2v_program(),
             "SU",
             mn(40, 20),
             None,
+            vec![],
         ),
         (
             iolb_kernels::householder::v2q_program(),
             "SU",
             mn(40, 20),
             None,
+            vec![],
         ),
-        (iolb_kernels::gebd2::program(), "SU", mn(36, 18), None),
+        (
+            iolb_kernels::gebd2::program(),
+            "SU",
+            mn(36, 18),
+            None,
+            vec![],
+        ),
         (
             iolb_kernels::gehd2::program(),
             "SU1",
@@ -431,6 +605,7 @@ pub fn builtin_kernels() -> Vec<BuiltinKernel> {
                     cst: iolb_numeric::Rational::int(-1),
                 },
             )),
+            vec![],
         ),
         (
             iolb_kernels::gemm::program(),
@@ -441,6 +616,7 @@ pub fn builtin_kernels() -> Vec<BuiltinKernel> {
                 ("K".to_string(), 24),
             ],
             None,
+            tile(&["i", "j"]),
         ),
     ]
 }

@@ -1,0 +1,73 @@
+//! Golden snapshots of the machine-readable report schemas.
+//!
+//! The CI regression gate and downstream tooling parse
+//! `BENCH_iolb_kernels.json` (pebble-sweep schema v2) and
+//! `BENCH_tightness.json` (tightness schema v1); these tests pin both
+//! formats byte-for-byte on a fixed kernel at fixed sizes. The comparable
+//! sections are deterministic by design (sorted rows, fixed key order,
+//! volatile data confined to `meta` and redacted here), so the snapshots
+//! are stable across machines and thread counts.
+//!
+//! To regenerate after an intentional schema change:
+//! `UPDATE_GOLDEN=1 cargo test -p iolb-cli --test golden_json`.
+
+use iolb_bench::sweep::sweep_report_json_with;
+use iolb_bench::tightness::{tightness_report_json, TightnessReport};
+use iolb_cli::{parse_args, run_file};
+use std::path::PathBuf;
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden")
+}
+
+fn check_golden(name: &str, actual: &str) {
+    let path = golden_dir().join(name);
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(golden_dir()).unwrap();
+        std::fs::write(&path, actual).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "{}: {e} (regenerate with UPDATE_GOLDEN=1 cargo test -p iolb-cli --test golden_json)",
+            path.display()
+        )
+    });
+    assert_eq!(
+        expected, actual,
+        "{name} drifted from the golden snapshot — if the schema change is \
+         intentional, regenerate with UPDATE_GOLDEN=1",
+    );
+}
+
+#[test]
+fn report_schemas_match_golden_snapshots() {
+    // gemm_tiled at a reduced fixed size: covers the sweep rows, a real
+    // hourglass-free tightness section, and a tuned blocked winner.
+    let opts = parse_args(&[
+        "--params".to_string(),
+        "M=10,N=10,K=10".to_string(),
+        "--s-grid".to_string(),
+        "0,16,64".to_string(),
+        "x".to_string(),
+    ])
+    .unwrap();
+    let kernels = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../kernels");
+    let outcome = run_file(&kernels.join("gemm_tiled.iolb"), &opts).expect("pipeline");
+
+    let sweep = outcome.report.expect("validation ran");
+    check_golden(
+        "pebble_sweep_v2.json",
+        &sweep_report_json_with(&sweep, true),
+    );
+
+    let tightness = TightnessReport {
+        kernels: vec![outcome.tightness.expect("tightness measured")],
+        total_wall_ms: 0.0,
+        threads: 0,
+    };
+    check_golden(
+        "tightness_v1.json",
+        &tightness_report_json(&tightness, true),
+    );
+}

@@ -47,7 +47,7 @@ pub fn derive(program: &Program, stmt: StmtId, phi: &PhiSet) -> ClassicalBound {
         .expect("projections must cover the iteration space (no classical bound derivable)")
 }
 
-/// Like [`derive`], but returns `None` when no classical bound exists for
+/// Like [`derive()`](fn@derive), but returns `None` when no classical bound exists for
 /// the statement: the projections do not cover the iteration space (a time
 /// loop every access drops, as in stencils) or the subgroup condition
 /// fails. Arbitrary DSL workloads go through this path so the pipeline
@@ -107,7 +107,7 @@ impl ClassicalBound {
     /// arithmetic). An `f64` pipeline rounds `|V|` before flooring and can
     /// overshoot the true bound beyond 2^53. Product overflow at
     /// astronomically large parameters resolves conservatively — see
-    /// [`floored_set_count`].
+    /// `floored_set_count`.
     pub fn eval_floor(&self, env: &[(iolb_symbolic::Var, i128)], s: i128) -> f64 {
         let vol = self.volume.eval(&|v| {
             env.iter()

@@ -28,6 +28,83 @@ impl SplitBinding {
     }
 }
 
+/// One measured (lower bound, upper bound) pair at a concrete fast-memory
+/// size `S` — the tightness comparison the paper's evaluation methodology
+/// builds on (lower bounds vs the I/O of a concrete blocked execution).
+///
+/// Produced by the upper-bound schedule engine in `iolb-bench` (pebble
+/// plays over tiled instance orders); carried here as plain data so every
+/// report surface (CLI, JSON, tables) shares one row type.
+#[derive(Debug, Clone)]
+pub struct TightnessPoint {
+    /// Fast-memory budget.
+    pub s: usize,
+    /// Classical K-partition bound at `S` (0 when none derives).
+    pub lb_classical: f64,
+    /// Hourglass bound at `S` (0 when the kernel has no pattern).
+    pub lb_hourglass: f64,
+    /// Trivial input floor: every distinct input read by the CDAG costs at
+    /// least one load under any schedule.
+    pub lb_inputs: f64,
+    /// Loads of the best measured schedule (MIN-policy pebble play).
+    pub upper_loads: u64,
+    /// Description of the winning schedule (`"program-order"` or a
+    /// `tile i=8 j=8` string).
+    pub upper_schedule: String,
+    /// Loads of the untransformed program-order MIN play (the tuner's
+    /// baseline).
+    pub program_order_loads: u64,
+    /// Element-granularity cache-simulator loads of the winning schedule's
+    /// trace under Belady MIN (informative: a different, in-place model).
+    pub trace_min_loads: u64,
+    /// Same trace under LRU.
+    pub trace_lru_loads: u64,
+}
+
+impl TightnessPoint {
+    /// The best derived lower bound at this `S` (≥ 1 so ratios stay
+    /// finite even for kernels outside both bounding techniques).
+    pub fn lower_bound(&self) -> f64 {
+        self.lb_classical
+            .max(self.lb_hourglass)
+            .max(self.lb_inputs)
+            .max(1.0)
+    }
+
+    /// Tightness ratio: measured upper bound over derived lower bound
+    /// (finite and ≥ 1 whenever the bounds are sound).
+    pub fn ratio(&self) -> f64 {
+        self.upper_loads as f64 / self.lower_bound()
+    }
+
+    /// Upper bound over the hourglass bound alone; `None` when the kernel
+    /// has no hourglass pattern — the paper's headline tightness metric.
+    pub fn hourglass_ratio(&self) -> Option<f64> {
+        (self.lb_hourglass > 0.0).then(|| self.upper_loads as f64 / self.lb_hourglass)
+    }
+}
+
+/// Renders tightness points as an aligned per-kernel table block.
+pub fn render_tightness_points(name: &str, points: &[TightnessPoint]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "   tightness {name}: {:>6} {:>12} {:>12} {:>7} {:<20}\n",
+        "S", "LB", "upper", "ratio", "schedule"
+    ));
+    for t in points {
+        out.push_str(&format!(
+            "   {:>16} {:>6} {:>12.0} {:>12} {:>7.2} {:<20}\n",
+            "",
+            t.s,
+            t.lower_bound(),
+            t.upper_loads,
+            t.ratio(),
+            t.upper_schedule
+        ));
+    }
+    out
+}
+
 /// A complete derivation for one kernel: the classical ("old") bound and
 /// the hourglass-tightened ("new") bound.
 pub struct KernelReport {

@@ -21,7 +21,11 @@
 //!   via Faulhaber summation,
 //! * [`parse`] — the textual `.iolb` kernel DSL: parser with spanned
 //!   errors, pretty-printer, and structural program equality, opening the
-//!   analyses to workloads beyond the built-in paper kernels.
+//!   analyses to workloads beyond the built-in paper kernels,
+//! * [`schedule`] — loop-tiling schedule transformations (strip-mine +
+//!   hoist): reorders instance enumeration into blocked order without
+//!   changing any instance's accesses, the upper-bound half of the
+//!   tightness harness.
 
 pub mod affine;
 pub mod count;
@@ -29,12 +33,16 @@ pub mod deps;
 pub mod interp;
 pub mod parse;
 pub mod program;
+pub mod schedule;
 
 pub use affine::{Aff, DimId, ParamId};
 pub use interp::{
     for_each_instance, ExecCtx, ExecSink, Interpreter, NullSink, Store, TraceEvent, TraceSink,
 };
-pub use parse::{parse_kernel, parse_program, print_kernel, print_program, KernelFile, ParseError};
+pub use parse::{
+    parse_kernel, parse_program, print_kernel, print_program, KernelFile, ParseError, TileDirective,
+};
 pub use program::{
     Access, ArrayDecl, ArrayId, Loop, LoopStep, Program, ProgramBuilder, Statement, Step, StmtId,
 };
+pub use schedule::{enumerate_instances, tile_program, TileSpec};

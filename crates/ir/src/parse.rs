@@ -146,6 +146,17 @@ fn render_rat_term(
     }
 }
 
+/// One `tile <loop> [<size>];` entry of a `schedule { … }` block. A
+/// directive without an explicit size asks the tightness auto-tuner to
+/// sweep tile sizes for that loop.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TileDirective {
+    /// Loop-variable name (every loop with this name is tiled).
+    pub loop_name: String,
+    /// Explicit tile size; `None` leaves the size to the auto-tuner.
+    pub size: Option<i64>,
+}
+
 /// A parsed `.iolb` file: the program plus its analysis directives.
 #[derive(Debug)]
 pub struct KernelFile {
@@ -158,6 +169,9 @@ pub struct KernelFile {
     pub defaults: Vec<(String, i64)>,
     /// `split <var> = <expr>;` — §5.3 loop-split variable binding.
     pub split: Option<(String, ParamExpr)>,
+    /// `schedule { tile <loop> [<size>]; … }` — blocked-execution tiling
+    /// directives for the upper-bound/tightness harness.
+    pub schedule: Vec<TileDirective>,
 }
 
 impl KernelFile {
@@ -424,6 +438,9 @@ struct Ctx {
     /// Open-loop scope stack: `(name, dim)`, innermost last.
     scope: Vec<(String, DimId)>,
     stmt_names: Vec<String>,
+    /// Every loop seen: `(name, tileable)` — tileable means unit-step
+    /// forward (what `schedule { tile … }` may name).
+    loop_meta: Vec<(String, bool)>,
 }
 
 impl Ctx {
@@ -481,10 +498,13 @@ pub fn parse_kernel(src: &str) -> Result<KernelFile, ParseError> {
         arrays: Vec::new(),
         scope: Vec::new(),
         stmt_names: Vec::new(),
+        loop_meta: Vec::new(),
     };
     let mut analyze: Option<(String, Span)> = None;
     let mut defaults: Vec<(String, i64)> = Vec::new();
     let mut split: Option<(String, ParamExpr)> = None;
+    let mut schedule: Vec<(TileDirective, Span)> = Vec::new();
+    let mut saw_schedule = false;
 
     loop {
         match p.peek().clone() {
@@ -534,6 +554,50 @@ pub fn parse_kernel(src: &str) -> Result<KernelFile, ParseError> {
                 }
                 p.expect(&Tok::Semi)?;
             }
+            Tok::Ident(w) if w == "schedule" => {
+                let sp = p.span();
+                p.next();
+                if saw_schedule {
+                    return Err(ParseError {
+                        span: sp,
+                        msg: "duplicate `schedule` block".to_string(),
+                    });
+                }
+                saw_schedule = true;
+                p.expect(&Tok::LBrace)?;
+                while p.peek() != &Tok::RBrace {
+                    p.expect_kw("tile")?;
+                    let (ln, lsp) = p.expect_ident()?;
+                    if schedule.iter().any(|(d, _)| d.loop_name == ln) {
+                        return Err(ParseError {
+                            span: lsp,
+                            msg: format!("duplicate `tile` directive for loop {ln}"),
+                        });
+                    }
+                    let size = match *p.peek() {
+                        Tok::Int(n) => {
+                            p.next();
+                            if n < 1 {
+                                return Err(ParseError {
+                                    span: lsp,
+                                    msg: format!("tile size for {ln} must be ≥ 1"),
+                                });
+                            }
+                            Some(n)
+                        }
+                        _ => None,
+                    };
+                    p.expect(&Tok::Semi)?;
+                    schedule.push((
+                        TileDirective {
+                            loop_name: ln,
+                            size,
+                        },
+                        lsp,
+                    ));
+                }
+                p.expect(&Tok::RBrace)?;
+            }
             Tok::Ident(w) if w == "split" => {
                 p.next();
                 let (vn, sp) = p.expect_ident()?;
@@ -560,11 +624,34 @@ pub fn parse_kernel(src: &str) -> Result<KernelFile, ParseError> {
             });
         }
     }
+    for (d, sp) in &schedule {
+        let named: Vec<&(String, bool)> = ctx
+            .loop_meta
+            .iter()
+            .filter(|(n, _)| *n == d.loop_name)
+            .collect();
+        if named.is_empty() {
+            return Err(ParseError {
+                span: *sp,
+                msg: format!("`tile {}` names no loop of the kernel", d.loop_name),
+            });
+        }
+        if named.iter().any(|(_, tileable)| !tileable) {
+            return Err(ParseError {
+                span: *sp,
+                msg: format!(
+                    "`tile {}` targets a strided or reversed loop (only unit-step forward loops tile)",
+                    d.loop_name
+                ),
+            });
+        }
+    }
     Ok(KernelFile {
         program: ctx.b.finish(),
         analyze: analyze.map(|(a, _)| a),
         defaults,
         split,
+        schedule: schedule.into_iter().map(|(d, _)| d).collect(),
     })
 }
 
@@ -659,6 +746,8 @@ fn parse_loop(p: &mut Parser, ctx: &mut Ctx) -> Result<(), ParseError> {
         LoopStep::One
     };
     p.expect(&Tok::LBrace)?;
+    ctx.loop_meta
+        .push((var.clone(), step == LoopStep::One && !reverse));
     let dim = ctx.b.open_general(&var, lo, hi, step, reverse);
     ctx.scope.push((var, dim));
     while p.peek() != &Tok::RBrace {
@@ -951,7 +1040,7 @@ fn parse_param_term(
 
 /// Renders a [`Program`] as parseable DSL text (no directives).
 pub fn print_program(program: &Program) -> String {
-    print_kernel_with(program, None, &[], None)
+    print_kernel_with(program, None, &[], None, &[])
 }
 
 /// Renders a full [`KernelFile`] (program + directives) as DSL text.
@@ -961,6 +1050,7 @@ pub fn print_kernel(kernel: &KernelFile) -> String {
         kernel.analyze.as_deref(),
         &kernel.defaults,
         kernel.split.as_ref(),
+        &kernel.schedule,
     )
 }
 
@@ -969,6 +1059,7 @@ fn print_kernel_with(
     analyze: Option<&str>,
     defaults: &[(String, i64)],
     split: Option<&(String, ParamExpr)>,
+    schedule: &[TileDirective],
 ) -> String {
     let mut out = String::new();
     out.push_str(&format!(
@@ -997,6 +1088,16 @@ fn print_kernel_with(
     }
     if let Some((v, e)) = split {
         out.push_str(&format!("  split {v} = {e};\n"));
+    }
+    if !schedule.is_empty() {
+        out.push_str("  schedule {\n");
+        for d in schedule {
+            match d.size {
+                Some(s) => out.push_str(&format!("    tile {} {s};\n", d.loop_name)),
+                None => out.push_str(&format!("    tile {};\n", d.loop_name)),
+            }
+        }
+        out.push_str("  }\n");
     }
     out.push('\n');
     for step in &program.body {
@@ -1261,6 +1362,60 @@ kernel mini(M, N) {
         assert!(printed.contains("split Ms = N/2 - 1;"), "{printed}");
         let again = parse_kernel(&printed).unwrap();
         assert_eq!(again.split, k.split);
+    }
+
+    #[test]
+    fn schedule_block_parses_and_prints() {
+        let src = "kernel t(M, N) {\n  array A[M][N];\n  schedule { tile i 8; tile j; }\n  for i in 0..M {\n    for j in 0..N {\n      S: A[i][j] = op();\n    }\n  }\n}";
+        let k = parse_kernel(src).unwrap();
+        assert_eq!(
+            k.schedule,
+            vec![
+                TileDirective {
+                    loop_name: "i".to_string(),
+                    size: Some(8)
+                },
+                TileDirective {
+                    loop_name: "j".to_string(),
+                    size: None
+                },
+            ]
+        );
+        let printed = print_kernel(&k);
+        assert!(
+            printed.contains("tile i 8;") && printed.contains("tile j;"),
+            "{printed}"
+        );
+        let again = parse_kernel(&printed).unwrap();
+        assert_eq!(again.schedule, k.schedule);
+    }
+
+    #[test]
+    fn schedule_block_is_validated() {
+        let err = parse_kernel(
+            "kernel t(N) {\n  array A[N];\n  schedule { tile z 4; }\n  for i in 0..N { S: A[i] = op(); }\n}",
+        )
+        .unwrap_err();
+        assert!(err.msg.contains("`tile z` names no loop"), "{err}");
+        assert_eq!(err.span.line, 3);
+
+        let err = parse_kernel(
+            "kernel t(N) { array A[N]; schedule { tile i 2; } for i in reverse 0..N { S: A[i] = op(); } }",
+        )
+        .unwrap_err();
+        assert!(err.msg.contains("strided or reversed"), "{err}");
+
+        let err = parse_kernel(
+            "kernel t(N) { array A[N]; schedule { tile i 2; tile i 4; } for i in 0..N { S: A[i] = op(); } }",
+        )
+        .unwrap_err();
+        assert!(err.msg.contains("duplicate `tile`"), "{err}");
+
+        let err = parse_kernel(
+            "kernel t(N) { array A[N]; schedule { tile i 0; } for i in 0..N { S: A[i] = op(); } }",
+        )
+        .unwrap_err();
+        assert!(err.msg.contains("must be ≥ 1"), "{err}");
     }
 
     #[test]

@@ -57,6 +57,7 @@ impl Access {
 pub type ComputeFn = Arc<dyn Fn(&mut ExecCtx<'_>) + Send + Sync>;
 
 /// A statement of the program.
+#[derive(Clone)]
 pub struct Statement {
     /// Statement name (`"SR"`, `"SU"`, …).
     pub name: String,
@@ -98,6 +99,7 @@ pub enum LoopStep {
 
 /// A counted loop `for dim in [max(lo…), min(hi…)) step s`, optionally
 /// iterated in reverse (the paper's V2Q kernel runs `k` downward).
+#[derive(Clone)]
 pub struct Loop {
     /// Dimension bound by this loop.
     pub dim: DimId,
@@ -116,7 +118,7 @@ pub struct Loop {
 }
 
 /// One schedule-order node: a nested loop or a statement.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub enum Step {
     /// A nested loop.
     Loop(Loop),

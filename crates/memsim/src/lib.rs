@@ -415,7 +415,7 @@ impl BeladySim {
     }
 
     /// Simulates a packed trace (`(cell << 1) | write` per event, the
-    /// [`iolb-ir`] `TraceSink` encoding) without decoding it into
+    /// `iolb-ir` `TraceSink` encoding) without decoding it into
     /// [`Access`] structs first.
     pub fn run_packed(&mut self, packed: &[u64]) -> IoStats {
         self.run_by(packed.len(), |t| {

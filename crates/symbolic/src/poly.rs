@@ -392,7 +392,7 @@ impl Poly {
     }
 
     /// Rational content (gcd of coefficients, sign-normalized) and monomial
-    /// content (gcd of monomials) — used to lightly normalize [`RatFunc`]s.
+    /// content (gcd of monomials) — used to lightly normalize [`RatFunc`](crate::RatFunc)s.
     pub fn content(&self) -> (Rational, Monomial) {
         if self.is_zero() {
             return (Rational::ZERO, Monomial::one());

@@ -1,0 +1,289 @@
+//! `xtask` — repo automation. One subcommand so far:
+//!
+//! `xtask gate --baseline <dir> --fresh <dir> [--tolerance 0.02]`
+//!
+//! The CI bench/tightness regression gate: compares freshly generated
+//! `BENCH_pebble.json` / `BENCH_tightness.json` against the committed
+//! baselines and fails on
+//!
+//! * **soundness loss** — any fresh pebble cell with `sound: false`;
+//! * **coverage loss** — a baseline cell/point missing from the fresh run
+//!   (a kernel or S value silently dropped from the suite);
+//! * **tightness regression** — a fresh `(kernel, S)` ratio exceeding the
+//!   baseline ratio by more than the relative tolerance, or any fresh
+//!   ratio that is not finite.
+//!
+//! Wall times, thread counts, and other volatile `meta` data are ignored;
+//! the comparable sections of both reports are deterministic, so on an
+//! unchanged tree the gate compares byte-equal values.
+
+mod json;
+
+use json::Value;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+xtask — repo automation
+
+USAGE:
+    xtask gate --baseline <DIR> --fresh <DIR> [--tolerance 0.02]
+
+`gate` diffs <DIR>/BENCH_pebble.json and <DIR>/BENCH_tightness.json between
+the two directories and exits nonzero on soundness loss, coverage loss, or
+tightness-ratio regression beyond the tolerance.
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("gate") => match parse_gate_args(&args[1..]) {
+            Ok((baseline, fresh, tol)) => run_gate(&baseline, &fresh, tol),
+            Err(msg) => {
+                eprintln!("{msg}\n\n{USAGE}");
+                ExitCode::from(2)
+            }
+        },
+        _ => {
+            eprintln!("{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn parse_gate_args(args: &[String]) -> Result<(PathBuf, PathBuf, f64), String> {
+    let mut baseline: Option<PathBuf> = None;
+    let mut fresh: Option<PathBuf> = None;
+    let mut tol = 0.02f64;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--baseline" => {
+                baseline = Some(PathBuf::from(it.next().ok_or("--baseline needs a dir")?))
+            }
+            "--fresh" => fresh = Some(PathBuf::from(it.next().ok_or("--fresh needs a dir")?)),
+            "--tolerance" => {
+                tol = it
+                    .next()
+                    .ok_or("--tolerance needs a value")?
+                    .parse()
+                    .map_err(|_| "bad --tolerance value".to_string())?;
+                if !(0.0..1.0).contains(&tol) {
+                    return Err("--tolerance must be in [0, 1)".to_string());
+                }
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok((
+        baseline.ok_or("missing --baseline")?,
+        fresh.ok_or("missing --fresh")?,
+        tol,
+    ))
+}
+
+fn run_gate(baseline: &Path, fresh: &Path, tol: f64) -> ExitCode {
+    let mut violations: Vec<String> = Vec::new();
+    match load_pair(baseline, fresh, "BENCH_pebble.json") {
+        Ok((base, new)) => gate_pebble(&base, &new, &mut violations),
+        Err(e) => violations.push(e),
+    }
+    match load_pair(baseline, fresh, "BENCH_tightness.json") {
+        Ok((base, new)) => gate_tightness(&base, &new, tol, &mut violations),
+        Err(e) => violations.push(e),
+    }
+    if violations.is_empty() {
+        println!("gate ✓ — soundness and tightness no worse than the committed baselines (tolerance {tol})");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("gate ✗ — {} violation(s):", violations.len());
+        for v in &violations {
+            eprintln!("  {v}");
+        }
+        ExitCode::FAILURE
+    }
+}
+
+fn load_pair(baseline: &Path, fresh: &Path, name: &str) -> Result<(Value, Value), String> {
+    let read = |dir: &Path| -> Result<Value, String> {
+        let path = dir.join(name);
+        let src = std::fs::read_to_string(&path).map_err(|e| format!("{}: {e}", path.display()))?;
+        json::parse(&src).map_err(|e| format!("{}: {e}", path.display()))
+    };
+    Ok((read(baseline)?, read(fresh)?))
+}
+
+/// Key of one pebble cell: kernel, params, S, policy.
+fn pebble_key(row: &Value) -> String {
+    format!(
+        "{}{:?} S={} {}",
+        row.get("kernel").and_then(Value::str).unwrap_or("?"),
+        row.get("params")
+            .map(|p| p.arr().iter().filter_map(Value::num).collect::<Vec<f64>>())
+            .unwrap_or_default(),
+        row.get("s").and_then(Value::num).unwrap_or(-1.0),
+        row.get("policy").and_then(Value::str).unwrap_or("?"),
+    )
+}
+
+fn gate_pebble(base: &Value, new: &Value, violations: &mut Vec<String>) {
+    let fresh_rows = new.get("rows").map(Value::arr).unwrap_or(&[]);
+    // Soundness loss: every fresh cell must be sound.
+    for row in fresh_rows {
+        if row.get("sound").and_then(Value::bool) != Some(true) {
+            violations.push(format!("pebble: UNSOUND fresh cell {}", pebble_key(row)));
+        }
+    }
+    // Coverage loss: every baseline cell must still be produced.
+    let fresh_keys: Vec<String> = fresh_rows.iter().map(pebble_key).collect();
+    for row in base.get("rows").map(Value::arr).unwrap_or(&[]) {
+        let key = pebble_key(row);
+        if !fresh_keys.contains(&key) {
+            violations.push(format!(
+                "pebble: baseline cell missing from fresh run: {key}"
+            ));
+        }
+    }
+}
+
+fn gate_tightness(base: &Value, new: &Value, tol: f64, violations: &mut Vec<String>) {
+    // (kernel, s) → ratio maps for both sides.
+    let collect = |doc: &Value| -> Vec<(String, f64, Option<f64>)> {
+        let mut out = Vec::new();
+        for k in doc.get("kernels").map(Value::arr).unwrap_or(&[]) {
+            let name = k
+                .get("kernel")
+                .and_then(Value::str)
+                .unwrap_or("?")
+                .to_string();
+            for p in k.get("points").map(Value::arr).unwrap_or(&[]) {
+                let s = p.get("s").and_then(Value::num).unwrap_or(-1.0);
+                let ratio = p.get("ratio").and_then(Value::num);
+                out.push((name.clone(), s, ratio));
+            }
+        }
+        out
+    };
+    let fresh_pts = collect(new);
+    // Every fresh ratio must be a finite number.
+    for (kernel, s, ratio) in &fresh_pts {
+        match ratio {
+            Some(r) if r.is_finite() => {}
+            _ => violations.push(format!("tightness: {kernel} S={s}: ratio is not finite")),
+        }
+    }
+    // Per baseline point: present in fresh and not regressed beyond tol.
+    for (kernel, s, base_ratio) in collect(base) {
+        let Some(base_ratio) = base_ratio else {
+            continue;
+        };
+        match fresh_pts.iter().find(|(k, fs, _)| *k == kernel && *fs == s) {
+            None => violations.push(format!(
+                "tightness: baseline point missing from fresh run: {kernel} S={s}"
+            )),
+            Some((_, _, Some(fresh_ratio))) => {
+                let limit = base_ratio * (1.0 + tol) + 1e-9;
+                if *fresh_ratio > limit {
+                    violations.push(format!(
+                        "tightness: {kernel} S={s}: ratio regressed {base_ratio:.4} → {fresh_ratio:.4} (limit {limit:.4})"
+                    ));
+                }
+            }
+            Some((_, _, None)) => {} // already reported as non-finite
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pebble(rows: &str) -> Value {
+        json::parse(&format!(
+            r#"{{"schema": "hourglass-iolb/pebble-sweep/v2", "meta": {{"threads": 1, "total_wall_ms": 1.0}}, "rows": [{rows}]}}"#
+        ))
+        .unwrap()
+    }
+
+    fn tight(kernels: &str) -> Value {
+        json::parse(&format!(
+            r#"{{"schema": "hourglass-iolb/tightness/v1", "meta": {{"threads": 1, "total_wall_ms": 1.0}}, "kernels": [{kernels}]}}"#
+        ))
+        .unwrap()
+    }
+
+    const CELL: &str =
+        r#"{"kernel": "a", "params": [8], "s": 4, "policy": "lru", "loads": 10, "sound": true}"#;
+
+    #[test]
+    fn pebble_gate_passes_on_identical_reports() {
+        let mut v = Vec::new();
+        gate_pebble(&pebble(CELL), &pebble(CELL), &mut v);
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn pebble_gate_flags_soundness_and_coverage_loss() {
+        let unsound = CELL.replace("true", "false");
+        let mut v = Vec::new();
+        gate_pebble(&pebble(CELL), &pebble(&unsound), &mut v);
+        assert!(v.iter().any(|m| m.contains("UNSOUND")), "{v:?}");
+
+        let mut v = Vec::new();
+        gate_pebble(&pebble(CELL), &pebble(""), &mut v);
+        assert!(v.iter().any(|m| m.contains("missing")), "{v:?}");
+    }
+
+    const POINT: &str = r#"{"kernel": "a", "params": [8], "points": [{"s": 4, "ratio": 2.0}]}"#;
+
+    #[test]
+    fn tightness_gate_applies_tolerance() {
+        let ok = POINT.replace("2.0", "2.03");
+        let bad = POINT.replace("2.0", "2.2");
+        let mut v = Vec::new();
+        gate_tightness(&tight(POINT), &tight(&ok), 0.02, &mut v);
+        assert!(v.is_empty(), "within tolerance: {v:?}");
+        let mut v = Vec::new();
+        gate_tightness(&tight(POINT), &tight(&bad), 0.02, &mut v);
+        assert!(v.iter().any(|m| m.contains("regressed")), "{v:?}");
+    }
+
+    #[test]
+    fn tightness_gate_flags_nonfinite_and_missing_points() {
+        let gone = r#"{"kernel": "a", "params": [8], "points": []}"#;
+        let mut v = Vec::new();
+        gate_tightness(&tight(POINT), &tight(gone), 0.02, &mut v);
+        assert!(v.iter().any(|m| m.contains("missing")), "{v:?}");
+
+        let nan = POINT.replace("2.0", "null");
+        let mut v = Vec::new();
+        gate_tightness(&tight(POINT), &tight(&nan), 0.02, &mut v);
+        assert!(v.iter().any(|m| m.contains("not finite")), "{v:?}");
+    }
+
+    #[test]
+    fn gate_args_parse() {
+        let (b, f, t) = parse_gate_args(&[
+            "--baseline".into(),
+            ".".into(),
+            "--fresh".into(),
+            "fresh".into(),
+            "--tolerance".into(),
+            "0.05".into(),
+        ])
+        .unwrap();
+        assert_eq!(b, PathBuf::from("."));
+        assert_eq!(f, PathBuf::from("fresh"));
+        assert!((t - 0.05).abs() < 1e-12);
+        assert!(parse_gate_args(&["--fresh".into(), "x".into()]).is_err());
+        assert!(parse_gate_args(&[
+            "--baseline".into(),
+            ".".into(),
+            "--fresh".into(),
+            "x".into(),
+            "--tolerance".into(),
+            "2".into()
+        ])
+        .is_err());
+    }
+}

@@ -207,7 +207,7 @@ pub mod collection {
     use super::{StdRng, Strategy};
     use rand::Rng;
 
-    /// Length specification for [`vec`]: an exact size or a half-open range.
+    /// Length specification for [`vec()`](fn@vec): an exact size or a half-open range.
     #[derive(Debug, Clone)]
     pub struct SizeRange(core::ops::Range<usize>);
 
