@@ -1,0 +1,97 @@
+//! One-pass stack-distance curves vs the per-S replay loop they replaced.
+//!
+//! The dense validation grid reads ~32 S points per (kernel, policy); the
+//! old harness replayed `LruSim`/`BeladySim` once per point. These
+//! benchmarks price one curve pass against that 32× replay loop on the
+//! two trace shapes the harness actually profiles: a GEMM-like kernel
+//! trace (structured reuse, the tightness auto-tuner's workload) and a
+//! uniform random trace (the adversarial shape for the displacement
+//! chain).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use iolb_memsim::{BeladySim, CurveEngine, LruSim};
+use rand::prelude::*;
+
+/// S grid matching `iolb_bench::sweep::dense_s_offsets` over `min_s = 4`.
+fn s_grid() -> Vec<usize> {
+    iolb_bench::sweep::dense_s_offsets()
+        .into_iter()
+        .map(|off| 4 + off)
+        .collect()
+}
+
+/// The untiled GEMM element trace at 24³ (the tightness tuner's unit of
+/// work: ~58k accesses over ~1.7k cells).
+fn gemm_trace() -> Vec<u64> {
+    let n = 24usize;
+    let (a0, b0, c0) = (0, n * n, 2 * n * n);
+    let mut t = Vec::with_capacity(4 * n * n * n + n * n);
+    for i in 0..n {
+        for j in 0..n {
+            t.push(((c0 + i * n + j) as u64) << 1 | 1);
+        }
+    }
+    for i in 0..n {
+        for j in 0..n {
+            for k in 0..n {
+                t.push(((a0 + i * n + k) as u64) << 1);
+                t.push(((b0 + k * n + j) as u64) << 1);
+                t.push(((c0 + i * n + j) as u64) << 1);
+                t.push(((c0 + i * n + j) as u64) << 1 | 1);
+            }
+        }
+    }
+    t
+}
+
+fn random_trace(len: usize, cells: u64) -> Vec<u64> {
+    let mut rng = StdRng::seed_from_u64(11);
+    (0..len)
+        .map(|_| (rng.gen_range(0..cells) << 1) | rng.gen_bool(0.3) as u64)
+        .collect()
+}
+
+fn bench(c: &mut Criterion) {
+    let grid = s_grid();
+    let horizon = *grid.last().unwrap();
+    for (name, trace) in [
+        ("gemm24", gemm_trace()),
+        ("rand200k", random_trace(200_000, 4096)),
+    ] {
+        let mut g = c.benchmark_group(format!("stack_distance_{name}"));
+        g.sample_size(10);
+        g.throughput(Throughput::Elements(trace.len() as u64));
+        g.bench_function("opt_curve_1pass", |b| {
+            let mut e = CurveEngine::new();
+            b.iter(|| e.opt_packed(&trace, horizon))
+        });
+        g.bench_function("lru_curve_1pass", |b| {
+            let mut e = CurveEngine::new();
+            b.iter(|| e.lru_packed(&trace, horizon))
+        });
+        g.bench_function("belady_replay_32x", |b| {
+            let mut sim = BeladySim::new(1);
+            b.iter(|| {
+                let mut total = 0u64;
+                for &s in &grid {
+                    sim = BeladySim::new(s);
+                    total += sim.run_packed(&trace).loads;
+                }
+                total
+            })
+        });
+        g.bench_function("lru_replay_32x", |b| {
+            b.iter(|| {
+                let mut total = 0u64;
+                for &s in &grid {
+                    let mut sim = LruSim::new(s);
+                    total += sim.run_packed(&trace).loads;
+                }
+                total
+            })
+        });
+        g.finish();
+    }
+}
+criterion_group!(benches, bench);
+criterion_main!(benches);

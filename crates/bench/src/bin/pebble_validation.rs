@@ -1,8 +1,9 @@
-//! Validation matrix: derived lower bounds vs legal red-white pebble plays
-//! on exact CDAGs, swept in parallel over the full (kernel × S × policy)
-//! grid at enlarged sizes (MGS 64×32, GEMM 24³, …).
+//! Validation matrix: derived lower bounds vs the measured miss curves of
+//! each kernel's program-order execution, at enlarged sizes (MGS 64×32,
+//! GEMM 48³, …) over the dense ~32-point S grid — every `(kernel, S,
+//! policy)` cell read off one stack-distance pass per policy column.
 //!
-//! Writes `BENCH_pebble.json` (schema `hourglass-iolb/pebble-sweep/v2`)
+//! Writes `BENCH_pebble.json` (schema `hourglass-iolb/pebble-sweep/v3`)
 //! into the working directory — or to the path given as the first
 //! argument, so CI can generate a fresh copy next to the committed
 //! baseline and diff the two — letting future runs compare loads, bound
@@ -11,7 +12,7 @@
 use iolb_bench::sweep::{default_sweep_kernels, render_sweep_table, run_sweep, sweep_report_json};
 
 fn main() {
-    println!("Pebble-game validation: max(LB) must be ≤ loads of a legal play");
+    println!("Validation sweep: max(LB) must be ≤ the measured miss curve at every S");
     println!("{}", "=".repeat(100));
     let report = run_sweep(default_sweep_kernels());
     print!("{}", render_sweep_table(&report));
@@ -19,7 +20,7 @@ fn main() {
     for r in &report.rows {
         if !r.sound() {
             eprintln!(
-                "UNSOUND: {} S={} {:?}: bound {} exceeds play loads {}",
+                "UNSOUND: {} S={} {:?}: bound {} exceeds measured loads {}",
                 r.kernel,
                 r.s,
                 r.policy,
@@ -36,5 +37,5 @@ fn main() {
     std::fs::write(&path, &json).unwrap_or_else(|e| panic!("writing {path}: {e}"));
     println!("\nwrote {path} ({} rows)", report.rows.len());
     assert_eq!(unsound, 0, "{unsound} unsound bounds — see stderr");
-    println!("all bounds ≤ measured plays ✓");
+    println!("all bounds ≤ measured curves ✓");
 }

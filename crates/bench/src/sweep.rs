@@ -1,25 +1,63 @@
-//! Parallel (kernel × S × policy) pebble-game validation sweep.
+//! Parallel (kernel × S × policy) validation sweep, one curve pass per
+//! cell *column*.
 //!
-//! Every derived lower bound must sit at or below the loads of a *legal*
-//! red-white pebble play on the exact CDAG. This module runs that check as
-//! a data-parallel matrix — kernels are prepared (CDAG construction + bound
-//! derivation) concurrently, then every `(kernel, S, policy)` cell plays
-//! concurrently — and renders the outcome as both a table and a
-//! machine-readable `BENCH_pebble.json` so successive PRs have a recorded
-//! perf/soundness trajectory.
+//! Every derived lower bound must sit at or below the loads of a real
+//! execution of the kernel at fast-memory size `S`. This module runs that
+//! check as a data-parallel matrix — kernels are prepared (CDAG
+//! construction + bound derivation + trace emission) concurrently, then
+//! each `(kernel, policy)` column is profiled in **one pass** — and
+//! renders the outcome as both a table and a machine-readable
+//! `BENCH_pebble.json` so successive PRs have a recorded perf/soundness
+//! trajectory.
+//!
+//! The measured executions are exact cache simulations of the kernel's
+//! program-order *value-access trace* (each compute reads its CDAG
+//! predecessors, then produces its value —
+//! [`Cdag::packed_program_order_trace`]). LRU and Belady-MIN are both
+//! stack algorithms, so a single stack-distance pass
+//! ([`iolb_memsim::CurveEngine`]) yields the exact miss count at **every**
+//! `S` of the grid at once — bitwise what an `LruSim`/`BeladySim` replay
+//! of the trace reports, property-tested as such — replacing the old
+//! per-`(kernel, S, policy)` pebble-replay loop and densifying the grid
+//! from 5 to [`dense_s_offsets`]'s ~32 points at enlarged sizes within
+//! the same budget. The MIN curve additionally lower-bounds the loads of
+//! every legal red-white pebble play (the play's moves are one valid
+//! replacement schedule for the trace), so `bound ≤ loads` here is at
+//! least as strict a soundness check as the old play-based one; the
+//! bridge between the two models is property-tested in `iolb-cdag`.
 //!
 //! [`SweepKernel`] is fully data-driven (owned names, per-kernel split
 //! bindings, env derived from the program's own parameter list), so the
 //! same machinery validates the built-in paper kernels and arbitrary
 //! workloads parsed from `.iolb` files by the `iolb` CLI.
+//!
+//! [`Cdag::packed_program_order_trace`]: iolb_cdag::Cdag::packed_program_order_trace
 
-use iolb_cdag::{build_cdag, Cdag, PebbleGame, SpillPolicy};
+use iolb_cdag::{build_cdag, Cdag, SpillPolicy};
 use iolb_core::report::SplitBinding;
 use iolb_core::{report, Analysis, ClassicalBound};
+use iolb_memsim::{CurveEngine, MissCurve};
 use iolb_symbolic::Var;
 use rayon::prelude::*;
-use std::sync::Arc;
 use std::time::Instant;
+
+/// The default dense S grid: 32 log-spaced offsets added to each
+/// kernel's minimum feasible S — unit steps near the feasibility minimum,
+/// then roughly quarter-octave up to 256. A superset of the legacy
+/// `{0, 4, 16, 64, 256}` coarse grid so historical points stay
+/// comparable, and capped at the legacy maximum so the stack-distance
+/// horizon (which bounds the one-pass profilers' work) stays small.
+pub fn dense_s_offsets() -> Vec<usize> {
+    vec![
+        0, 1, 2, 3, 4, 5, 6, 7, 8, 10, 11, 13, 16, 19, 23, 27, 32, 38, 45, 54, 64, 76, 91, 108,
+        128, 139, 152, 166, 181, 197, 215, 256,
+    ]
+}
+
+/// The legacy 5-point S grid (kept for quick runs: `--s-grid coarse`).
+pub fn coarse_s_offsets() -> Vec<usize> {
+    vec![0, 4, 16, 64, 256]
+}
 
 /// One kernel in the sweep: program + derivation inputs + concrete sizes.
 pub struct SweepKernel {
@@ -68,7 +106,7 @@ impl SweepKernel {
 /// Problem-size tier of the default validation matrix.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SweepSize {
-    /// Enlarged sizes (MGS 64×32, GEMM 24³, …) — the CI soundness gate.
+    /// Enlarged sizes (MGS 64×32, GEMM 48³, …) — the CI soundness gate.
     Full,
     /// The seed's fast test-grid sizes.
     Small,
@@ -86,7 +124,7 @@ pub fn default_sweep_kernels_at(size: SweepSize) -> Vec<SweepKernel> {
         Vec<i64>,
         Vec<i64>,
     );
-    let s_offsets = vec![0, 4, 16, 64, 256];
+    let s_offsets = dense_s_offsets();
     let specs: Vec<Spec> = vec![
         (
             "MGS",
@@ -127,7 +165,7 @@ pub fn default_sweep_kernels_at(size: SweepSize) -> Vec<SweepKernel> {
             "GEMM",
             iolb_kernels::gemm::program(),
             "SU",
-            vec![24, 24, 24],
+            vec![48, 48, 48],
             vec![8, 8, 8],
         ),
     ];
@@ -152,13 +190,15 @@ pub fn default_sweep_kernels() -> Vec<SweepKernel> {
     default_sweep_kernels_at(SweepSize::Full)
 }
 
-/// A prepared kernel: exact CDAG plus derived bounds, shared across cells.
+/// A prepared kernel: exact CDAG, derived bounds, and the packed
+/// program-order value-access trace — shared across both policy columns.
 struct Prepared {
     name: String,
     params: Vec<i64>,
     env: Vec<(Var, i128)>,
-    s_offsets: Vec<usize>,
+    s_values: Vec<usize>,
     cdag: Cdag,
+    trace: Vec<u64>,
     classical: Option<ClassicalBound>,
     hourglass: Option<iolb_core::HourglassBound>,
     prep_ms: f64,
@@ -175,27 +215,28 @@ pub struct SweepRow {
     pub nodes: usize,
     /// CDAG edge count.
     pub edges: usize,
-    /// Fast-memory budget played.
+    /// Fast-memory budget of this cell.
     pub s: usize,
-    /// Spill policy.
+    /// Replacement policy of this cell's simulated execution.
     pub policy: SpillPolicy,
-    /// Loads of the legal play.
+    /// Exact loads of the policy's cache simulation of the program-order
+    /// trace at this `S` — one point of the kernel's miss curve, bitwise
+    /// equal to the corresponding `LruSim`/`BeladySim` replay.
     pub loads: u64,
-    /// Compute moves of the play.
+    /// Compute steps of the schedule (trace writes; S-independent).
     pub computes: u64,
-    /// Peak red pebbles.
-    pub peak_red: usize,
     /// Classical K-partition bound at (env, S); 0 when none is derivable.
     pub lb_classical: f64,
     /// Hourglass bound at (env, S), 0 when the kernel has no pattern.
     pub lb_hourglass: f64,
-    /// Play loads over the best bound (≥ 1 for sound bounds).
+    /// Measured loads over the best bound (≥ 1 for sound bounds).
     pub ratio: f64,
     /// One-time preparation cost of this cell's kernel (CDAG build + bound
-    /// derivation, milliseconds) — shared across the kernel's cells, not a
-    /// per-cell cost.
+    /// derivation + trace emission, milliseconds) — shared across the
+    /// kernel's cells, not a per-cell cost.
     pub prep_ms: f64,
-    /// Wall time of this cell's play alone (milliseconds).
+    /// Wall time of this cell's whole policy column (one stack-distance
+    /// pass produced every S point of the column, milliseconds).
     pub wall_ms: f64,
 }
 
@@ -205,7 +246,8 @@ impl SweepRow {
         self.lb_classical.max(self.lb_hourglass)
     }
 
-    /// Soundness of the cell: bound must not exceed a legal play's loads.
+    /// Soundness of the cell: the bound must not exceed the measured
+    /// loads of the simulated execution.
     pub fn sound(&self) -> bool {
         self.lb() <= self.loads as f64 + 1e-9
     }
@@ -218,15 +260,17 @@ pub struct SweepReport {
     pub rows: Vec<SweepRow>,
     /// End-to-end wall time (milliseconds), including preparation.
     pub total_wall_ms: f64,
-    /// Worker threads used.
+    /// Worker threads actually engaged by the parallel stages.
     pub threads: usize,
 }
 
-/// Runs the full (kernel × S × policy) matrix concurrently.
+/// Runs the full matrix: kernels prepare concurrently, then each
+/// `(kernel, policy)` column is one concurrent stack-distance pass whose
+/// curve is read at every grid S.
 pub fn run_sweep(kernels: Vec<SweepKernel>) -> SweepReport {
     let t_total = Instant::now();
-    // Stage 1: per-kernel preparation (CDAG + bound derivation) in parallel.
-    let prepared: Vec<Arc<Prepared>> = kernels
+    // Stage 1: per-kernel preparation (bounds + CDAG + trace) in parallel.
+    let prepared: Vec<Prepared> = kernels
         .into_par_iter()
         .map(|k| {
             let t = Instant::now();
@@ -246,70 +290,87 @@ pub fn run_sweep(kernels: Vec<SweepKernel>) -> SweepReport {
             };
             let env = k.env(binding.as_ref());
             let cdag = build_cdag(&k.program, &k.params);
-            Arc::new(Prepared {
+            let mut trace = Vec::new();
+            cdag.packed_program_order_trace(&mut trace);
+            let min_s = cdag.max_in_degree() + 1;
+            let s_values = k.s_offsets.iter().map(|&off| min_s + off).collect();
+            Prepared {
                 name: k.name,
                 params: k.params,
                 env,
-                s_offsets: k.s_offsets,
+                s_values,
                 cdag,
+                trace,
                 classical,
                 hourglass: hg,
                 prep_ms: t.elapsed().as_secs_f64() * 1e3,
-            })
+            }
         })
         .collect();
 
-    // Stage 2: the (kernel, S, policy) matrix, one parallel task per cell.
-    let mut cells: Vec<(Arc<Prepared>, usize, SpillPolicy)> = Vec::new();
-    for p in &prepared {
-        let min_s = p.cdag.max_in_degree() + 1;
-        for &off in &p.s_offsets {
-            for policy in [SpillPolicy::Lru, SpillPolicy::MinNextUse] {
-                cells.push((Arc::clone(p), min_s + off, policy));
+    // Stage 2: one stack-distance pass per (kernel, policy) column.
+    let columns: Vec<(usize, SpillPolicy)> = (0..prepared.len())
+        .flat_map(|ki| [(ki, SpillPolicy::Lru), (ki, SpillPolicy::MinNextUse)])
+        .collect();
+    let curves: Vec<(MissCurve, f64)> = columns
+        .par_iter()
+        .map(|&(ki, policy)| {
+            let p = &prepared[ki];
+            let horizon = p.s_values.iter().copied().max().unwrap_or(1);
+            let t = Instant::now();
+            let mut engine = CurveEngine::new();
+            let curve = match policy {
+                SpillPolicy::Lru => engine.lru_packed(&p.trace, horizon),
+                SpillPolicy::MinNextUse => engine.opt_packed(&p.trace, horizon),
+            };
+            (curve, t.elapsed().as_secs_f64() * 1e3)
+        })
+        .collect();
+
+    // Assemble rows in (kernel, S, {LRU, MIN}) order from the curves.
+    let mut rows = Vec::new();
+    for (ki, p) in prepared.iter().enumerate() {
+        for &s in &p.s_values {
+            for (ci, policy) in [
+                (2 * ki, SpillPolicy::Lru),
+                (2 * ki + 1, SpillPolicy::MinNextUse),
+            ] {
+                let (curve, wall_ms) = &curves[ci];
+                let loads = curve.loads(s);
+                let lb_classical = p
+                    .classical
+                    .as_ref()
+                    .map(|b| b.eval_floor(&p.env, s as i128))
+                    .unwrap_or(0.0);
+                let lb_hourglass = p
+                    .hourglass
+                    .as_ref()
+                    .map(|b| b.eval_floor(&p.env, s as i128))
+                    .unwrap_or(0.0);
+                let lb = lb_classical.max(lb_hourglass).max(1.0);
+                rows.push(SweepRow {
+                    kernel: p.name.clone(),
+                    params: p.params.clone(),
+                    nodes: p.cdag.len(),
+                    edges: p.cdag.num_edges(),
+                    s,
+                    policy,
+                    loads,
+                    computes: p.cdag.num_computes() as u64,
+                    lb_classical,
+                    lb_hourglass,
+                    ratio: loads as f64 / lb,
+                    prep_ms: p.prep_ms,
+                    wall_ms: *wall_ms,
+                });
             }
         }
     }
-    let rows: Vec<SweepRow> = cells
-        .into_par_iter()
-        .map(|(p, s, policy)| {
-            let t = Instant::now();
-            let play = PebbleGame::new(&p.cdag, s)
-                .play_program_order(policy)
-                .unwrap_or_else(|e| panic!("{}: play failed at S={s}: {e}", p.name));
-            let lb_classical = p
-                .classical
-                .as_ref()
-                .map(|b| b.eval_floor(&p.env, s as i128))
-                .unwrap_or(0.0);
-            let lb_hourglass = p
-                .hourglass
-                .as_ref()
-                .map(|b| b.eval_floor(&p.env, s as i128))
-                .unwrap_or(0.0);
-            let lb = lb_classical.max(lb_hourglass).max(1.0);
-            SweepRow {
-                kernel: p.name.clone(),
-                params: p.params.clone(),
-                nodes: p.cdag.len(),
-                edges: p.cdag.num_edges(),
-                s,
-                policy,
-                loads: play.loads,
-                computes: play.computes,
-                peak_red: play.peak_red,
-                lb_classical,
-                lb_hourglass,
-                ratio: play.loads as f64 / lb,
-                prep_ms: p.prep_ms,
-                wall_ms: t.elapsed().as_secs_f64() * 1e3,
-            }
-        })
-        .collect();
 
     SweepReport {
         rows,
         total_wall_ms: t_total.elapsed().as_secs_f64() * 1e3,
-        threads: rayon::current_num_threads(),
+        threads: rayon::max_workers_used().max(1),
     }
 }
 
@@ -326,8 +387,8 @@ pub fn render_sweep_table(report: &SweepReport) -> String {
         "loads",
         "LB classic",
         "LB hourglass",
-        "play/LB",
-        "wall ms"
+        "load/LB",
+        "curve ms"
     ));
     for r in &report.rows {
         out.push_str(&format!(
@@ -397,7 +458,7 @@ pub fn sweep_report_json_with(report: &SweepReport, redact_volatile: bool) -> St
         (report.threads, report.total_wall_ms)
     };
     let mut out = String::from("{\n");
-    out.push_str("  \"schema\": \"hourglass-iolb/pebble-sweep/v2\",\n");
+    out.push_str("  \"schema\": \"hourglass-iolb/pebble-sweep/v3\",\n");
     out.push_str(&format!(
         "  \"meta\": {{\"threads\": {threads}, \"total_wall_ms\": {}}},\n",
         num(wall)
@@ -406,7 +467,7 @@ pub fn sweep_report_json_with(report: &SweepReport, redact_volatile: bool) -> St
     for (i, r) in rows.iter().enumerate() {
         let params: Vec<String> = r.params.iter().map(|p| p.to_string()).collect();
         out.push_str(&format!(
-            "    {{\"kernel\": \"{}\", \"params\": [{}], \"nodes\": {}, \"edges\": {}, \"s\": {}, \"policy\": \"{}\", \"loads\": {}, \"computes\": {}, \"peak_red\": {}, \"lb_classical\": {}, \"lb_hourglass\": {}, \"ratio_loads_over_lb\": {}, \"sound\": {}}}{}\n",
+            "    {{\"kernel\": \"{}\", \"params\": [{}], \"nodes\": {}, \"edges\": {}, \"s\": {}, \"policy\": \"{}\", \"loads\": {}, \"computes\": {}, \"lb_classical\": {}, \"lb_hourglass\": {}, \"ratio_loads_over_lb\": {}, \"sound\": {}}}{}\n",
             r.kernel,
             params.join(", "),
             r.nodes,
@@ -415,7 +476,6 @@ pub fn sweep_report_json_with(report: &SweepReport, redact_volatile: bool) -> St
             policy_name(r.policy),
             r.loads,
             r.computes,
-            r.peak_red,
             num(r.lb_classical),
             num(r.lb_hourglass),
             num(r.ratio),
@@ -432,14 +492,14 @@ mod tests {
     use super::*;
 
     /// Small-size sweep: the full matrix machinery on fast cases, asserting
-    /// soundness (bound ≤ play) and the MIN ≤ LRU invariant per cell pair.
-    /// The shrunken sizes come from the same data table as the CI-gate
-    /// sizes — no per-kernel match-arms here.
+    /// soundness (bound ≤ measured loads) and the MIN ≤ LRU invariant per
+    /// cell pair. The shrunken sizes come from the same data table as the
+    /// CI-gate sizes — no per-kernel match-arms here.
     #[test]
     fn small_sweep_is_sound_and_min_beats_lru() {
         let kernels = default_sweep_kernels_at(SweepSize::Small);
         let report = run_sweep(kernels);
-        assert_eq!(report.rows.len(), 6 * 5 * 2);
+        assert_eq!(report.rows.len(), 6 * dense_s_offsets().len() * 2);
         let mut nontrivial = 0;
         for r in &report.rows {
             assert!(
@@ -454,17 +514,31 @@ mod tests {
                 nontrivial += 1;
             }
         }
-        assert!(nontrivial >= 20, "got {nontrivial} non-trivial cells");
-        // MIN never loads more than LRU on the same (kernel, S).
+        assert!(nontrivial >= 100, "got {nontrivial} non-trivial cells");
+        // MIN never loads more than LRU on the same (kernel, S), and each
+        // policy column is monotone non-increasing in S.
         for pair in report.rows.chunks(2) {
             let (lru, min) = (&pair[0], &pair[1]);
             assert_eq!(lru.kernel, min.kernel);
             assert_eq!(lru.s, min.s);
             assert!(min.loads <= lru.loads, "{} S={}", lru.kernel, lru.s);
         }
+        let mut last: std::collections::HashMap<(&str, SpillPolicy), u64> =
+            std::collections::HashMap::new();
+        for r in &report.rows {
+            if let Some(prev) = last.insert((r.kernel.as_str(), r.policy), r.loads) {
+                assert!(
+                    r.loads <= prev,
+                    "{} {:?}: loads not monotone in S at S={}",
+                    r.kernel,
+                    r.policy,
+                    r.s
+                );
+            }
+        }
         // JSON smoke: parsers only need balance + key presence here.
         let json = sweep_report_json(&report);
-        assert!(json.contains("\"schema\": \"hourglass-iolb/pebble-sweep/v2\""));
+        assert!(json.contains("\"schema\": \"hourglass-iolb/pebble-sweep/v3\""));
         assert_eq!(
             json.matches('{').count(),
             json.matches('}').count(),
@@ -488,6 +562,18 @@ mod tests {
         );
         let redacted = sweep_report_json_with(&report, true);
         assert!(redacted.contains("\"meta\": {\"threads\": 0, \"total_wall_ms\": 0.0000}"));
+    }
+
+    /// The dense default grid embeds the legacy coarse grid, so historical
+    /// BENCH points remain comparable across the schema bump.
+    #[test]
+    fn dense_grid_is_a_superset_of_the_coarse_grid() {
+        let dense = dense_s_offsets();
+        assert!(dense.len() >= 30, "~32 points expected");
+        assert!(dense.windows(2).all(|w| w[0] < w[1]), "strictly ascending");
+        for off in coarse_s_offsets() {
+            assert!(dense.contains(&off), "coarse offset {off} missing");
+        }
     }
 
     /// The env of a sweep kernel is derived from program parameters plus

@@ -259,6 +259,31 @@ impl Cdag {
         self.meta.len() - self.num_inputs
     }
 
+    /// Appends the packed value-access trace of the program-order schedule
+    /// to `out` (`(node << 1) | is_produce` per event, the `iolb-memsim`
+    /// encoding with node ids as cells): each compute step reads its
+    /// predecessors in CSR order, then produces its own value (a write —
+    /// no load, the red-white Compute rule).
+    ///
+    /// This is exactly the access sequence a pebble play services, at
+    /// value granularity (every node is written once, before any read, so
+    /// cache simulations of this trace need no overwrite handling). A MIN
+    /// cache simulation of the trace lower-bounds the loads of *every*
+    /// legal play: any play's pebble moves are a valid replacement
+    /// schedule for the trace, while the simulators may additionally drop
+    /// an operand mid-step (staging through registers), which no play's
+    /// pinned compute groups can.
+    pub fn packed_program_order_trace(&self, out: &mut Vec<u64>) {
+        out.clear();
+        out.reserve(self.num_edges() + self.num_computes());
+        for v in self.compute_nodes() {
+            for &p in self.preds(v) {
+                out.push((p as u64) << 1);
+            }
+            out.push(((v.0 as u64) << 1) | 1);
+        }
+    }
+
     /// Number of input nodes.
     pub fn num_inputs(&self) -> usize {
         self.num_inputs

@@ -42,7 +42,7 @@ use crate::graph::{Cdag, NodeId, NodeKind};
 use iolb_memsim::MaxPosSet;
 
 /// Spill (red-pebble replacement) policy.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum SpillPolicy {
     /// Spill the least-recently-used red pebble.
     Lru,

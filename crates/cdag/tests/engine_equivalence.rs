@@ -105,6 +105,45 @@ proptest! {
             prev = stats.loads;
         }
     }
+
+    /// Model bridge: the MIN miss curve of the program-order value-access
+    /// trace lower-bounds *every* legal play's loads (a play's pebble
+    /// moves are one valid replacement schedule for the trace; optimal
+    /// replacement can only do better), and the LRU curve is bitwise the
+    /// `LruSim`/`BeladySim` replay of the same trace at every budget.
+    #[test]
+    fn trace_curves_bound_pebble_plays(
+        seed in 0u64..1_000_000,
+        n_inputs in 1usize..6,
+        n_computes in 1usize..40,
+        max_preds in 0usize..4,
+    ) {
+        let g = random_cdag(seed, n_inputs, n_computes, max_preds);
+        let min_s = g.max_in_degree() + 1;
+        let mut trace = Vec::new();
+        g.packed_program_order_trace(&mut trace);
+        let horizon = min_s + 8;
+        let mut eng = iolb_memsim::CurveEngine::new();
+        let opt = eng.opt_packed(&trace, horizon);
+        let lru = eng.lru_packed(&trace, horizon);
+        for s in min_s..min_s + 8 {
+            let play_min = PebbleGame::new(&g, s)
+                .play_program_order(SpillPolicy::MinNextUse)
+                .unwrap();
+            prop_assert!(
+                opt.loads(s) <= play_min.loads,
+                "seed={seed} S={s}: trace OPT {} > pebble MIN play {}",
+                opt.loads(s),
+                play_min.loads
+            );
+            let mut sim = iolb_memsim::LruSim::new(s);
+            prop_assert_eq!(sim.run_packed(&trace).loads, lru.loads(s));
+            prop_assert_eq!(
+                iolb_memsim::BeladySim::new(s).run_packed(&trace).loads,
+                opt.loads(s)
+            );
+        }
+    }
 }
 
 /// On every paper kernel: both engines agree at several budgets, MIN ≤ LRU,

@@ -3,8 +3,9 @@
 //!
 //! For every `.iolb` file: parse → access-consistency certification →
 //! φ-set extraction → classical σ-bound → hourglass detect / certify /
-//! derive (§3–4, with §5.3 splitting) → exact CDAG → MIN/LRU pebble-game
-//! validation over an S grid → tightness measurement (the best blocked
+//! derive (§3–4, with §5.3 splitting) → exact CDAG → MIN/LRU miss-curve
+//! validation over a dense S grid (one stack-distance pass per policy
+//! prices every grid point) → tightness measurement (the best blocked
 //! upper-bound schedule from the file's `schedule { tile … }` directives,
 //! auto-tuned over tile sizes, vs the derived lower bound). Files are
 //! processed in parallel (rayon); per-file output is buffered and printed
@@ -42,7 +43,10 @@ USAGE:
 OPTIONS:
     --params M=64,N=32    override the file's `default` parameter values
     --stmt NAME           override the file's `analyze` statement
-    --s-grid 0,4,16,...   offsets added to the minimum feasible S (default 0,4,16,64,256)
+    --s-grid 0,4,16,...   offsets added to the minimum feasible S, or a preset:
+                          `dense` (~32 log-spaced points, the default — one
+                          stack-distance pass prices the whole grid) or
+                          `coarse` (the legacy 0,4,16,64,256)
     --json PATH           write the validation matrix as JSON
     --tightness-json PATH write the tightness report (lower vs measured upper bounds) as JSON
     --no-tightness        skip the upper-bound schedule measurement
@@ -80,7 +84,7 @@ pub fn parse_args(args: &[String]) -> Result<Options, String> {
         files: Vec::new(),
         params_override: Vec::new(),
         stmt_override: None,
-        s_offsets: vec![0, 4, 16, 64, 256],
+        s_offsets: iolb_bench::sweep::dense_s_offsets(),
         json: None,
         tightness_json: None,
         no_tightness: false,
@@ -107,11 +111,15 @@ pub fn parse_args(args: &[String]) -> Result<Options, String> {
             }
             "--s-grid" => {
                 let v = it.next().ok_or("--s-grid needs a value")?;
-                o.s_offsets = v
-                    .split(',')
-                    .map(|x| x.trim().parse::<usize>())
-                    .collect::<Result<_, _>>()
-                    .map_err(|_| format!("bad --s-grid list `{v}`"))?;
+                o.s_offsets = match v.trim() {
+                    "dense" => iolb_bench::sweep::dense_s_offsets(),
+                    "coarse" => iolb_bench::sweep::coarse_s_offsets(),
+                    list => list
+                        .split(',')
+                        .map(|x| x.trim().parse::<usize>())
+                        .collect::<Result<_, _>>()
+                        .map_err(|_| format!("bad --s-grid list `{v}`"))?,
+                };
                 if o.s_offsets.is_empty() {
                     return Err("--s-grid needs at least one offset".to_string());
                 }
@@ -257,7 +265,7 @@ pub fn run(args: &[String]) -> ExitCode {
         let combined = TightnessReport {
             kernels,
             total_wall_ms: batch_wall_ms,
-            threads: rayon::current_num_threads(),
+            threads: rayon::max_workers_used().max(1),
         };
         if let Err(e) = std::fs::write(path, tightness_report_json(&combined, false)) {
             eprintln!("writing {}: {e}", path.display());
@@ -373,7 +381,7 @@ pub fn run_file(file: &Path, opts: &Options) -> Result<FileOutcome, String> {
         });
     }
 
-    // 4. Exact CDAG + MIN/LRU pebble validation over the S grid.
+    // 4. Exact CDAG + MIN/LRU miss-curve validation over the S grid.
     let sweep = SweepKernel {
         name: program.name.clone(),
         program: reparse(&src)?,

@@ -1,9 +1,10 @@
 //! Golden snapshots of the machine-readable report schemas.
 //!
 //! The CI regression gate and downstream tooling parse
-//! `BENCH_iolb_kernels.json` (pebble-sweep schema v2) and
-//! `BENCH_tightness.json` (tightness schema v1); these tests pin both
-//! formats byte-for-byte on a fixed kernel at fixed sizes. The comparable
+//! `BENCH_iolb_kernels.json` (pebble-sweep schema v3, miss-curve cells)
+//! and `BENCH_tightness.json` (tightness schema v2, optimal-curve upper
+//! bounds); these tests pin both formats byte-for-byte on a fixed kernel
+//! at fixed sizes. The comparable
 //! sections are deterministic by design (sorted rows, fixed key order,
 //! volatile data confined to `meta` and redacted here), so the snapshots
 //! are stable across machines and thread counts.
@@ -57,7 +58,7 @@ fn report_schemas_match_golden_snapshots() {
 
     let sweep = outcome.report.expect("validation ran");
     check_golden(
-        "pebble_sweep_v2.json",
+        "pebble_sweep_v3.json",
         &sweep_report_json_with(&sweep, true),
     );
 
@@ -67,7 +68,7 @@ fn report_schemas_match_golden_snapshots() {
         threads: 0,
     };
     check_golden(
-        "tightness_v1.json",
+        "tightness_v2.json",
         &tightness_report_json(&tightness, true),
     );
 }

@@ -32,9 +32,20 @@ impl SplitBinding {
 /// size `S` — the tightness comparison the paper's evaluation methodology
 /// builds on (lower bounds vs the I/O of a concrete blocked execution).
 ///
-/// Produced by the upper-bound schedule engine in `iolb-bench` (pebble
-/// plays over tiled instance orders); carried here as plain data so every
-/// report surface (CLI, JSON, tables) shares one row type.
+/// Produced by the upper-bound schedule engine in `iolb-bench`: one
+/// point of the winning schedule's exact Belady-MIN *miss curve*
+/// (`iolb-memsim`'s one-pass stack-distance profile of the schedule's
+/// element-granularity trace — the loads of the best possible demand
+/// replacement for that execution order). Carried here as plain data so
+/// every report surface (CLI, JSON, tables) shares one row type.
+///
+/// Two orderings are invariants of the measurement (the harness rejects
+/// their violation as an engine bug): `upper_loads ≤
+/// program_order_loads`, and `upper_loads ≤ trace_lru_loads`. The
+/// pre-curve schema v1 reported a `trace_min_loads` side column that
+/// could land *above* the pebble-play upper bound, because the old
+/// simulator lacked the write-kill rule and was not exactly optimal;
+/// that column is gone — the optimal trace measurement *is* the bound.
 #[derive(Debug, Clone)]
 pub struct TightnessPoint {
     /// Fast-memory budget.
@@ -46,18 +57,17 @@ pub struct TightnessPoint {
     /// Trivial input floor: every distinct input read by the CDAG costs at
     /// least one load under any schedule.
     pub lb_inputs: f64,
-    /// Loads of the best measured schedule (MIN-policy pebble play).
+    /// Loads of the best measured schedule at `S`: its optimal-replacement
+    /// (Belady) miss-curve point.
     pub upper_loads: u64,
     /// Description of the winning schedule (`"program-order"` or a
     /// `tile i=8 j=8` string).
     pub upper_schedule: String,
-    /// Loads of the untransformed program-order MIN play (the tuner's
+    /// The untransformed program-order curve at `S` (the tuner's
     /// baseline).
     pub program_order_loads: u64,
-    /// Element-granularity cache-simulator loads of the winning schedule's
-    /// trace under Belady MIN (informative: a different, in-place model).
-    pub trace_min_loads: u64,
-    /// Same trace under LRU.
+    /// The winning schedule's trace under plain LRU — what demand paging
+    /// without future knowledge pays for the same execution order.
     pub trace_lru_loads: u64,
 }
 

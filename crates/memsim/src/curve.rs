@@ -1,0 +1,561 @@
+//! One-pass stack-distance engines: the full LRU and Belady/OPT miss
+//! curves of a trace from a single traversal.
+//!
+//! Both replacement policies simulated by this crate are *stack
+//! algorithms* (Mattson, Gecsei, Slutz, Traiger 1970): the resident set of
+//! a capacity-`S` cache is always the top `S` entries of one
+//! policy-defined priority stack, for every `S` simultaneously. An access
+//! therefore hits at capacity `S` exactly when its *stack distance* — the
+//! position of the accessed cell in that stack — is at most `S`, and one
+//! pass that records the distance histogram yields the exact miss count
+//! `loads(S)` for **all** capacities at once, replacing a per-`S` replay
+//! loop of [`LruSim`]/[`BeladySim`] with a single traversal:
+//!
+//! * [`CurveEngine::lru`] — LRU stack distances via a Fenwick tree over
+//!   last-access positions (the classical reuse-distance profiler):
+//!   O(log n) per access;
+//! * [`CurveEngine::opt`] — OPT stack distances via a priority-by-next-use
+//!   stack simulation. Next uses come from the same reverse-pass chain
+//!   threading as [`BeladySim`], a value's *pending overwrite* kills it
+//!   exactly like the simulator's dead set, and the priority stack is
+//!   repaired per access with the Mattson displacement chain over a
+//!   horizon-bounded dense slab.
+//!
+//! Both passes accept a capacity *horizon*: distances beyond it are lumped
+//! into a single always-miss bucket, which bounds the OPT stack (and the
+//! distance histogram) by the largest capacity the caller will query —
+//! the S grids swept by `iolb-bench` are far smaller than the traces.
+//!
+//! Property tests pin both curves bitwise-equal to the corresponding
+//! [`LruSim`]/[`BeladySim`] replay at every capacity.
+//!
+//! [`LruSim`]: crate::LruSim
+//! [`BeladySim`]: crate::BeladySim
+
+use crate::{thread_next_use, Access, NIL};
+
+/// Exact miss curve of one trace under one stack policy: `loads(S)` (read
+/// misses — the I/O cost in the red-white model, where write misses
+/// produce their value in fast memory for free) for every capacity `S` up
+/// to the engine's horizon.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MissCurve {
+    /// First-touch read misses (miss at every capacity).
+    cold: u64,
+    /// Read misses whose stack distance exceeded the horizon (miss at
+    /// every capacity `≤ horizon`; unknown beyond it).
+    beyond: u64,
+    /// `tail[s]` = finite-distance read misses at capacity `s`
+    /// (`Σ hist[d] for s < d ≤ horizon`), for `s` in `0..=horizon`.
+    tail: Vec<u64>,
+    /// Largest capacity the curve answers exactly.
+    horizon: usize,
+    /// Total accesses profiled.
+    accesses: u64,
+}
+
+impl MissCurve {
+    fn from_histogram(cold: u64, beyond: u64, hist: &[u64], accesses: u64) -> MissCurve {
+        let horizon = hist.len() - 1;
+        let mut tail = vec![0u64; horizon + 1];
+        for s in (0..horizon).rev() {
+            tail[s] = tail[s + 1] + hist[s + 1];
+        }
+        MissCurve {
+            cold,
+            beyond,
+            tail,
+            horizon,
+            accesses,
+        }
+    }
+
+    /// Read misses at capacity `s` — bitwise what the corresponding
+    /// simulator replay reports as [`IoStats::loads`](crate::IoStats).
+    ///
+    /// # Panics
+    /// Panics when `s == 0`, or when `s` exceeds the horizon and the trace
+    /// had beyond-horizon distances (the curve cannot answer there).
+    pub fn loads(&self, s: usize) -> u64 {
+        assert!(s >= 1, "cache capacity must be positive");
+        if s >= self.horizon {
+            assert!(
+                self.beyond == 0 || s == self.horizon,
+                "capacity {s} beyond curve horizon {}",
+                self.horizon
+            );
+            self.cold + self.beyond
+        } else {
+            self.cold + self.beyond + self.tail[s]
+        }
+    }
+
+    /// Largest capacity the curve answers exactly.
+    pub fn horizon(&self) -> usize {
+        self.horizon
+    }
+
+    /// First-touch read misses — the loads of an unbounded cache, and the
+    /// cold floor of every capacity.
+    pub fn cold_loads(&self) -> u64 {
+        self.cold
+    }
+
+    /// Total accesses profiled.
+    pub fn accesses(&self) -> u64 {
+        self.accesses
+    }
+}
+
+/// Fenwick (binary indexed) tree over trace positions; marks last-access
+/// positions so a range count yields "distinct cells accessed since".
+#[derive(Debug, Default)]
+struct Fenwick {
+    tree: Vec<u32>,
+}
+
+impl Fenwick {
+    fn reset(&mut self, n: usize) {
+        self.tree.clear();
+        self.tree.resize(n + 1, 0);
+    }
+
+    #[inline]
+    fn add(&mut self, pos: usize, delta: i32) {
+        let mut i = pos + 1;
+        while i < self.tree.len() {
+            self.tree[i] = self.tree[i].wrapping_add(delta as u32);
+            i += i & i.wrapping_neg();
+        }
+    }
+
+    /// Sum of marks at positions `0..=pos`.
+    #[inline]
+    fn prefix(&self, pos: usize) -> u32 {
+        let mut i = pos + 1;
+        let mut s = 0u32;
+        while i > 0 {
+            s = s.wrapping_add(self.tree[i]);
+            i -= i & i.wrapping_neg();
+        }
+        s
+    }
+}
+
+/// Priority value of a stack slot: the next-use position of its cell, or
+/// [`DEAD`] when the value is never read again before being overwritten
+/// (the farthest possible priority — dead values sink and drop first).
+const DEAD: u32 = u32::MAX;
+/// Empty-slot sentinel in the segment tree (below every real priority;
+/// real next-use positions are ≥ 1 because a next use is strictly later
+/// than the access that set it).
+const EMPTY: u32 = 0;
+/// `idx_of` marker: cell sank below the horizon and was dropped.
+const DROPPED: u32 = u32::MAX - 1;
+
+/// Reusable one-pass miss-curve profiler (all working buffers are sized
+/// per run and shared across runs, never allocated per access).
+#[derive(Debug, Default)]
+pub struct CurveEngine {
+    // Next-use chain threading (shared machinery with `BeladySim`).
+    chain: Vec<u32>,
+    head: Vec<u32>,
+    // LRU pass.
+    bit: Fenwick,
+    last_pos: Vec<u32>,
+    // OPT pass.
+    stack: Vec<u32>,
+    pri: Vec<u32>,
+    idx_of: Vec<u32>,
+    // Shared distance histogram (`hist[d]`, 1-indexed distances).
+    hist: Vec<u64>,
+}
+
+impl CurveEngine {
+    /// Fresh engine; buffers grow to the largest run.
+    pub fn new() -> CurveEngine {
+        CurveEngine::default()
+    }
+
+    /// LRU miss curve of a trace, exact for capacities `1..=horizon`.
+    pub fn lru(&mut self, trace: &[Access], horizon: usize) -> MissCurve {
+        self.lru_by(trace.len(), horizon, |t| {
+            let a = trace[t];
+            (a.cell, a.write)
+        })
+    }
+
+    /// [`lru`](CurveEngine::lru) on a packed trace (`(cell << 1) | write`).
+    pub fn lru_packed(&mut self, packed: &[u64], horizon: usize) -> MissCurve {
+        self.lru_by(packed.len(), horizon, |t| {
+            let p = packed[t];
+            ((p >> 1) as usize, (p & 1) == 1)
+        })
+    }
+
+    /// OPT (Belady MIN) miss curve of a trace, exact for capacities
+    /// `1..=horizon` — bitwise [`BeladySim`](crate::BeladySim)'s loads.
+    pub fn opt(&mut self, trace: &[Access], horizon: usize) -> MissCurve {
+        self.opt_by(trace.len(), horizon, |t| {
+            let a = trace[t];
+            (a.cell, a.write)
+        })
+    }
+
+    /// [`opt`](CurveEngine::opt) on a packed trace (`(cell << 1) | write`).
+    pub fn opt_packed(&mut self, packed: &[u64], horizon: usize) -> MissCurve {
+        self.opt_by(packed.len(), horizon, |t| {
+            let p = packed[t];
+            ((p >> 1) as usize, (p & 1) == 1)
+        })
+    }
+
+    /// LRU stack distances: the distance of an access is one plus the
+    /// number of distinct cells accessed since the previous access of the
+    /// same cell — counted by marking each cell's last-access position in
+    /// a Fenwick tree and summing the window between two touches.
+    fn lru_by(
+        &mut self,
+        len: usize,
+        horizon: usize,
+        at: impl Fn(usize) -> (usize, bool),
+    ) -> MissCurve {
+        assert!(horizon >= 1, "curve horizon must be positive");
+        let cells = max_cell(len, &at);
+        self.bit.reset(len);
+        self.last_pos.clear();
+        self.last_pos.resize(cells, NIL);
+        self.hist.clear();
+        self.hist.resize(horizon + 1, 0);
+        let (mut cold, mut beyond) = (0u64, 0u64);
+
+        for t in 0..len {
+            let (cell, write) = at(t);
+            let lp = self.last_pos[cell];
+            if lp == NIL {
+                if !write {
+                    cold += 1;
+                }
+            } else {
+                // Distinct cells accessed strictly between the touches:
+                // exactly the last-access marks in (lp, t).
+                let between = self.bit.prefix(t - 1) - self.bit.prefix(lp as usize);
+                let d = between as usize + 1;
+                if !write {
+                    if d <= horizon {
+                        self.hist[d] += 1;
+                    } else {
+                        beyond += 1;
+                    }
+                }
+                self.bit.add(lp as usize, -1);
+            }
+            self.bit.add(t, 1);
+            self.last_pos[cell] = t as u32;
+        }
+        MissCurve::from_histogram(cold, beyond, &self.hist, len as u64)
+    }
+
+    /// OPT stack distances: the priority stack keeps cells ordered so that
+    /// the top `S` entries are exactly the residents of a capacity-`S`
+    /// MIN cache. An access to the cell at position `d` records distance
+    /// `d`, moves the cell to the top, and repairs positions `2..d` by the
+    /// Mattson displacement rule: a *carry* (initially the old top) walks
+    /// down and swaps with each successive cell whose next use is strictly
+    /// farther — precisely the victims the per-capacity caches evict. Cold
+    /// accesses displace through the whole stack and push the final carry
+    /// below everything (or drop it past the horizon).
+    ///
+    /// The repair is a plain bounded linear scan over the priority slab:
+    /// the stack never outgrows the horizon, distances are small for the
+    /// reuse-heavy traces this profiles, and a sequential compare-and-swap
+    /// sweep over a dense `u32` array is substantially cheaper per swap
+    /// than any tree-indexed scheme at these sizes (swap-heavy chains pay
+    /// a register swap, not a path update).
+    fn opt_by(
+        &mut self,
+        len: usize,
+        horizon: usize,
+        at: impl Fn(usize) -> (usize, bool),
+    ) -> MissCurve {
+        assert!(horizon >= 1, "curve horizon must be positive");
+        let cells = thread_next_use(len, &at, &mut self.chain, &mut self.head);
+        self.stack.clear();
+        self.pri.clear();
+        self.pri.resize(horizon, EMPTY);
+        self.idx_of.clear();
+        self.idx_of.resize(cells, NIL);
+        self.hist.clear();
+        self.hist.resize(horizon + 1, 0);
+        let (mut cold, mut beyond) = (0u64, 0u64);
+
+        for t in 0..len {
+            let (cell, write) = at(t);
+            // Priority after this access: the next-use position, except
+            // that a pending overwrite (or no further use) kills the value
+            // — it re-materializes for free at its next write, so every
+            // capacity evicts it first. Mirrors `BeladySim`'s dead set.
+            let nu = self.chain[t];
+            let new_pri = if nu == NIL || at(nu as usize).1 {
+                DEAD
+            } else {
+                nu
+            };
+            let slot = self.idx_of[cell];
+            if slot == NIL || slot == DROPPED {
+                if !write {
+                    if slot == NIL {
+                        cold += 1;
+                    } else {
+                        beyond += 1;
+                    }
+                }
+                // Insert at the top; the displaced carry chains through
+                // the whole stack (a miss at every capacity) and the final
+                // carry becomes the new bottom — or drops off the horizon.
+                if self.stack.is_empty() {
+                    self.stack.push(cell as u32);
+                    self.place(0, cell as u32, new_pri);
+                } else {
+                    let (carry, carry_pri) = self.displace_top(cell as u32, new_pri);
+                    let (carry, carry_pri) =
+                        self.chain_swaps(1, self.stack.len() - 1, carry, carry_pri);
+                    if self.stack.len() < self.pri.len() {
+                        let bottom = self.stack.len();
+                        self.stack.push(carry);
+                        self.place(bottom, carry, carry_pri);
+                    } else {
+                        self.idx_of[carry as usize] = DROPPED;
+                    }
+                }
+            } else {
+                let slot = slot as usize;
+                let d = slot + 1;
+                if !write {
+                    debug_assert!(d <= horizon);
+                    self.hist[d] += 1;
+                }
+                if slot == 0 {
+                    self.pri[0] = new_pri;
+                } else {
+                    let (carry, carry_pri) = self.displace_top(cell as u32, new_pri);
+                    let (carry, carry_pri) = self.chain_swaps(1, slot - 1, carry, carry_pri);
+                    self.stack[slot] = carry;
+                    self.place(slot, carry, carry_pri);
+                }
+            }
+        }
+        MissCurve::from_histogram(cold, beyond, &self.hist, len as u64)
+    }
+
+    /// Writes `cell` with `pri` into `slot` (stack content already set by
+    /// the caller where needed).
+    #[inline]
+    fn place(&mut self, slot: usize, cell: u32, pri: u32) {
+        self.idx_of[cell as usize] = slot as u32;
+        self.pri[slot] = pri;
+    }
+
+    /// Puts `cell` on top of the stack, returning the displaced old top
+    /// as the initial carry.
+    #[inline]
+    fn displace_top(&mut self, cell: u32, new_pri: u32) -> (u32, u32) {
+        let carry = self.stack[0];
+        let carry_pri = self.pri[0];
+        self.stack[0] = cell;
+        self.place(0, cell, new_pri);
+        (carry, carry_pri)
+    }
+
+    /// Runs the displacement chain over slots `[lo, hi]`: swaps the carry
+    /// with each successive strictly-farther cell, returning the final
+    /// carry. A dead carry (`DEAD` priority) short-circuits: nothing is
+    /// strictly farther, so the rest of the span is untouched.
+    #[inline]
+    fn chain_swaps(
+        &mut self,
+        lo: usize,
+        hi: usize,
+        mut carry: u32,
+        mut carry_pri: u32,
+    ) -> (u32, u32) {
+        for k in lo..=hi {
+            if carry_pri == DEAD {
+                break;
+            }
+            if self.pri[k] > carry_pri {
+                let (c, p) = (self.stack[k], self.pri[k]);
+                self.stack[k] = carry;
+                self.idx_of[carry as usize] = k as u32;
+                self.pri[k] = carry_pri;
+                (carry, carry_pri) = (c, p);
+            }
+        }
+        (carry, carry_pri)
+    }
+}
+
+#[inline]
+fn max_cell(len: usize, at: &impl Fn(usize) -> (usize, bool)) -> usize {
+    let mut m = 0usize;
+    for t in 0..len {
+        m = m.max(at(t).0);
+    }
+    if len == 0 {
+        0
+    } else {
+        m + 1
+    }
+}
+
+/// Convenience: full-horizon LRU miss curve (exact at every capacity).
+pub fn lru_miss_curve(trace: &[Access]) -> MissCurve {
+    CurveEngine::new().lru(trace, trace.len().max(1))
+}
+
+/// Convenience: full-horizon OPT miss curve (exact at every capacity).
+pub fn opt_miss_curve(trace: &[Access]) -> MissCurve {
+    CurveEngine::new().opt(trace, trace.len().max(1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{lru_stats, min_stats};
+    use proptest::prelude::*;
+
+    fn reads(cells: &[usize]) -> Vec<Access> {
+        cells.iter().map(|&c| Access::read(c)).collect()
+    }
+
+    #[test]
+    fn lru_curve_on_a_hand_trace() {
+        // 0 1 2 0: distances ∞ ∞ ∞ 3 → loads(2) = 4, loads(3) = 3.
+        let t = reads(&[0, 1, 2, 0]);
+        let c = lru_miss_curve(&t);
+        assert_eq!(c.loads(1), 4);
+        assert_eq!(c.loads(2), 4);
+        assert_eq!(c.loads(3), 3);
+        assert_eq!(c.loads(4), 3);
+        assert_eq!(c.cold_loads(), 3);
+        assert_eq!(c.accesses(), 4);
+    }
+
+    #[test]
+    fn opt_curve_beats_lru_curve_on_looping_scan() {
+        let t = reads(&[0, 1, 2, 0, 1, 2, 0, 1, 2]);
+        let lru = lru_miss_curve(&t);
+        let opt = opt_miss_curve(&t);
+        assert_eq!(lru.loads(2), 9, "LRU thrashes the cyclic scan");
+        assert!(opt.loads(2) < 9);
+        assert_eq!(opt.loads(2), min_stats(2, &t).loads);
+    }
+
+    #[test]
+    fn horizon_truncates_but_stays_exact_below() {
+        let t = reads(&[0, 1, 2, 3, 4, 0, 1, 2, 3, 4]);
+        let full = opt_miss_curve(&t);
+        let capped = CurveEngine::new().opt(&t, 3);
+        for s in 1..=3 {
+            assert_eq!(capped.loads(s), full.loads(s), "S={s}");
+        }
+        assert_eq!(capped.horizon(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond curve horizon")]
+    fn querying_past_a_truncated_horizon_panics() {
+        let t = reads(&[0, 1, 2, 3, 4, 0]);
+        let capped = CurveEngine::new().lru(&t, 2);
+        let _ = capped.loads(5);
+    }
+
+    #[test]
+    fn empty_trace_makes_an_empty_curve() {
+        let c = lru_miss_curve(&[]);
+        assert_eq!(c.loads(1), 0);
+        assert_eq!(opt_miss_curve(&[]).loads(1), 0);
+    }
+
+    #[test]
+    fn engine_buffers_are_reusable() {
+        let mut e = CurveEngine::new();
+        let t1 = reads(&[0, 1, 2, 0, 1, 2]);
+        let a = e.opt(&t1, 6);
+        let b = e.opt(&t1, 6);
+        assert_eq!(a, b);
+        let t2 = vec![Access::write(9), Access::read(9)];
+        let c = e.lru(&t2, 2);
+        assert_eq!(c.loads(1), 0, "write allocates, read hits");
+    }
+
+    fn arb_trace() -> impl Strategy<Value = Vec<Access>> {
+        proptest::collection::vec((0usize..12, proptest::bool::ANY), 1..200).prop_map(|v| {
+            v.into_iter()
+                .map(|(cell, write)| Access { cell, write })
+                .collect()
+        })
+    }
+
+    proptest! {
+        /// The one-pass LRU curve is bitwise the `LruSim` replay at EVERY
+        /// capacity — the Mattson stack property, checked exhaustively.
+        #[test]
+        fn lru_curve_matches_replay_at_every_capacity(t in arb_trace()) {
+            let curve = lru_miss_curve(&t);
+            for s in 1..=t.len() {
+                prop_assert_eq!(curve.loads(s), lru_stats(s, &t).loads, "S={}", s);
+            }
+        }
+
+        /// The one-pass OPT curve is bitwise the `BeladySim` replay at
+        /// EVERY capacity.
+        #[test]
+        fn opt_curve_matches_replay_at_every_capacity(t in arb_trace()) {
+            let curve = opt_miss_curve(&t);
+            for s in 1..=t.len() {
+                prop_assert_eq!(curve.loads(s), min_stats(s, &t).loads, "S={}", s);
+            }
+        }
+
+        /// Truncated horizons agree with the full curve below the cap.
+        #[test]
+        fn truncated_curves_stay_exact(t in arb_trace(), horizon in 1usize..16) {
+            let mut e = CurveEngine::new();
+            let lru = e.lru(&t, horizon);
+            let opt = e.opt(&t, horizon);
+            for s in 1..=horizon.min(t.len().max(1)) {
+                prop_assert_eq!(lru.loads(s), lru_stats(s, &t).loads, "lru S={}", s);
+                prop_assert_eq!(opt.loads(s), min_stats(s, &t).loads, "opt S={}", s);
+            }
+        }
+
+        /// Packed and struct traces produce identical curves.
+        #[test]
+        fn packed_matches_structs(t in arb_trace()) {
+            let packed: Vec<u64> = t
+                .iter()
+                .map(|a| ((a.cell as u64) << 1) | a.write as u64)
+                .collect();
+            let mut e = CurveEngine::new();
+            prop_assert_eq!(e.lru(&t, 16), e.lru_packed(&packed, 16));
+            prop_assert_eq!(e.opt(&t, 16), e.opt_packed(&packed, 16));
+        }
+
+        /// OPT is optimal: its curve sits at or below LRU's pointwise, and
+        /// both decrease monotonically to the cold floor.
+        #[test]
+        fn curves_are_ordered_and_monotone(t in arb_trace()) {
+            let lru = lru_miss_curve(&t);
+            let opt = opt_miss_curve(&t);
+            let mut prev = u64::MAX;
+            for s in 1..=t.len() {
+                prop_assert!(opt.loads(s) <= lru.loads(s));
+                prop_assert!(opt.loads(s) <= prev);
+                prev = opt.loads(s);
+                prop_assert!(lru.loads(s) >= lru.cold_loads());
+            }
+            prop_assert_eq!(opt.loads(t.len()), opt.cold_loads());
+        }
+    }
+}

@@ -11,9 +11,16 @@
 //!   trace, then one forward pass over a hierarchical-bitmap "farthest
 //!   resident position" structure — no per-access allocation, and all
 //!   working buffers are reused across runs,
+//! * [`CurveEngine`] — one-pass stack-distance profilers producing the
+//!   exact [`MissCurve`] `loads(S)` of a trace for *every* capacity at
+//!   once, for both policies (see [`curve`]),
 //! * write semantics follow the red-white pebble game: a write *produces*
 //!   the value in fast memory (no load on a write miss); evicting a dirty
-//!   element counts a writeback.
+//!   element counts a writeback. Because an overwrite re-materializes the
+//!   value for free, a resident element whose next access is a write is
+//!   *dead* — [`BeladySim`] evicts such elements first (alongside the
+//!   never-used-again ones), which is what makes it exactly optimal for
+//!   this cost model rather than merely next-access-greedy.
 //!
 //! Cell ids are expected to be *dense* (array base offset + flat element
 //! index, as produced by the IR trace sinks); every structure here is a flat
@@ -22,6 +29,10 @@
 //!
 //! Measured `loads` of any schedule are an upper bound witness: lower bounds
 //! derived by `iolb-core` must sit below them.
+
+pub mod curve;
+
+pub use curve::{lru_miss_curve, opt_miss_curve, CurveEngine, MissCurve};
 
 /// One memory access in a trace.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -63,7 +74,34 @@ impl IoStats {
     }
 }
 
-const NIL: u32 = u32::MAX;
+pub(crate) const NIL: u32 = u32::MAX;
+
+/// Reverse-pass next-use threading shared by [`BeladySim`] and the
+/// stack-distance profilers in [`curve`]: after the call, `chain[t]` is
+/// the next position accessing the same cell as position `t` ([`NIL`]
+/// when there is none). Returns the cell-id universe size.
+pub(crate) fn thread_next_use(
+    len: usize,
+    at: &impl Fn(usize) -> (usize, bool),
+    chain: &mut Vec<u32>,
+    head: &mut Vec<u32>,
+) -> usize {
+    let mut max_cell = 0usize;
+    for t in 0..len {
+        max_cell = max_cell.max(at(t).0);
+    }
+    let cells = if len == 0 { 0 } else { max_cell + 1 };
+    chain.clear();
+    chain.resize(len, NIL);
+    head.clear();
+    head.resize(cells, NIL);
+    for t in (0..len).rev() {
+        let (cell, _) = at(t);
+        chain[t] = head[cell];
+        head[cell] = t as u32;
+    }
+    cells
+}
 
 /// Fully-associative LRU cache of `capacity` elements, O(1) per access.
 ///
@@ -368,9 +406,17 @@ impl MaxPosSet {
 /// next position touching `trace[t]`'s cell); the forward pass keeps the
 /// resident set as the *set of next-use positions* in a [`MaxPosSet`] — the
 /// victim is the maximum position, and `trace[pos]` recovers its cell, so no
-/// ordered map and no per-access allocation is needed. Elements that are
-/// never used again live on a separate dead-stack and are evicted first
-/// (they compare as `+∞`).
+/// ordered map and no per-access allocation is needed.
+///
+/// A resident element is *dead* when it is never read again before being
+/// overwritten (its next access is a write, or there is none): a write
+/// miss produces its value in fast memory for free, so evicting a dead
+/// element can never cost a load. Dead elements live in their own
+/// [`MaxPosSet`] (keyed by cell, matching the reference engine's largest-
+/// tie-break) and are evicted first — they compare as `+∞`. This
+/// write-kill rule is what makes the greedy farthest-next-use policy
+/// *exactly* optimal under the red-white cost model; without it, MIN
+/// pointlessly retains values whose next event is their own overwrite.
 ///
 /// All buffers are reused across [`run`](BeladySim::run) calls on the same
 /// simulator.
@@ -384,7 +430,7 @@ pub struct BeladySim {
     dirty: Vec<bool>,
     is_resident: Vec<bool>,
     alive: MaxPosSet,
-    dead: Vec<u32>,
+    dead: MaxPosSet,
 }
 
 impl BeladySim {
@@ -402,7 +448,7 @@ impl BeladySim {
             dirty: Vec::new(),
             is_resident: Vec::new(),
             alive: MaxPosSet::default(),
-            dead: Vec::new(),
+            dead: MaxPosSet::default(),
         }
     }
 
@@ -428,20 +474,7 @@ impl BeladySim {
     /// (`at(t) -> (cell, write)` must be pure).
     fn run_by(&mut self, len: usize, at: impl Fn(usize) -> (usize, bool)) -> IoStats {
         // Reverse pass: chain[t] = next position accessing the same cell.
-        let mut max_cell = 0usize;
-        for t in 0..len {
-            max_cell = max_cell.max(at(t).0);
-        }
-        let cells = if len == 0 { 0 } else { max_cell + 1 };
-        self.chain.clear();
-        self.chain.resize(len, NIL);
-        self.head.clear();
-        self.head.resize(cells, NIL);
-        for t in (0..len).rev() {
-            let (cell, _) = at(t);
-            self.chain[t] = self.head[cell];
-            self.head[cell] = t as u32;
-        }
+        let cells = thread_next_use(len, &at, &mut self.chain, &mut self.head);
 
         // Forward pass state, all dense by cell or position.
         self.next_pos.clear();
@@ -451,7 +484,7 @@ impl BeladySim {
         self.is_resident.clear();
         self.is_resident.resize(cells, false);
         self.alive.reset(len);
-        self.dead.clear();
+        self.dead.reset(cells);
 
         let mut stats = IoStats::default();
         let mut resident = 0usize;
@@ -459,12 +492,21 @@ impl BeladySim {
             let (cell, write) = at(t);
             stats.accesses += 1;
             let nu = self.chain[t];
+            // The value is dead after this access when it is never read
+            // again before its next overwrite (write-kill rule).
+            let goes_dead = nu == NIL || at(nu as usize).1;
             if self.is_resident[cell] {
-                // Hit: reposition by new next use.
+                // Hit: reposition by new next use. The cell was tracked
+                // alive exactly when this access is a read (a pending
+                // write meant it sat in the dead set).
                 debug_assert_eq!(self.next_pos[cell], t as u32);
-                self.alive.clear(t);
-                if nu == NIL {
-                    self.dead.push(cell as u32);
+                if write {
+                    self.dead.clear(cell);
+                } else {
+                    self.alive.clear(t);
+                }
+                if goes_dead {
+                    self.dead.set(cell);
                 } else {
                     self.alive.set(nu as usize);
                 }
@@ -479,10 +521,14 @@ impl BeladySim {
                 stats.loads += 1;
             }
             if resident == self.capacity {
-                // Victim: any never-used-again element first (+∞ key),
-                // otherwise the maximum next-use position.
-                let victim = match self.dead.pop() {
-                    Some(c) => c as usize,
+                // Victim: any dead element first (+∞ key; largest cell id
+                // — the reference engine's tie-break), otherwise the
+                // maximum next-use position.
+                let victim = match self.dead.max() {
+                    Some(c) => {
+                        self.dead.clear(c);
+                        c
+                    }
                     None => {
                         let pos = self.alive.max().expect("resident set not empty");
                         self.alive.clear(pos);
@@ -497,8 +543,8 @@ impl BeladySim {
             }
             self.is_resident[cell] = true;
             self.next_pos[cell] = nu;
-            if nu == NIL {
-                self.dead.push(cell as u32);
+            if goes_dead {
+                self.dead.set(cell);
             } else {
                 self.alive.set(nu as usize);
             }
@@ -591,6 +637,29 @@ mod tests {
         assert_eq!(s.writebacks, 1);
     }
 
+    /// The write-kill rule: a resident value whose next access is its own
+    /// overwrite is evicted for free, which plain next-access-greedy
+    /// Belady misses. This asymmetry is exactly what made the old
+    /// `trace_min_loads` occasionally exceed a legal pebble play's loads
+    /// in the tightness harness: the pebble engine's MIN policy keys on
+    /// next *reads*, so the trace simulator had to as well.
+    #[test]
+    fn pending_overwrite_makes_a_value_dead() {
+        // cap 2: rA rB rC wB rB rA. At rC the resident set is {A, B} with
+        // A next read at 5 and B next *written* at 3: killing B keeps A
+        // resident and costs 3 loads total. Next-access-greedy would evict
+        // A (5 > 3) and pay a 4th load for the rA at the end.
+        let t = vec![
+            Access::read(0),
+            Access::read(1),
+            Access::read(2),
+            Access::write(1),
+            Access::read(1),
+            Access::read(0),
+        ];
+        assert_eq!(min_stats(2, &t).loads, 3);
+    }
+
     #[test]
     fn belady_beats_lru_on_looping_pattern() {
         // Cyclic scan of 3 cells with capacity 2: LRU misses every access,
@@ -663,7 +732,10 @@ mod tests {
     }
 
     /// Reference MIN implementation (ordered map, two materialized passes) —
-    /// the original engine, kept as an executable specification.
+    /// the original engine, kept as an executable specification. The
+    /// eviction key of a value that is never read again before its next
+    /// overwrite is `+∞` (the write-kill rule: a write miss costs nothing,
+    /// so dead values are always the cheapest victims).
     fn min_stats_reference(capacity: usize, trace: &[Access]) -> IoStats {
         use std::collections::{BTreeSet, HashMap};
         const INF_POS: usize = usize::MAX;
@@ -681,9 +753,14 @@ mod tests {
         let mut dirty: HashMap<usize, bool> = HashMap::new();
         for (t, a) in trace.iter().enumerate() {
             stats.accesses += 1;
-            let nu = next_use[t];
+            // Dead (key +∞) when never accessed again or next access is a
+            // write — the overwrite re-materializes the value for free.
+            let nu = match next_use[t] {
+                INF_POS => INF_POS,
+                n if trace[n].write => INF_POS,
+                n => n,
+            };
             if let Some(&key) = resident_key.get(&a.cell) {
-                debug_assert_eq!(key, t);
                 resident.remove(&(key, a.cell));
                 resident.insert((nu, a.cell));
                 resident_key.insert(a.cell, nu);

@@ -82,14 +82,49 @@ fn parse_gate_args(args: &[String]) -> Result<(PathBuf, PathBuf, f64), String> {
     ))
 }
 
+/// Schema versions the gate knows how to compare. The pebble sweep moved
+/// from per-cell play replays (v2) to one-pass miss curves (v3, `peak_red`
+/// dropped), and tightness from pebble-play upper bounds with a
+/// `trace_min_loads` side column (v1) to optimal-curve upper bounds (v2);
+/// the keys the gate reads are stable across those bumps, so it accepts
+/// both generations on either side of the diff.
+const PEBBLE_SCHEMAS: &[&str] = &[
+    "hourglass-iolb/pebble-sweep/v2",
+    "hourglass-iolb/pebble-sweep/v3",
+];
+const TIGHTNESS_SCHEMAS: &[&str] = &["hourglass-iolb/tightness/v1", "hourglass-iolb/tightness/v2"];
+
+fn check_schema(doc: &Value, which: &str, accepted: &[&str], violations: &mut Vec<String>) {
+    match doc.get("schema").and_then(Value::str) {
+        Some(s) if accepted.contains(&s) => {}
+        Some(s) => violations.push(format!(
+            "{which}: unknown schema `{s}` (gate understands {accepted:?})"
+        )),
+        None => violations.push(format!("{which}: missing `schema` field")),
+    }
+}
+
 fn run_gate(baseline: &Path, fresh: &Path, tol: f64) -> ExitCode {
     let mut violations: Vec<String> = Vec::new();
     match load_pair(baseline, fresh, "BENCH_pebble.json") {
-        Ok((base, new)) => gate_pebble(&base, &new, &mut violations),
+        Ok((base, new)) => {
+            check_schema(&base, "pebble baseline", PEBBLE_SCHEMAS, &mut violations);
+            check_schema(&new, "pebble fresh", PEBBLE_SCHEMAS, &mut violations);
+            gate_pebble(&base, &new, &mut violations);
+        }
         Err(e) => violations.push(e),
     }
     match load_pair(baseline, fresh, "BENCH_tightness.json") {
-        Ok((base, new)) => gate_tightness(&base, &new, tol, &mut violations),
+        Ok((base, new)) => {
+            check_schema(
+                &base,
+                "tightness baseline",
+                TIGHTNESS_SCHEMAS,
+                &mut violations,
+            );
+            check_schema(&new, "tightness fresh", TIGHTNESS_SCHEMAS, &mut violations);
+            gate_tightness(&base, &new, tol, &mut violations);
+        }
         Err(e) => violations.push(e),
     }
     if violations.is_empty() {
@@ -259,6 +294,43 @@ mod tests {
         let mut v = Vec::new();
         gate_tightness(&tight(POINT), &tight(&nan), 0.02, &mut v);
         assert!(v.iter().any(|m| m.contains("not finite")), "{v:?}");
+    }
+
+    #[test]
+    fn schema_check_accepts_both_generations_and_rejects_strangers() {
+        let mut v = Vec::new();
+        for s in super::PEBBLE_SCHEMAS {
+            check_schema(
+                &json::parse(&format!(r#"{{"schema": "{s}"}}"#)).unwrap(),
+                "pebble",
+                super::PEBBLE_SCHEMAS,
+                &mut v,
+            );
+        }
+        for s in super::TIGHTNESS_SCHEMAS {
+            check_schema(
+                &json::parse(&format!(r#"{{"schema": "{s}"}}"#)).unwrap(),
+                "tightness",
+                super::TIGHTNESS_SCHEMAS,
+                &mut v,
+            );
+        }
+        assert!(v.is_empty(), "{v:?}");
+        check_schema(
+            &json::parse(r#"{"schema": "hourglass-iolb/pebble-sweep/v99"}"#).unwrap(),
+            "pebble",
+            super::PEBBLE_SCHEMAS,
+            &mut v,
+        );
+        check_schema(
+            &json::parse("{}").unwrap(),
+            "tightness",
+            super::TIGHTNESS_SCHEMAS,
+            &mut v,
+        );
+        assert_eq!(v.len(), 2, "{v:?}");
+        assert!(v[0].contains("unknown schema"));
+        assert!(v[1].contains("missing"));
     }
 
     #[test]

@@ -16,11 +16,28 @@ pub fn current_num_threads() -> usize {
         .unwrap_or(1)
 }
 
+/// Process-wide high-water mark of workers engaged by the `join` and
+/// `map`/`collect` bridges (spawns inside a raw [`scope`] are not
+/// counted). Not in real rayon — the shim exposes it so reports can
+/// record the pool size genuinely *used* by a run rather than the
+/// machine's theoretical parallelism: a 1-item map on a 64-core box
+/// engages one worker, and that is what this returns. Being a process
+/// global, it reflects the widest stage of the run so far, not the most
+/// recent one.
+pub fn max_workers_used() -> usize {
+    MAX_WORKERS_USED.load(Ordering::Relaxed)
+}
+
+static MAX_WORKERS_USED: AtomicUsize = AtomicUsize::new(0);
+
 /// Runs `a` and `b` potentially in parallel, returning both results.
 pub fn join<RA: Send, RB: Send>(
     a: impl FnOnce() -> RA + Send,
     b: impl FnOnce() -> RB + Send,
 ) -> (RA, RB) {
+    if current_num_threads() > 1 {
+        MAX_WORKERS_USED.fetch_max(2, Ordering::Relaxed);
+    }
     std::thread::scope(|s| {
         let hb = s.spawn(b);
         let ra = a();
@@ -115,6 +132,7 @@ impl<I: Send, O: Send, F: Fn(I) -> O + Sync> FromParallel<I, F> for Vec<O> {
             (0..n).map(|_| std::sync::Mutex::new(None)).collect();
         let cursor = AtomicUsize::new(0);
         let workers = current_num_threads().min(n);
+        MAX_WORKERS_USED.fetch_max(workers, Ordering::Relaxed);
         std::thread::scope(|s| {
             for _ in 0..workers {
                 s.spawn(|| loop {
@@ -231,5 +249,17 @@ mod tests {
     fn empty_input() {
         let out: Vec<u8> = Vec::<u8>::new().into_par_iter().map(|x| x).collect();
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn worker_high_water_is_recorded() {
+        let _: Vec<u32> = (0u32..64)
+            .collect::<Vec<_>>()
+            .into_par_iter()
+            .map(|x| x)
+            .collect();
+        let used = super::max_workers_used();
+        assert!(used >= 1);
+        assert!(used <= super::current_num_threads());
     }
 }
