@@ -511,7 +511,13 @@ fn measure_kernel(job: TightnessJob) -> Result<KernelTightness, String> {
                 job.name
             ));
         }
-        debug_assert!(upper_loads <= program_order_loads[si]);
+        if upper_loads > program_order_loads[si] {
+            return Err(format!(
+                "{}: S={s}: winner {upper_loads} loads above the program-order baseline {} \
+                 (the tuner must never lose to its own baseline)",
+                job.name, program_order_loads[si]
+            ));
+        }
         points.push(TightnessPoint {
             s,
             lb_classical: job

@@ -289,6 +289,48 @@ impl Cdag {
         self.num_inputs
     }
 
+    /// Structural comparison of two CDAGs: `None` when node kinds and
+    /// adjacency are identical, `Some(diff)` naming the first difference.
+    /// The differential fuzz oracle uses this to pin the fast declared-
+    /// access construction path against the executed ground-truth path.
+    pub fn diff(&self, other: &Cdag) -> Option<String> {
+        if self.len() != other.len() {
+            return Some(format!("node count: {} vs {}", self.len(), other.len()));
+        }
+        if self.num_inputs() != other.num_inputs() {
+            return Some(format!(
+                "input count: {} vs {}",
+                self.num_inputs(),
+                other.num_inputs()
+            ));
+        }
+        if self.num_edges() != other.num_edges() {
+            return Some(format!(
+                "edge count: {} vs {}",
+                self.num_edges(),
+                other.num_edges()
+            ));
+        }
+        for i in 0..self.len() as u32 {
+            let v = NodeId(i);
+            if self.kind(v) != other.kind(v) {
+                return Some(format!(
+                    "node {i}: {:?} vs {:?}",
+                    self.kind(v),
+                    other.kind(v)
+                ));
+            }
+            if self.preds(v) != other.preds(v) {
+                return Some(format!(
+                    "preds of node {i}: {:?} vs {:?}",
+                    self.preds(v),
+                    other.preds(v)
+                ));
+            }
+        }
+        None
+    }
+
     /// Finds the compute node of `stmt` at iteration vector `iv` (linear
     /// scan: meant for tests/validation on small graphs).
     pub fn node_of(&self, stmt: StmtId, iv: &[i32]) -> Option<NodeId> {

@@ -39,6 +39,10 @@ iolb — I/O lower bounds for affine kernels (hourglass-tightened)
 USAGE:
     iolb [OPTIONS] <FILE.iolb>...
     iolb emit-builtin <DIR>      regenerate the built-in paper kernels as .iolb files
+    iolb fuzz --seed <N> --cases <N> [--max-dims <D>] [--json PATH] [--corpus DIR]
+                                 generate random kernels and run the differential
+                                 soundness oracle on each (seed is required: runs are
+                                 reproducible from it alone, never from wall-clock)
 
 OPTIONS:
     --params M=64,N=32    override the file's `default` parameter values
@@ -188,6 +192,15 @@ pub fn run(args: &[String]) -> ExitCode {
             Some(dir) => emit_builtin(Path::new(dir)),
             None => {
                 eprintln!("emit-builtin needs a target directory\n\n{USAGE}");
+                ExitCode::from(2)
+            }
+        };
+    }
+    if args.first().map(String::as_str) == Some("fuzz") {
+        return match parse_fuzz_args(&args[1..]) {
+            Ok(opts) => run_fuzz_cmd(&opts),
+            Err(msg) => {
+                eprintln!("{msg}");
                 ExitCode::from(2)
             }
         };
@@ -483,14 +496,12 @@ fn resolve_params(kernel: &KernelFile, over: &[(String, i64)]) -> Result<Vec<i64
         .collect()
 }
 
-/// Fallback analysis target: the deepest statement (ties → latest in
-/// schedule order) — the dominant update of every kernel shipped here.
+/// Fallback analysis target: [`Program::default_analyze_stmt`] (the
+/// deepest statement, ties → latest in schedule order).
 fn deepest_stmt(program: &Program) -> String {
     program
-        .stmts
-        .iter()
-        .max_by_key(|s| (s.dims.len(), s.position))
-        .map(|s| s.name.clone())
+        .default_analyze_stmt()
+        .map(|id| program.stmt(id).name.clone())
         .unwrap_or_default()
 }
 
@@ -506,6 +517,153 @@ fn dsl_split_binding(kernel: &KernelFile) -> Option<SplitBinding> {
 /// clonable: its statements carry closures).
 fn reparse(src: &str) -> Result<Program, String> {
     Ok(parse_kernel(src).map_err(|e| e.to_string())?.program)
+}
+
+// ---------------------------------------------------------------------------
+// fuzz
+// ---------------------------------------------------------------------------
+
+/// Options of the `iolb fuzz` subcommand.
+#[derive(Debug)]
+pub struct FuzzOptions {
+    /// Required run seed (reproducibility flows from it alone).
+    pub seed: u64,
+    /// Number of generated cases.
+    pub cases: u64,
+    /// Maximum loop-nest depth.
+    pub max_dims: u32,
+    /// Optional JSON report path.
+    pub json: Option<PathBuf>,
+    /// Optional directory for minimized reproducers.
+    pub corpus: Option<PathBuf>,
+}
+
+/// Parses `iolb fuzz` arguments. `--seed` is mandatory: the fuzzer has no
+/// ambient-entropy fallback, so every run is replayable by construction.
+///
+/// # Errors
+/// Returns usage/diagnostic text to print.
+pub fn parse_fuzz_args(args: &[String]) -> Result<FuzzOptions, String> {
+    let mut seed: Option<u64> = None;
+    let mut cases: u64 = 200;
+    let mut max_dims: u32 = 4;
+    let mut json: Option<PathBuf> = None;
+    let mut corpus: Option<PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--seed" => {
+                seed = Some(
+                    it.next()
+                        .ok_or("--seed needs a value")?
+                        .parse()
+                        .map_err(|_| "bad --seed value (want u64)".to_string())?,
+                );
+            }
+            "--cases" => {
+                cases = it
+                    .next()
+                    .ok_or("--cases needs a value")?
+                    .parse()
+                    .map_err(|_| "bad --cases value".to_string())?;
+            }
+            "--max-dims" => {
+                max_dims = it
+                    .next()
+                    .ok_or("--max-dims needs a value")?
+                    .parse()
+                    .map_err(|_| "bad --max-dims value".to_string())?;
+                if !(1..=8).contains(&max_dims) {
+                    return Err("--max-dims must be in 1..=8".to_string());
+                }
+            }
+            "--json" => json = Some(PathBuf::from(it.next().ok_or("--json needs a path")?)),
+            "--corpus" => corpus = Some(PathBuf::from(it.next().ok_or("--corpus needs a dir")?)),
+            other => return Err(format!("unknown fuzz option `{other}`\n\n{USAGE}")),
+        }
+    }
+    Ok(FuzzOptions {
+        seed: seed.ok_or(
+            "fuzz needs --seed <N>: runs are reproducible from the seed alone \
+             (there is deliberately no wall-clock default)",
+        )?,
+        cases,
+        max_dims,
+        json,
+        corpus,
+    })
+}
+
+/// Runs the fuzzer and reports. Exit codes: 0 clean, 1 violations found,
+/// 2 usage/IO errors.
+pub fn run_fuzz_cmd(opts: &FuzzOptions) -> ExitCode {
+    let mut config = iolb_fuzz::FuzzConfig::new(opts.seed, opts.cases);
+    config.max_dims = opts.max_dims;
+    let report = iolb_fuzz::run_fuzz(&config);
+    println!(
+        "fuzz seed={} cases={} max-dims={}: {} violation(s); {} certified instances, \
+         {} classical bounds, {} hourglass bounds, {} analysis-declined, {} tiled",
+        report.config.seed,
+        report.config.cases,
+        report.config.max_dims,
+        report.failures.len(),
+        report.stats.instances,
+        report.stats.classical,
+        report.stats.hourglass,
+        report.stats.analysis_skipped,
+        report.stats.tiled
+    );
+    for f in &report.failures {
+        eprintln!(
+            "VIOLATION case {}: [{}] {}\nminimized reproducer ({} stmt(s)):\n{}",
+            f.case_index, f.violation.invariant, f.violation.detail, f.minimized_stmts, f.minimized
+        );
+    }
+    if let Some(dir) = &opts.corpus {
+        if let Err(e) = write_corpus(dir, &report) {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    }
+    if let Some(path) = &opts.json {
+        if let Err(e) = std::fs::write(path, iolb_fuzz::fuzz_report_json(&report)) {
+            eprintln!("writing {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+        println!("wrote {}", path.display());
+    }
+    if report.failures.is_empty() {
+        println!("fuzz clean ✓ — every generated kernel passed the differential oracle");
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}
+
+/// Writes every minimized reproducer as a replayable corpus file, headed
+/// by the exact command that regenerates it.
+fn write_corpus(dir: &Path, report: &iolb_fuzz::FuzzReport) -> Result<(), String> {
+    std::fs::create_dir_all(dir).map_err(|e| format!("creating {}: {e}", dir.display()))?;
+    for f in &report.failures {
+        let path = dir.join(format!(
+            "fz{}_{}_{}.iolb",
+            report.config.seed, f.case_index, f.violation.invariant
+        ));
+        let text = format!(
+            "# Minimized reproducer: `iolb fuzz --seed {} --cases {} --max-dims {}` case {}.\n\
+             # Violated invariant: {} — {}\n{}",
+            report.config.seed,
+            report.config.cases,
+            report.config.max_dims,
+            f.case_index,
+            f.violation.invariant,
+            f.violation.detail.replace('\n', " "),
+            f.minimized
+        );
+        std::fs::write(&path, text).map_err(|e| format!("writing {}: {e}", path.display()))?;
+        println!("wrote {}", path.display());
+    }
+    Ok(())
 }
 
 // ---------------------------------------------------------------------------

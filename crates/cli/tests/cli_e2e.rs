@@ -212,3 +212,55 @@ fn scheduled_kernel_tuner_finds_a_blocked_winner() {
     );
     assert!(last.upper_loads < last.program_order_loads);
 }
+
+// ---------------------------------------------------------------------------
+// `iolb fuzz`
+// ---------------------------------------------------------------------------
+
+#[test]
+fn fuzz_args_require_a_seed_and_report_it() {
+    // No wall-clock fallback: a seedless invocation is a usage error.
+    let err = iolb_cli::parse_fuzz_args(&["--cases".to_string(), "5".to_string()]).unwrap_err();
+    assert!(err.contains("--seed"), "{err}");
+
+    let opts = iolb_cli::parse_fuzz_args(&[
+        "--seed".to_string(),
+        "9".to_string(),
+        "--cases".to_string(),
+        "4".to_string(),
+        "--max-dims".to_string(),
+        "3".to_string(),
+    ])
+    .unwrap();
+    assert_eq!((opts.seed, opts.cases, opts.max_dims), (9, 4, 3));
+    assert!(iolb_cli::parse_fuzz_args(&[
+        "--seed".to_string(),
+        "1".to_string(),
+        "--max-dims".to_string(),
+        "99".to_string()
+    ])
+    .is_err());
+}
+
+#[test]
+fn fuzz_run_is_clean_and_its_json_is_seed_stamped_and_deterministic() {
+    let mut config = iolb_fuzz::FuzzConfig::new(2025, 8);
+    config.s_offsets = vec![0, 2, 8];
+    let a = iolb_fuzz::run_fuzz(&config);
+    assert!(
+        a.failures.is_empty(),
+        "violations: {:?}",
+        a.failures
+            .iter()
+            .map(|f| (f.violation.invariant, f.violation.detail.clone()))
+            .collect::<Vec<_>>()
+    );
+    let json_a = iolb_fuzz::fuzz_report_json(&a);
+    let json_b = iolb_fuzz::fuzz_report_json(&iolb_fuzz::run_fuzz(&config));
+    assert_eq!(json_a, json_b, "bitwise-deterministic replays");
+    assert!(
+        json_a.contains("\"seed\": 2025"),
+        "seed is a required field"
+    );
+    assert!(json_a.contains("\"schema\": \"hourglass-iolb/fuzz/v1\""));
+}

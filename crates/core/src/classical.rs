@@ -28,8 +28,10 @@ pub struct ClassicalBound {
     pub sigma: Rational,
     /// Optimal exponents per projection.
     pub exponents: Vec<Rational>,
-    /// Number of disjoint in-set regions `m`.
-    pub m: usize,
+    /// In-set refinement divisor `m = σ/w_max` over disjoint regions
+    /// (the region count when weights are equal — the paper's integer
+    /// `m`; rational in general, see [`PhiSet::refinement_divisor`]).
+    pub m: Rational,
     /// `|V|`: instances of the statement, first outer-loop iteration
     /// dropped (IOLB's counting convention).
     pub volume: Poly,
@@ -53,11 +55,14 @@ pub fn derive(program: &Program, stmt: StmtId, phi: &PhiSet) -> ClassicalBound {
 /// fails. Arbitrary DSL workloads go through this path so the pipeline
 /// degrades to "no classical bound" instead of aborting.
 pub fn try_derive(program: &Program, stmt: StmtId, phi: &PhiSet) -> Option<ClassicalBound> {
+    if !iolb_ir::count::countable_nest(program, stmt) {
+        return None; // strided / multi-bound nests have no closed-form |V|
+    }
     let (sigma, exponents) = phi.bl_exponents()?;
     if !phi.check_subgroups(&exponents) {
         return None;
     }
-    let m = phi.disjoint_regions();
+    let m = phi.refinement_divisor(&exponents);
     // |V| with the first outer iteration dropped (matches IOLB's tables).
     let outer = *program.stmt(stmt).dims.first()?;
     let outer_lo = {
@@ -82,15 +87,15 @@ pub fn try_derive(program: &Program, stmt: StmtId, phi: &PhiSet) -> Option<Class
 
 /// Builds `c(σ, m) · |V| · S^{1−σ}` with
 /// `c = (σ−1)^{σ−1} σ^{−σ} m^σ = (m(σ−1)/σ)^σ / (σ−1)`.
-fn wrap_expr(volume: &Poly, sigma: Rational, m: usize) -> Expr {
+fn wrap_expr(volume: &Poly, sigma: Rational, m: Rational) -> Expr {
     let s = Expr::var(s_var());
     let vol = Expr::from_poly(volume);
     if sigma <= Rational::ONE {
         // Degenerate: |E| ≤ K/m gives Q ≥ m·|V| in the K → ∞ limit.
-        return Expr::int(m as i128).mul(vol);
+        return Expr::Const(m).mul(vol);
     }
     let sm1 = sigma - Rational::ONE;
-    let base = Rational::int(m as i128) * sm1 / sigma;
+    let base = m * sm1 / sigma;
     let c = Expr::Const(base).pow(sigma).div(Expr::Const(sm1));
     c.mul(vol).mul(s.pow(Rational::ONE - sigma))
 }
@@ -117,7 +122,7 @@ impl ClassicalBound {
         if !vol.is_positive() {
             return 0.0;
         }
-        let m = self.m as i128;
+        let m = self.m;
         let mut best = 0.0f64;
         // Scan candidate K around the analytic optimum and a coarse grid.
         let opt = if self.sigma > Rational::ONE {
@@ -141,21 +146,24 @@ impl ClassicalBound {
     }
 }
 
-/// Exact `⌊|V| / (K/m)^σ⌋` for `σ = p/q > 0`: the largest `t ≥ 0` with
-/// `t^q·K^p·b^q ≤ a^q·m^p` where `|V| = a/b`. Binary search with checked
-/// `i128` products. When one side overflows `i128`, the comparison is still
-/// decided soundly: an overflowing side exceeds every representable value,
-/// so `lhs` overflow ⇒ not-fits and `rhs` overflow (with finite `lhs`) ⇒
-/// fits; only when *both* overflow does the search give up and answer
-/// not-fits — conservative (a smaller floored count), never an overshoot.
-fn floored_set_count(vol: Rational, k: i128, m: i128, sigma: Rational) -> i128 {
+/// Exact `⌊|V| / (K/m)^σ⌋` for `σ = p/q > 0` and rational `m = mᵃ/mᵇ`:
+/// the largest `t ≥ 0` with `t^q·K^p·b^q·(mᵇ)^p ≤ a^q·(mᵃ)^p` where
+/// `|V| = a/b`. Binary search with checked `i128` products. When one side
+/// overflows `i128`, the comparison is still decided soundly: an
+/// overflowing side exceeds every representable value, so `lhs` overflow
+/// ⇒ not-fits and `rhs` overflow (with finite `lhs`) ⇒ fits; only when
+/// *both* overflow does the search give up and answer not-fits —
+/// conservative (a smaller floored count), never an overshoot.
+fn floored_set_count(vol: Rational, k: i128, m: Rational, sigma: Rational) -> i128 {
     let (p, q) = (sigma.num() as u32, sigma.den() as u32);
     let (a, b) = (vol.num(), vol.den());
+    let (ma, mb) = (m.num(), m.den());
     let fits = |t: i128| -> bool {
         let lhs = checked_pow(t, q)
             .and_then(|x| x.checked_mul(checked_pow(k, p)?))
-            .and_then(|x| x.checked_mul(checked_pow(b, q)?));
-        let rhs = checked_pow(a, q).and_then(|x| x.checked_mul(checked_pow(m, p)?));
+            .and_then(|x| x.checked_mul(checked_pow(b, q)?))
+            .and_then(|x| x.checked_mul(checked_pow(mb, p)?));
+        let rhs = checked_pow(a, q).and_then(|x| x.checked_mul(checked_pow(ma, p)?));
         match (lhs, rhs) {
             (Some(l), Some(r)) => l <= r,
             (None, Some(_)) => false, // lhs > i128::MAX ≥ rhs
@@ -232,7 +240,7 @@ mod tests {
         let analysis = crate::Analysis::run(&p, &[vec![7, 5]]).unwrap();
         let b = analysis.classical_bound(su);
         assert_eq!(b.sigma, rat(3, 2));
-        assert_eq!(b.m, 3);
+        assert_eq!(b.m, Rational::int(3));
         // Bound = 2·|V|/√S with |V| = M(N-1)(N-2)/2 → M(N-1)(N-2)/√S.
         let (m, n, s) = (1000i128, 100i128, 400i128);
         let got =

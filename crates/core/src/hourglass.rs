@@ -102,6 +102,12 @@ pub fn detect(
     stmt: StmtId,
     projections: &[ReadProjection],
 ) -> Option<HourglassPattern> {
+    if !iolb_ir::count::countable_nest(program, stmt) {
+        // Derivation needs closed-form instance counts over the nest;
+        // decline the pattern rather than panic downstream (§4 only ever
+        // targets unit-step single-bound nests anyway).
+        return None;
+    }
     let x = program.stmt(stmt);
 
     // Statement-level flow graph (producer → consumer).

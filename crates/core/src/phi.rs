@@ -38,9 +38,19 @@ pub struct PhiSet {
 
 impl PhiSet {
     /// Builds Φ from the analyzed read projections.
+    ///
+    /// Read families observed *pointwise aliasing* (one instance touching
+    /// the same cell through two declared accesses — `B[i]` vs
+    /// `B[N-1-i]` at the midpoint, a triangular update's `A[i][k]` vs
+    /// `A[j][k]` on the diagonal) are assigned one shared region key:
+    /// their in-sets provably overlap, so counting them as disjoint
+    /// regions would inflate the `m` refinement above what a real
+    /// execution must load.
     pub fn for_statement(program: &Program, stmt: StmtId, reads: &[ReadProjection]) -> PhiSet {
         let s = program.stmt(stmt);
         let mut projections = Vec::new();
+        let mut read_idxs: Vec<usize> = Vec::new();
+        let mut alias_pairs: Vec<(usize, usize)> = Vec::new();
         for rp in reads.iter().filter(|r| r.stmt == stmt) {
             let access = &s.reads[rp.read_idx];
             let rendered = access
@@ -53,10 +63,40 @@ impl PhiSet {
                 })
                 .collect::<Vec<_>>()
                 .join(",");
+            read_idxs.push(rp.read_idx);
+            for &other in &rp.aliased {
+                alias_pairs.push((rp.read_idx, other));
+            }
             projections.push(Projection {
                 support: rp.support.clone(),
                 region: (rp.array.0, rendered),
             });
+        }
+        // Merge aliasing families' region keys to a shared representative
+        // (iterated to a fixpoint for transitive chains).
+        loop {
+            let mut changed = false;
+            for &(a, b) in &alias_pairs {
+                let (Some(ia), Some(ib)) = (
+                    read_idxs.iter().position(|&r| r == a),
+                    read_idxs.iter().position(|&r| r == b),
+                ) else {
+                    continue;
+                };
+                let min = projections[ia]
+                    .region
+                    .clone()
+                    .min(projections[ib].region.clone());
+                for i in [ia, ib] {
+                    if projections[i].region != min {
+                        projections[i].region = min.clone();
+                        changed = true;
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
         }
         PhiSet {
             stmt,
@@ -69,6 +109,35 @@ impl PhiSet {
     pub fn disjoint_regions(&self) -> usize {
         let keys: BTreeSet<&(u32, String)> = self.projections.iter().map(|p| &p.region).collect();
         keys.len()
+    }
+
+    /// The sound in-set refinement divisor `m = σ / w_max`, given the
+    /// optimal BL exponents.
+    ///
+    /// With the in-set split into disjoint regions `R_r` of total size
+    /// `K` and region weights `w_r = Σ s_j` over the region's
+    /// projections, weighted AM–GM gives
+    /// `|E| ≤ Π_r |R_r|^{w_r} ≤ (Σ_r (w_r/σ)·|R_r|)^σ ≤ (w_max·K/σ)^σ`,
+    /// i.e. `(K/m)^σ` with `m = σ/w_max` — a rational in general. For
+    /// regions of equal weight this is exactly the region count (the
+    /// paper's integer `m`); zero-weight regions drop out (a scalar
+    /// operand must not "reserve" `K/m` cells), and unequal weights get
+    /// the exact sound divisor instead of the even split, which would
+    /// overstate the bound.
+    pub fn refinement_divisor(&self, s: &[Rational]) -> Rational {
+        assert_eq!(s.len(), self.projections.len());
+        let mut weights: std::collections::BTreeMap<&(u32, String), Rational> =
+            std::collections::BTreeMap::new();
+        let mut sigma = Rational::ZERO;
+        for (p, sj) in self.projections.iter().zip(s) {
+            *weights.entry(&p.region).or_insert(Rational::ZERO) += *sj;
+            sigma += *sj;
+        }
+        let w_max = weights.values().copied().max().unwrap_or(Rational::ZERO);
+        if !w_max.is_positive() || !sigma.is_positive() {
+            return Rational::ONE;
+        }
+        sigma / w_max
     }
 
     /// Solves the Brascamp–Lieb exponent LP: minimize `σ = Σ s_j` subject to
@@ -222,5 +291,48 @@ mod tests {
         let mut p = phi(&[0, 1], &[&[0], &[1]]);
         p.projections[1].region = p.projections[0].region.clone();
         assert_eq!(p.disjoint_regions(), 1);
+    }
+
+    #[test]
+    fn refinement_divisor_equals_region_count_for_equal_weights() {
+        // MGS shape: three regions, each with exponent 1/2 → m = 3.
+        let p = phi(&[0, 1, 2], &[&[2, 1], &[2, 0], &[0, 1]]);
+        let s = vec![rat(1, 2); 3];
+        assert_eq!(p.refinement_divisor(&s), Rational::int(3));
+    }
+
+    #[test]
+    fn refinement_divisor_drops_zero_weight_regions() {
+        // A scalar operand region with exponent 0 must not "reserve" K/2:
+        // only the weight-1 region constrains the split → m = 1.
+        let p = phi(&[0, 1], &[&[0, 1], &[]]);
+        assert_eq!(
+            p.refinement_divisor(&[Rational::ONE, Rational::ZERO]),
+            Rational::ONE
+        );
+        // No positive weight at all → no refinement.
+        assert_eq!(
+            p.refinement_divisor(&[Rational::ZERO, Rational::ZERO]),
+            Rational::ONE
+        );
+    }
+
+    #[test]
+    fn refinement_divisor_is_weighted_for_unequal_regions() {
+        // Weights (1, 1/2): σ = 3/2, w_max = 1 → m = 3/2 (the AM-GM
+        // divisor), not the unsound even split m = 2.
+        let p = phi(&[0, 1, 2], &[&[0, 1, 2], &[0, 1]]);
+        let s = vec![Rational::ONE, rat(1, 2)];
+        assert_eq!(p.refinement_divisor(&s), rat(3, 2));
+    }
+
+    #[test]
+    fn merged_regions_pool_their_weights() {
+        // Two projections sharing one region pool to weight 1; a third
+        // separate region at 1/2 → σ = 3/2, w_max = 1 → m = 3/2.
+        let mut p = phi(&[0, 1, 2], &[&[0, 1], &[1, 2], &[0, 2]]);
+        p.projections[1].region = p.projections[0].region.clone();
+        let s = vec![rat(1, 2); 3];
+        assert_eq!(p.refinement_divisor(&s), rat(3, 2));
     }
 }

@@ -3,6 +3,7 @@
 //! refined width variants, and the Theorem 5 small-S branch crossover.
 
 use iolb_core::{hourglass, s_var, Analysis};
+use iolb_numeric::Rational;
 use iolb_symbolic::Var;
 
 fn mgs_bound() -> (iolb_ir::Program, iolb_core::HourglassBound) {
@@ -69,7 +70,7 @@ fn disjointness_refinement_factor() {
     let analysis = Analysis::run(&p, &[vec![9, 6]]).unwrap();
     let su = p.stmt_id("SU").unwrap();
     let b = analysis.classical_bound(su);
-    assert_eq!(b.m, 3);
+    assert_eq!(b.m, Rational::int(3));
     // Reconstruct the m = 1 (no refinement) value and compare.
     let env = [
         (Var::new("M"), 4096i128),

@@ -98,7 +98,7 @@ fn classical_eval_floor_f64(b: &iolb_core::ClassicalBound, env: &[(Var, i128)], 
         return 0.0;
     }
     let sigma = b.sigma.to_f64();
-    let m = b.m as f64;
+    let m = b.m.to_f64();
     let mut best = 0.0f64;
     let opt = if sigma > 1.0 {
         sigma / (sigma - 1.0) * s as f64

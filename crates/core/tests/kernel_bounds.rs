@@ -4,6 +4,7 @@
 
 use iolb_core::report::{analyze_kernel, fig5_parity};
 use iolb_core::{s_var, theorems};
+use iolb_numeric::Rational;
 use iolb_symbolic::Var;
 
 fn env(m: i128, n: i128, s: i128) -> Vec<(Var, i128)> {
@@ -20,7 +21,7 @@ fn mgs_engine_matches_fig5_exactly() {
     let p = iolb_kernels::mgs::program();
     let r = analyze_kernel(&p, "MGS", "SU").unwrap();
     assert_eq!(r.old.sigma, iolb_numeric::Rational::new(3, 2));
-    assert_eq!(r.old.m, 3);
+    assert_eq!(r.old.m, Rational::int(3));
     assert!(!r.split);
     // Dominant term of Fig 5's MGS new row: M²(N−1)(N−2)/(8(M+S)).
     let e = env(2048, 512, 256);
@@ -118,7 +119,7 @@ fn gemm_has_no_hourglass_but_classical_bound() {
     assert!(analysis.detect_hourglass(su).is_none());
     let b = analysis.classical_bound(su);
     assert_eq!(b.sigma, iolb_numeric::Rational::new(3, 2));
-    assert_eq!(b.m, 3);
+    assert_eq!(b.m, Rational::int(3));
 }
 
 #[test]

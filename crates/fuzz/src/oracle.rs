@@ -1,0 +1,374 @@
+//! The end-to-end differential soundness oracle.
+//!
+//! One generated (or corpus) `.iolb` source is pushed through the whole
+//! pipeline, asserting the cross-layer invariants that tie the layers
+//! together:
+//!
+//! 1. **round-trip** — `parse(print(parse(src)))` preserves the program
+//!    *and* every directive ([`iolb_ir::kernel_diff`]);
+//! 2. **certification** — the synthesized closures perform exactly the
+//!    declared accesses ([`iolb_ir::interp::validate_accesses`]);
+//! 3. **CDAG agreement** — the fast declared-access construction
+//!    ([`build_cdag`]) is node-for-node identical to the executed
+//!    ground-truth path ([`build_cdag_executed`]);
+//! 4. **hourglass self-consistency** — a detected pattern must certify on
+//!    the concrete observation sizes;
+//! 5. **bound soundness** — every derived floored bound (classical σ and
+//!    hourglass) sits at or below the OPT miss curve of the program-order
+//!    trace at *every* S of the grid, and OPT ≤ LRU with both curves
+//!    monotone in S;
+//! 6. **schedule legality** — the tightness harness's invariants hold:
+//!    tiled enumerations preserving the instance version map are the only
+//!    ones measured, the winner never loses to program order or to its
+//!    own LRU view, identical final stores bit-for-bit, and every
+//!    measured upper bound also dominates the derived lower bounds
+//!    (`lower bound ≤ OPT ≤ any legal schedule`).
+//!
+//! Analysis-stage *refusals* (no covering σ projection set, no split
+//! binding) are not violations — the pipeline is allowed to decline a
+//! bound; it is never allowed to overshoot one.
+
+use iolb_bench::tightness::{run_tightness, TightnessJob};
+use iolb_cdag::{build_cdag, build_cdag_executed};
+use iolb_core::report::{derive_with_split, observation_sizes};
+use iolb_core::{hourglass, Analysis};
+use iolb_ir::interp::validate_accesses;
+use iolb_ir::{kernel_diff, parse_kernel, print_kernel, Program};
+use iolb_memsim::CurveEngine;
+use iolb_symbolic::Var;
+
+/// Soundness slack for float comparisons (matches the sweep's `sound()`).
+const EPS: f64 = 1e-9;
+
+/// A broken invariant: which one, and the human-readable evidence.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// Stable invariant identifier (`"bound-exceeds-opt"`, …). The
+    /// shrinker only accepts mutations that preserve this identifier, so
+    /// a reproducer never drifts onto a different bug while minimizing.
+    pub invariant: &'static str,
+    /// What went wrong, with concrete numbers.
+    pub detail: String,
+}
+
+impl Violation {
+    fn new(invariant: &'static str, detail: impl Into<String>) -> Violation {
+        Violation {
+            invariant,
+            detail: detail.into(),
+        }
+    }
+}
+
+/// Per-case outcome counters (aggregated into the fuzz report).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CaseReport {
+    /// Certified statement instances.
+    pub instances: u64,
+    /// A classical σ-bound was derived.
+    pub classical: bool,
+    /// A hourglass bound was derived.
+    pub hourglass: bool,
+    /// Dependence analysis declined the program (no bounds checked).
+    pub analysis_skipped: bool,
+    /// The kernel carried `schedule { tile … }` directives.
+    pub tiled: bool,
+}
+
+/// Oracle configuration.
+#[derive(Debug, Clone)]
+pub struct Oracle {
+    /// Offsets added to the kernel's minimum feasible S.
+    pub s_offsets: Vec<usize>,
+    /// Run the tightness harness (schedule-legality + upper-bound
+    /// invariants) per case.
+    pub tightness: bool,
+    /// Test-only fault injection: inflates every derived lower bound by
+    /// this amount before the curve comparison, so the oracle + shrinker
+    /// machinery can be proven to catch a genuine overshoot.
+    #[cfg(test)]
+    pub inject_overshoot: f64,
+}
+
+impl Default for Oracle {
+    fn default() -> Oracle {
+        Oracle::new()
+    }
+}
+
+impl Oracle {
+    /// Oracle over the dense default S grid with tightness checks on.
+    pub fn new() -> Oracle {
+        Oracle::with(iolb_bench::sweep::dense_s_offsets(), true)
+    }
+
+    /// Oracle over a custom S grid (sorted and deduplicated here — the
+    /// monotonicity checks walk the grid in ascending order).
+    ///
+    /// # Panics
+    /// Panics on an empty grid: no grid means no bound/curve invariant
+    /// would run, and a vacuous "clean" verdict must be impossible.
+    pub fn with(mut s_offsets: Vec<usize>, tightness: bool) -> Oracle {
+        assert!(!s_offsets.is_empty(), "oracle needs at least one S offset");
+        s_offsets.sort_unstable();
+        s_offsets.dedup();
+        Oracle {
+            s_offsets,
+            tightness,
+            #[cfg(test)]
+            inject_overshoot: 0.0,
+        }
+    }
+
+    fn injected(&self) -> f64 {
+        #[cfg(test)]
+        {
+            self.inject_overshoot
+        }
+        #[cfg(not(test))]
+        {
+            0.0
+        }
+    }
+
+    /// Runs the full invariant chain on one `.iolb` source.
+    ///
+    /// # Errors
+    /// The first broken invariant, as a [`Violation`].
+    pub fn check_source(&self, src: &str) -> Result<CaseReport, Violation> {
+        // 1. Parse + full-file round-trip.
+        let kernel = parse_kernel(src)
+            .map_err(|e| Violation::new("parse", format!("source does not parse: {e}")))?;
+        let printed = print_kernel(&kernel);
+        let reparsed = parse_kernel(&printed).map_err(|e| {
+            Violation::new(
+                "roundtrip-parse",
+                format!("printed kernel does not re-parse: {e}"),
+            )
+        })?;
+        if let Some(d) = kernel_diff(&kernel, &reparsed) {
+            return Err(Violation::new("roundtrip", d));
+        }
+        let program = &kernel.program;
+        let params = kernel
+            .default_params()
+            .map_err(|e| Violation::new("defaults", e))?;
+
+        // 2. Declared accesses == performed accesses on every instance.
+        let instances =
+            validate_accesses(program, &params).map_err(|e| Violation::new("certify", e))?;
+
+        // 3. Fast CDAG path vs executed ground truth.
+        let cdag = build_cdag(program, &params);
+        let executed = build_cdag_executed(program, &params);
+        if let Some(d) = cdag.diff(&executed) {
+            return Err(Violation::new("cdag-divergence", d));
+        }
+
+        // 4. Bound derivation (refusals allowed, inconsistencies not).
+        let stmt_name = kernel
+            .analyze
+            .clone()
+            .unwrap_or_else(|| deepest_stmt(program));
+        let stmt = program
+            .stmt_id(&stmt_name)
+            .ok_or_else(|| Violation::new("analyze", format!("no statement named {stmt_name}")))?;
+        let named: Vec<(String, i64)> = program
+            .params
+            .iter()
+            .cloned()
+            .zip(params.iter().copied())
+            .collect();
+        let mut env: Vec<(Var, i128)> = named
+            .iter()
+            .map(|(n, v)| (Var::new(n), *v as i128))
+            .collect();
+        let observe = observation_sizes(&params);
+        let (classical, hourglass, analysis_skipped) = match Analysis::run(program, &observe) {
+            Err(_) => (None, None, true),
+            Ok(analysis) => {
+                let classical = analysis.try_classical_bound(stmt);
+                let hg = match analysis.detect_hourglass(stmt) {
+                    None => None,
+                    // Detection is structural and optimistic; empirical
+                    // chain certification is the gate. A failed
+                    // certification (e.g. another statement clobbers the
+                    // would-be chain) means the hourglass bound must not
+                    // be applied — a refusal, not a violation.
+                    Some(pat) => match hourglass::certify(program, &pat, &observe[0]) {
+                        Err(_) => None,
+                        Ok(_) => match derive_with_split(program, &pat, None) {
+                            Ok((b, binding)) => {
+                                if let Some(bind) = &binding {
+                                    env.push((bind.var, bind.eval(&named)));
+                                }
+                                Some(b)
+                            }
+                            Err(_) => None, // split binding unavailable: a refusal
+                        },
+                    },
+                };
+                (classical, hg, false)
+            }
+        };
+
+        // 5. Miss-curve invariants on the program-order trace.
+        let mut trace = Vec::new();
+        cdag.packed_program_order_trace(&mut trace);
+        let min_s = cdag.max_in_degree() + 1;
+        let s_values: Vec<usize> = self.s_offsets.iter().map(|&off| min_s + off).collect();
+        let horizon = s_values.iter().copied().max().unwrap_or(1);
+        let mut engine = CurveEngine::new();
+        let opt = engine.opt_packed(&trace, horizon);
+        let lru = engine.lru_packed(&trace, horizon);
+        let inject = self.injected();
+        let (mut prev_opt, mut prev_lru) = (u64::MAX, u64::MAX);
+        for &s in &s_values {
+            let opt_loads = opt.loads(s);
+            let lru_loads = lru.loads(s);
+            let lb_classical = classical
+                .as_ref()
+                .map(|b| b.eval_floor(&env, s as i128))
+                .unwrap_or(0.0);
+            let lb_hourglass = hourglass
+                .as_ref()
+                .map(|b| b.eval_floor(&env, s as i128))
+                .unwrap_or(0.0);
+            let lb = lb_classical.max(lb_hourglass) + inject;
+            if lb > opt_loads as f64 + EPS {
+                return Err(Violation::new(
+                    "bound-exceeds-opt",
+                    format!(
+                        "S={s}: lower bound {lb} (classical {lb_classical}, hourglass \
+                         {lb_hourglass}) exceeds OPT loads {opt_loads}"
+                    ),
+                ));
+            }
+            if opt_loads > lru_loads {
+                return Err(Violation::new(
+                    "opt-above-lru",
+                    format!("S={s}: OPT loads {opt_loads} above LRU loads {lru_loads}"),
+                ));
+            }
+            if opt_loads > prev_opt || lru_loads > prev_lru {
+                return Err(Violation::new(
+                    "curve-not-monotone",
+                    format!("S={s}: miss curve increased with capacity"),
+                ));
+            }
+            (prev_opt, prev_lru) = (opt_loads, lru_loads);
+        }
+
+        // 6. Tightness harness: schedule legality, store cross-check, and
+        // `lower bound ≤ best measured schedule` (the `run_tightness`
+        // internals reject version-map-breaking enumerations and error on
+        // any inverted measurement invariant).
+        if self.tightness {
+            let job = TightnessJob {
+                name: program.name.clone(),
+                program: reparse(src)?,
+                params: params.clone(),
+                env: env.clone(),
+                classical: classical.clone(),
+                hourglass: hourglass.clone(),
+                schedule: kernel.schedule.clone(),
+                s_offsets: self.s_offsets.clone(),
+            };
+            let report =
+                run_tightness(vec![job]).map_err(|e| Violation::new("tightness-invariant", e))?;
+            for t in report.kernels.iter().flat_map(|k| &k.points) {
+                let lb = t.lb_classical.max(t.lb_hourglass) + inject;
+                if lb > t.upper_loads as f64 + EPS {
+                    return Err(Violation::new(
+                        "bound-exceeds-upper",
+                        format!(
+                            "S={}: lower bound {lb} exceeds measured upper bound {} \
+                             (schedule `{}`)",
+                            t.s, t.upper_loads, t.upper_schedule
+                        ),
+                    ));
+                }
+            }
+        }
+
+        Ok(CaseReport {
+            instances,
+            classical: classical.is_some(),
+            hourglass: hourglass.is_some(),
+            analysis_skipped,
+            tiled: !kernel.schedule.is_empty(),
+        })
+    }
+}
+
+/// The pipeline's fallback analysis target
+/// ([`Program::default_analyze_stmt`] — the same rule the `iolb` CLI
+/// applies).
+fn deepest_stmt(program: &Program) -> String {
+    program
+        .default_analyze_stmt()
+        .map(|id| program.stmt(id).name.clone())
+        .unwrap_or_default()
+}
+
+/// A second parse of the same source ([`Program`] carries closures and is
+/// not clonable).
+fn reparse(src: &str) -> Result<Program, Violation> {
+    Ok(parse_kernel(src)
+        .map_err(|e| Violation::new("parse", e.to_string()))?
+        .program)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GEMM: &str = "
+kernel mini_gemm(N) {
+  array A[N][N];
+  array B[N][N];
+  array C[N][N];
+  analyze SU;
+  default N = 6;
+  schedule { tile i; tile j; }
+
+  for i in 0..N {
+    for j in 0..N {
+      Cz: C[i][j] = op();
+    }
+  }
+  for i in 0..N {
+    for j in 0..N {
+      for k in 0..N {
+        SU: C[i][j] = op(A[i][k], B[k][j], C[i][j]);
+      }
+    }
+  }
+}
+";
+
+    #[test]
+    fn clean_kernel_passes_every_invariant() {
+        let oracle = Oracle::with(vec![0, 4, 16], true);
+        let report = oracle.check_source(GEMM).expect("sound");
+        assert!(report.instances > 0);
+        assert!(report.tiled);
+        assert!(!report.analysis_skipped);
+    }
+
+    #[test]
+    fn unparseable_source_is_a_parse_violation() {
+        let oracle = Oracle::with(vec![0], false);
+        let v = oracle.check_source("kernel broken {").unwrap_err();
+        assert_eq!(v.invariant, "parse");
+    }
+
+    #[test]
+    fn injected_overshoot_is_caught() {
+        let mut oracle = Oracle::with(vec![0, 8], false);
+        oracle.inject_overshoot = 1e12;
+        let v = oracle.check_source(GEMM).unwrap_err();
+        assert_eq!(v.invariant, "bound-exceeds-opt");
+        assert!(v.detail.contains("exceeds OPT loads"), "{}", v.detail);
+    }
+}

@@ -1,0 +1,333 @@
+//! Greedy reproducer minimization.
+//!
+//! Given a [`CaseSpec`] whose rendered source breaks an oracle invariant,
+//! [`shrink_case`] repeatedly applies structure-removing mutations and
+//! keeps each one that still reproduces a violation of the *same
+//! invariant* (matching identifiers prevents drifting onto a different
+//! bug mid-shrink):
+//!
+//! * drop a statement (always keeping at least one),
+//! * drop a `tile` directive,
+//! * pin a loop to at most its first iteration (unit step, forward —
+//!   [`gen::LoopSpec::pin`](crate::gen::LoopSpec::pin) keeps the lower bound, so lower-slack subscripts
+//!   like `v − 1` stay in range and empty loops stay empty),
+//! * shrink a parameter default toward [`MIN_PARAM`],
+//! * drop a read (or a surplus write) from a statement,
+//! * prune loops whose bodies became empty.
+//!
+//! Every mutation preserves the generator's in-range-by-construction
+//! invariant (nothing ever *adds* structure or widens a bound), so a
+//! shrunken spec is still a valid kernel. The process runs to a fixpoint:
+//! one round tries every mutation site once, and shrinking stops when a
+//! full round makes no progress.
+
+use crate::gen::{CaseSpec, StepSpec, MIN_PARAM};
+use crate::oracle::{Oracle, Violation};
+
+/// Outcome of minimization.
+#[derive(Debug, Clone)]
+pub struct ShrinkOutcome {
+    /// The minimized spec (still failing).
+    pub spec: CaseSpec,
+    /// The violation the minimized spec produces.
+    pub violation: Violation,
+    /// Mutations accepted on the way down.
+    pub accepted: u32,
+}
+
+/// Minimizes `spec` while `oracle` keeps reporting a violation with the
+/// same invariant identifier as `violation`.
+pub fn shrink_case(spec: &CaseSpec, oracle: &Oracle, violation: &Violation) -> ShrinkOutcome {
+    let mut current = spec.clone();
+    let mut current_violation = violation.clone();
+    let mut accepted = 0u32;
+    // Every accepted mutation strictly removes structure or shrinks a
+    // parameter, so the fixpoint terminates; the cap is a belt-and-braces
+    // guard against a mutation that fails to make progress.
+    for _ in 0..10_000 {
+        let mut progressed = false;
+        for candidate in mutations(&current) {
+            if let Err(v) = oracle.check_source(&candidate.render()) {
+                if v.invariant == current_violation.invariant {
+                    current = candidate;
+                    current_violation = v;
+                    accepted += 1;
+                    progressed = true;
+                    break; // re-enumerate mutation sites on the new spec
+                }
+            }
+        }
+        if !progressed {
+            break;
+        }
+    }
+    ShrinkOutcome {
+        spec: current,
+        violation: current_violation,
+        accepted,
+    }
+}
+
+/// All single-step shrink candidates of `spec`, most aggressive first.
+fn mutations(spec: &CaseSpec) -> Vec<CaseSpec> {
+    let mut out = Vec::new();
+    let n_stmts = spec.num_stmts();
+
+    // Drop one statement (keep at least one).
+    if n_stmts > 1 {
+        for i in 0..n_stmts {
+            let mut cand = spec.clone();
+            let mut idx = i;
+            if let Some(removed) = remove_stmt(&mut cand.body, &mut idx) {
+                if cand.analyze.as_deref() == Some(removed.as_str()) {
+                    cand.analyze = None; // the oracle falls back to deepest
+                }
+                prune(&mut cand);
+                out.push(cand);
+            }
+        }
+    }
+
+    // Drop one tile directive.
+    for i in 0..spec.tiles.len() {
+        let mut cand = spec.clone();
+        cand.tiles.remove(i);
+        out.push(cand);
+    }
+
+    // Pin one loop to a single iteration.
+    let n_loops = count_loops(&spec.body);
+    for i in 0..n_loops {
+        let mut cand = spec.clone();
+        let mut idx = i;
+        if pin_loop(&mut cand.body, &mut idx) == Some(true) {
+            out.push(cand);
+        }
+    }
+
+    // Shrink one parameter default toward the floor.
+    for i in 0..spec.params.len() {
+        if spec.params[i].1 > MIN_PARAM {
+            let mut cand = spec.clone();
+            cand.params[i].1 = MIN_PARAM.max(cand.params[i].1 / 2);
+            out.push(cand);
+        }
+    }
+
+    // Drop one read / one surplus write per statement.
+    for i in 0..n_stmts {
+        for drop_write in [false, true] {
+            let mut cand = spec.clone();
+            let mut idx = i;
+            if slim_stmt(&mut cand.body, &mut idx, drop_write) == Some(true) {
+                out.push(cand);
+            }
+        }
+    }
+
+    out
+}
+
+/// Removes empty loops (and tile directives that no longer name a loop).
+fn prune(spec: &mut CaseSpec) {
+    prune_steps(&mut spec.body);
+    let mut names = Vec::new();
+    collect_loop_names(&spec.body, &mut names);
+    spec.tiles.retain(|(n, _)| names.iter().any(|m| m == n));
+}
+
+fn prune_steps(steps: &mut Vec<StepSpec>) {
+    for s in steps.iter_mut() {
+        if let StepSpec::Loop(l) = s {
+            prune_steps(&mut l.body);
+        }
+    }
+    steps.retain(|s| !matches!(s, StepSpec::Loop(l) if l.body.is_empty()));
+}
+
+fn collect_loop_names(steps: &[StepSpec], out: &mut Vec<String>) {
+    for s in steps {
+        if let StepSpec::Loop(l) = s {
+            out.push(l.var.clone());
+            collect_loop_names(&l.body, out);
+        }
+    }
+}
+
+fn count_loops(steps: &[StepSpec]) -> usize {
+    steps
+        .iter()
+        .map(|s| match s {
+            StepSpec::Stmt(_) => 0,
+            StepSpec::Loop(l) => 1 + count_loops(&l.body),
+        })
+        .sum()
+}
+
+/// Removes the statement with pre-order index `*idx`; returns its name.
+fn remove_stmt(steps: &mut Vec<StepSpec>, idx: &mut usize) -> Option<String> {
+    for i in 0..steps.len() {
+        match &mut steps[i] {
+            StepSpec::Stmt(s) => {
+                if *idx == 0 {
+                    let name = s.name.clone();
+                    steps.remove(i);
+                    return Some(name);
+                }
+                *idx -= 1;
+            }
+            StepSpec::Loop(l) => {
+                if let Some(name) = remove_stmt(&mut l.body, idx) {
+                    return Some(name);
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Pins the loop with pre-order index `*idx` to at most its first
+/// iteration. `Some(true)` = pinned, `Some(false)` = target found but
+/// already pinned, `None` = target not in this subtree.
+fn pin_loop(steps: &mut [StepSpec], idx: &mut usize) -> Option<bool> {
+    for s in steps.iter_mut() {
+        if let StepSpec::Loop(l) = s {
+            if *idx == 0 {
+                return Some(l.pin());
+            }
+            *idx -= 1;
+            if let Some(hit) = pin_loop(&mut l.body, idx) {
+                return Some(hit);
+            }
+        }
+    }
+    None
+}
+
+/// Drops the last read (or the surplus second write) of the statement
+/// with pre-order index `*idx`. `Some(true)` = mutated, `Some(false)` =
+/// target found but had nothing to drop, `None` = target not in this
+/// subtree (keep scanning).
+fn slim_stmt(steps: &mut [StepSpec], idx: &mut usize, drop_write: bool) -> Option<bool> {
+    for s in steps.iter_mut() {
+        match s {
+            StepSpec::Stmt(st) => {
+                if *idx == 0 {
+                    return Some(if drop_write {
+                        st.writes.len() > 1 && st.writes.pop().is_some()
+                    } else {
+                        !st.reads.is_empty() && st.reads.pop().is_some()
+                    });
+                }
+                *idx -= 1;
+            }
+            StepSpec::Loop(l) => {
+                if let Some(hit) = slim_stmt(&mut l.body, idx, drop_write) {
+                    return Some(hit);
+                }
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{generate_case, GenConfig};
+
+    /// With an injected bound overshoot every case fails, and the shrinker
+    /// must strip each one down to (at most) a two-statement reproducer —
+    /// the acceptance proof that the oracle + shrinker machinery works.
+    #[test]
+    fn injected_overshoot_shrinks_to_a_tiny_reproducer() {
+        let mut oracle = Oracle::with(vec![0, 8], false);
+        oracle.inject_overshoot = 1e12;
+        let cfg = GenConfig::default();
+        for idx in 0..4 {
+            let spec = generate_case(1234, idx, &cfg);
+            let violation = oracle
+                .check_source(&spec.render())
+                .expect_err("injection must fail every case");
+            let out = shrink_case(&spec, &oracle, &violation);
+            assert_eq!(out.violation.invariant, violation.invariant);
+            assert!(
+                out.spec.num_stmts() <= 2,
+                "case {idx}: shrunk to {} statements:\n{}",
+                out.spec.num_stmts(),
+                out.spec.render()
+            );
+            assert!(out.spec.tiles.is_empty(), "tiles dropped");
+            // The shrunken source still fails with the same invariant.
+            let v = oracle.check_source(&out.spec.render()).unwrap_err();
+            assert_eq!(v.invariant, violation.invariant);
+        }
+    }
+
+    /// Pinning an interior loop must not break lower-slack subscripts:
+    /// `B[i0 - 1]` under `for i0 in 1..N-1` stays in range because the
+    /// pin keeps the lower bound (`1..min(N-1, 1+1)`), never `0..1`.
+    #[test]
+    fn pinning_keeps_lower_slack_subscripts_in_range() {
+        use crate::gen::{ArraySpec, LoopSpec, StmtSpec};
+        let spec = CaseSpec {
+            name: "pin_slack".to_string(),
+            params: vec![("N".to_string(), 6)],
+            arrays: vec![ArraySpec {
+                name: "B".to_string(),
+                extents: vec![0],
+            }],
+            analyze: None,
+            tiles: Vec::new(),
+            body: vec![StepSpec::Loop(LoopSpec {
+                var: "i0".to_string(),
+                lo: "1".to_string(),
+                hi: "N - 1".to_string(),
+                step: 1,
+                reverse: false,
+                pinned: false,
+                body: vec![StepSpec::Stmt(StmtSpec {
+                    name: "S0".to_string(),
+                    writes: vec!["B[i0]".to_string()],
+                    reads: vec!["B[i0 - 1]".to_string()],
+                })],
+            })],
+        };
+        let oracle = Oracle::with(vec![0, 4], false);
+        oracle.check_source(&spec.render()).expect("original sound");
+        for cand in mutations(&spec) {
+            // No mutation may produce a panicking (out-of-range) kernel;
+            // every candidate must run the oracle to a verdict.
+            let _ = oracle.check_source(&cand.render());
+        }
+        let mut pinned = spec.clone();
+        let mut idx = 0;
+        assert_eq!(pin_loop(&mut pinned.body, &mut idx), Some(true));
+        let rendered = pinned.render();
+        assert!(rendered.contains("min(N - 1, 1 + 1)"), "{rendered}");
+        oracle
+            .check_source(&rendered)
+            .expect("pinned loop keeps subscripts in range");
+        // Re-pinning is a no-op candidate.
+        let mut idx = 0;
+        assert_eq!(pin_loop(&mut pinned.body, &mut idx), Some(false));
+    }
+
+    #[test]
+    fn shrinking_a_sound_case_is_a_no_op_guard() {
+        // shrink_case is only called on failing cases; mutations of a
+        // passing case never validate, so the spec comes back unchanged.
+        let oracle = Oracle::with(vec![0], false);
+        let spec = generate_case(9, 0, &GenConfig::default());
+        oracle
+            .check_source(&spec.render())
+            .expect("generated cases are sound");
+        let fake = Violation {
+            invariant: "bound-exceeds-opt",
+            detail: String::new(),
+        };
+        let out = shrink_case(&spec, &oracle, &fake);
+        assert_eq!(out.accepted, 0);
+        assert_eq!(out.spec.num_stmts(), spec.num_stmts());
+    }
+}

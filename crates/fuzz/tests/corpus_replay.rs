@@ -1,0 +1,98 @@
+//! Deterministic corpus replay: every committed `fuzz/corpus/*.iolb`
+//! reproducer runs through the full differential oracle and must pass.
+//!
+//! The corpus holds minimized kernels that *historically* broke an oracle
+//! invariant (each file's header comment names the original seed and the
+//! bug); replaying them pins the fixes. New failures found by `iolb fuzz
+//! --corpus fuzz/corpus` land here and join the suite automatically.
+
+use iolb_fuzz::Oracle;
+use std::path::PathBuf;
+
+fn corpus_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../fuzz/corpus")
+}
+
+#[test]
+fn corpus_files_pass_every_invariant() {
+    let dir = corpus_dir();
+    let mut files: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .unwrap_or_else(|e| panic!("reading {}: {e}", dir.display()))
+        .map(|entry| entry.expect("corpus entry").path())
+        .filter(|p| p.extension().is_some_and(|e| e == "iolb"))
+        .collect();
+    files.sort();
+    assert!(
+        files.len() >= 8,
+        "corpus unexpectedly small: {} files",
+        files.len()
+    );
+    let oracle = Oracle::with(vec![0, 1, 2, 4, 8, 16, 64], true);
+    for file in &files {
+        let src = std::fs::read_to_string(file).expect("read corpus file");
+        let report = oracle.check_source(&src).unwrap_or_else(|v| {
+            panic!(
+                "{}: invariant [{}] violated again: {}",
+                file.display(),
+                v.invariant,
+                v.detail
+            )
+        });
+        assert!(report.instances > 0, "{}: ran no instances", file.display());
+    }
+}
+
+/// The refusal corpus entries really are refusals: no classical bound may
+/// quietly come back for the shapes whose bounds were once unsound.
+#[test]
+fn refused_shapes_stay_refused() {
+    let refusals = [
+        "free_producer_chain.iolb",
+        "grounded_adjacent_producer.iolb",
+        "reflection_feed.iolb",
+        "shift_chain.iolb",
+    ];
+    for name in refusals {
+        let src = std::fs::read_to_string(corpus_dir().join(name)).expect("read");
+        let kernel = iolb_ir::parse_kernel(&src).expect("parse");
+        let params = kernel.default_params().expect("defaults");
+        let observe = iolb_core::report::observation_sizes(&params);
+        let analysis = iolb_core::Analysis::run(&kernel.program, &observe).expect("analysis");
+        let stmt = kernel
+            .analyze
+            .as_deref()
+            .map(|s| kernel.program.stmt_id(s).expect("analyze stmt"))
+            .or_else(|| kernel.program.default_analyze_stmt())
+            .expect("statement to analyze");
+        assert!(
+            analysis.try_classical_bound(stmt).is_none(),
+            "{name}: classical bound re-derived for a shape it is unsound on"
+        );
+    }
+}
+
+/// The bounded corpus entries derive sound bounds with the *fixed*
+/// machinery (alias-merged regions, weighted divisor).
+#[test]
+fn bounded_shapes_keep_sound_bounds() {
+    for (name, stmt) in [
+        ("aliasing_regions.iolb", "S0"),
+        ("zero_weight_region.iolb", "S0"),
+        ("unbalanced_regions.iolb", "S0"),
+    ] {
+        let src = std::fs::read_to_string(corpus_dir().join(name)).expect("read");
+        let kernel = iolb_ir::parse_kernel(&src).expect("parse");
+        let params = kernel.default_params().expect("defaults");
+        let observe = iolb_core::report::observation_sizes(&params);
+        let analysis = iolb_core::Analysis::run(&kernel.program, &observe).expect("analysis");
+        let sid = kernel.program.stmt_id(stmt).expect("stmt");
+        let bound = analysis
+            .try_classical_bound(sid)
+            .unwrap_or_else(|| panic!("{name}: expected a (now sound) classical bound"));
+        assert!(
+            bound.m <= iolb_numeric::Rational::int(1),
+            "{name}: aliasing/zero-weight regions must collapse the divisor, got m={}",
+            bound.m
+        );
+    }
+}

@@ -54,6 +54,19 @@ fn single_bounds(program: &Program, d: DimId) -> (Poly, Poly) {
     )
 }
 
+/// Whether every enclosing loop of `stmt` admits a closed-form symbolic
+/// count: single lower/upper bound and unit step (what the internal
+/// `single_bounds` helper
+/// asserts). Analyses that evaluate instance counts gate on this so
+/// arbitrary DSL workloads with strided or `max`/`min`-bounded nests are
+/// *declined* ("no bound derivable") instead of aborting the pipeline.
+pub fn countable_nest(program: &Program, stmt: StmtId) -> bool {
+    program.stmt(stmt).dims.iter().all(|d| {
+        let info = program.loop_info(*d);
+        info.lo.len() == 1 && info.hi.len() == 1 && matches!(info.step, LoopStep::One)
+    })
+}
+
 /// Symbolic number of instances of `stmt`: `Σ over its loop nest of 1`.
 ///
 /// Exact whenever the nest is non-degenerate (standard polyhedral-counting

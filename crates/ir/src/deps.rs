@@ -50,6 +50,12 @@ pub struct FlowEdge {
     /// Common dims resolved to the *previous iteration* (temporal
     /// translations — hourglass detection keys on these).
     pub translated: BTreeSet<DimId>,
+    /// Producer dims pinned by subscript unification, as affine
+    /// expressions over consumer dims — the consumer→producer iteration
+    /// map, used to *compose* dependence paths (a same-iteration
+    /// producer's data requirement is its own reads' footprint, pulled
+    /// back through this map). Empty for [`Producer::Input`].
+    pub determined: BTreeMap<DimId, Aff>,
 }
 
 /// Per-read merged projection: union over observed producers.
@@ -67,15 +73,34 @@ pub struct ReadProjection {
     pub translated: BTreeSet<DimId>,
     /// The contributing edges.
     pub edges: Vec<FlowEdge>,
+    /// Read indices of the *same statement* observed touching the same
+    /// cell as this read in the same instance (pointwise aliasing). Two
+    /// aliasing read families cannot be disjoint in-set regions, so the
+    /// K-partition `m` refinement merges them.
+    pub aliased: BTreeSet<usize>,
 }
 
 /// Observed producer families: `(consumer, read_idx) → {producers}`.
 pub type Observations = BTreeMap<(StmtId, usize), BTreeSet<Producer>>;
 
+/// Observed pointwise read aliases: `(stmt, read_a, read_b)` with
+/// `read_a < read_b`, meaning some executed instance of `stmt` read the
+/// same cell through both declared accesses.
+pub type AliasPairs = BTreeSet<(StmtId, usize, usize)>;
+
 /// Executes the program at `params` and records, for every declared read of
 /// every statement instance, which statement last wrote the cell (or
 /// [`Producer::Input`] if none had).
 pub fn observe_producers(program: &Program, params: &[i64]) -> Observations {
+    observe_producers_with_aliases(program, params).0
+}
+
+/// [`observe_producers`] plus the pointwise read-alias pairs of the same
+/// run (two declared reads of one instance landing on the same cell).
+pub fn observe_producers_with_aliases(
+    program: &Program,
+    params: &[i64],
+) -> (Observations, AliasPairs) {
     struct Observer<'p> {
         program: &'p Program,
         params: Vec<i64>,
@@ -85,6 +110,7 @@ pub fn observe_producers(program: &Program, params: &[i64]) -> Observations {
         /// cell → read indices of the current instance reading that cell
         expected: BTreeMap<(u32, usize), Vec<usize>>,
         obs: Observations,
+        aliases: AliasPairs,
     }
 
     impl Observer<'_> {
@@ -115,6 +141,13 @@ pub fn observe_producers(program: &Program, params: &[i64]) -> Observations {
             for (i, r) in self.program.stmt(stmt).reads.iter().enumerate() {
                 let key = self.flat(r, stmt, iv);
                 self.expected.entry(key).or_default().push(i);
+            }
+            for idxs in self.expected.values() {
+                for (k, &a) in idxs.iter().enumerate() {
+                    for &b in &idxs[k + 1..] {
+                        self.aliases.insert((stmt, a.min(b), a.max(b)));
+                    }
+                }
             }
         }
         fn on_read(&mut self, array: ArrayId, flat: usize) {
@@ -153,10 +186,11 @@ pub fn observe_producers(program: &Program, params: &[i64]) -> Observations {
         current: None,
         expected: BTreeMap::new(),
         obs: Observations::new(),
+        aliases: AliasPairs::new(),
     };
     let mut store = Store::init(program, params, |a, f| 1.0 + a.0 as f64 + f as f64 * 0.125);
     Interpreter::new(program, params).run(&mut store, &mut obs);
-    obs.obs
+    (obs.obs, obs.aliases)
 }
 
 /// Unifies read `r` of `consumer` against write `w` of `producer`.
@@ -254,6 +288,7 @@ pub fn unify(
         producer: Producer::Stmt(producer),
         support,
         translated,
+        determined,
     })
 }
 
@@ -272,6 +307,19 @@ pub struct Aff_slice<'a> {
 /// Returns a description when an observed producer cannot be explained by
 /// subscript unification (the program is outside the supported class).
 pub fn analyze(program: &Program, obs: &Observations) -> Result<Vec<ReadProjection>, String> {
+    analyze_with_aliases(program, obs, &AliasPairs::new())
+}
+
+/// [`analyze`] with observed pointwise alias pairs attached to the
+/// resulting projections (the `m`-refinement consumes them).
+///
+/// # Errors
+/// See [`analyze`].
+pub fn analyze_with_aliases(
+    program: &Program,
+    obs: &Observations,
+    aliases: &AliasPairs,
+) -> Result<Vec<ReadProjection>, String> {
     let mut out = Vec::new();
     for (s_idx, stmt) in program.stmts.iter().enumerate() {
         let sid = StmtId(s_idx as u32);
@@ -297,6 +345,7 @@ pub fn analyze(program: &Program, obs: &Observations) -> Result<Vec<ReadProjecti
                             producer: Producer::Input,
                             support: sup,
                             translated: BTreeSet::new(),
+                            determined: BTreeMap::new(),
                         });
                     }
                     Producer::Stmt(p) => {
@@ -333,6 +382,11 @@ pub fn analyze(program: &Program, obs: &Observations) -> Result<Vec<ReadProjecti
                     }
                 }
             }
+            let aliased: BTreeSet<usize> = aliases
+                .iter()
+                .filter(|(s, a, b)| *s == sid && (*a == r_idx || *b == r_idx))
+                .map(|(_, a, b)| if *a == r_idx { *b } else { *a })
+                .collect();
             out.push(ReadProjection {
                 stmt: sid,
                 read_idx: r_idx,
@@ -340,6 +394,7 @@ pub fn analyze(program: &Program, obs: &Observations) -> Result<Vec<ReadProjecti
                 support,
                 translated,
                 edges,
+                aliased,
             });
         }
     }
@@ -355,12 +410,15 @@ pub fn read_projections(
     param_sets: &[Vec<i64>],
 ) -> Result<Vec<ReadProjection>, String> {
     let mut merged = Observations::new();
+    let mut aliases = AliasPairs::new();
     for ps in param_sets {
-        for (k, v) in observe_producers(program, ps) {
+        let (obs, al) = observe_producers_with_aliases(program, ps);
+        for (k, v) in obs {
             merged.entry(k).or_default().extend(v);
         }
+        aliases.extend(al);
     }
-    analyze(program, &merged)
+    analyze_with_aliases(program, &merged, &aliases)
 }
 
 #[cfg(test)]

@@ -40,7 +40,8 @@ pub use interp::{
     for_each_instance, ExecCtx, ExecSink, Interpreter, NullSink, Store, TraceEvent, TraceSink,
 };
 pub use parse::{
-    parse_kernel, parse_program, print_kernel, print_program, KernelFile, ParseError, TileDirective,
+    assert_kernel_roundtrip, kernel_diff, parse_kernel, parse_program, print_kernel, print_program,
+    KernelFile, ParseError, TileDirective,
 };
 pub use program::{
     Access, ArrayDecl, ArrayId, Loop, LoopStep, Program, ProgramBuilder, Statement, Step, StmtId,

@@ -1248,6 +1248,41 @@ pub fn assert_roundtrip(program: &Program) {
     // The synthesized closures must honour the declared accesses.
 }
 
+/// Compares two full [`KernelFile`]s: the program structurally plus every
+/// directive (`analyze`, `default`, `split`, `schedule`). `None` means
+/// equal; `Some(diff)` names the first difference.
+pub fn kernel_diff(a: &KernelFile, b: &KernelFile) -> Option<String> {
+    if let Some(d) = structural_diff(&a.program, &b.program) {
+        return Some(d);
+    }
+    if a.analyze != b.analyze {
+        return Some(format!("analyze: {:?} vs {:?}", a.analyze, b.analyze));
+    }
+    if a.defaults != b.defaults {
+        return Some(format!("defaults: {:?} vs {:?}", a.defaults, b.defaults));
+    }
+    if a.split != b.split {
+        return Some(format!("split: {:?} vs {:?}", a.split, b.split));
+    }
+    if a.schedule != b.schedule {
+        return Some(format!("schedule: {:?} vs {:?}", a.schedule, b.schedule));
+    }
+    None
+}
+
+/// `parse(print(k))` preserves the program *and* all directives.
+///
+/// # Panics
+/// Panics with the first difference when the round-trip fails.
+pub fn assert_kernel_roundtrip(kernel: &KernelFile) {
+    let text = print_kernel(kernel);
+    let reparsed = parse_kernel(&text)
+        .unwrap_or_else(|e| panic!("printed kernel failed to parse: {e}\n---\n{text}"));
+    if let Some(diff) = kernel_diff(kernel, &reparsed) {
+        panic!("kernel round-trip mismatch: {diff}\n---\n{text}");
+    }
+}
+
 fn steps_diff(a: &[Step], b: &[Step]) -> Option<String> {
     if a.len() != b.len() {
         return Some(format!("body length: {} vs {}", a.len(), b.len()));

@@ -225,6 +225,18 @@ impl Program {
         &self.loops[d.0 as usize]
     }
 
+    /// The pipeline's fallback analysis target when no `analyze` directive
+    /// is given: the deepest statement, ties broken by schedule order —
+    /// the dominant update of every kernel shipped here. The `iolb` CLI,
+    /// the fuzz oracle, and the corpus replay all share this rule.
+    pub fn default_analyze_stmt(&self) -> Option<StmtId> {
+        self.stmts
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, s)| (s.dims.len(), s.position))
+            .map(|(i, _)| StmtId(i as u32))
+    }
+
     /// Longest common enclosing-loop prefix of two statements.
     pub fn common_dims(&self, a: StmtId, b: StmtId) -> Vec<DimId> {
         let da = &self.stmt(a).dims;

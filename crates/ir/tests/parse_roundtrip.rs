@@ -1,11 +1,13 @@
 //! DSL round-trip property: `parse(print(p))` is structurally identical to
 //! `p` for randomized [`ProgramBuilder`] programs covering the full builder
 //! surface (nested/strided/reversed loops, `max`/`min` bounds, triangular
-//! subscripts, scalars), plus golden tests pinning parse-error messages and
-//! spans for malformed input.
+//! subscripts, scalars) — and `parse(print(k))` preserves full
+//! [`KernelFile`]s including randomized `schedule { tile … }` blocks —
+//! plus golden tests pinning parse-error messages and spans for malformed
+//! input (schedule and split directives included).
 
-use iolb_ir::parse::{assert_roundtrip, parse_kernel};
-use iolb_ir::{Access, Aff, ArrayId, DimId, LoopStep, Program, ProgramBuilder};
+use iolb_ir::parse::{assert_kernel_roundtrip, assert_roundtrip, parse_kernel, TileDirective};
+use iolb_ir::{Access, Aff, ArrayId, DimId, KernelFile, LoopStep, Program, ProgramBuilder};
 use proptest::prelude::*;
 
 /// Minimal deterministic PRNG (xorshift64*) so program generation needs
@@ -40,6 +42,8 @@ struct Builder {
     open: Vec<DimId>,
     stmt_ct: u32,
     loop_ct: u32,
+    /// Loop names eligible for `schedule { tile … }` (unit-step forward).
+    tileable: Vec<String>,
 }
 
 impl Builder {
@@ -114,6 +118,9 @@ impl Builder {
             _ => LoopStep::One,
         };
         let reverse = self.g.below(4) == 0;
+        if step == LoopStep::One && !reverse {
+            self.tileable.push(name.clone());
+        }
         let d = self.b.open_general(&name, lo, hi, step, reverse);
         self.open.push(d);
         self.body(depth + 1);
@@ -134,8 +141,9 @@ impl Builder {
     }
 }
 
-/// Builds a random program exercising the whole DSL surface.
-fn random_program(seed: u64) -> Program {
+/// Builds a random program exercising the whole DSL surface, plus the
+/// names of its tileable loops (for schedule-block generation).
+fn random_program_with_tileable(seed: u64) -> (Program, Vec<String>) {
     let mut builder = Builder {
         b: ProgramBuilder::new("rand_prog", &["P", "Q"]),
         g: Gen(seed | 1),
@@ -145,13 +153,20 @@ fn random_program(seed: u64) -> Program {
         open: Vec::new(),
         stmt_ct: 0,
         loop_ct: 0,
+        tileable: Vec::new(),
     };
     let (p, q) = (builder.b.p("P"), builder.b.p("Q"));
     builder.a2 = builder.b.array("A", &[p.clone(), q]);
     builder.a1 = builder.b.array("B", &[p]);
     builder.sc = builder.b.scalar("s");
     builder.body(0);
-    builder.b.finish()
+    let tileable = builder.tileable.clone();
+    (builder.b.finish(), tileable)
+}
+
+/// Builds a random program exercising the whole DSL surface.
+fn random_program(seed: u64) -> Program {
+    random_program_with_tileable(seed).0
 }
 
 proptest! {
@@ -162,6 +177,38 @@ proptest! {
     fn randomized_programs_round_trip(seed in 0u64..(1 << 48)) {
         let p = random_program(seed);
         assert_roundtrip(&p);
+    }
+
+    /// Full-file round-trip with a randomized `schedule { tile … }` block:
+    /// directives over random tileable loops (random sized/unsized mix)
+    /// print and re-parse to the identical [`KernelFile`]. Previously the
+    /// round-trip proptests only covered schedule-less programs.
+    #[test]
+    fn randomized_schedules_round_trip(seed in 0u64..(1 << 48)) {
+        let (program, tileable) = random_program_with_tileable(seed);
+        let mut g = Gen(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1);
+        let mut schedule: Vec<TileDirective> = Vec::new();
+        for name in &tileable {
+            if schedule.iter().any(|d| d.loop_name == *name) {
+                continue; // duplicate loop names are rejected by the parser
+            }
+            if g.flip() {
+                let size = match g.below(3) {
+                    0 => Some(1 + g.below(16) as i64),
+                    _ => None,
+                };
+                schedule.push(TileDirective { loop_name: name.clone(), size });
+            }
+        }
+        let kernel = KernelFile {
+            program,
+            analyze: None,
+            defaults: vec![("P".to_string(), 5 + g.below(8) as i64),
+                           ("Q".to_string(), 3 + g.below(8) as i64)],
+            split: None,
+            schedule,
+        };
+        assert_kernel_roundtrip(&kernel);
     }
 }
 
@@ -217,6 +264,63 @@ fn golden_parse_errors() {
             "needs at least one `[extent]`",
         ),
         ("kernel k(N) @", 1, "unexpected character `@`"),
+        // --- malformed `schedule` directives -------------------------------
+        (
+            "kernel k(N) {\n  array A[N];\n  schedule { tile z; }\n  for i in 0..N { S: A[i] = op(); }\n}",
+            3,
+            "`tile z` names no loop of the kernel",
+        ),
+        (
+            "kernel k(N) {\n  array A[N];\n  schedule { tile i -3; }\n  for i in 0..N { S: A[i] = op(); }\n}",
+            3,
+            "expected `;`",
+        ),
+        (
+            "kernel k(N) {\n  array A[N];\n  schedule { tile i 0; }\n  for i in 0..N { S: A[i] = op(); }\n}",
+            3,
+            "tile size for i must be ≥ 1",
+        ),
+        (
+            "kernel k(N) {\n  array A[N];\n  schedule { tile i 2; tile i 4; }\n  for i in 0..N { S: A[i] = op(); }\n}",
+            3,
+            "duplicate `tile` directive for loop i",
+        ),
+        (
+            "kernel k(N) {\n  array A[N];\n  schedule { tile i; }\n  schedule { tile i; }\n  for i in 0..N { S: A[i] = op(); }\n}",
+            4,
+            "duplicate `schedule` block",
+        ),
+        (
+            "kernel k(N) {\n  array A[N];\n  schedule { tile i 4; }\n  for i in 0..N step 2 { S: A[i] = op(); }\n}",
+            3,
+            "targets a strided or reversed loop",
+        ),
+        (
+            "kernel k(N) {\n  array A[N];\n  schedule { banana i; }\n  for i in 0..N { S: A[i] = op(); }\n}",
+            3,
+            "expected keyword `tile`",
+        ),
+        // --- out-of-range / malformed `split` bindings ---------------------
+        (
+            "kernel k(N) {\n  scalar x;\n  split Ms = W/2;\n  S: x = op();\n}",
+            3,
+            "unknown parameter W in split expression",
+        ),
+        (
+            "kernel k(N) {\n  scalar x;\n  split Ms = 2*W;\n  S: x = op();\n}",
+            3,
+            "unknown parameter W in split expression",
+        ),
+        (
+            "kernel k(N) {\n  scalar x;\n  split Ms = N/2;\n  split Ms = N/3;\n  S: x = op();\n}",
+            4,
+            "duplicate `split` directive",
+        ),
+        (
+            "kernel k(N) {\n  scalar x;\n  split Ms = ;\n  S: x = op();\n}",
+            3,
+            "expected split-expression term",
+        ),
     ];
     for (src, line, frag) in cases {
         let err = parse_kernel(src).expect_err(src);

@@ -475,6 +475,75 @@ mod tests {
         let c = lru_miss_curve(&[]);
         assert_eq!(c.loads(1), 0);
         assert_eq!(opt_miss_curve(&[]).loads(1), 0);
+        assert_eq!(c.cold_loads(), 0);
+        assert_eq!(c.accesses(), 0);
+        // The convenience constructors clamp the horizon to ≥ 1, so an
+        // empty trace still answers capacity 1.
+        assert_eq!(c.horizon(), 1);
+    }
+
+    #[test]
+    fn single_element_traces() {
+        // A single read is one cold miss at every capacity.
+        let read = reads(&[5]);
+        let mut e = CurveEngine::new();
+        for curve in [e.lru(&read, 4), e.opt(&read, 4)] {
+            assert_eq!(curve.loads(1), 1);
+            assert_eq!(curve.loads(4), 1);
+            assert_eq!(curve.cold_loads(), 1);
+            assert_eq!(curve.accesses(), 1);
+        }
+        // A single write is free in the red-white model: zero loads.
+        let write = vec![Access::write(5)];
+        for curve in [e.lru(&write, 4), e.opt(&write, 4)] {
+            assert_eq!(curve.loads(1), 0);
+            assert_eq!(curve.cold_loads(), 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cache capacity must be positive")]
+    fn capacity_zero_is_rejected() {
+        let _ = lru_miss_curve(&reads(&[0, 1])).loads(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "curve horizon must be positive")]
+    fn lru_horizon_zero_is_rejected() {
+        let _ = CurveEngine::new().lru(&reads(&[0, 1]), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "curve horizon must be positive")]
+    fn opt_horizon_zero_is_rejected() {
+        let _ = CurveEngine::new().opt(&reads(&[0, 1]), 0);
+    }
+
+    #[test]
+    fn capacity_one_equals_per_access_misses_without_immediate_reuse() {
+        // With S = 1 every alternating access misses under both policies.
+        let t = reads(&[0, 1, 0, 1, 0]);
+        assert_eq!(lru_miss_curve(&t).loads(1), 5);
+        assert_eq!(opt_miss_curve(&t).loads(1), 5);
+        // Immediate reuse hits even at S = 1.
+        let t = reads(&[7, 7, 7]);
+        assert_eq!(lru_miss_curve(&t).loads(1), 1);
+        assert_eq!(opt_miss_curve(&t).loads(1), 1);
+    }
+
+    #[test]
+    fn all_distinct_trace_collapses_lru_opt_and_cold() {
+        // No reuse at all: every policy pays exactly the cold misses at
+        // every capacity, so the curves are flat and identical.
+        let t = reads(&[0, 1, 2, 3, 4, 5, 6, 7]);
+        let lru = lru_miss_curve(&t);
+        let opt = opt_miss_curve(&t);
+        for s in 1..=t.len() {
+            assert_eq!(lru.loads(s), t.len() as u64, "S={s}");
+            assert_eq!(opt.loads(s), t.len() as u64, "S={s}");
+            assert_eq!(lru.loads(s), lru.cold_loads());
+            assert_eq!(opt.loads(s), opt.cold_loads());
+        }
     }
 
     #[test]

@@ -1,6 +1,13 @@
-//! `xtask` — repo automation. One subcommand so far:
+//! `xtask` — repo automation. Two subcommands:
 //!
 //! `xtask gate --baseline <dir> --fresh <dir> [--tolerance 0.02]`
+//!
+//! `xtask fuzz-smoke [--seeds 1,2,3] [--cases 200] [--max-seconds 300]`
+//! runs the kernel-space fuzzer (`iolb-fuzz`) over a fixed seed set and
+//! fails on any differential-oracle violation. The seed set and case
+//! count are fixed defaults — never wall-clock derived — so every CI run
+//! checks the same kernels; the time budget only stops *starting* further
+//! seeds when the runner is slow, it never changes what a seed generates.
 //!
 //! The CI bench/tightness regression gate: compares freshly generated
 //! `BENCH_pebble.json` / `BENCH_tightness.json` against the committed
@@ -28,10 +35,15 @@ xtask — repo automation
 
 USAGE:
     xtask gate --baseline <DIR> --fresh <DIR> [--tolerance 0.02]
+    xtask fuzz-smoke [--seeds 1,2,3] [--cases 200] [--max-seconds 300]
 
 `gate` diffs <DIR>/BENCH_pebble.json and <DIR>/BENCH_tightness.json between
 the two directories and exits nonzero on soundness loss, coverage loss, or
 tightness-ratio regression beyond the tolerance.
+
+`fuzz-smoke` runs the kernel-space fuzzer over a fixed seed set and exits
+nonzero on any differential-oracle violation (bounded CI job; the time
+budget caps how many seeds start, never what a seed generates).
 ";
 
 fn main() -> ExitCode {
@@ -44,10 +56,107 @@ fn main() -> ExitCode {
                 ExitCode::from(2)
             }
         },
+        Some("fuzz-smoke") => match parse_fuzz_smoke_args(&args[1..]) {
+            Ok(opts) => run_fuzz_smoke(&opts),
+            Err(msg) => {
+                eprintln!("{msg}\n\n{USAGE}");
+                ExitCode::from(2)
+            }
+        },
         _ => {
             eprintln!("{USAGE}");
             ExitCode::from(2)
         }
+    }
+}
+
+/// `fuzz-smoke` options.
+struct FuzzSmokeOpts {
+    seeds: Vec<u64>,
+    cases: u64,
+    max_seconds: u64,
+}
+
+fn parse_fuzz_smoke_args(args: &[String]) -> Result<FuzzSmokeOpts, String> {
+    let mut opts = FuzzSmokeOpts {
+        seeds: vec![1, 2, 3],
+        cases: 200,
+        max_seconds: 300,
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--seeds" => {
+                opts.seeds = it
+                    .next()
+                    .ok_or("--seeds needs a list")?
+                    .split(',')
+                    .map(|s| s.trim().parse::<u64>())
+                    .collect::<Result<_, _>>()
+                    .map_err(|_| "bad --seeds list".to_string())?;
+                if opts.seeds.is_empty() {
+                    return Err("--seeds needs at least one seed".to_string());
+                }
+            }
+            "--cases" => {
+                opts.cases = it
+                    .next()
+                    .ok_or("--cases needs a value")?
+                    .parse()
+                    .map_err(|_| "bad --cases value".to_string())?;
+            }
+            "--max-seconds" => {
+                opts.max_seconds = it
+                    .next()
+                    .ok_or("--max-seconds needs a value")?
+                    .parse()
+                    .map_err(|_| "bad --max-seconds value".to_string())?;
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(opts)
+}
+
+fn run_fuzz_smoke(opts: &FuzzSmokeOpts) -> ExitCode {
+    let start = std::time::Instant::now();
+    let mut total_violations = 0usize;
+    let mut seeds_run = 0usize;
+    for &seed in &opts.seeds {
+        if seeds_run > 0 && start.elapsed().as_secs() >= opts.max_seconds {
+            println!(
+                "fuzz-smoke: time budget ({}s) reached after {seeds_run} seed(s); \
+                 remaining seeds skipped",
+                opts.max_seconds
+            );
+            break;
+        }
+        let report = iolb_fuzz::run_fuzz(&iolb_fuzz::FuzzConfig::new(seed, opts.cases));
+        seeds_run += 1;
+        println!(
+            "fuzz-smoke seed={seed}: {} cases, {} violation(s), {} certified instances",
+            report.config.cases,
+            report.failures.len(),
+            report.stats.instances
+        );
+        for f in &report.failures {
+            eprintln!(
+                "VIOLATION seed={seed} case {}: [{}] {}\nminimized ({} stmt(s)):\n{}",
+                f.case_index,
+                f.violation.invariant,
+                f.violation.detail,
+                f.minimized_stmts,
+                f.minimized
+            );
+        }
+        total_violations += report.failures.len();
+    }
+    if total_violations == 0 {
+        println!("fuzz-smoke ✓ — {seeds_run} seed(s), zero oracle violations");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("fuzz-smoke ✗ — {total_violations} violation(s)");
+        ExitCode::FAILURE
     }
 }
 
