@@ -3,7 +3,7 @@
 //! GEMM 48³, …) over the dense ~32-point S grid — every `(kernel, S,
 //! policy)` cell read off one stack-distance pass per policy column.
 //!
-//! Writes `BENCH_pebble.json` (schema `hourglass-iolb/pebble-sweep/v3`)
+//! Writes `BENCH_pebble.json` (schema `hourglass-iolb/pebble-sweep/v4`)
 //! into the working directory — or to the path given as the first
 //! argument, so CI can generate a fresh copy next to the committed
 //! baseline and diff the two — letting future runs compare loads, bound

@@ -33,13 +33,69 @@
 //!
 //! [`Cdag::packed_program_order_trace`]: iolb_cdag::Cdag::packed_program_order_trace
 
-use iolb_cdag::{build_cdag, Cdag, SpillPolicy};
+use iolb_cdag::{try_build_cdag, Cdag, SpillPolicy};
 use iolb_core::report::SplitBinding;
 use iolb_core::{report, Analysis, ClassicalBound};
+use iolb_govern::{catch_analysis_mut, AnalysisError, Budget, CancelToken, Degradation};
 use iolb_memsim::{CurveEngine, MissCurve};
 use iolb_symbolic::Var;
 use rayon::prelude::*;
 use std::time::Instant;
+
+/// Escapes a string for embedding in the hand-rolled JSON emitters
+/// (quotes, backslashes, and control characters; everything else is
+/// passed through verbatim).
+pub fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// One kernel that failed inside a governed batch: the typed error is
+/// reduced to its class (stable, machine-checkable) plus the
+/// human-readable message. Kernels that fail never contribute `rows`;
+/// their failure row is the record that they were attempted.
+#[derive(Debug, Clone)]
+pub struct FailureRow {
+    /// Kernel display name (or file stem in CLI batches).
+    pub kernel: String,
+    /// Error class (`AnalysisError::class_name`).
+    pub class: String,
+    /// Human-readable message.
+    pub message: String,
+}
+
+impl FailureRow {
+    /// Builds the row from a kernel name and its typed error.
+    pub fn from_error(kernel: &str, e: &AnalysisError) -> FailureRow {
+        FailureRow {
+            kernel: kernel.to_string(),
+            class: e.class_name().to_string(),
+            message: e.to_string(),
+        }
+    }
+}
+
+/// The degradation level one kernel's analysis actually ran at.
+#[derive(Debug, Clone)]
+pub struct DegradationRow {
+    /// Kernel display name.
+    pub kernel: String,
+    /// Grid fidelity the admission controller granted.
+    pub level: Degradation,
+}
 
 /// The default dense S grid: 32 log-spaced offsets added to each
 /// kernel's minimum feasible S — unit steps near the feasibility minimum,
@@ -258,6 +314,13 @@ impl SweepRow {
 pub struct SweepReport {
     /// All validated cells.
     pub rows: Vec<SweepRow>,
+    /// Degradation level each kernel's grid actually ran at (one row per
+    /// surviving kernel; the CLI overwrites levels when the admission
+    /// controller coarsened a grid).
+    pub degradation: Vec<DegradationRow>,
+    /// Kernels that were attempted but produced no rows (typed-error
+    /// class + message). Empty outside governed batch runs.
+    pub failures: Vec<FailureRow>,
     /// End-to-end wall time (milliseconds), including preparation.
     pub total_wall_ms: f64,
     /// Worker threads actually engaged by the parallel stages.
@@ -267,46 +330,94 @@ pub struct SweepReport {
 /// Runs the full matrix: kernels prepare concurrently, then each
 /// `(kernel, policy)` column is one concurrent stack-distance pass whose
 /// curve is read at every grid S.
+///
+/// Ungoverned compatibility wrapper over [`try_run_sweep`] — unlimited
+/// budget, no cancellation.
+///
+/// # Panics
+/// Panics when a kernel's derivation fails (the governed path returns the
+/// error instead).
 pub fn run_sweep(kernels: Vec<SweepKernel>) -> SweepReport {
+    try_run_sweep(kernels, &Budget::unlimited(), &CancelToken::unlimited())
+        .unwrap_or_else(|e| panic!("sweep: {e}"))
+}
+
+/// [`run_sweep`] under a resource budget and a cancellation token.
+///
+/// Preparation refusals surface as [`AnalysisError::Refused`], CDAG
+/// materialization is admission-checked cell table by cell table
+/// (`try_build_cdag`), the emitted trace is charged against
+/// `budget.max_trace_len`, and both curve passes poll the token — a
+/// deadline or an external cancel lands within a bounded number of trace
+/// positions. The first error aborts the whole sweep; per-kernel fault
+/// isolation is the CLI batch layer's job, which calls this with one
+/// kernel at a time.
+///
+/// # Errors
+/// The first typed error any stage produced.
+pub fn try_run_sweep(
+    kernels: Vec<SweepKernel>,
+    budget: &Budget,
+    token: &CancelToken,
+) -> Result<SweepReport, AnalysisError> {
     let t_total = Instant::now();
     // Stage 1: per-kernel preparation (bounds + CDAG + trace) in parallel.
     let prepared: Vec<Prepared> = kernels
         .into_par_iter()
-        .map(|k| {
-            let t = Instant::now();
-            // Same observation sizes as the `iolb` CLI's derivation pass,
-            // so printed bounds and validated bounds can never diverge.
-            let analysis = Analysis::run(&k.program, &report::observation_sizes(&k.params))
-                .unwrap_or_else(|e| panic!("{}: analysis failed: {e}", k.name));
-            let stmt = k.program.stmt_id(&k.stmt).expect("sweep stmt");
-            let classical = analysis.try_classical_bound(stmt);
-            let (hg, binding) = match analysis.detect_hourglass(stmt) {
-                None => (None, None),
-                Some(pat) => {
-                    let (b, binding) = report::derive_with_split(&k.program, &pat, k.split.clone())
-                        .unwrap_or_else(|e| panic!("{}: {e}", k.name));
-                    (Some(b), binding)
+        .map(|k| -> Result<Prepared, AnalysisError> {
+            // Convert panics to typed errors inside the worker closure —
+            // the thread-scope bridge underneath would otherwise replace
+            // the payload with a generic "a scoped thread panicked".
+            catch_analysis_mut(|| {
+                let t = Instant::now();
+                // Same observation sizes as the `iolb` CLI's derivation pass,
+                // so printed bounds and validated bounds can never diverge.
+                let analysis = Analysis::run(&k.program, &report::observation_sizes(&k.params))
+                    .map_err(|e| {
+                        AnalysisError::Refused(format!("{}: analysis failed: {e}", k.name))
+                    })?;
+                let stmt = k.program.stmt_id(&k.stmt).ok_or_else(|| {
+                    AnalysisError::Refused(format!("{}: no statement named `{}`", k.name, k.stmt))
+                })?;
+                let classical = analysis.try_classical_bound(stmt);
+                let (hg, binding) = match analysis.detect_hourglass(stmt) {
+                    None => (None, None),
+                    Some(pat) => {
+                        let (b, binding) =
+                            report::derive_with_split(&k.program, &pat, k.split.clone())
+                                .map_err(|e| AnalysisError::Refused(format!("{}: {e}", k.name)))?;
+                        (Some(b), binding)
+                    }
+                };
+                let env = k.env(binding.as_ref());
+                let cdag = try_build_cdag(&k.program, &k.params, budget, token)?;
+                let mut trace = Vec::new();
+                cdag.packed_program_order_trace(&mut trace);
+                if trace.len() as u64 > budget.max_trace_len {
+                    return Err(AnalysisError::BudgetExceeded {
+                        resource: "trace_len",
+                        needed: trace.len() as u64,
+                        limit: budget.max_trace_len,
+                    });
                 }
-            };
-            let env = k.env(binding.as_ref());
-            let cdag = build_cdag(&k.program, &k.params);
-            let mut trace = Vec::new();
-            cdag.packed_program_order_trace(&mut trace);
-            let min_s = cdag.max_in_degree() + 1;
-            let s_values = k.s_offsets.iter().map(|&off| min_s + off).collect();
-            Prepared {
-                name: k.name,
-                params: k.params,
-                env,
-                s_values,
-                cdag,
-                trace,
-                classical,
-                hourglass: hg,
-                prep_ms: t.elapsed().as_secs_f64() * 1e3,
-            }
+                let min_s = cdag.max_in_degree() + 1;
+                let s_values = k.s_offsets.iter().map(|&off| min_s + off).collect();
+                Ok(Prepared {
+                    name: k.name,
+                    params: k.params,
+                    env,
+                    s_values,
+                    cdag,
+                    trace,
+                    classical,
+                    hourglass: hg,
+                    prep_ms: t.elapsed().as_secs_f64() * 1e3,
+                })
+            })
         })
-        .collect();
+        .collect::<Vec<Result<Prepared, AnalysisError>>>()
+        .into_iter()
+        .collect::<Result<Vec<Prepared>, AnalysisError>>()?;
 
     // Stage 2: one stack-distance pass per (kernel, policy) column.
     let columns: Vec<(usize, SpillPolicy)> = (0..prepared.len())
@@ -314,18 +425,22 @@ pub fn run_sweep(kernels: Vec<SweepKernel>) -> SweepReport {
         .collect();
     let curves: Vec<(MissCurve, f64)> = columns
         .par_iter()
-        .map(|&(ki, policy)| {
-            let p = &prepared[ki];
-            let horizon = p.s_values.iter().copied().max().unwrap_or(1);
-            let t = Instant::now();
-            let mut engine = CurveEngine::new();
-            let curve = match policy {
-                SpillPolicy::Lru => engine.lru_packed(&p.trace, horizon),
-                SpillPolicy::MinNextUse => engine.opt_packed(&p.trace, horizon),
-            };
-            (curve, t.elapsed().as_secs_f64() * 1e3)
+        .map(|&(ki, policy)| -> Result<(MissCurve, f64), AnalysisError> {
+            catch_analysis_mut(|| {
+                let p = &prepared[ki];
+                let horizon = p.s_values.iter().copied().max().unwrap_or(1);
+                let t = Instant::now();
+                let mut engine = CurveEngine::new();
+                let curve = match policy {
+                    SpillPolicy::Lru => engine.try_lru_packed(&p.trace, horizon, token)?,
+                    SpillPolicy::MinNextUse => engine.try_opt_packed(&p.trace, horizon, token)?,
+                };
+                Ok((curve, t.elapsed().as_secs_f64() * 1e3))
+            })
         })
-        .collect();
+        .collect::<Vec<Result<(MissCurve, f64), AnalysisError>>>()
+        .into_iter()
+        .collect::<Result<Vec<(MissCurve, f64)>, AnalysisError>>()?;
 
     // Assemble rows in (kernel, S, {LRU, MIN}) order from the curves.
     let mut rows = Vec::new();
@@ -367,11 +482,23 @@ pub fn run_sweep(kernels: Vec<SweepKernel>) -> SweepReport {
         }
     }
 
-    SweepReport {
+    // Every kernel that reached this point ran its full requested grid;
+    // callers that coarsened the grid overwrite the level afterwards.
+    let degradation = prepared
+        .iter()
+        .map(|p| DegradationRow {
+            kernel: p.name.clone(),
+            level: Degradation::Full,
+        })
+        .collect();
+
+    Ok(SweepReport {
         rows,
+        degradation,
+        failures: Vec::new(),
         total_wall_ms: t_total.elapsed().as_secs_f64() * 1e3,
         threads: rayon::max_workers_used().max(1),
-    }
+    })
 }
 
 /// Renders the sweep as an aligned table.
@@ -457,12 +584,37 @@ pub fn sweep_report_json_with(report: &SweepReport, redact_volatile: bool) -> St
     } else {
         (report.threads, report.total_wall_ms)
     };
+    let mut degradation: Vec<&DegradationRow> = report.degradation.iter().collect();
+    degradation.sort_by(|a, b| a.kernel.cmp(&b.kernel));
+    let mut failures: Vec<&FailureRow> = report.failures.iter().collect();
+    failures.sort_by(|a, b| (&a.kernel, &a.class).cmp(&(&b.kernel, &b.class)));
     let mut out = String::from("{\n");
-    out.push_str("  \"schema\": \"hourglass-iolb/pebble-sweep/v3\",\n");
+    out.push_str("  \"schema\": \"hourglass-iolb/pebble-sweep/v4\",\n");
     out.push_str(&format!(
         "  \"meta\": {{\"threads\": {threads}, \"total_wall_ms\": {}}},\n",
         num(wall)
     ));
+    out.push_str("  \"degradation\": [\n");
+    for (i, d) in degradation.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"kernel\": {}, \"level\": \"{}\"}}{}\n",
+            json_str(&d.kernel),
+            d.level.as_str(),
+            if i + 1 == degradation.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"failures\": [\n");
+    for (i, f) in failures.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"kernel\": {}, \"class\": {}, \"message\": {}}}{}\n",
+            json_str(&f.kernel),
+            json_str(&f.class),
+            json_str(&f.message),
+            if i + 1 == failures.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ],\n");
     out.push_str("  \"rows\": [\n");
     for (i, r) in rows.iter().enumerate() {
         let params: Vec<String> = r.params.iter().map(|p| p.to_string()).collect();
@@ -538,15 +690,21 @@ mod tests {
         }
         // JSON smoke: parsers only need balance + key presence here.
         let json = sweep_report_json(&report);
-        assert!(json.contains("\"schema\": \"hourglass-iolb/pebble-sweep/v3\""));
+        assert!(json.contains("\"schema\": \"hourglass-iolb/pebble-sweep/v4\""));
         assert_eq!(
             json.matches('{').count(),
             json.matches('}').count(),
             "balanced JSON"
         );
+        // Governance sections: every kernel ran its full grid, no failures.
+        assert!(json.contains("\"degradation\": ["));
+        assert!(json.contains("\"failures\": ["));
+        assert_eq!(json.matches("\"level\": \"full\"").count(), 6);
+        assert_eq!(report.failures.len(), 0);
         // Deterministic comparable sections: rows sorted by kernel name and
         // no volatile field outside `meta`.
-        let kernels: Vec<&str> = json
+        let rows_json = json.split("\"rows\"").nth(1).expect("rows array");
+        let kernels: Vec<&str> = rows_json
             .lines()
             .filter_map(|l| l.trim().strip_prefix("{\"kernel\": \""))
             .map(|l| l.split('"').next().unwrap())

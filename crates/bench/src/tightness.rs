@@ -29,7 +29,7 @@
 //!
 //! The outcome per `(kernel, S)` is a [`TightnessPoint`]: lower bound,
 //! best measured upper bound, and their ratio — emitted as
-//! `BENCH_tightness.json` (schema `tightness/v2`) and gated in CI against
+//! `BENCH_tightness.json` (schema `tightness/v3`) and gated in CI against
 //! regressions.
 //!
 //! Earlier versions scored candidates with MIN-policy pebble plays and
@@ -41,12 +41,14 @@
 //! orderings are invariants (`upper ≤ program-order`, `upper ≤ LRU view`),
 //! and both are checked here.
 
-use iolb_cdag::build_cdag;
+use crate::sweep::{json_str, DegradationRow, FailureRow};
+use iolb_cdag::try_build_cdag;
 use iolb_core::report::TightnessPoint;
 use iolb_core::{ClassicalBound, HourglassBound};
+use iolb_govern::{catch_analysis_mut, AnalysisError, Budget, CancelToken, Degradation, Seam};
 use iolb_ir::parse::TileDirective;
 use iolb_ir::schedule::{tile_program, TileSpec};
-use iolb_ir::{for_each_instance, ArrayId, Interpreter, Program};
+use iolb_ir::{for_each_instance, try_for_each_instance, ArrayId, Interpreter, Program};
 use iolb_memsim::{CurveEngine, MissCurve};
 use iolb_symbolic::Var;
 use rayon::prelude::*;
@@ -92,6 +94,11 @@ pub struct KernelTightness {
 pub struct TightnessReport {
     /// Per-kernel outcomes, sorted by kernel name.
     pub kernels: Vec<KernelTightness>,
+    /// Degradation level each surviving kernel's grid ran at.
+    pub degradation: Vec<DegradationRow>,
+    /// Kernels that were attempted but produced no points (typed-error
+    /// class + message). Empty outside governed batch runs.
+    pub failures: Vec<FailureRow>,
     /// End-to-end wall time (milliseconds) — volatile, excluded from the
     /// comparable JSON sections.
     pub total_wall_ms: f64,
@@ -109,20 +116,55 @@ struct Candidate {
 
 /// Runs the tightness measurement for every job concurrently.
 ///
+/// Ungoverned compatibility wrapper over [`try_run_tightness`] —
+/// unlimited budget, no cancellation, errors stringified.
+///
 /// # Errors
 /// Propagates tiling failures, reference-pass failures, and numeric
 /// cross-check mismatches.
 pub fn run_tightness(jobs: Vec<TightnessJob>) -> Result<TightnessReport, String> {
+    try_run_tightness(jobs, &Budget::unlimited(), &CancelToken::unlimited())
+        .map_err(|e| e.to_string())
+}
+
+/// [`run_tightness`] under a resource budget and a cancellation token.
+///
+/// The auto-tuner polls the token between candidates ([`Seam::Tuner`]),
+/// the reference pass is a governed enumeration charged against
+/// `budget.max_instances`, CDAG materialization is admission-checked, and
+/// every OPT/LRU curve pass polls the token mid-trace. The first typed
+/// error aborts the whole run; per-kernel fault isolation is the CLI
+/// batch layer's job.
+///
+/// # Errors
+/// The first typed error any kernel produced.
+pub fn try_run_tightness(
+    jobs: Vec<TightnessJob>,
+    budget: &Budget,
+    token: &CancelToken,
+) -> Result<TightnessReport, AnalysisError> {
     let t_total = Instant::now();
+    // Panics are converted to typed errors *inside* the worker closure:
+    // the thread-scope bridge underneath would otherwise replace the
+    // payload with a generic "a scoped thread panicked".
     let mut kernels = jobs
         .into_par_iter()
-        .map(measure_kernel)
-        .collect::<Vec<Result<KernelTightness, String>>>()
+        .map(|job| catch_analysis_mut(|| measure_kernel(job, budget, token)))
+        .collect::<Vec<Result<KernelTightness, AnalysisError>>>()
         .into_iter()
-        .collect::<Result<Vec<KernelTightness>, String>>()?;
+        .collect::<Result<Vec<KernelTightness>, AnalysisError>>()?;
     kernels.sort_by(|a, b| a.kernel.cmp(&b.kernel));
+    let degradation = kernels
+        .iter()
+        .map(|k| DegradationRow {
+            kernel: k.kernel.clone(),
+            level: Degradation::Full,
+        })
+        .collect();
     Ok(TightnessReport {
         kernels,
+        degradation,
+        failures: Vec::new(),
         total_wall_ms: t_total.elapsed().as_secs_f64() * 1e3,
         threads: rayon::max_workers_used().max(1),
     })
@@ -279,13 +321,21 @@ struct TraceRef {
 }
 
 impl TraceRef {
-    /// One pass over the untiled enumeration.
+    /// One pass over the untiled enumeration — governed: the instance walk
+    /// polls `token` and is charged against `budget.max_instances`.
     ///
     /// # Errors
-    /// Reports instances outside the packable key domain (only when
+    /// Refuses instances outside the packable key domain (only when
     /// `with_ranks` — kernels without schedule directives never need the
-    /// instance map).
-    fn build(program: &Program, params: &[i64], with_ranks: bool) -> Result<TraceRef, String> {
+    /// instance map) and propagates budget/cancellation errors from the
+    /// governed walk.
+    fn build(
+        program: &Program,
+        params: &[i64],
+        with_ranks: bool,
+        budget: &Budget,
+        token: &CancelToken,
+    ) -> Result<TraceRef, AnalysisError> {
         let n_arrays = program.arrays.len();
         let strides: Vec<Vec<usize>> = (0..n_arrays)
             .map(|i| program.array_strides(ArrayId(i as u32), params))
@@ -308,44 +358,51 @@ impl TraceRef {
         };
         let mut wc = vec![0u32; n_cells];
         let mut unpackable = None;
-        for_each_instance(program, params, |stmt_id, dims| {
-            let stmt = program.stmt(stmt_id);
-            if with_ranks {
-                match pack_key(stmt_id.0, dims, &stmt.dims) {
-                    Some(key) => {
-                        r.rank_of.insert(key, r.n_instances as u32);
+        try_for_each_instance(
+            program,
+            params,
+            token,
+            Seam::Instances,
+            budget.max_instances,
+            |stmt_id, dims| {
+                let stmt = program.stmt(stmt_id);
+                if with_ranks {
+                    match pack_key(stmt_id.0, dims, &stmt.dims) {
+                        Some(key) => {
+                            r.rank_of.insert(key, r.n_instances as u32);
+                        }
+                        None => unpackable = Some(stmt.name.clone()),
                     }
-                    None => unpackable = Some(stmt.name.clone()),
                 }
-            }
-            // The version CSR only exists to legality-check candidate
-            // enumerations; schedule-free kernels skip it entirely.
-            for access in &stmt.reads {
-                let cell = r.cell_of(access, dims, params);
+                // The version CSR only exists to legality-check candidate
+                // enumerations; schedule-free kernels skip it entirely.
+                for access in &stmt.reads {
+                    let cell = r.cell_of(access, dims, params);
+                    if with_ranks {
+                        r.ver.push(wc[cell]);
+                    }
+                    r.trace.push((cell as u64) << 1);
+                }
+                for access in &stmt.writes {
+                    let cell = r.cell_of(access, dims, params);
+                    if with_ranks {
+                        r.ver.push(wc[cell]);
+                        wc[cell] += 1;
+                    }
+                    r.trace.push(((cell as u64) << 1) | 1);
+                }
                 if with_ranks {
-                    r.ver.push(wc[cell]);
+                    r.ver_off.push(r.ver.len() as u32);
                 }
-                r.trace.push((cell as u64) << 1);
-            }
-            for access in &stmt.writes {
-                let cell = r.cell_of(access, dims, params);
-                if with_ranks {
-                    r.ver.push(wc[cell]);
-                    wc[cell] += 1;
-                }
-                r.trace.push(((cell as u64) << 1) | 1);
-            }
-            if with_ranks {
-                r.ver_off.push(r.ver.len() as u32);
-            }
-            r.n_instances += 1;
-        });
+                r.n_instances += 1;
+            },
+        )?;
         match unpackable {
-            Some(stmt) => Err(format!(
+            Some(stmt) => Err(AnalysisError::Refused(format!(
                 "statement {stmt} has instances outside the schedulable key \
                  domain (> {KEY_MAX_DIMS} loop dims or an index ≥ {})",
                 1 << KEY_DIM_BITS
-            )),
+            ))),
             None => Ok(r),
         }
     }
@@ -415,15 +472,23 @@ impl TraceRef {
     }
 }
 
-fn measure_kernel(job: TightnessJob) -> Result<KernelTightness, String> {
-    let cdag = build_cdag(&job.program, &job.params);
+fn measure_kernel(
+    job: TightnessJob,
+    budget: &Budget,
+    token: &CancelToken,
+) -> Result<KernelTightness, AnalysisError> {
+    let cdag = try_build_cdag(&job.program, &job.params, budget, token)?;
     let min_s = cdag.max_in_degree() + 1;
     let s_values: Vec<usize> = job.s_offsets.iter().map(|&off| min_s + off).collect();
     let s_max = s_values.iter().copied().max().unwrap_or(1);
 
     let cands = candidates(&job.schedule, &job.params);
-    let tref = TraceRef::build(&job.program, &job.params, cands.len() > 1)
-        .map_err(|e| format!("{}: {e}", job.name))?;
+    let tref = TraceRef::build(&job.program, &job.params, cands.len() > 1, budget, token).map_err(
+        |e| match e {
+            AnalysisError::Refused(msg) => AnalysisError::Refused(format!("{}: {msg}", job.name)),
+            other => other,
+        },
+    )?;
 
     // Score every candidate once: emit (+ legality-check) its trace into
     // the shared buffer, then read every S point off one OPT curve.
@@ -436,11 +501,15 @@ fn measure_kernel(job: TightnessJob) -> Result<KernelTightness, String> {
     let mut program_order_loads: Vec<u64> = vec![0; s_values.len()];
     let mut tiled_programs: HashMap<usize, Program> = HashMap::new();
     for (ci, cand) in cands.iter().enumerate() {
+        // The auto-tuner seam: one poll per candidate bounds how much work
+        // a deadline or an external cancel can leave in flight, and is
+        // where the fault-injection harness targets `*@tuner` faults.
+        token.check(Seam::Tuner)?;
         let trace: &[u64] = match &cand.tiles {
             None => &tref.trace,
             Some(tiles) => {
-                let tiled =
-                    tile_program(&job.program, tiles).map_err(|e| format!("{}: {e}", job.name))?;
+                let tiled = tile_program(&job.program, tiles)
+                    .map_err(|e| AnalysisError::Refused(format!("{}: {e}", job.name)))?;
                 let legal = tref.emit_candidate(&tiled, &job.params, &mut trace_buf, &mut wc);
                 tiled_programs.insert(ci, tiled);
                 if !legal {
@@ -449,7 +518,7 @@ fn measure_kernel(job: TightnessJob) -> Result<KernelTightness, String> {
                 &trace_buf
             }
         };
-        let curve = engine.opt_packed(trace, s_max);
+        let curve = engine.try_opt_packed(trace, s_max, token)?;
         for (si, &s) in s_values.iter().enumerate() {
             let loads = curve.loads(s);
             if ci == 0 {
@@ -479,26 +548,26 @@ fn measure_kernel(job: TightnessJob) -> Result<KernelTightness, String> {
             Some(tiled) => {
                 let got = Interpreter::new(tiled, &job.params).run_numeric(init);
                 if got.data != base_store.data {
-                    return Err(format!(
+                    return Err(AnalysisError::Internal(format!(
                         "{}: schedule `{}` changed the numeric result — illegal interchange",
                         job.name, cands[ci].desc
-                    ));
+                    )));
                 }
                 let legal = tref.emit_candidate(tiled, &job.params, &mut trace_buf, &mut wc);
                 debug_assert!(legal, "winner was scored, so it must re-emit");
                 &trace_buf
             }
         };
-        lru_curves.insert(ci, engine.lru_packed(trace, s_max));
+        lru_curves.insert(ci, engine.try_lru_packed(trace, s_max, token)?);
     }
 
     let mut points = Vec::with_capacity(s_values.len());
     for (si, &s) in s_values.iter().enumerate() {
         let (upper_loads, ci) = best[si].ok_or_else(|| {
-            format!(
+            AnalysisError::Internal(format!(
                 "{}: no legal schedule at S={s} (program order must always score)",
                 job.name
-            )
+            ))
         })?;
         let trace_lru_loads = lru_curves[&ci].loads(s);
         // Invariants of the measurement itself (an inversion here is an
@@ -506,17 +575,17 @@ fn measure_kernel(job: TightnessJob) -> Result<KernelTightness, String> {
         // winning trace can be beaten neither by the LRU view of the same
         // trace nor by the tuner's own baseline.
         if trace_lru_loads < upper_loads {
-            return Err(format!(
+            return Err(AnalysisError::Internal(format!(
                 "{}: S={s}: LRU view {trace_lru_loads} beat the optimal curve {upper_loads}",
                 job.name
-            ));
+            )));
         }
         if upper_loads > program_order_loads[si] {
-            return Err(format!(
+            return Err(AnalysisError::Internal(format!(
                 "{}: S={s}: winner {upper_loads} loads above the program-order baseline {} \
                  (the tuner must never lose to its own baseline)",
                 job.name, program_order_loads[si]
-            ));
+            )));
         }
         points.push(TightnessPoint {
             s,
@@ -591,7 +660,7 @@ pub fn tightness_report_json(report: &TightnessReport, redact_volatile: bool) ->
         }
     }
     let mut out = String::from("{\n");
-    out.push_str("  \"schema\": \"hourglass-iolb/tightness/v2\",\n");
+    out.push_str("  \"schema\": \"hourglass-iolb/tightness/v3\",\n");
     let (threads, wall) = if redact_volatile {
         (0, 0.0)
     } else {
@@ -601,6 +670,31 @@ pub fn tightness_report_json(report: &TightnessReport, redact_volatile: bool) ->
         "  \"meta\": {{\"threads\": {threads}, \"total_wall_ms\": {}}},\n",
         num(wall)
     ));
+    let mut degradation: Vec<&DegradationRow> = report.degradation.iter().collect();
+    degradation.sort_by(|a, b| a.kernel.cmp(&b.kernel));
+    let mut failures: Vec<&FailureRow> = report.failures.iter().collect();
+    failures.sort_by(|a, b| (&a.kernel, &a.class).cmp(&(&b.kernel, &b.class)));
+    out.push_str("  \"degradation\": [\n");
+    for (i, d) in degradation.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"kernel\": {}, \"level\": \"{}\"}}{}\n",
+            json_str(&d.kernel),
+            d.level.as_str(),
+            if i + 1 == degradation.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"failures\": [\n");
+    for (i, f) in failures.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"kernel\": {}, \"class\": {}, \"message\": {}}}{}\n",
+            json_str(&f.kernel),
+            json_str(&f.class),
+            json_str(&f.message),
+            if i + 1 == failures.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ],\n");
     out.push_str("  \"kernels\": [\n");
     for (i, k) in report.kernels.iter().enumerate() {
         let params: Vec<String> = k.params.iter().map(|p| p.to_string()).collect();
@@ -756,7 +850,10 @@ kernel plain(N) {
             assert!(t.ratio().is_finite());
         }
         let json = tightness_report_json(&report, true);
-        assert!(json.contains("\"schema\": \"hourglass-iolb/tightness/v2\""));
+        assert!(json.contains("\"schema\": \"hourglass-iolb/tightness/v3\""));
+        assert!(json.contains("\"degradation\": ["));
+        assert!(json.contains("\"failures\": ["));
+        assert!(json.contains("\"level\": \"full\""));
         assert!(json.contains("\"threads\": 0"), "volatile meta redacted");
         assert_eq!(json.matches('{').count(), json.matches('}').count());
     }

@@ -21,7 +21,8 @@
 //! forward and `inputs.len()..len()` is a valid sequential schedule.
 
 use crate::graph::Cdag;
-use iolb_ir::{for_each_instance, ArrayId, ExecSink, Interpreter, Program, StmtId, Store};
+use iolb_govern::{AnalysisError, Budget, CancelToken, Seam};
+use iolb_ir::{try_for_each_instance, ArrayId, ExecSink, Interpreter, Program, StmtId, Store};
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum End {
@@ -215,12 +216,57 @@ impl ExecSink for CdagBuilder {
 /// the array extents, one iteration-vector arena, and a packed edge list —
 /// so construction is a branch-light integer pass over the instances.
 pub fn build_cdag(program: &Program, params: &[i64]) -> Cdag {
+    try_build_cdag(
+        program,
+        params,
+        &Budget::unlimited(),
+        &CancelToken::unlimited(),
+    )
+    .unwrap_or_else(|e| panic!("build_cdag: {e}"))
+}
+
+/// Governed [`build_cdag`]: polls `token` at [`Seam::CdagFill`] during the
+/// instance walk, sizes every per-array cell table with checked
+/// arithmetic against `budget.max_arena_bytes` *before* allocating (huge
+/// parameters return `BudgetExceeded` instead of wrapping the table size
+/// or OOMing), counts instances against `budget.max_instances` during the
+/// walk, and checks node/edge totals against the budget after the fill.
+pub fn try_build_cdag(
+    program: &Program,
+    params: &[i64],
+    budget: &Budget,
+    token: &CancelToken,
+) -> Result<Cdag, AnalysisError> {
     let n_arrays = program.arrays.len();
+    let mut lens: Vec<usize> = Vec::with_capacity(n_arrays);
+    let mut cell_bytes = 0u64;
+    for i in 0..n_arrays {
+        let len = program
+            .try_array_len(ArrayId(i as u32), params)
+            .ok_or_else(|| {
+                AnalysisError::Refused(format!(
+                    "array {} has an unsizable extent at these parameters",
+                    program.arrays[i].name
+                ))
+            })?
+            .max(1);
+        cell_bytes = cell_bytes.saturating_add(len.saturating_mul(4));
+        if cell_bytes > budget.max_arena_bytes {
+            return Err(AnalysisError::BudgetExceeded {
+                resource: "arena_bytes",
+                needed: cell_bytes,
+                limit: budget.max_arena_bytes,
+            });
+        }
+        let len = usize::try_from(len).map_err(|_| AnalysisError::BudgetExceeded {
+            resource: "arena_bytes",
+            needed: u64::MAX,
+            limit: budget.max_arena_bytes,
+        })?;
+        lens.push(len);
+    }
     let strides: Vec<Vec<usize>> = (0..n_arrays)
         .map(|i| program.array_strides(ArrayId(i as u32), params))
-        .collect();
-    let lens: Vec<usize> = (0..n_arrays)
-        .map(|i| program.array_len(ArrayId(i as u32), params).max(1))
         .collect();
     // One packed state per cell, doubling as the edge's `from` endpoint:
     // NIL = untouched, `input_id << 1 | 1` = first touch was a read (input
@@ -233,41 +279,66 @@ pub fn build_cdag(program: &Program, params: &[i64]) -> Cdag {
     // Packed `from` endpoint: `input_id << 1 | 1` or `compute_id << 1`.
     let mut edges: Vec<(u32, u32)> = Vec::new();
 
-    for_each_instance(program, params, |stmt_id, dims| {
-        let stmt = program.stmt(stmt_id);
-        stmts.push(stmt_id.0);
-        iv_data.extend(stmt.dims.iter().map(|d| dims[d.0 as usize] as i32));
-        iv_off.push(iv_data.len() as u32);
-        let cur = (stmts.len() - 1) as u32;
-        let flat_of = |access: &iolb_ir::Access| -> usize {
-            let st = &strides[access.array.0 as usize];
-            let mut f = 0usize;
-            for (axis, aff) in access.idx.iter().enumerate() {
-                let v = aff.eval_envs(dims, params);
-                debug_assert!(v >= 0, "negative declared subscript");
-                f += st[axis] * v as usize;
+    try_for_each_instance(
+        program,
+        params,
+        token,
+        Seam::CdagFill,
+        budget.max_instances,
+        |stmt_id, dims| {
+            let stmt = program.stmt(stmt_id);
+            stmts.push(stmt_id.0);
+            iv_data.extend(stmt.dims.iter().map(|d| dims[d.0 as usize] as i32));
+            iv_off.push(iv_data.len() as u32);
+            let cur = (stmts.len() - 1) as u32;
+            let flat_of = |access: &iolb_ir::Access| -> usize {
+                let st = &strides[access.array.0 as usize];
+                let mut f = 0usize;
+                for (axis, aff) in access.idx.iter().enumerate() {
+                    let v = aff.eval_envs(dims, params);
+                    debug_assert!(v >= 0, "negative declared subscript");
+                    f += st[axis] * v as usize;
+                }
+                f
+            };
+            let instance_start = edges.len();
+            for access in &stmt.reads {
+                let f = flat_of(access);
+                let slot = &mut cells[access.array.0 as usize][f];
+                if *slot == NIL {
+                    *slot = ((inputs.len() as u32) << 1) | 1;
+                    inputs.push((access.array.0, f as u32));
+                }
+                let from = *slot;
+                // Duplicate declared reads of one producer within an instance
+                // are a single edge.
+                if !edges[instance_start..].iter().any(|&(e, _)| e == from) {
+                    edges.push((from, cur));
+                }
             }
-            f
-        };
-        let instance_start = edges.len();
-        for access in &stmt.reads {
-            let f = flat_of(access);
-            let slot = &mut cells[access.array.0 as usize][f];
-            if *slot == NIL {
-                *slot = ((inputs.len() as u32) << 1) | 1;
-                inputs.push((access.array.0, f as u32));
+            for access in &stmt.writes {
+                cells[access.array.0 as usize][flat_of(access)] = cur << 1;
             }
-            let from = *slot;
-            // Duplicate declared reads of one producer within an instance
-            // are a single edge.
-            if !edges[instance_start..].iter().any(|&(e, _)| e == from) {
-                edges.push((from, cur));
-            }
-        }
-        for access in &stmt.writes {
-            cells[access.array.0 as usize][flat_of(access)] = cur << 1;
-        }
-    });
+        },
+    )?;
+
+    // Second-line totals check (admission bounds these ahead of time; the
+    // instance ceiling above bounds them during the fill).
+    let node_total = (inputs.len() as u64).saturating_add(stmts.len() as u64);
+    if node_total > budget.max_cdag_nodes {
+        return Err(AnalysisError::BudgetExceeded {
+            resource: "cdag_nodes",
+            needed: node_total,
+            limit: budget.max_cdag_nodes,
+        });
+    }
+    if edges.len() as u64 > budget.max_cdag_edges {
+        return Err(AnalysisError::BudgetExceeded {
+            resource: "cdag_edges",
+            needed: edges.len() as u64,
+            limit: budget.max_cdag_edges,
+        });
+    }
 
     // Merge id spaces: inputs first, then computes in schedule order.
     let n_in = inputs.len();
@@ -292,7 +363,9 @@ pub fn build_cdag(program: &Program, params: &[i64]) -> Cdag {
     }
     // Enumeration order is schedule order: targets nondecreasing and
     // duplicates filtered above, so the linear CSR build applies.
-    Cdag::from_grouped_edges(meta, is_input, n_in, iv_off, iv_data, edges)
+    Ok(Cdag::from_grouped_edges(
+        meta, is_input, n_in, iv_off, iv_data, edges,
+    ))
 }
 
 /// Runs `program` at `params` through the interpreter and returns the CDAG

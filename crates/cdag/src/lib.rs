@@ -22,6 +22,6 @@ pub mod build;
 pub mod graph;
 pub mod pebble;
 
-pub use build::{build_cdag, build_cdag_executed, CdagBuilder};
+pub use build::{build_cdag, build_cdag_executed, try_build_cdag, CdagBuilder};
 pub use graph::{Cdag, NodeId, NodeKind, NodeSpec};
 pub use pebble::{PebbleError, PebbleGame, PlayStats, SpillPolicy};

@@ -1,23 +1,37 @@
 //! `iolb` — the end-to-end I/O lower-bound pipeline on textual kernels.
 //! (Library half: the `iolb` binary is a thin wrapper around [`run`].)
 //!
-//! For every `.iolb` file: parse → access-consistency certification →
-//! φ-set extraction → classical σ-bound → hourglass detect / certify /
-//! derive (§3–4, with §5.3 splitting) → exact CDAG → MIN/LRU miss-curve
-//! validation over a dense S grid (one stack-distance pass per policy
-//! prices every grid point) → tightness measurement (the best blocked
-//! upper-bound schedule from the file's `schedule { tile … }` directives,
-//! auto-tuned over tile sizes, vs the derived lower bound). Files are
-//! processed in parallel (rayon); per-file output is buffered and printed
-//! in input order. Errors are collected across *all* inputs and reported
-//! together — one run shows the full failure set.
+//! For every `.iolb` file: parse → admission control (symbolic cost
+//! pre-estimation against the resource budget) → access-consistency
+//! certification → φ-set extraction → classical σ-bound → hourglass
+//! detect / certify / derive (§3–4, with §5.3 splitting) → exact CDAG →
+//! MIN/LRU miss-curve validation over a dense S grid (one stack-distance
+//! pass per policy prices every grid point) → tightness measurement (the
+//! best blocked upper-bound schedule from the file's `schedule { tile … }`
+//! directives, auto-tuned over tile sizes, vs the derived lower bound).
+//! Files are processed in parallel (rayon); per-file output is buffered
+//! and printed in input order. A failing kernel never takes the batch
+//! down: each file runs behind a panic-isolation boundary and failures
+//! become structured per-kernel rows in the JSON reports while every
+//! unaffected kernel still completes.
 //!
-//! Exit codes: `0` all kernels validated sound, `1` an unsound cell or a
-//! failed validation, `2` usage / parse / analysis errors.
+//! Exit codes: `0` all kernels validated sound, `1` an unsound cell,
+//! then one stable code per [`AnalysisError`] class — `2` parse/usage,
+//! `3` refused, `4` budget exceeded, `5` deadline, `6` cancelled, `7`
+//! internal (contained panic). A batch exits with the *maximum* class
+//! code across its files.
 
-use iolb_bench::sweep::{run_sweep, sweep_report_json, SweepKernel, SweepReport};
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
+use iolb_bench::sweep::{
+    coarse_s_offsets, sweep_report_json, try_run_sweep, DegradationRow, FailureRow, SweepKernel,
+    SweepReport,
+};
 use iolb_bench::tightness::{
-    run_tightness, tightness_report_json, KernelTightness, TightnessJob, TightnessReport,
+    tightness_report_json, try_run_tightness, KernelTightness, TightnessJob, TightnessReport,
+};
+use iolb_core::govern::{
+    catch_analysis_mut, AnalysisError, Budget, CancelToken, Degradation, Fault, FaultKind,
 };
 use iolb_core::hourglass;
 use iolb_core::report::{
@@ -43,6 +57,11 @@ USAGE:
                                  generate random kernels and run the differential
                                  soundness oracle on each (seed is required: runs are
                                  reproducible from it alone, never from wall-clock)
+    iolb fuzz --inject <SPEC>    fault-injection smoke: SPEC is `panic`, `oom`,
+                                 `deadline` (one class across every governed seam),
+                                 `all` (the full matrix), or `CLASS@SEAM` for one
+                                 cell; exits 0 iff every fault surfaced as its
+                                 typed error class and left clean state behind
 
 OPTIONS:
     --params M=64,N=32    override the file's `default` parameter values
@@ -56,6 +75,25 @@ OPTIONS:
     --no-tightness        skip the upper-bound schedule measurement
     --derive-only         skip the pebble-game validation (bounds only)
     -h, --help            this text
+
+RESOURCE GOVERNANCE (admission control refuses or down-scopes a kernel
+before materializing anything; all ceilings default to unlimited):
+    --max-instances N     ceiling on dynamic statement instances
+    --max-cdag-nodes N    ceiling on CDAG vertices
+    --max-cdag-edges N    ceiling on CDAG edges
+    --max-trace N         ceiling on the packed trace length (accesses)
+    --max-arena-bytes N   ceiling on peak transient arena bytes
+    --max-work N          ceiling on curve work (trace × S-grid points);
+                          over-work kernels degrade: dense grid → coarse
+                          grid (tightness skipped) → symbolic bounds only,
+                          recorded per kernel in the report `degradation`
+    --deadline-ms N       wall-clock deadline, polled at every governed seam
+    --no-degrade          refuse (exit 4) instead of degrading
+    --inject CLASS@SEAM   testing: arm a one-shot fault on the first file
+
+EXIT CODES:
+    0 sound   1 unsound cell   2 parse/usage   3 refused
+    4 budget exceeded   5 deadline   6 cancelled   7 internal
 ";
 
 /// Parsed command-line options.
@@ -77,6 +115,21 @@ pub struct Options {
     pub no_tightness: bool,
     /// `--derive-only` flag.
     pub derive_only: bool,
+    /// Resource budget from the `--max-*` / `--deadline-ms` flags.
+    pub budget: Budget,
+    /// `--no-degrade`: refuse instead of down-scoping.
+    pub no_degrade: bool,
+    /// `--inject`: one-shot fault armed on the batch's first file.
+    pub inject: Option<Fault>,
+}
+
+/// Parses the next argument of `flag` as a `u64` ceiling.
+fn parse_ceiling(it: &mut std::slice::Iter<'_, String>, flag: &str) -> Result<u64, String> {
+    it.next()
+        .ok_or_else(|| format!("{flag} needs a value"))?
+        .trim()
+        .parse()
+        .map_err(|_| format!("bad {flag} value (want a non-negative integer)"))
 }
 
 /// Parses command-line arguments (everything after the binary name).
@@ -93,6 +146,9 @@ pub fn parse_args(args: &[String]) -> Result<Options, String> {
         tightness_json: None,
         no_tightness: false,
         derive_only: false,
+        budget: Budget::unlimited(),
+        no_degrade: false,
+        inject: None,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -138,6 +194,23 @@ pub fn parse_args(args: &[String]) -> Result<Options, String> {
             }
             "--no-tightness" => o.no_tightness = true,
             "--derive-only" => o.derive_only = true,
+            "--max-instances" => o.budget.max_instances = parse_ceiling(&mut it, a)?,
+            "--max-cdag-nodes" => o.budget.max_cdag_nodes = parse_ceiling(&mut it, a)?,
+            "--max-cdag-edges" => o.budget.max_cdag_edges = parse_ceiling(&mut it, a)?,
+            "--max-trace" => o.budget.max_trace_len = parse_ceiling(&mut it, a)?,
+            "--max-arena-bytes" => o.budget.max_arena_bytes = parse_ceiling(&mut it, a)?,
+            "--max-work" => o.budget.max_work = parse_ceiling(&mut it, a)?,
+            "--deadline-ms" => o.budget.deadline_ms = parse_ceiling(&mut it, a)?,
+            "--no-degrade" => o.no_degrade = true,
+            "--inject" => {
+                let v = it.next().ok_or("--inject needs CLASS or CLASS@SEAM")?;
+                o.inject = Some(Fault::parse(v).ok_or_else(|| {
+                    format!(
+                        "bad --inject spec `{v}` (want panic|oom|deadline, \
+                         optionally @admission|instances|cdag_fill|lru_pass|opt_pass|tuner)"
+                    )
+                })?);
+            }
             "-h" | "--help" => return Err(USAGE.to_string()),
             other if other.starts_with('-') => {
                 return Err(format!("unknown option `{other}`\n\n{USAGE}"))
@@ -176,17 +249,21 @@ pub struct FileOutcome {
     pub name: String,
     /// Buffered per-file text (printed in input order by [`run`]).
     pub output: String,
-    /// The validation matrix (`None` under `--derive-only`).
+    /// The validation matrix (`None` under `--derive-only` or when the
+    /// work budget degraded the kernel to symbolic bounds only).
     pub report: Option<SweepReport>,
-    /// Tightness measurement (absent under `--no-tightness`/`--derive-only`).
+    /// Tightness measurement (absent under `--no-tightness`,
+    /// `--derive-only`, or any degradation below [`Degradation::Full`]).
     pub tightness: Option<KernelTightness>,
-    /// All validation cells sound (vacuously true under `--derive-only`).
+    /// All validation cells sound (vacuously true when validation was
+    /// skipped).
     pub sound: bool,
+    /// The degradation rung the work budget afforded this kernel.
+    pub degradation: Degradation,
 }
 
 /// The CLI entry point (argument vector without the binary name).
 pub fn run(args: &[String]) -> ExitCode {
-    let args = args.to_vec();
     if args.first().map(String::as_str) == Some("emit-builtin") {
         return match args.get(1) {
             Some(dir) => emit_builtin(Path::new(dir)),
@@ -205,27 +282,48 @@ pub fn run(args: &[String]) -> ExitCode {
             }
         };
     }
-    let opts = match parse_args(&args) {
+    ExitCode::from(run_with_code(args))
+}
+
+/// The batch analysis path of [`run`], returning the raw process exit
+/// code (documented in [`USAGE`]). Split out so tests can assert codes
+/// without spawning the binary.
+pub fn run_with_code(args: &[String]) -> u8 {
+    let opts = match parse_args(args) {
         Ok(o) => o,
         Err(msg) => {
             eprintln!("{msg}");
-            return ExitCode::from(2);
+            return 2;
         }
     };
 
-    // Every file runs through the full pipeline concurrently; output is
-    // buffered per file and printed in input order below.
+    // Every file runs through the full pipeline concurrently, behind a
+    // per-file panic-isolation boundary; output is buffered per file and
+    // printed in input order below. The `--inject` fault (if any) is
+    // armed on the first file only, so the rest of the batch doubles as
+    // the blast-radius control.
     let t_batch = std::time::Instant::now();
-    let results: Vec<(PathBuf, Result<FileOutcome, String>)> = opts
-        .files
-        .par_iter()
-        .map(|file| (file.clone(), run_file(file, &opts)))
+    let indexed: Vec<(usize, PathBuf)> = opts.files.iter().cloned().enumerate().collect();
+    let results: Vec<(PathBuf, Result<FileOutcome, AnalysisError>)> = indexed
+        .into_par_iter()
+        .map(|(i, file)| {
+            let token = match opts.inject {
+                Some(fault) if i == 0 => CancelToken::with_fault(fault),
+                _ => opts.budget.token(),
+            };
+            // Panics are mapped to `Internal` *inside* the worker so the
+            // payload survives the thread boundary.
+            let res = catch_analysis_mut(|| run_file_with(&file, &opts, &token));
+            (file, res)
+        })
         .collect();
     let batch_wall_ms = t_batch.elapsed().as_secs_f64() * 1e3;
 
-    // Errors are collected across the whole batch (not fail-fast), so one
-    // CI run surfaces every broken kernel file at once.
-    let mut errors: Vec<String> = Vec::new();
+    // Failures are collected across the whole batch (not fail-fast), so
+    // one run surfaces every broken kernel file at once — as structured
+    // rows in the JSON reports, next to every unaffected kernel's result.
+    let mut failures: Vec<FailureRow> = Vec::new();
+    let mut worst: u8 = 0;
     let mut outcomes: Vec<FileOutcome> = Vec::new();
     for (file, res) in results {
         match res {
@@ -233,26 +331,39 @@ pub fn run(args: &[String]) -> ExitCode {
                 print!("{}", outcome.output);
                 outcomes.push(outcome);
             }
-            Err(msg) => errors.push(format!("{}: {msg}", file.display())),
+            Err(e) => {
+                let kernel = file
+                    .file_stem()
+                    .map(|s| s.to_string_lossy().into_owned())
+                    .unwrap_or_else(|| file.display().to_string());
+                eprintln!("[{}] {}: {e}", e.class_name(), file.display());
+                worst = worst.max(e.exit_code());
+                failures.push(FailureRow::from_error(&kernel, &e));
+            }
         }
     }
-    if !errors.is_empty() {
+    if !failures.is_empty() {
         eprintln!(
-            "{} of {} kernel files failed:",
-            errors.len(),
+            "{} of {} kernel files failed (see rows above)",
+            failures.len(),
             opts.files.len()
         );
-        for e in &errors {
-            eprintln!("  {e}");
-        }
-        return ExitCode::from(2);
     }
+    let degradation: Vec<DegradationRow> = outcomes
+        .iter()
+        .map(|o| DegradationRow {
+            kernel: o.name.clone(),
+            level: o.degradation,
+        })
+        .collect();
 
     let all_sound = outcomes.iter().all(|o| o.sound);
     let validated = outcomes.iter().any(|o| o.report.is_some());
     if let Some(path) = &opts.json {
         let mut combined = SweepReport {
             rows: Vec::new(),
+            degradation: degradation.clone(),
+            failures: failures.clone(),
             total_wall_ms: 0.0,
             threads: 0,
         };
@@ -263,7 +374,7 @@ pub fn run(args: &[String]) -> ExitCode {
         }
         if let Err(e) = std::fs::write(path, sweep_report_json(&combined)) {
             eprintln!("writing {}: {e}", path.display());
-            return ExitCode::from(2);
+            return 2;
         }
         println!("wrote {}", path.display());
     }
@@ -277,39 +388,62 @@ pub fn run(args: &[String]) -> ExitCode {
         // golden snapshots ignore/redact it).
         let combined = TightnessReport {
             kernels,
+            degradation,
+            failures: failures.clone(),
             total_wall_ms: batch_wall_ms,
             threads: rayon::max_workers_used().max(1),
         };
         if let Err(e) = std::fs::write(path, tightness_report_json(&combined, false)) {
             eprintln!("writing {}: {e}", path.display());
-            return ExitCode::from(2);
+            return 2;
         }
         println!("wrote {}", path.display());
     }
 
     if !all_sound {
         eprintln!("UNSOUND cells found — a derived bound exceeded a legal play");
-        return ExitCode::from(1);
+        return worst.max(1);
+    }
+    if worst > 0 {
+        return worst;
     }
     if !validated {
         println!("derivations complete (pebble validation skipped)");
     } else {
         println!("all cells sound ✓");
     }
-    ExitCode::SUCCESS
+    0
 }
 
-/// Parses, analyzes, and (unless `--derive-only`) pebble-validates plus
-/// tightness-measures one file. All human-readable output is buffered on
-/// the returned outcome.
-pub fn run_file(file: &Path, opts: &Options) -> Result<FileOutcome, String> {
-    let src = std::fs::read_to_string(file).map_err(|e| format!("cannot read: {e}"))?;
-    let kernel = parse_kernel(&src).map_err(|e| e.to_string())?;
+/// [`run_file_with`] on the options' own budget token — the entry point
+/// for single-file callers that do not inject faults or share a token
+/// across a batch.
+pub fn run_file(file: &Path, opts: &Options) -> Result<FileOutcome, AnalysisError> {
+    run_file_with(file, opts, &opts.budget.token())
+}
+
+/// Parses, admits, analyzes, and (unless down-scoped) pebble-validates
+/// plus tightness-measures one file under the given budget and token. All
+/// human-readable output is buffered on the returned outcome.
+///
+/// # Errors
+/// Every failure is a typed [`AnalysisError`]: unreadable/unparsable
+/// input is `Parse`, anything declined on structural grounds is
+/// `Refused`, and admission or mid-pass governance yields the
+/// budget/deadline/cancel classes.
+pub fn run_file_with(
+    file: &Path,
+    opts: &Options,
+    token: &CancelToken,
+) -> Result<FileOutcome, AnalysisError> {
+    let src = std::fs::read_to_string(file)
+        .map_err(|e| AnalysisError::Parse(format!("cannot read: {e}")))?;
+    let kernel = parse_kernel(&src).map_err(|e| AnalysisError::Parse(e.to_string()))?;
     let program = &kernel.program;
     let mut out = String::new();
     let _ = writeln!(out, "── {} ({})", program.name, file.display());
 
-    let params = resolve_params(&kernel, &opts.params_override)?;
+    let params = resolve_params(&kernel, &opts.params_override).map_err(AnalysisError::Refused)?;
     let named: Vec<(String, i64)> = program.params.iter().cloned().zip(params.clone()).collect();
     let _ = writeln!(
         out,
@@ -321,14 +455,35 @@ pub fn run_file(file: &Path, opts: &Options) -> Result<FileOutcome, String> {
             .join(", ")
     );
 
-    // 1. The synthesized semantics must perform exactly the declared
+    // 1. Admission control: estimate every size-like resource from the
+    // symbolic loop bounds and refuse before materializing anything; the
+    // work budget then picks the degradation rung (dense grid → coarse
+    // grid → symbolic bounds only).
+    let estimate = iolb_ir::admission::estimate(program, &params, &opts.budget, token)?;
+    estimate.check(&opts.budget)?;
+    let degradation = estimate.degradation(
+        &opts.budget,
+        opts.s_offsets.len() as u64,
+        coarse_s_offsets().len() as u64,
+    );
+    if opts.no_degrade && degradation != Degradation::Full {
+        return Err(AnalysisError::BudgetExceeded {
+            resource: "work",
+            needed: estimate
+                .trace_len
+                .saturating_mul(opts.s_offsets.len() as u64),
+            limit: opts.budget.max_work,
+        });
+    }
+
+    // 2. The synthesized semantics must perform exactly the declared
     // accesses (the certification that lets everything downstream trust
     // the declared affine structure).
     let certified = iolb_ir::interp::validate_accesses(program, &params)
-        .map_err(|e| format!("access certification failed: {e}"))?;
+        .map_err(|e| AnalysisError::Refused(format!("access certification failed: {e}")))?;
     let _ = writeln!(out, "   access-certified {certified} statement instances");
 
-    // 2. Statement under analysis: --stmt, else the `analyze` directive,
+    // 3. Statement under analysis: --stmt, else the `analyze` directive,
     // else the deepest (latest) statement.
     let stmt_name = opts
         .stmt_override
@@ -337,11 +492,12 @@ pub fn run_file(file: &Path, opts: &Options) -> Result<FileOutcome, String> {
         .unwrap_or_else(|| deepest_stmt(program));
     let stmt = program
         .stmt_id(&stmt_name)
-        .ok_or_else(|| format!("no statement named {stmt_name}"))?;
+        .ok_or_else(|| AnalysisError::Refused(format!("no statement named {stmt_name}")))?;
 
-    // 3. Dependence analysis + bounds at small observation sizes.
+    // 4. Dependence analysis + bounds at small observation sizes.
     let observe = observation_sizes(&params);
-    let analysis = Analysis::run(program, &observe).map_err(|e| format!("analysis: {e}"))?;
+    let analysis = Analysis::run(program, &observe)
+        .map_err(|e| AnalysisError::Refused(format!("analysis: {e}")))?;
     let classical = analysis.try_classical_bound(stmt);
     match &classical {
         Some(b) => {
@@ -357,11 +513,12 @@ pub fn run_file(file: &Path, opts: &Options) -> Result<FileOutcome, String> {
     let (hourglass, applied_binding) = match &pattern {
         Some(pat) => {
             let checked = hourglass::certify(program, pat, &observe[0])
-                .map_err(|e| format!("hourglass certification: {e}"))?;
+                .map_err(|e| AnalysisError::Refused(format!("hourglass certification: {e}")))?;
             // The same split decision `run_sweep` makes (shared helper +
             // identical observation sizes), so the printed derivation and
             // the validated bound cannot diverge.
-            let (b, applied) = derive_with_split(program, pat, split_binding.clone())?;
+            let (b, applied) = derive_with_split(program, pat, split_binding.clone())
+                .map_err(AnalysisError::Refused)?;
             if let Some(binding) = &applied {
                 let _ = writeln!(
                     out,
@@ -383,7 +540,17 @@ pub fn run_file(file: &Path, opts: &Options) -> Result<FileOutcome, String> {
         }
     };
 
-    if opts.derive_only {
+    if opts.derive_only || degradation == Degradation::BoundsOnly {
+        if degradation == Degradation::BoundsOnly && !opts.derive_only {
+            let _ = writeln!(
+                out,
+                "   degraded: symbolic bounds only (work {} exceeds budget {})",
+                estimate
+                    .trace_len
+                    .saturating_mul(opts.s_offsets.len() as u64),
+                opts.budget.max_work
+            );
+        }
         let _ = writeln!(out);
         return Ok(FileOutcome {
             name: program.name.clone(),
@@ -391,19 +558,36 @@ pub fn run_file(file: &Path, opts: &Options) -> Result<FileOutcome, String> {
             report: None,
             tightness: None,
             sound: true,
+            degradation,
         });
     }
+    let s_offsets = match degradation {
+        Degradation::Coarse => {
+            let coarse = coarse_s_offsets();
+            let _ = writeln!(
+                out,
+                "   degraded: coarse {}-point S grid, tightness skipped (work budget {})",
+                coarse.len(),
+                opts.budget.max_work
+            );
+            coarse
+        }
+        _ => opts.s_offsets.clone(),
+    };
 
-    // 4. Exact CDAG + MIN/LRU miss-curve validation over the S grid.
+    // 5. Exact CDAG + MIN/LRU miss-curve validation over the S grid.
     let sweep = SweepKernel {
         name: program.name.clone(),
         program: reparse(&src)?,
         stmt: stmt_name,
         params: params.clone(),
         split: split_binding,
-        s_offsets: opts.s_offsets.clone(),
+        s_offsets: s_offsets.clone(),
     };
-    let report = run_sweep(vec![sweep]);
+    let mut report = try_run_sweep(vec![sweep], &opts.budget, token)?;
+    for row in &mut report.degradation {
+        row.level = degradation;
+    }
     let _ = write!(out, "{}", iolb_bench::sweep::render_sweep_table(&report));
     let mut sound = true;
     for r in &report.rows {
@@ -420,9 +604,10 @@ pub fn run_file(file: &Path, opts: &Options) -> Result<FileOutcome, String> {
         }
     }
 
-    // 5. Tightness: the best measured blocked upper bound per S (the
+    // 6. Tightness: the best measured blocked upper bound per S (the
     // file's `schedule` directives swept by the auto-tuner) vs the bound.
-    let tightness = if opts.no_tightness {
+    // Skipped below `Full`: the tuner is the most work-hungry stage.
+    let tightness = if opts.no_tightness || degradation != Degradation::Full {
         None
     } else {
         let mut env: Vec<(Var, i128)> = named
@@ -440,14 +625,13 @@ pub fn run_file(file: &Path, opts: &Options) -> Result<FileOutcome, String> {
             classical,
             hourglass,
             schedule: kernel.schedule.clone(),
-            s_offsets: opts.s_offsets.clone(),
+            s_offsets,
         };
-        let tightness_report = run_tightness(vec![job])?;
-        let k = tightness_report
-            .kernels
-            .into_iter()
-            .next()
-            .ok_or("tightness produced no kernel")?;
+        let tightness_report = try_run_tightness(vec![job], &opts.budget, token)?;
+        let k =
+            tightness_report.kernels.into_iter().next().ok_or_else(|| {
+                AnalysisError::Internal("tightness produced no kernel".to_string())
+            })?;
         let _ = write!(out, "{}", render_tightness_points(&k.kernel, &k.points));
         Some(k)
     };
@@ -459,6 +643,7 @@ pub fn run_file(file: &Path, opts: &Options) -> Result<FileOutcome, String> {
         report: Some(report),
         tightness,
         sound,
+        degradation,
     })
 }
 
@@ -515,8 +700,10 @@ fn dsl_split_binding(kernel: &KernelFile) -> Option<SplitBinding> {
 
 /// A second, independent parse of the same source (the [`Program`] is not
 /// clonable: its statements carry closures).
-fn reparse(src: &str) -> Result<Program, String> {
-    Ok(parse_kernel(src).map_err(|e| e.to_string())?.program)
+fn reparse(src: &str) -> Result<Program, AnalysisError> {
+    Ok(parse_kernel(src)
+        .map_err(|e| AnalysisError::Parse(e.to_string()))?
+        .program)
 }
 
 // ---------------------------------------------------------------------------
@@ -536,10 +723,15 @@ pub struct FuzzOptions {
     pub json: Option<PathBuf>,
     /// Optional directory for minimized reproducers.
     pub corpus: Option<PathBuf>,
+    /// `--inject` spec: run the fault-injection matrix instead of the
+    /// random-kernel oracle.
+    pub inject: Option<String>,
 }
 
-/// Parses `iolb fuzz` arguments. `--seed` is mandatory: the fuzzer has no
-/// ambient-entropy fallback, so every run is replayable by construction.
+/// Parses `iolb fuzz` arguments. `--seed` is mandatory for the random
+/// oracle (there is no ambient-entropy fallback, so every run is
+/// replayable by construction); `--inject` mode is deterministic by
+/// itself and needs no seed.
 ///
 /// # Errors
 /// Returns usage/diagnostic text to print.
@@ -549,6 +741,7 @@ pub fn parse_fuzz_args(args: &[String]) -> Result<FuzzOptions, String> {
     let mut max_dims: u32 = 4;
     let mut json: Option<PathBuf> = None;
     let mut corpus: Option<PathBuf> = None;
+    let mut inject: Option<String> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -579,24 +772,67 @@ pub fn parse_fuzz_args(args: &[String]) -> Result<FuzzOptions, String> {
             }
             "--json" => json = Some(PathBuf::from(it.next().ok_or("--json needs a path")?)),
             "--corpus" => corpus = Some(PathBuf::from(it.next().ok_or("--corpus needs a dir")?)),
+            "--inject" => {
+                inject = Some(it.next().ok_or("--inject needs a fault spec")?.clone());
+            }
             other => return Err(format!("unknown fuzz option `{other}`\n\n{USAGE}")),
         }
     }
-    Ok(FuzzOptions {
-        seed: seed.ok_or(
+    if inject.is_none() && seed.is_none() {
+        return Err(
             "fuzz needs --seed <N>: runs are reproducible from the seed alone \
-             (there is deliberately no wall-clock default)",
-        )?,
+             (there is deliberately no wall-clock default)"
+                .to_string(),
+        );
+    }
+    Ok(FuzzOptions {
+        seed: seed.unwrap_or(0),
         cases,
         max_dims,
         json,
         corpus,
+        inject,
     })
+}
+
+/// Runs the fault-injection matrix named by `spec` (`all`, a class name,
+/// or `CLASS@SEAM`) and prints the outcome table. Exit codes: 0 every
+/// cell surfaced its typed class and left clean state, 1 otherwise, 2
+/// bad spec.
+pub fn run_inject_cmd(spec: &str) -> ExitCode {
+    let report = if spec == "all" {
+        iolb_fuzz::run_injection_matrix(&FaultKind::ALL)
+    } else if let Some(kind) = FaultKind::parse(spec) {
+        iolb_fuzz::run_injection_matrix(&[kind])
+    } else if let Some(fault) = Fault::parse(spec) {
+        iolb_fuzz::inject::InjectionReport {
+            outcomes: vec![iolb_fuzz::run_injection(fault)],
+        }
+    } else {
+        eprintln!(
+            "bad --inject spec `{spec}` (want all, panic|oom|deadline, or CLASS@SEAM)\n\n{USAGE}"
+        );
+        return ExitCode::from(2);
+    };
+    print!("{}", report.render_table());
+    if report.all_expected() {
+        println!(
+            "injection clean ✓ — {} cell(s) surfaced their typed class, no process aborts",
+            report.outcomes.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("injection FAILED — a fault escaped its class or poisoned state");
+        ExitCode::from(1)
+    }
 }
 
 /// Runs the fuzzer and reports. Exit codes: 0 clean, 1 violations found,
 /// 2 usage/IO errors.
 pub fn run_fuzz_cmd(opts: &FuzzOptions) -> ExitCode {
+    if let Some(spec) = &opts.inject {
+        return run_inject_cmd(spec);
+    }
     let mut config = iolb_fuzz::FuzzConfig::new(opts.seed, opts.cases);
     config.max_dims = opts.max_dims;
     let report = iolb_fuzz::run_fuzz(&config);

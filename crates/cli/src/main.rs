@@ -1,5 +1,7 @@
 //! The `iolb` binary: thin wrapper around [`iolb_cli::run`].
 
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
 use std::process::ExitCode;
 
 fn main() -> ExitCode {

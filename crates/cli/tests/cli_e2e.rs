@@ -95,7 +95,9 @@ fn params_override_applies() {
 #[test]
 fn missing_file_and_bad_args_are_errors() {
     let opts = small_opts();
-    assert!(run_file(&kernels_dir().join("nope.iolb"), &opts).is_err());
+    let err = run_file(&kernels_dir().join("nope.iolb"), &opts).unwrap_err();
+    assert_eq!(err.class_name(), "parse", "{err}");
+    assert_eq!(err.exit_code(), 2);
     assert!(parse_args(&["--s-grid".to_string(), "a,b".to_string()]).is_err());
     assert!(parse_args(&[]).is_err());
     assert!(parse_args(&["--params".to_string(), "N".to_string(), "f".to_string()]).is_err());
@@ -132,7 +134,8 @@ fn unknown_params_override_is_an_error() {
     let mut opts = small_opts();
     opts.params_override = vec![("NN".to_string(), 12)];
     let err = run_file(&kernels_dir().join("cholesky.iolb"), &opts).unwrap_err();
-    assert!(err.contains("unknown parameter NN"), "{err}");
+    assert_eq!(err.class_name(), "refused", "{err}");
+    assert!(err.to_string().contains("unknown parameter NN"), "{err}");
 }
 
 #[test]

@@ -23,6 +23,12 @@ pub mod phi;
 pub mod report;
 pub mod theorems;
 
+/// Resource governance (budgets, cancellation, typed errors, fault
+/// injection) — the service-core substrate, re-exported so consumers can
+/// write `iolb_core::govern::Budget` without depending on the governance
+/// crate directly.
+pub use iolb_govern as govern;
+
 pub use classical::ClassicalBound;
 pub use hourglass::{HourglassBound, HourglassPattern};
 pub use phi::PhiSet;

@@ -17,10 +17,12 @@
 //! required field so CI replays are bitwise-deterministic.
 
 pub mod gen;
+pub mod inject;
 pub mod oracle;
 pub mod shrink;
 
 pub use gen::{generate_case, CaseSpec, GenConfig};
+pub use inject::{run_injection, run_injection_matrix, InjectionOutcome, InjectionReport};
 pub use oracle::{CaseReport, Oracle, Violation};
 pub use shrink::{shrink_case, ShrinkOutcome};
 

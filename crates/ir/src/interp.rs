@@ -13,6 +13,7 @@
 
 use crate::affine::DimId;
 use crate::program::{ArrayId, Loop, LoopStep, Program, Step, StmtId};
+use iolb_govern::{AnalysisError, CancelToken, Seam};
 use std::collections::BTreeSet;
 
 /// Receives execution events from the interpreter.
@@ -394,6 +395,106 @@ pub fn for_each_instance(program: &Program, params: &[i64], mut f: impl FnMut(St
     let mut dims = vec![0i64; program.num_dims as usize];
     for step in &program.body {
         walk_step(&interp, step, &mut dims, &mut f);
+    }
+}
+
+/// Governed [`for_each_instance`]: polls `token` at seam `seam` (once at
+/// the first instance, then every 1024 instances) and counts enumerated
+/// instances against `max_instances`, so a wrong admission estimate can
+/// never materialize unbounded work. Returns the instance count.
+///
+/// The token poll at instance 0 makes fault injection deterministic even
+/// on kernels with fewer than 1024 instances.
+pub fn try_for_each_instance(
+    program: &Program,
+    params: &[i64],
+    token: &CancelToken,
+    seam: Seam,
+    max_instances: u64,
+    mut f: impl FnMut(StmtId, &[i64]),
+) -> Result<u64, AnalysisError> {
+    let interp = Interpreter::new(program, params);
+    let mut dims = vec![0i64; program.num_dims as usize];
+    let mut gov = WalkGovernor {
+        token,
+        seam,
+        max_instances,
+        count: 0,
+    };
+    for step in &program.body {
+        try_walk_step(&interp, step, &mut dims, &mut gov, &mut f)?;
+    }
+    Ok(gov.count)
+}
+
+struct WalkGovernor<'t> {
+    token: &'t CancelToken,
+    seam: Seam,
+    max_instances: u64,
+    count: u64,
+}
+
+impl WalkGovernor<'_> {
+    #[inline]
+    fn tick(&mut self) -> Result<(), AnalysisError> {
+        if self.count & 0x3FF == 0 {
+            self.token.check(self.seam)?;
+        }
+        self.count += 1;
+        if self.count > self.max_instances {
+            return Err(AnalysisError::BudgetExceeded {
+                resource: "instances",
+                needed: self.count,
+                limit: self.max_instances,
+            });
+        }
+        Ok(())
+    }
+}
+
+fn try_walk_step(
+    interp: &Interpreter<'_>,
+    step: &Step,
+    dims: &mut Vec<i64>,
+    gov: &mut WalkGovernor<'_>,
+    f: &mut impl FnMut(StmtId, &[i64]),
+) -> Result<(), AnalysisError> {
+    match step {
+        Step::Stmt(id) => {
+            gov.tick()?;
+            f(*id, dims);
+            Ok(())
+        }
+        Step::Loop(l) => {
+            let (lo, hi, step_v) = interp.loop_range(l, dims);
+            if hi <= lo {
+                return Ok(());
+            }
+            if l.reverse {
+                let count = (hi - 1 - lo) / step_v;
+                let mut v = lo + count * step_v;
+                loop {
+                    dims[l.dim.0 as usize] = v;
+                    for s in &l.body {
+                        try_walk_step(interp, s, dims, gov, f)?;
+                    }
+                    if v == lo {
+                        break;
+                    }
+                    v -= step_v;
+                }
+            } else {
+                let mut v = lo;
+                while v < hi {
+                    dims[l.dim.0 as usize] = v;
+                    for s in &l.body {
+                        try_walk_step(interp, s, dims, gov, f)?;
+                    }
+                    v += step_v;
+                }
+            }
+            Ok(())
+        }
     }
 }
 

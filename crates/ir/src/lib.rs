@@ -27,17 +27,23 @@
 //!   changing any instance's accesses, the upper-bound half of the
 //!   tightness harness.
 
+pub mod admission;
 pub mod affine;
 pub mod count;
 pub mod deps;
 pub mod interp;
+// The parser is the user-input path: a panic here is an unhandled denial
+// of service on any served batch, so unwrap/expect are denied outright
+// and survivors converted to spanned `ParseError`s.
+#[deny(clippy::unwrap_used, clippy::expect_used)]
 pub mod parse;
 pub mod program;
 pub mod schedule;
 
 pub use affine::{Aff, DimId, ParamId};
 pub use interp::{
-    for_each_instance, ExecCtx, ExecSink, Interpreter, NullSink, Store, TraceEvent, TraceSink,
+    for_each_instance, try_for_each_instance, ExecCtx, ExecSink, Interpreter, NullSink, Store,
+    TraceEvent, TraceSink,
 };
 pub use parse::{
     assert_kernel_roundtrip, kernel_diff, parse_kernel, parse_program, print_kernel, print_program,

@@ -253,7 +253,9 @@ fn lex(src: &str) -> Result<Vec<(Tok, Span)>, ParseError> {
     while let Some(&c) = it.peek() {
         let span = Span { line, col };
         let mut bump = |it: &mut std::iter::Peekable<std::str::Chars<'_>>| {
-            let c = it.next().unwrap();
+            // Only called after a successful peek; '\0' is unreachable and
+            // would lex as an error token rather than panicking.
+            let c = it.next().unwrap_or('\0');
             if c == '\n' {
                 line += 1;
                 col = 1;
@@ -832,10 +834,14 @@ fn synth_compute(
                 .map(|e| {
                     e.eval_with(
                         &|d| {
-                            let pos = dims
-                                .iter()
-                                .position(|x| *x == d)
-                                .expect("subscript uses a non-enclosing loop dim");
+                            // The parser resolves subscripts against the
+                            // enclosing loop stack, so a miss here means a
+                            // malformed hand-built Access; surface it as a
+                            // panic for the batch isolation boundary to
+                            // convert into a structured Internal failure.
+                            let pos = dims.iter().position(|x| *x == d).unwrap_or_else(|| {
+                                panic!("subscript uses a non-enclosing loop dim")
+                            });
                             iv[pos]
                         },
                         &|q| c.p(q.0 as usize),
@@ -1309,6 +1315,7 @@ fn steps_diff(a: &[Step], b: &[Step]) -> Option<String> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use crate::interp::validate_accesses;

@@ -272,6 +272,31 @@ impl Program {
         self.array_extents(array, params).iter().product()
     }
 
+    /// Checked [`Program::array_len`]: `None` when an extent references a
+    /// loop dimension or evaluates negative (malformed declaration), and a
+    /// saturating product otherwise — `u64::MAX` means "overflows u64",
+    /// which admission control treats as exceeding every finite budget
+    /// instead of wrapping into a small bogus allocation size.
+    pub fn try_array_len(&self, array: ArrayId, params: &[i64]) -> Option<u64> {
+        let mut len = 1u64;
+        for e in &self.arrays[array.0 as usize].extents {
+            if !e.dim_terms().is_empty() {
+                return None;
+            }
+            // i128 arithmetic: a sum of i64×i64 products cannot overflow
+            // it, so huge parameters saturate instead of wrapping.
+            let mut v = e.cst() as i128;
+            for (p, c) in e.param_terms() {
+                v += (*c as i128) * (params[p.0 as usize] as i128);
+            }
+            if v < 0 {
+                return None;
+            }
+            len = len.saturating_mul(u64::try_from(v).unwrap_or(u64::MAX));
+        }
+        Some(len)
+    }
+
     /// Row-major strides of an array at concrete parameters (the layout used
     /// by the interpreter's store and the trace sinks).
     pub fn array_strides(&self, array: ArrayId, params: &[i64]) -> Vec<usize> {

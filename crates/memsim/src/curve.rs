@@ -33,6 +33,7 @@
 //! [`BeladySim`]: crate::BeladySim
 
 use crate::{thread_next_use, Access, NIL};
+use iolb_govern::{AnalysisError, CancelToken, Seam};
 
 /// Exact miss curve of one trace under one stack policy: `loads(S)` (read
 /// misses — the I/O cost in the red-white model, where write misses
@@ -179,35 +180,66 @@ impl CurveEngine {
 
     /// LRU miss curve of a trace, exact for capacities `1..=horizon`.
     pub fn lru(&mut self, trace: &[Access], horizon: usize) -> MissCurve {
-        self.lru_by(trace.len(), horizon, |t| {
-            let a = trace[t];
-            (a.cell, a.write)
-        })
+        ungoverned(self.lru_by(
+            trace.len(),
+            horizon,
+            |t| {
+                let a = trace[t];
+                (a.cell, a.write)
+            },
+            None,
+        ))
     }
 
     /// [`lru`](CurveEngine::lru) on a packed trace (`(cell << 1) | write`).
     pub fn lru_packed(&mut self, packed: &[u64], horizon: usize) -> MissCurve {
-        self.lru_by(packed.len(), horizon, |t| {
-            let p = packed[t];
-            ((p >> 1) as usize, (p & 1) == 1)
-        })
+        ungoverned(self.lru_by(packed.len(), horizon, packed_at(packed), None))
+    }
+
+    /// Governed [`lru_packed`](CurveEngine::lru_packed): polls `token` at
+    /// [`Seam::LruPass`] every 4096 positions (and at position 0), so a
+    /// deadline or cancellation interrupts the pass in bounded time. The
+    /// engine resets its buffers at the start of every pass, so an
+    /// interrupted pass leaves no state the next run can observe.
+    pub fn try_lru_packed(
+        &mut self,
+        packed: &[u64],
+        horizon: usize,
+        token: &CancelToken,
+    ) -> Result<MissCurve, AnalysisError> {
+        self.lru_by(packed.len(), horizon, packed_at(packed), Some(token))
     }
 
     /// OPT (Belady MIN) miss curve of a trace, exact for capacities
     /// `1..=horizon` — bitwise [`BeladySim`](crate::BeladySim)'s loads.
     pub fn opt(&mut self, trace: &[Access], horizon: usize) -> MissCurve {
-        self.opt_by(trace.len(), horizon, |t| {
-            let a = trace[t];
-            (a.cell, a.write)
-        })
+        ungoverned(self.opt_by(
+            trace.len(),
+            horizon,
+            |t| {
+                let a = trace[t];
+                (a.cell, a.write)
+            },
+            None,
+        ))
     }
 
     /// [`opt`](CurveEngine::opt) on a packed trace (`(cell << 1) | write`).
     pub fn opt_packed(&mut self, packed: &[u64], horizon: usize) -> MissCurve {
-        self.opt_by(packed.len(), horizon, |t| {
-            let p = packed[t];
-            ((p >> 1) as usize, (p & 1) == 1)
-        })
+        ungoverned(self.opt_by(packed.len(), horizon, packed_at(packed), None))
+    }
+
+    /// Governed [`opt_packed`](CurveEngine::opt_packed): polls `token` at
+    /// [`Seam::OptPass`] every 4096 positions (and at position 0); see
+    /// [`try_lru_packed`](CurveEngine::try_lru_packed) for the reuse
+    /// guarantee after an interrupted pass.
+    pub fn try_opt_packed(
+        &mut self,
+        packed: &[u64],
+        horizon: usize,
+        token: &CancelToken,
+    ) -> Result<MissCurve, AnalysisError> {
+        self.opt_by(packed.len(), horizon, packed_at(packed), Some(token))
     }
 
     /// LRU stack distances: the distance of an access is one plus the
@@ -219,7 +251,8 @@ impl CurveEngine {
         len: usize,
         horizon: usize,
         at: impl Fn(usize) -> (usize, bool),
-    ) -> MissCurve {
+        token: Option<&CancelToken>,
+    ) -> Result<MissCurve, AnalysisError> {
         assert!(horizon >= 1, "curve horizon must be positive");
         let cells = max_cell(len, &at);
         self.bit.reset(len);
@@ -230,6 +263,11 @@ impl CurveEngine {
         let (mut cold, mut beyond) = (0u64, 0u64);
 
         for t in 0..len {
+            if t & 0xFFF == 0 {
+                if let Some(token) = token {
+                    token.check(Seam::LruPass)?;
+                }
+            }
             let (cell, write) = at(t);
             let lp = self.last_pos[cell];
             if lp == NIL {
@@ -253,7 +291,9 @@ impl CurveEngine {
             self.bit.add(t, 1);
             self.last_pos[cell] = t as u32;
         }
-        MissCurve::from_histogram(cold, beyond, &self.hist, len as u64)
+        Ok(MissCurve::from_histogram(
+            cold, beyond, &self.hist, len as u64,
+        ))
     }
 
     /// OPT stack distances: the priority stack keeps cells ordered so that
@@ -277,7 +317,8 @@ impl CurveEngine {
         len: usize,
         horizon: usize,
         at: impl Fn(usize) -> (usize, bool),
-    ) -> MissCurve {
+        token: Option<&CancelToken>,
+    ) -> Result<MissCurve, AnalysisError> {
         assert!(horizon >= 1, "curve horizon must be positive");
         let cells = thread_next_use(len, &at, &mut self.chain, &mut self.head);
         self.stack.clear();
@@ -290,6 +331,11 @@ impl CurveEngine {
         let (mut cold, mut beyond) = (0u64, 0u64);
 
         for t in 0..len {
+            if t & 0xFFF == 0 {
+                if let Some(token) = token {
+                    token.check(Seam::OptPass)?;
+                }
+            }
             let (cell, write) = at(t);
             // Priority after this access: the next-use position, except
             // that a pending overwrite (or no further use) kills the value
@@ -345,7 +391,9 @@ impl CurveEngine {
                 }
             }
         }
-        MissCurve::from_histogram(cold, beyond, &self.hist, len as u64)
+        Ok(MissCurve::from_histogram(
+            cold, beyond, &self.hist, len as u64,
+        ))
     }
 
     /// Writes `cell` with `pri` into `slot` (stack content already set by
@@ -393,6 +441,22 @@ impl CurveEngine {
         }
         (carry, carry_pri)
     }
+}
+
+/// Accessor closure over a packed trace (`(cell << 1) | write`).
+#[inline]
+fn packed_at(packed: &[u64]) -> impl Fn(usize) -> (usize, bool) + '_ {
+    |t| {
+        let p = packed[t];
+        ((p >> 1) as usize, (p & 1) == 1)
+    }
+}
+
+/// Unwraps a pass run without a token: no cancellation source exists, so
+/// the error arm is unreachable.
+#[inline]
+fn ungoverned(r: Result<MissCurve, AnalysisError>) -> MissCurve {
+    r.unwrap_or_else(|e| unreachable!("ungoverned curve pass cancelled: {e}"))
 }
 
 #[inline]

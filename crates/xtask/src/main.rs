@@ -9,6 +9,11 @@
 //! checks the same kernels; the time budget only stops *starting* further
 //! seeds when the runner is slow, it never changes what a seed generates.
 //!
+//! `xtask fuzz-smoke --inject all|panic,oom,deadline` instead runs the
+//! fault-injection matrix: every named fault class armed at every
+//! governed seam, asserting each surfaces as its typed error class with
+//! clean state afterwards — the CI proof that no fault aborts a batch.
+//!
 //! The CI bench/tightness regression gate: compares freshly generated
 //! `BENCH_pebble.json` / `BENCH_tightness.json` against the committed
 //! baselines and fails on
@@ -36,14 +41,19 @@ xtask — repo automation
 USAGE:
     xtask gate --baseline <DIR> --fresh <DIR> [--tolerance 0.02]
     xtask fuzz-smoke [--seeds 1,2,3] [--cases 200] [--max-seconds 300]
+    xtask fuzz-smoke --inject all|panic,oom,deadline
 
 `gate` diffs <DIR>/BENCH_pebble.json and <DIR>/BENCH_tightness.json between
-the two directories and exits nonzero on soundness loss, coverage loss, or
-tightness-ratio regression beyond the tolerance.
+the two directories and exits nonzero on soundness loss, coverage loss,
+tightness-ratio regression beyond the tolerance, a failed kernel row, or a
+kernel degraded below its baseline fidelity rung.
 
 `fuzz-smoke` runs the kernel-space fuzzer over a fixed seed set and exits
 nonzero on any differential-oracle violation (bounded CI job; the time
-budget caps how many seeds start, never what a seed generates).
+budget caps how many seeds start, never what a seed generates). With
+`--inject` it instead runs the fault-injection matrix (listed classes ×
+every governed seam) and exits nonzero unless every fault surfaced as its
+typed error class and left clean state behind.
 ";
 
 fn main() -> ExitCode {
@@ -75,6 +85,8 @@ struct FuzzSmokeOpts {
     seeds: Vec<u64>,
     cases: u64,
     max_seconds: u64,
+    /// Fault classes for `--inject` mode (empty = run the random oracle).
+    inject: Vec<iolb_fuzz::inject::FaultKind>,
 }
 
 fn parse_fuzz_smoke_args(args: &[String]) -> Result<FuzzSmokeOpts, String> {
@@ -82,6 +94,7 @@ fn parse_fuzz_smoke_args(args: &[String]) -> Result<FuzzSmokeOpts, String> {
         seeds: vec![1, 2, 3],
         cases: 200,
         max_seconds: 300,
+        inject: Vec::new(),
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -112,13 +125,50 @@ fn parse_fuzz_smoke_args(args: &[String]) -> Result<FuzzSmokeOpts, String> {
                     .parse()
                     .map_err(|_| "bad --max-seconds value".to_string())?;
             }
+            "--inject" => {
+                let spec = it.next().ok_or("--inject needs a class list or `all`")?;
+                opts.inject = if spec == "all" {
+                    iolb_fuzz::inject::FaultKind::ALL.to_vec()
+                } else {
+                    spec.split(',')
+                        .map(|s| {
+                            iolb_fuzz::inject::FaultKind::parse(s.trim()).ok_or_else(|| {
+                                format!("bad --inject class `{s}` (want panic|oom|deadline|all)")
+                            })
+                        })
+                        .collect::<Result<_, _>>()?
+                };
+                if opts.inject.is_empty() {
+                    return Err("--inject needs at least one class".to_string());
+                }
+            }
             other => return Err(format!("unknown argument `{other}`")),
         }
     }
     Ok(opts)
 }
 
+/// `--inject` mode: the full fault matrix instead of the random oracle.
+fn run_injection_smoke(kinds: &[iolb_fuzz::inject::FaultKind]) -> ExitCode {
+    let report = iolb_fuzz::run_injection_matrix(kinds);
+    print!("{}", report.render_table());
+    if report.all_expected() {
+        println!(
+            "injection smoke ✓ — {} cell(s): every fault surfaced as its typed class, \
+             clean state after each, zero process aborts",
+            report.outcomes.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("injection smoke ✗ — a fault escaped its class or poisoned state");
+        ExitCode::FAILURE
+    }
+}
+
 fn run_fuzz_smoke(opts: &FuzzSmokeOpts) -> ExitCode {
+    if !opts.inject.is_empty() {
+        return run_injection_smoke(&opts.inject);
+    }
     let start = std::time::Instant::now();
     let mut total_violations = 0usize;
     let mut seeds_run = 0usize;
@@ -200,8 +250,20 @@ fn parse_gate_args(args: &[String]) -> Result<(PathBuf, PathBuf, f64), String> {
 const PEBBLE_SCHEMAS: &[&str] = &[
     "hourglass-iolb/pebble-sweep/v2",
     "hourglass-iolb/pebble-sweep/v3",
+    "hourglass-iolb/pebble-sweep/v4",
 ];
-const TIGHTNESS_SCHEMAS: &[&str] = &["hourglass-iolb/tightness/v1", "hourglass-iolb/tightness/v2"];
+const TIGHTNESS_SCHEMAS: &[&str] = &[
+    "hourglass-iolb/tightness/v1",
+    "hourglass-iolb/tightness/v2",
+    "hourglass-iolb/tightness/v3",
+];
+
+/// Schemas that carry the resource-governance sections (`degradation` and
+/// `failures` arrays) introduced by pebble-sweep/v4 and tightness/v3.
+const GOVERNED_SCHEMAS: &[&str] = &[
+    "hourglass-iolb/pebble-sweep/v4",
+    "hourglass-iolb/tightness/v3",
+];
 
 fn check_schema(doc: &Value, which: &str, accepted: &[&str], violations: &mut Vec<String>) {
     match doc.get("schema").and_then(Value::str) {
@@ -213,6 +275,69 @@ fn check_schema(doc: &Value, which: &str, accepted: &[&str], violations: &mut Ve
     }
 }
 
+/// Fidelity rank of a degradation level (higher = more degraded).
+fn degradation_rank(level: &str) -> Option<u8> {
+    match level {
+        "full" => Some(0),
+        "coarse" => Some(1),
+        "bounds_only" => Some(2),
+        _ => None,
+    }
+}
+
+/// Governance-section checks for v4/v3 reports: both arrays must exist
+/// and be well-formed, any fresh failure row is a regression, and no
+/// kernel may report a fidelity rung below its baseline (absent baseline
+/// entries default to `full`).
+fn gate_governance(base: &Value, new: &Value, which: &str, violations: &mut Vec<String>) {
+    let Some(schema) = new.get("schema").and_then(Value::str) else {
+        return;
+    };
+    if !GOVERNED_SCHEMAS.contains(&schema) {
+        return;
+    }
+    for field in ["degradation", "failures"] {
+        if new.get(field).is_none() {
+            violations.push(format!(
+                "{which}: schema `{schema}` requires a `{field}` array"
+            ));
+        }
+    }
+    for row in new.get("failures").map(Value::arr).unwrap_or(&[]) {
+        let kernel = row.get("kernel").and_then(Value::str).unwrap_or("?");
+        let class = row.get("class").and_then(Value::str).unwrap_or("?");
+        let message = row.get("message").and_then(Value::str).unwrap_or("");
+        violations.push(format!(
+            "{which}: failed kernel in fresh report: {kernel} [{class}] {message}"
+        ));
+    }
+    let base_level = |kernel: &str| -> &str {
+        base.get("degradation")
+            .map(Value::arr)
+            .unwrap_or(&[])
+            .iter()
+            .find(|r| r.get("kernel").and_then(Value::str) == Some(kernel))
+            .and_then(|r| r.get("level").and_then(Value::str))
+            .unwrap_or("full")
+    };
+    for row in new.get("degradation").map(Value::arr).unwrap_or(&[]) {
+        let kernel = row.get("kernel").and_then(Value::str).unwrap_or("?");
+        let level = row.get("level").and_then(Value::str).unwrap_or("?");
+        let Some(rank) = degradation_rank(level) else {
+            violations.push(format!(
+                "{which}: {kernel}: unknown degradation level `{level}`"
+            ));
+            continue;
+        };
+        let baseline = base_level(kernel);
+        if degradation_rank(baseline).map(|b| rank > b) == Some(true) {
+            violations.push(format!(
+                "{which}: {kernel}: degraded below baseline fidelity ({baseline} → {level})"
+            ));
+        }
+    }
+}
+
 fn run_gate(baseline: &Path, fresh: &Path, tol: f64) -> ExitCode {
     let mut violations: Vec<String> = Vec::new();
     match load_pair(baseline, fresh, "BENCH_pebble.json") {
@@ -220,6 +345,7 @@ fn run_gate(baseline: &Path, fresh: &Path, tol: f64) -> ExitCode {
             check_schema(&base, "pebble baseline", PEBBLE_SCHEMAS, &mut violations);
             check_schema(&new, "pebble fresh", PEBBLE_SCHEMAS, &mut violations);
             gate_pebble(&base, &new, &mut violations);
+            gate_governance(&base, &new, "pebble", &mut violations);
         }
         Err(e) => violations.push(e),
     }
@@ -233,6 +359,7 @@ fn run_gate(baseline: &Path, fresh: &Path, tol: f64) -> ExitCode {
             );
             check_schema(&new, "tightness fresh", TIGHTNESS_SCHEMAS, &mut violations);
             gate_tightness(&base, &new, tol, &mut violations);
+            gate_governance(&base, &new, "tightness", &mut violations);
         }
         Err(e) => violations.push(e),
     }
@@ -440,6 +567,85 @@ mod tests {
         assert_eq!(v.len(), 2, "{v:?}");
         assert!(v[0].contains("unknown schema"));
         assert!(v[1].contains("missing"));
+    }
+
+    fn governed(degradation: &str, failures: &str) -> Value {
+        json::parse(&format!(
+            r#"{{"schema": "hourglass-iolb/pebble-sweep/v4", "meta": {{"threads": 1, "total_wall_ms": 1.0}}, "degradation": [{degradation}], "failures": [{failures}], "rows": []}}"#
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn governance_gate_passes_a_clean_governed_report() {
+        let doc = governed(r#"{"kernel": "a", "level": "full"}"#, "");
+        let mut v = Vec::new();
+        gate_governance(&doc, &doc, "pebble", &mut v);
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn governance_gate_flags_failures_missing_fields_and_degradation() {
+        let clean = governed(r#"{"kernel": "a", "level": "full"}"#, "");
+
+        // A fresh failure row is a regression.
+        let failed = governed(
+            r#"{"kernel": "a", "level": "full"}"#,
+            r#"{"kernel": "b", "class": "internal", "message": "boom"}"#,
+        );
+        let mut v = Vec::new();
+        gate_governance(&clean, &failed, "pebble", &mut v);
+        assert!(
+            v.iter()
+                .any(|m| m.contains("failed kernel") && m.contains("[internal]")),
+            "{v:?}"
+        );
+
+        // Degrading below the baseline rung is a regression; matching or
+        // improving on it is not.
+        let coarse = governed(r#"{"kernel": "a", "level": "coarse"}"#, "");
+        let mut v = Vec::new();
+        gate_governance(&clean, &coarse, "pebble", &mut v);
+        assert!(
+            v.iter().any(|m| m.contains("degraded below baseline")),
+            "{v:?}"
+        );
+        let mut v = Vec::new();
+        gate_governance(&coarse, &coarse, "pebble", &mut v);
+        assert!(v.is_empty(), "same rung as baseline: {v:?}");
+        let mut v = Vec::new();
+        gate_governance(&coarse, &clean, "pebble", &mut v);
+        assert!(v.is_empty(), "improved rung: {v:?}");
+
+        // Unknown levels and missing sections are schema violations.
+        let bogus = governed(r#"{"kernel": "a", "level": "mystery"}"#, "");
+        let mut v = Vec::new();
+        gate_governance(&clean, &bogus, "pebble", &mut v);
+        assert!(
+            v.iter().any(|m| m.contains("unknown degradation level")),
+            "{v:?}"
+        );
+        let bare =
+            json::parse(r#"{"schema": "hourglass-iolb/pebble-sweep/v4", "rows": []}"#).unwrap();
+        let mut v = Vec::new();
+        gate_governance(&clean, &bare, "pebble", &mut v);
+        assert_eq!(v.len(), 2, "both governance arrays required: {v:?}");
+
+        // Pre-governance schemas are exempt.
+        let v3 =
+            json::parse(r#"{"schema": "hourglass-iolb/pebble-sweep/v3", "rows": []}"#).unwrap();
+        let mut v = Vec::new();
+        gate_governance(&clean, &v3, "pebble", &mut v);
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn fuzz_smoke_inject_args_parse() {
+        let opts = parse_fuzz_smoke_args(&["--inject".into(), "all".into()]).unwrap();
+        assert_eq!(opts.inject.len(), 3);
+        let opts = parse_fuzz_smoke_args(&["--inject".into(), "panic,deadline".into()]).unwrap();
+        assert_eq!(opts.inject.len(), 2);
+        assert!(parse_fuzz_smoke_args(&["--inject".into(), "nonsense".into()]).is_err());
     }
 
     #[test]
