@@ -1,0 +1,114 @@
+//! The `iolb fuzz` subcommand: the random-kernel differential oracle and
+//! the fault-injection matrix.
+
+use crate::opts::{FuzzOptions, USAGE};
+use iolb_core::govern::{Fault, FaultKind};
+use std::path::Path;
+use std::process::ExitCode;
+
+/// Runs the fault-injection matrix named by `spec` (`all`, a class name,
+/// or `CLASS@SEAM`) and prints the outcome table. Exit codes: 0 every
+/// cell surfaced its typed class and left clean state, 1 otherwise, 2
+/// bad spec.
+pub fn run_inject_cmd(spec: &str) -> ExitCode {
+    let report = if spec == "all" {
+        iolb_fuzz::run_injection_matrix(&FaultKind::ALL)
+    } else if let Some(kind) = FaultKind::parse(spec) {
+        iolb_fuzz::run_injection_matrix(&[kind])
+    } else if let Some(fault) = Fault::parse(spec) {
+        iolb_fuzz::inject::InjectionReport {
+            outcomes: vec![iolb_fuzz::run_injection(fault)],
+        }
+    } else {
+        eprintln!(
+            "bad --inject spec `{spec}` (want all, panic|oom|deadline, or CLASS@SEAM)\n\n{USAGE}"
+        );
+        return ExitCode::from(2);
+    };
+    print!("{}", report.render_table());
+    if report.all_expected() {
+        println!(
+            "injection clean ✓ — {} cell(s) surfaced their typed class, no process aborts",
+            report.outcomes.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("injection FAILED — a fault escaped its class or poisoned state");
+        ExitCode::from(1)
+    }
+}
+
+/// Runs the fuzzer and reports. Exit codes: 0 clean, 1 violations found,
+/// 2 usage/IO errors.
+pub fn run_fuzz_cmd(opts: &FuzzOptions) -> ExitCode {
+    if let Some(spec) = &opts.inject {
+        return run_inject_cmd(spec);
+    }
+    let mut config = iolb_fuzz::FuzzConfig::new(opts.seed, opts.cases);
+    config.max_dims = opts.max_dims;
+    let report = iolb_fuzz::run_fuzz(&config);
+    println!(
+        "fuzz seed={} cases={} max-dims={}: {} violation(s); {} certified instances, \
+         {} classical bounds, {} hourglass bounds, {} analysis-declined, {} tiled",
+        report.config.seed,
+        report.config.cases,
+        report.config.max_dims,
+        report.failures.len(),
+        report.stats.instances,
+        report.stats.classical,
+        report.stats.hourglass,
+        report.stats.analysis_skipped,
+        report.stats.tiled
+    );
+    for f in &report.failures {
+        eprintln!(
+            "VIOLATION case {}: [{}] {}\nminimized reproducer ({} stmt(s)):\n{}",
+            f.case_index, f.violation.invariant, f.violation.detail, f.minimized_stmts, f.minimized
+        );
+    }
+    if let Some(dir) = &opts.corpus {
+        if let Err(e) = write_corpus(dir, &report) {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    }
+    if let Some(path) = &opts.json {
+        if let Err(e) = std::fs::write(path, iolb_fuzz::fuzz_report_json(&report)) {
+            eprintln!("writing {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+        println!("wrote {}", path.display());
+    }
+    if report.failures.is_empty() {
+        println!("fuzz clean ✓ — every generated kernel passed the differential oracle");
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}
+
+/// Writes every minimized reproducer as a replayable corpus file, headed
+/// by the exact command that regenerates it.
+fn write_corpus(dir: &Path, report: &iolb_fuzz::FuzzReport) -> Result<(), String> {
+    std::fs::create_dir_all(dir).map_err(|e| format!("creating {}: {e}", dir.display()))?;
+    for f in &report.failures {
+        let path = dir.join(format!(
+            "fz{}_{}_{}.iolb",
+            report.config.seed, f.case_index, f.violation.invariant
+        ));
+        let text = format!(
+            "# Minimized reproducer: `iolb fuzz --seed {} --cases {} --max-dims {}` case {}.\n\
+             # Violated invariant: {} — {}\n{}",
+            report.config.seed,
+            report.config.cases,
+            report.config.max_dims,
+            f.case_index,
+            f.violation.invariant,
+            f.violation.detail.replace('\n', " "),
+            f.minimized
+        );
+        std::fs::write(&path, text).map_err(|e| format!("writing {}: {e}", path.display()))?;
+        println!("wrote {}", path.display());
+    }
+    Ok(())
+}

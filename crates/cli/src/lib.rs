@@ -1,19 +1,18 @@
 //! `iolb` — the end-to-end I/O lower-bound pipeline on textual kernels.
 //! (Library half: the `iolb` binary is a thin wrapper around [`run`].)
 //!
-//! For every `.iolb` file: parse → admission control (symbolic cost
-//! pre-estimation against the resource budget) → access-consistency
-//! certification → φ-set extraction → classical σ-bound → hourglass
-//! detect / certify / derive (§3–4, with §5.3 splitting) → exact CDAG →
-//! MIN/LRU miss-curve validation over a dense S grid (one stack-distance
-//! pass per policy prices every grid point) → tightness measurement (the
-//! best blocked upper-bound schedule from the file's `schedule { tile … }`
-//! directives, auto-tuned over tile sizes, vs the derived lower bound).
-//! Files are processed in parallel (rayon); per-file output is buffered
-//! and printed in input order. A failing kernel never takes the batch
-//! down: each file runs behind a panic-isolation boundary and failures
-//! become structured per-kernel rows in the JSON reports while every
-//! unaffected kernel still completes.
+//! This crate is a *front-end*: option parsing lives in [`opts`], human
+//! rendering in [`render`], and the pipeline itself — parse → admission
+//! control → access-consistency certification → φ-set extraction →
+//! classical σ-bound → hourglass detect / certify / derive (§3–4, with
+//! §5.3 splitting) → exact CDAG → MIN/LRU miss-curve validation →
+//! tightness measurement — in the `iolb_service` crate, shared with the
+//! `iolbd` daemon. Files are processed in parallel (rayon) through one
+//! shared [`Pipeline`]; per-file output is buffered and printed in input
+//! order. A failing kernel never takes the batch down: each file runs
+//! behind a panic-isolation boundary and failures become structured
+//! per-kernel rows in the JSON reports while every unaffected kernel
+//! still completes.
 //!
 //! Exit codes: `0` all kernels validated sound, `1` an unsound cell,
 //! then one stable code per [`AnalysisError`] class — `2` parse/usage,
@@ -23,223 +22,23 @@
 
 #![deny(clippy::unwrap_used, clippy::expect_used)]
 
-use iolb_bench::sweep::{
-    coarse_s_offsets, sweep_report_json, try_run_sweep, DegradationRow, FailureRow, SweepKernel,
-    SweepReport,
-};
-use iolb_bench::tightness::{
-    tightness_report_json, try_run_tightness, KernelTightness, TightnessJob, TightnessReport,
-};
-use iolb_core::govern::{
-    catch_analysis_mut, AnalysisError, Budget, CancelToken, Degradation, Fault, FaultKind,
-};
-use iolb_core::hourglass;
-use iolb_core::report::{
-    derive_with_split, observation_sizes, render_tightness_points, SplitBinding,
-};
-use iolb_core::Analysis;
-use iolb_ir::parse::{parse_kernel, print_kernel, KernelFile, ParamExpr, TileDirective};
-use iolb_ir::Program;
-use iolb_symbolic::Var;
+pub mod builtin;
+pub mod fuzzcmd;
+pub mod opts;
+pub mod render;
+
+pub use builtin::{builtin_kernels, emit_builtin, BuiltinKernel};
+pub use fuzzcmd::{run_fuzz_cmd, run_inject_cmd};
+pub use opts::{parse_args, parse_fuzz_args, FuzzOptions, Options, USAGE};
+pub use render::render_outcome;
+
+use iolb_bench::sweep::{sweep_report_json, DegradationRow, FailureRow, SweepReport};
+use iolb_bench::tightness::{tightness_report_json, KernelTightness, TightnessReport};
+use iolb_core::govern::{catch_analysis_mut, AnalysisError, CancelToken, Degradation};
+use iolb_service::{AnalysisOptions, Pipeline};
 use rayon::prelude::*;
-use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
-
-/// CLI usage text.
-pub const USAGE: &str = "\
-iolb — I/O lower bounds for affine kernels (hourglass-tightened)
-
-USAGE:
-    iolb [OPTIONS] <FILE.iolb>...
-    iolb emit-builtin <DIR>      regenerate the built-in paper kernels as .iolb files
-    iolb fuzz --seed <N> --cases <N> [--max-dims <D>] [--json PATH] [--corpus DIR]
-                                 generate random kernels and run the differential
-                                 soundness oracle on each (seed is required: runs are
-                                 reproducible from it alone, never from wall-clock)
-    iolb fuzz --inject <SPEC>    fault-injection smoke: SPEC is `panic`, `oom`,
-                                 `deadline` (one class across every governed seam),
-                                 `all` (the full matrix), or `CLASS@SEAM` for one
-                                 cell; exits 0 iff every fault surfaced as its
-                                 typed error class and left clean state behind
-
-OPTIONS:
-    --params M=64,N=32    override the file's `default` parameter values
-    --stmt NAME           override the file's `analyze` statement
-    --s-grid 0,4,16,...   offsets added to the minimum feasible S, or a preset:
-                          `dense` (~32 log-spaced points, the default — one
-                          stack-distance pass prices the whole grid) or
-                          `coarse` (the legacy 0,4,16,64,256)
-    --json PATH           write the validation matrix as JSON
-    --tightness-json PATH write the tightness report (lower vs measured upper bounds) as JSON
-    --no-tightness        skip the upper-bound schedule measurement
-    --derive-only         skip the pebble-game validation (bounds only)
-    -h, --help            this text
-
-RESOURCE GOVERNANCE (admission control refuses or down-scopes a kernel
-before materializing anything; all ceilings default to unlimited):
-    --max-instances N     ceiling on dynamic statement instances
-    --max-cdag-nodes N    ceiling on CDAG vertices
-    --max-cdag-edges N    ceiling on CDAG edges
-    --max-trace N         ceiling on the packed trace length (accesses)
-    --max-arena-bytes N   ceiling on peak transient arena bytes
-    --max-work N          ceiling on curve work (trace × S-grid points);
-                          over-work kernels degrade: dense grid → coarse
-                          grid (tightness skipped) → symbolic bounds only,
-                          recorded per kernel in the report `degradation`
-    --deadline-ms N       wall-clock deadline, polled at every governed seam
-    --no-degrade          refuse (exit 4) instead of degrading
-    --inject CLASS@SEAM   testing: arm a one-shot fault on the first file
-
-EXIT CODES:
-    0 sound   1 unsound cell   2 parse/usage   3 refused
-    4 budget exceeded   5 deadline   6 cancelled   7 internal
-";
-
-/// Parsed command-line options.
-#[derive(Debug)]
-pub struct Options {
-    /// `.iolb` files to process.
-    pub files: Vec<PathBuf>,
-    /// `--params` overrides.
-    pub params_override: Vec<(String, i64)>,
-    /// `--stmt` override.
-    pub stmt_override: Option<String>,
-    /// `--s-grid` offsets.
-    pub s_offsets: Vec<usize>,
-    /// `--json` output path.
-    pub json: Option<PathBuf>,
-    /// `--tightness-json` output path.
-    pub tightness_json: Option<PathBuf>,
-    /// `--no-tightness` flag.
-    pub no_tightness: bool,
-    /// `--derive-only` flag.
-    pub derive_only: bool,
-    /// Resource budget from the `--max-*` / `--deadline-ms` flags.
-    pub budget: Budget,
-    /// `--no-degrade`: refuse instead of down-scoping.
-    pub no_degrade: bool,
-    /// `--inject`: one-shot fault armed on the batch's first file.
-    pub inject: Option<Fault>,
-}
-
-/// Parses the next argument of `flag` as a `u64` ceiling.
-fn parse_ceiling(it: &mut std::slice::Iter<'_, String>, flag: &str) -> Result<u64, String> {
-    it.next()
-        .ok_or_else(|| format!("{flag} needs a value"))?
-        .trim()
-        .parse()
-        .map_err(|_| format!("bad {flag} value (want a non-negative integer)"))
-}
-
-/// Parses command-line arguments (everything after the binary name).
-///
-/// # Errors
-/// Returns usage/diagnostic text to print.
-pub fn parse_args(args: &[String]) -> Result<Options, String> {
-    let mut o = Options {
-        files: Vec::new(),
-        params_override: Vec::new(),
-        stmt_override: None,
-        s_offsets: iolb_bench::sweep::dense_s_offsets(),
-        json: None,
-        tightness_json: None,
-        no_tightness: false,
-        derive_only: false,
-        budget: Budget::unlimited(),
-        no_degrade: false,
-        inject: None,
-    };
-    let mut it = args.iter();
-    while let Some(a) = it.next() {
-        match a.as_str() {
-            "--params" => {
-                let v = it.next().ok_or("--params needs a value")?;
-                for kv in v.split(',') {
-                    let (k, val) = kv
-                        .split_once('=')
-                        .ok_or_else(|| format!("bad --params entry `{kv}` (want NAME=INT)"))?;
-                    let val: i64 = val
-                        .trim()
-                        .parse()
-                        .map_err(|_| format!("bad integer in --params entry `{kv}`"))?;
-                    o.params_override.push((k.trim().to_string(), val));
-                }
-            }
-            "--stmt" => {
-                o.stmt_override = Some(it.next().ok_or("--stmt needs a value")?.clone());
-            }
-            "--s-grid" => {
-                let v = it.next().ok_or("--s-grid needs a value")?;
-                o.s_offsets = match v.trim() {
-                    "dense" => iolb_bench::sweep::dense_s_offsets(),
-                    "coarse" => iolb_bench::sweep::coarse_s_offsets(),
-                    list => list
-                        .split(',')
-                        .map(|x| x.trim().parse::<usize>())
-                        .collect::<Result<_, _>>()
-                        .map_err(|_| format!("bad --s-grid list `{v}`"))?,
-                };
-                if o.s_offsets.is_empty() {
-                    return Err("--s-grid needs at least one offset".to_string());
-                }
-            }
-            "--json" => {
-                o.json = Some(PathBuf::from(it.next().ok_or("--json needs a path")?));
-            }
-            "--tightness-json" => {
-                o.tightness_json = Some(PathBuf::from(
-                    it.next().ok_or("--tightness-json needs a path")?,
-                ));
-            }
-            "--no-tightness" => o.no_tightness = true,
-            "--derive-only" => o.derive_only = true,
-            "--max-instances" => o.budget.max_instances = parse_ceiling(&mut it, a)?,
-            "--max-cdag-nodes" => o.budget.max_cdag_nodes = parse_ceiling(&mut it, a)?,
-            "--max-cdag-edges" => o.budget.max_cdag_edges = parse_ceiling(&mut it, a)?,
-            "--max-trace" => o.budget.max_trace_len = parse_ceiling(&mut it, a)?,
-            "--max-arena-bytes" => o.budget.max_arena_bytes = parse_ceiling(&mut it, a)?,
-            "--max-work" => o.budget.max_work = parse_ceiling(&mut it, a)?,
-            "--deadline-ms" => o.budget.deadline_ms = parse_ceiling(&mut it, a)?,
-            "--no-degrade" => o.no_degrade = true,
-            "--inject" => {
-                let v = it.next().ok_or("--inject needs CLASS or CLASS@SEAM")?;
-                o.inject = Some(Fault::parse(v).ok_or_else(|| {
-                    format!(
-                        "bad --inject spec `{v}` (want panic|oom|deadline, \
-                         optionally @admission|instances|cdag_fill|lru_pass|opt_pass|tuner)"
-                    )
-                })?);
-            }
-            "-h" | "--help" => return Err(USAGE.to_string()),
-            other if other.starts_with('-') => {
-                return Err(format!("unknown option `{other}`\n\n{USAGE}"))
-            }
-            file => o.files.push(PathBuf::from(file)),
-        }
-    }
-    if o.files.is_empty() {
-        return Err(USAGE.to_string());
-    }
-    if o.derive_only && o.json.is_some() {
-        return Err(
-            "--derive-only skips validation, so --json would write an empty report; \
-             drop one of the two flags"
-                .to_string(),
-        );
-    }
-    if o.derive_only && o.tightness_json.is_some() {
-        return Err(
-            "--derive-only skips validation, so --tightness-json would write an empty report; \
-             drop one of the two flags"
-                .to_string(),
-        );
-    }
-    if o.no_tightness && o.tightness_json.is_some() {
-        return Err("--no-tightness contradicts --tightness-json".to_string());
-    }
-    Ok(o)
-}
 
 /// Everything one `.iolb` file produced: buffered human-readable output
 /// plus the machine-readable reports.
@@ -297,23 +96,26 @@ pub fn run_with_code(args: &[String]) -> u8 {
         }
     };
 
-    // Every file runs through the full pipeline concurrently, behind a
-    // per-file panic-isolation boundary; output is buffered per file and
-    // printed in input order below. The `--inject` fault (if any) is
-    // armed on the first file only, so the rest of the batch doubles as
-    // the blast-radius control.
+    // Every file runs through the full service pipeline concurrently,
+    // behind a per-file panic-isolation boundary; output is buffered per
+    // file and printed in input order below. One shared `Pipeline` means
+    // duplicate kernel texts in a batch are analyzed once. The `--inject`
+    // fault (if any) is armed on the first file only, so the rest of the
+    // batch doubles as the blast-radius control.
+    let pipeline = Pipeline::new();
     let t_batch = std::time::Instant::now();
     let indexed: Vec<(usize, PathBuf)> = opts.files.iter().cloned().enumerate().collect();
+    let base_aopts = opts.analysis_options();
     let results: Vec<(PathBuf, Result<FileOutcome, AnalysisError>)> = indexed
         .into_par_iter()
         .map(|(i, file)| {
-            let token = match opts.inject {
-                Some(fault) if i == 0 => CancelToken::with_fault(fault),
-                _ => opts.budget.token(),
-            };
+            let mut aopts = base_aopts.clone();
+            if i == 0 {
+                aopts.inject = opts.inject;
+            }
             // Panics are mapped to `Internal` *inside* the worker so the
             // payload survives the thread boundary.
-            let res = catch_analysis_mut(|| run_file_with(&file, &opts, &token));
+            let res = catch_analysis_mut(|| run_file_on(&pipeline, &file, &aopts));
             (file, res)
         })
         .collect();
@@ -416,15 +218,18 @@ pub fn run_with_code(args: &[String]) -> u8 {
 }
 
 /// [`run_file_with`] on the options' own budget token — the entry point
-/// for single-file callers that do not inject faults or share a token
+/// for single-file callers that do not inject faults or share a pipeline
 /// across a batch.
+///
+/// # Errors
+/// Every failure is a typed [`AnalysisError`].
 pub fn run_file(file: &Path, opts: &Options) -> Result<FileOutcome, AnalysisError> {
     run_file_with(file, opts, &opts.budget.token())
 }
 
-/// Parses, admits, analyzes, and (unless down-scoped) pebble-validates
-/// plus tightness-measures one file under the given budget and token. All
-/// human-readable output is buffered on the returned outcome.
+/// Analyzes one file through a fresh service pipeline under the given
+/// budget and token. All human-readable output is buffered on the
+/// returned outcome.
 ///
 /// # Errors
 /// Every failure is a typed [`AnalysisError`]: unreadable/unparsable
@@ -436,589 +241,41 @@ pub fn run_file_with(
     opts: &Options,
     token: &CancelToken,
 ) -> Result<FileOutcome, AnalysisError> {
-    let src = std::fs::read_to_string(file)
-        .map_err(|e| AnalysisError::Parse(format!("cannot read: {e}")))?;
-    let kernel = parse_kernel(&src).map_err(|e| AnalysisError::Parse(e.to_string()))?;
-    let program = &kernel.program;
-    let mut out = String::new();
-    let _ = writeln!(out, "── {} ({})", program.name, file.display());
-
-    let params = resolve_params(&kernel, &opts.params_override).map_err(AnalysisError::Refused)?;
-    let named: Vec<(String, i64)> = program.params.iter().cloned().zip(params.clone()).collect();
-    let _ = writeln!(
-        out,
-        "   params: {}",
-        named
-            .iter()
-            .map(|(n, v)| format!("{n}={v}"))
-            .collect::<Vec<_>>()
-            .join(", ")
-    );
-
-    // 1. Admission control: estimate every size-like resource from the
-    // symbolic loop bounds and refuse before materializing anything; the
-    // work budget then picks the degradation rung (dense grid → coarse
-    // grid → symbolic bounds only).
-    let estimate = iolb_ir::admission::estimate(program, &params, &opts.budget, token)?;
-    estimate.check(&opts.budget)?;
-    let degradation = estimate.degradation(
-        &opts.budget,
-        opts.s_offsets.len() as u64,
-        coarse_s_offsets().len() as u64,
-    );
-    if opts.no_degrade && degradation != Degradation::Full {
-        return Err(AnalysisError::BudgetExceeded {
-            resource: "work",
-            needed: estimate
-                .trace_len
-                .saturating_mul(opts.s_offsets.len() as u64),
-            limit: opts.budget.max_work,
-        });
-    }
-
-    // 2. The synthesized semantics must perform exactly the declared
-    // accesses (the certification that lets everything downstream trust
-    // the declared affine structure).
-    let certified = iolb_ir::interp::validate_accesses(program, &params)
-        .map_err(|e| AnalysisError::Refused(format!("access certification failed: {e}")))?;
-    let _ = writeln!(out, "   access-certified {certified} statement instances");
-
-    // 3. Statement under analysis: --stmt, else the `analyze` directive,
-    // else the deepest (latest) statement.
-    let stmt_name = opts
-        .stmt_override
-        .clone()
-        .or_else(|| kernel.analyze.clone())
-        .unwrap_or_else(|| deepest_stmt(program));
-    let stmt = program
-        .stmt_id(&stmt_name)
-        .ok_or_else(|| AnalysisError::Refused(format!("no statement named {stmt_name}")))?;
-
-    // 4. Dependence analysis + bounds at small observation sizes.
-    let observe = observation_sizes(&params);
-    let analysis = Analysis::run(program, &observe)
-        .map_err(|e| AnalysisError::Refused(format!("analysis: {e}")))?;
-    let classical = analysis.try_classical_bound(stmt);
-    match &classical {
-        Some(b) => {
-            let _ = writeln!(out, "   classical: σ={} m={} → {}", b.sigma, b.m, b.expr);
-        }
-        None => {
-            let _ = writeln!(out, "   classical: no covering projection set (no σ-bound)");
-        }
-    }
-
-    let split_binding = dsl_split_binding(&kernel);
-    let pattern = analysis.detect_hourglass(stmt);
-    let (hourglass, applied_binding) = match &pattern {
-        Some(pat) => {
-            let checked = hourglass::certify(program, pat, &observe[0])
-                .map_err(|e| AnalysisError::Refused(format!("hourglass certification: {e}")))?;
-            // The same split decision `run_sweep` makes (shared helper +
-            // identical observation sizes), so the printed derivation and
-            // the validated bound cannot diverge.
-            let (b, applied) = derive_with_split(program, pat, split_binding.clone())
-                .map_err(AnalysisError::Refused)?;
-            if let Some(binding) = &applied {
-                let _ = writeln!(
-                    out,
-                    "   split: {} = {} (§5.3)",
-                    binding.var.name(),
-                    binding.expr
-                );
-            }
-            let _ = writeln!(
-                out,
-                "   hourglass on {stmt_name}: certified {checked} chains, W∈[{}, {}] → {}",
-                b.w_min, b.w_max, b.main_tool
-            );
-            (Some(b), applied)
-        }
-        None => {
-            let _ = writeln!(out, "   hourglass: no pattern on {stmt_name}");
-            (None, None)
-        }
-    };
-
-    if opts.derive_only || degradation == Degradation::BoundsOnly {
-        if degradation == Degradation::BoundsOnly && !opts.derive_only {
-            let _ = writeln!(
-                out,
-                "   degraded: symbolic bounds only (work {} exceeds budget {})",
-                estimate
-                    .trace_len
-                    .saturating_mul(opts.s_offsets.len() as u64),
-                opts.budget.max_work
-            );
-        }
-        let _ = writeln!(out);
-        return Ok(FileOutcome {
-            name: program.name.clone(),
-            output: out,
-            report: None,
-            tightness: None,
-            sound: true,
-            degradation,
-        });
-    }
-    let s_offsets = match degradation {
-        Degradation::Coarse => {
-            let coarse = coarse_s_offsets();
-            let _ = writeln!(
-                out,
-                "   degraded: coarse {}-point S grid, tightness skipped (work budget {})",
-                coarse.len(),
-                opts.budget.max_work
-            );
-            coarse
-        }
-        _ => opts.s_offsets.clone(),
-    };
-
-    // 5. Exact CDAG + MIN/LRU miss-curve validation over the S grid.
-    let sweep = SweepKernel {
-        name: program.name.clone(),
-        program: reparse(&src)?,
-        stmt: stmt_name,
-        params: params.clone(),
-        split: split_binding,
-        s_offsets: s_offsets.clone(),
-    };
-    let mut report = try_run_sweep(vec![sweep], &opts.budget, token)?;
-    for row in &mut report.degradation {
-        row.level = degradation;
-    }
-    let _ = write!(out, "{}", iolb_bench::sweep::render_sweep_table(&report));
-    let mut sound = true;
-    for r in &report.rows {
-        if !r.sound() {
-            let _ = writeln!(
-                out,
-                "   UNSOUND: S={} {:?}: bound {} exceeds play loads {}",
-                r.s,
-                r.policy,
-                r.lb(),
-                r.loads
-            );
-            sound = false;
-        }
-    }
-
-    // 6. Tightness: the best measured blocked upper bound per S (the
-    // file's `schedule` directives swept by the auto-tuner) vs the bound.
-    // Skipped below `Full`: the tuner is the most work-hungry stage.
-    let tightness = if opts.no_tightness || degradation != Degradation::Full {
-        None
-    } else {
-        let mut env: Vec<(Var, i128)> = named
-            .iter()
-            .map(|(n, v)| (Var::new(n), *v as i128))
-            .collect();
-        if let Some(b) = &applied_binding {
-            env.push((b.var, b.eval(&named)));
-        }
-        let job = TightnessJob {
-            name: program.name.clone(),
-            program: reparse(&src)?,
-            params: params.clone(),
-            env,
-            classical,
-            hourglass,
-            schedule: kernel.schedule.clone(),
-            s_offsets,
-        };
-        let tightness_report = try_run_tightness(vec![job], &opts.budget, token)?;
-        let k =
-            tightness_report.kernels.into_iter().next().ok_or_else(|| {
-                AnalysisError::Internal("tightness produced no kernel".to_string())
-            })?;
-        let _ = write!(out, "{}", render_tightness_points(&k.kernel, &k.points));
-        Some(k)
-    };
-
-    let _ = writeln!(out);
-    Ok(FileOutcome {
-        name: program.name.clone(),
-        output: out,
-        report: Some(report),
-        tightness,
-        sound,
-        degradation,
-    })
+    let pipeline = Pipeline::new();
+    let mut aopts = opts.analysis_options();
+    aopts.inject = opts.inject;
+    let src = read_kernel(file)?;
+    let answer = pipeline.analyze_with_token(&src, &aopts, token)?;
+    Ok(file_outcome(&answer.outcome, file, aopts.derive_only))
 }
 
-/// Concrete parameter values: CLI override wins over the `default`
-/// directive, which must cover everything else. Override entries naming no
-/// program parameter are an error, not a silent no-op.
-fn resolve_params(kernel: &KernelFile, over: &[(String, i64)]) -> Result<Vec<i64>, String> {
-    for (n, _) in over {
-        if !kernel.program.params.contains(n) {
-            return Err(format!(
-                "--params names unknown parameter {n} (kernel has: {})",
-                kernel.program.params.join(", ")
-            ));
-        }
-    }
-    kernel
-        .program
-        .params
-        .iter()
-        .map(|p| {
-            over.iter()
-                .find(|(n, _)| n == p)
-                .map(|(_, v)| *v)
-                .or_else(|| {
-                    kernel
-                        .defaults
-                        .iter()
-                        .find(|(n, _)| n == p)
-                        .map(|(_, v)| *v)
-                })
-                .ok_or_else(|| {
-                    format!("parameter {p} has no `default` directive (pass --params {p}=…)")
-                })
-        })
-        .collect()
+/// One file through the batch's shared pipeline (its own token comes
+/// from the options: the injected fault when armed, else the budget).
+fn run_file_on(
+    pipeline: &Pipeline,
+    file: &Path,
+    aopts: &AnalysisOptions,
+) -> Result<FileOutcome, AnalysisError> {
+    let src = read_kernel(file)?;
+    let answer = pipeline.analyze(&src, aopts)?;
+    Ok(file_outcome(&answer.outcome, file, aopts.derive_only))
 }
 
-/// Fallback analysis target: [`Program::default_analyze_stmt`] (the
-/// deepest statement, ties → latest in schedule order).
-fn deepest_stmt(program: &Program) -> String {
-    program
-        .default_analyze_stmt()
-        .map(|id| program.stmt(id).name.clone())
-        .unwrap_or_default()
+fn read_kernel(file: &Path) -> Result<String, AnalysisError> {
+    std::fs::read_to_string(file).map_err(|e| AnalysisError::Parse(format!("cannot read: {e}")))
 }
 
-/// The DSL `split` directive as a [`SplitBinding`] on the paper's `Ms`.
-fn dsl_split_binding(kernel: &KernelFile) -> Option<SplitBinding> {
-    kernel.split.as_ref().map(|(name, expr)| SplitBinding {
-        var: iolb_symbolic::Var::new(name),
-        expr: expr.clone(),
-    })
-}
-
-/// A second, independent parse of the same source (the [`Program`] is not
-/// clonable: its statements carry closures).
-fn reparse(src: &str) -> Result<Program, AnalysisError> {
-    Ok(parse_kernel(src)
-        .map_err(|e| AnalysisError::Parse(e.to_string()))?
-        .program)
-}
-
-// ---------------------------------------------------------------------------
-// fuzz
-// ---------------------------------------------------------------------------
-
-/// Options of the `iolb fuzz` subcommand.
-#[derive(Debug)]
-pub struct FuzzOptions {
-    /// Required run seed (reproducibility flows from it alone).
-    pub seed: u64,
-    /// Number of generated cases.
-    pub cases: u64,
-    /// Maximum loop-nest depth.
-    pub max_dims: u32,
-    /// Optional JSON report path.
-    pub json: Option<PathBuf>,
-    /// Optional directory for minimized reproducers.
-    pub corpus: Option<PathBuf>,
-    /// `--inject` spec: run the fault-injection matrix instead of the
-    /// random-kernel oracle.
-    pub inject: Option<String>,
-}
-
-/// Parses `iolb fuzz` arguments. `--seed` is mandatory for the random
-/// oracle (there is no ambient-entropy fallback, so every run is
-/// replayable by construction); `--inject` mode is deterministic by
-/// itself and needs no seed.
-///
-/// # Errors
-/// Returns usage/diagnostic text to print.
-pub fn parse_fuzz_args(args: &[String]) -> Result<FuzzOptions, String> {
-    let mut seed: Option<u64> = None;
-    let mut cases: u64 = 200;
-    let mut max_dims: u32 = 4;
-    let mut json: Option<PathBuf> = None;
-    let mut corpus: Option<PathBuf> = None;
-    let mut inject: Option<String> = None;
-    let mut it = args.iter();
-    while let Some(a) = it.next() {
-        match a.as_str() {
-            "--seed" => {
-                seed = Some(
-                    it.next()
-                        .ok_or("--seed needs a value")?
-                        .parse()
-                        .map_err(|_| "bad --seed value (want u64)".to_string())?,
-                );
-            }
-            "--cases" => {
-                cases = it
-                    .next()
-                    .ok_or("--cases needs a value")?
-                    .parse()
-                    .map_err(|_| "bad --cases value".to_string())?;
-            }
-            "--max-dims" => {
-                max_dims = it
-                    .next()
-                    .ok_or("--max-dims needs a value")?
-                    .parse()
-                    .map_err(|_| "bad --max-dims value".to_string())?;
-                if !(1..=8).contains(&max_dims) {
-                    return Err("--max-dims must be in 1..=8".to_string());
-                }
-            }
-            "--json" => json = Some(PathBuf::from(it.next().ok_or("--json needs a path")?)),
-            "--corpus" => corpus = Some(PathBuf::from(it.next().ok_or("--corpus needs a dir")?)),
-            "--inject" => {
-                inject = Some(it.next().ok_or("--inject needs a fault spec")?.clone());
-            }
-            other => return Err(format!("unknown fuzz option `{other}`\n\n{USAGE}")),
-        }
+fn file_outcome(
+    outcome: &iolb_service::AnalysisOutcome,
+    file: &Path,
+    derive_only: bool,
+) -> FileOutcome {
+    FileOutcome {
+        name: outcome.name.clone(),
+        output: render_outcome(outcome, &file.display().to_string(), derive_only),
+        report: outcome.sweep.clone(),
+        tightness: outcome.tightness.clone(),
+        sound: outcome.sound,
+        degradation: outcome.degradation,
     }
-    if inject.is_none() && seed.is_none() {
-        return Err(
-            "fuzz needs --seed <N>: runs are reproducible from the seed alone \
-             (there is deliberately no wall-clock default)"
-                .to_string(),
-        );
-    }
-    Ok(FuzzOptions {
-        seed: seed.unwrap_or(0),
-        cases,
-        max_dims,
-        json,
-        corpus,
-        inject,
-    })
-}
-
-/// Runs the fault-injection matrix named by `spec` (`all`, a class name,
-/// or `CLASS@SEAM`) and prints the outcome table. Exit codes: 0 every
-/// cell surfaced its typed class and left clean state, 1 otherwise, 2
-/// bad spec.
-pub fn run_inject_cmd(spec: &str) -> ExitCode {
-    let report = if spec == "all" {
-        iolb_fuzz::run_injection_matrix(&FaultKind::ALL)
-    } else if let Some(kind) = FaultKind::parse(spec) {
-        iolb_fuzz::run_injection_matrix(&[kind])
-    } else if let Some(fault) = Fault::parse(spec) {
-        iolb_fuzz::inject::InjectionReport {
-            outcomes: vec![iolb_fuzz::run_injection(fault)],
-        }
-    } else {
-        eprintln!(
-            "bad --inject spec `{spec}` (want all, panic|oom|deadline, or CLASS@SEAM)\n\n{USAGE}"
-        );
-        return ExitCode::from(2);
-    };
-    print!("{}", report.render_table());
-    if report.all_expected() {
-        println!(
-            "injection clean ✓ — {} cell(s) surfaced their typed class, no process aborts",
-            report.outcomes.len()
-        );
-        ExitCode::SUCCESS
-    } else {
-        eprintln!("injection FAILED — a fault escaped its class or poisoned state");
-        ExitCode::from(1)
-    }
-}
-
-/// Runs the fuzzer and reports. Exit codes: 0 clean, 1 violations found,
-/// 2 usage/IO errors.
-pub fn run_fuzz_cmd(opts: &FuzzOptions) -> ExitCode {
-    if let Some(spec) = &opts.inject {
-        return run_inject_cmd(spec);
-    }
-    let mut config = iolb_fuzz::FuzzConfig::new(opts.seed, opts.cases);
-    config.max_dims = opts.max_dims;
-    let report = iolb_fuzz::run_fuzz(&config);
-    println!(
-        "fuzz seed={} cases={} max-dims={}: {} violation(s); {} certified instances, \
-         {} classical bounds, {} hourglass bounds, {} analysis-declined, {} tiled",
-        report.config.seed,
-        report.config.cases,
-        report.config.max_dims,
-        report.failures.len(),
-        report.stats.instances,
-        report.stats.classical,
-        report.stats.hourglass,
-        report.stats.analysis_skipped,
-        report.stats.tiled
-    );
-    for f in &report.failures {
-        eprintln!(
-            "VIOLATION case {}: [{}] {}\nminimized reproducer ({} stmt(s)):\n{}",
-            f.case_index, f.violation.invariant, f.violation.detail, f.minimized_stmts, f.minimized
-        );
-    }
-    if let Some(dir) = &opts.corpus {
-        if let Err(e) = write_corpus(dir, &report) {
-            eprintln!("{e}");
-            return ExitCode::from(2);
-        }
-    }
-    if let Some(path) = &opts.json {
-        if let Err(e) = std::fs::write(path, iolb_fuzz::fuzz_report_json(&report)) {
-            eprintln!("writing {}: {e}", path.display());
-            return ExitCode::from(2);
-        }
-        println!("wrote {}", path.display());
-    }
-    if report.failures.is_empty() {
-        println!("fuzz clean ✓ — every generated kernel passed the differential oracle");
-        ExitCode::SUCCESS
-    } else {
-        ExitCode::from(1)
-    }
-}
-
-/// Writes every minimized reproducer as a replayable corpus file, headed
-/// by the exact command that regenerates it.
-fn write_corpus(dir: &Path, report: &iolb_fuzz::FuzzReport) -> Result<(), String> {
-    std::fs::create_dir_all(dir).map_err(|e| format!("creating {}: {e}", dir.display()))?;
-    for f in &report.failures {
-        let path = dir.join(format!(
-            "fz{}_{}_{}.iolb",
-            report.config.seed, f.case_index, f.violation.invariant
-        ));
-        let text = format!(
-            "# Minimized reproducer: `iolb fuzz --seed {} --cases {} --max-dims {}` case {}.\n\
-             # Violated invariant: {} — {}\n{}",
-            report.config.seed,
-            report.config.cases,
-            report.config.max_dims,
-            f.case_index,
-            f.violation.invariant,
-            f.violation.detail.replace('\n', " "),
-            f.minimized
-        );
-        std::fs::write(&path, text).map_err(|e| format!("writing {}: {e}", path.display()))?;
-        println!("wrote {}", path.display());
-    }
-    Ok(())
-}
-
-// ---------------------------------------------------------------------------
-// emit-builtin
-// ---------------------------------------------------------------------------
-
-/// Writes the six paper kernels as `.iolb` files (the shipped `kernels/`
-/// directory is regenerated this way, so the DSL front-end and the
-/// builder-constructed originals can never drift apart silently).
-pub fn emit_builtin(dir: &Path) -> ExitCode {
-    if let Err(e) = std::fs::create_dir_all(dir) {
-        eprintln!("creating {}: {e}", dir.display());
-        return ExitCode::from(2);
-    }
-    for (program, stmt, defaults, split, schedule) in builtin_kernels() {
-        let file = KernelFile {
-            analyze: Some(stmt.to_string()),
-            defaults,
-            split,
-            schedule,
-            program,
-        };
-        let path = dir.join(format!("{}.iolb", file.program.name));
-        let text = format!(
-            "# Generated by `iolb emit-builtin` from the builder-constructed paper kernel.\n{}",
-            print_kernel(&file)
-        );
-        match iolb_ir::parse::parse_program(&text) {
-            Ok(p) => {
-                if let Some(diff) = iolb_ir::parse::structural_diff(&file.program, &p) {
-                    eprintln!("{}: round-trip mismatch: {diff}", path.display());
-                    return ExitCode::from(2);
-                }
-            }
-            Err(e) => {
-                eprintln!("{}: generated text does not re-parse: {e}", path.display());
-                return ExitCode::from(2);
-            }
-        }
-        if let Err(e) = std::fs::write(&path, text) {
-            eprintln!("writing {}: {e}", path.display());
-            return ExitCode::from(2);
-        }
-        println!("wrote {}", path.display());
-    }
-    ExitCode::SUCCESS
-}
-
-/// One built-in paper kernel: program, analysis statement, full-size
-/// validation parameters, (GEHD2) the §5.3 split binding, and the blocked
-/// `schedule` directives for the tightness harness.
-pub type BuiltinKernel = (
-    Program,
-    &'static str,
-    Vec<(String, i64)>,
-    Option<(String, ParamExpr)>,
-    Vec<TileDirective>,
-);
-
-/// The paper kernels with their pipeline directives: analysis statement,
-/// full-size validation parameters, (GEHD2) the §5.3 split binding, and
-/// (GEMM) the tiling schedule.
-pub fn builtin_kernels() -> Vec<BuiltinKernel> {
-    let mn = |m: i64, n: i64| vec![("M".to_string(), m), ("N".to_string(), n)];
-    let tile = |names: &[&str]| -> Vec<TileDirective> {
-        names
-            .iter()
-            .map(|n| TileDirective {
-                loop_name: n.to_string(),
-                size: None,
-            })
-            .collect()
-    };
-    vec![
-        (iolb_kernels::mgs::program(), "SU", mn(64, 32), None, vec![]),
-        (
-            iolb_kernels::householder::a2v_program(),
-            "SU",
-            mn(40, 20),
-            None,
-            vec![],
-        ),
-        (
-            iolb_kernels::householder::v2q_program(),
-            "SU",
-            mn(40, 20),
-            None,
-            vec![],
-        ),
-        (
-            iolb_kernels::gebd2::program(),
-            "SU",
-            mn(36, 18),
-            None,
-            vec![],
-        ),
-        (
-            iolb_kernels::gehd2::program(),
-            "SU1",
-            vec![("N".to_string(), 25)],
-            Some((
-                "Ms".to_string(),
-                ParamExpr {
-                    terms: vec![("N".to_string(), iolb_numeric::rational::rat(1, 2))],
-                    cst: iolb_numeric::Rational::int(-1),
-                },
-            )),
-            vec![],
-        ),
-        (
-            iolb_kernels::gemm::program(),
-            "SU",
-            vec![
-                ("M".to_string(), 24),
-                ("N".to_string(), 24),
-                ("K".to_string(), 24),
-            ],
-            None,
-            tile(&["i", "j"]),
-        ),
-    ]
 }

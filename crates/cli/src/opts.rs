@@ -1,0 +1,306 @@
+//! Command-line option parsing for the `iolb` front-end (batch analysis
+//! plus the `fuzz` subcommand). Everything analysis-related converts
+//! into an [`AnalysisOptions`] for the service pipeline; the flags,
+//! diagnostics, and usage text here are the CLI's own contract.
+
+use iolb_core::govern::{Budget, Fault};
+use iolb_service::AnalysisOptions;
+use std::path::PathBuf;
+
+/// CLI usage text.
+pub const USAGE: &str = "\
+iolb — I/O lower bounds for affine kernels (hourglass-tightened)
+
+USAGE:
+    iolb [OPTIONS] <FILE.iolb>...
+    iolb emit-builtin <DIR>      regenerate the built-in paper kernels as .iolb files
+    iolb fuzz --seed <N> --cases <N> [--max-dims <D>] [--json PATH] [--corpus DIR]
+                                 generate random kernels and run the differential
+                                 soundness oracle on each (seed is required: runs are
+                                 reproducible from it alone, never from wall-clock)
+    iolb fuzz --inject <SPEC>    fault-injection smoke: SPEC is `panic`, `oom`,
+                                 `deadline` (one class across every governed seam),
+                                 `all` (the full matrix), or `CLASS@SEAM` for one
+                                 cell; exits 0 iff every fault surfaced as its
+                                 typed error class and left clean state behind
+
+OPTIONS:
+    --params M=64,N=32    override the file's `default` parameter values
+    --stmt NAME           override the file's `analyze` statement
+    --s-grid 0,4,16,...   offsets added to the minimum feasible S, or a preset:
+                          `dense` (~32 log-spaced points, the default — one
+                          stack-distance pass prices the whole grid) or
+                          `coarse` (the legacy 0,4,16,64,256)
+    --json PATH           write the validation matrix as JSON
+    --tightness-json PATH write the tightness report (lower vs measured upper bounds) as JSON
+    --no-tightness        skip the upper-bound schedule measurement
+    --derive-only         skip the pebble-game validation (bounds only)
+    -h, --help            this text
+
+RESOURCE GOVERNANCE (admission control refuses or down-scopes a kernel
+before materializing anything; all ceilings default to unlimited):
+    --max-instances N     ceiling on dynamic statement instances
+    --max-cdag-nodes N    ceiling on CDAG vertices
+    --max-cdag-edges N    ceiling on CDAG edges
+    --max-trace N         ceiling on the packed trace length (accesses)
+    --max-arena-bytes N   ceiling on peak transient arena bytes
+    --max-work N          ceiling on curve work (trace × S-grid points);
+                          over-work kernels degrade: dense grid → coarse
+                          grid (tightness skipped) → symbolic bounds only,
+                          recorded per kernel in the report `degradation`
+    --deadline-ms N       wall-clock deadline, polled at every governed seam
+    --no-degrade          refuse (exit 4) instead of degrading
+    --inject CLASS@SEAM   testing: arm a one-shot fault on the first file
+
+EXIT CODES:
+    0 sound   1 unsound cell   2 parse/usage   3 refused
+    4 budget exceeded   5 deadline   6 cancelled   7 internal
+";
+
+/// Parsed command-line options.
+#[derive(Debug)]
+pub struct Options {
+    /// `.iolb` files to process.
+    pub files: Vec<PathBuf>,
+    /// `--params` overrides.
+    pub params_override: Vec<(String, i64)>,
+    /// `--stmt` override.
+    pub stmt_override: Option<String>,
+    /// `--s-grid` offsets.
+    pub s_offsets: Vec<usize>,
+    /// `--json` output path.
+    pub json: Option<PathBuf>,
+    /// `--tightness-json` output path.
+    pub tightness_json: Option<PathBuf>,
+    /// `--no-tightness` flag.
+    pub no_tightness: bool,
+    /// `--derive-only` flag.
+    pub derive_only: bool,
+    /// Resource budget from the `--max-*` / `--deadline-ms` flags.
+    pub budget: Budget,
+    /// `--no-degrade`: refuse instead of down-scoping.
+    pub no_degrade: bool,
+    /// `--inject`: one-shot fault armed on the batch's first file.
+    pub inject: Option<Fault>,
+}
+
+impl Options {
+    /// The service-pipeline view of these options. `inject` is *not*
+    /// carried over — [`crate::run_with_code`] arms it on the batch's
+    /// first file only.
+    pub fn analysis_options(&self) -> AnalysisOptions {
+        AnalysisOptions {
+            params_override: self.params_override.clone(),
+            stmt_override: self.stmt_override.clone(),
+            s_offsets: self.s_offsets.clone(),
+            no_tightness: self.no_tightness,
+            derive_only: self.derive_only,
+            budget: self.budget,
+            no_degrade: self.no_degrade,
+            inject: None,
+        }
+    }
+}
+
+/// Parses the next argument of `flag` as a `u64` ceiling.
+fn parse_ceiling(it: &mut std::slice::Iter<'_, String>, flag: &str) -> Result<u64, String> {
+    it.next()
+        .ok_or_else(|| format!("{flag} needs a value"))?
+        .trim()
+        .parse()
+        .map_err(|_| format!("bad {flag} value (want a non-negative integer)"))
+}
+
+/// Parses command-line arguments (everything after the binary name).
+///
+/// # Errors
+/// Returns usage/diagnostic text to print.
+pub fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut o = Options {
+        files: Vec::new(),
+        params_override: Vec::new(),
+        stmt_override: None,
+        s_offsets: iolb_bench::sweep::dense_s_offsets(),
+        json: None,
+        tightness_json: None,
+        no_tightness: false,
+        derive_only: false,
+        budget: Budget::unlimited(),
+        no_degrade: false,
+        inject: None,
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--params" => {
+                let v = it.next().ok_or("--params needs a value")?;
+                for kv in v.split(',') {
+                    let (k, val) = kv
+                        .split_once('=')
+                        .ok_or_else(|| format!("bad --params entry `{kv}` (want NAME=INT)"))?;
+                    let val: i64 = val
+                        .trim()
+                        .parse()
+                        .map_err(|_| format!("bad integer in --params entry `{kv}`"))?;
+                    o.params_override.push((k.trim().to_string(), val));
+                }
+            }
+            "--stmt" => {
+                o.stmt_override = Some(it.next().ok_or("--stmt needs a value")?.clone());
+            }
+            "--s-grid" => {
+                let v = it.next().ok_or("--s-grid needs a value")?;
+                o.s_offsets = match v.trim() {
+                    "dense" => iolb_bench::sweep::dense_s_offsets(),
+                    "coarse" => iolb_bench::sweep::coarse_s_offsets(),
+                    list => list
+                        .split(',')
+                        .map(|x| x.trim().parse::<usize>())
+                        .collect::<Result<_, _>>()
+                        .map_err(|_| format!("bad --s-grid list `{v}`"))?,
+                };
+                if o.s_offsets.is_empty() {
+                    return Err("--s-grid needs at least one offset".to_string());
+                }
+            }
+            "--json" => {
+                o.json = Some(PathBuf::from(it.next().ok_or("--json needs a path")?));
+            }
+            "--tightness-json" => {
+                o.tightness_json = Some(PathBuf::from(
+                    it.next().ok_or("--tightness-json needs a path")?,
+                ));
+            }
+            "--no-tightness" => o.no_tightness = true,
+            "--derive-only" => o.derive_only = true,
+            "--max-instances" => o.budget.max_instances = parse_ceiling(&mut it, a)?,
+            "--max-cdag-nodes" => o.budget.max_cdag_nodes = parse_ceiling(&mut it, a)?,
+            "--max-cdag-edges" => o.budget.max_cdag_edges = parse_ceiling(&mut it, a)?,
+            "--max-trace" => o.budget.max_trace_len = parse_ceiling(&mut it, a)?,
+            "--max-arena-bytes" => o.budget.max_arena_bytes = parse_ceiling(&mut it, a)?,
+            "--max-work" => o.budget.max_work = parse_ceiling(&mut it, a)?,
+            "--deadline-ms" => o.budget.deadline_ms = parse_ceiling(&mut it, a)?,
+            "--no-degrade" => o.no_degrade = true,
+            "--inject" => {
+                let v = it.next().ok_or("--inject needs CLASS or CLASS@SEAM")?;
+                o.inject = Some(Fault::parse(v).ok_or_else(|| {
+                    format!(
+                        "bad --inject spec `{v}` (want panic|oom|deadline, \
+                         optionally @admission|instances|cdag_fill|lru_pass|opt_pass|tuner)"
+                    )
+                })?);
+            }
+            "-h" | "--help" => return Err(USAGE.to_string()),
+            other if other.starts_with('-') => {
+                return Err(format!("unknown option `{other}`\n\n{USAGE}"))
+            }
+            file => o.files.push(PathBuf::from(file)),
+        }
+    }
+    if o.files.is_empty() {
+        return Err(USAGE.to_string());
+    }
+    if o.derive_only && o.json.is_some() {
+        return Err(
+            "--derive-only skips validation, so --json would write an empty report; \
+             drop one of the two flags"
+                .to_string(),
+        );
+    }
+    if o.derive_only && o.tightness_json.is_some() {
+        return Err(
+            "--derive-only skips validation, so --tightness-json would write an empty report; \
+             drop one of the two flags"
+                .to_string(),
+        );
+    }
+    if o.no_tightness && o.tightness_json.is_some() {
+        return Err("--no-tightness contradicts --tightness-json".to_string());
+    }
+    Ok(o)
+}
+
+/// Options of the `iolb fuzz` subcommand.
+#[derive(Debug)]
+pub struct FuzzOptions {
+    /// Required run seed (reproducibility flows from it alone).
+    pub seed: u64,
+    /// Number of generated cases.
+    pub cases: u64,
+    /// Maximum loop-nest depth.
+    pub max_dims: u32,
+    /// Optional JSON report path.
+    pub json: Option<PathBuf>,
+    /// Optional directory for minimized reproducers.
+    pub corpus: Option<PathBuf>,
+    /// `--inject` spec: run the fault-injection matrix instead of the
+    /// random-kernel oracle.
+    pub inject: Option<String>,
+}
+
+/// Parses `iolb fuzz` arguments. `--seed` is mandatory for the random
+/// oracle (there is no ambient-entropy fallback, so every run is
+/// replayable by construction); `--inject` mode is deterministic by
+/// itself and needs no seed.
+///
+/// # Errors
+/// Returns usage/diagnostic text to print.
+pub fn parse_fuzz_args(args: &[String]) -> Result<FuzzOptions, String> {
+    let mut seed: Option<u64> = None;
+    let mut cases: u64 = 200;
+    let mut max_dims: u32 = 4;
+    let mut json: Option<PathBuf> = None;
+    let mut corpus: Option<PathBuf> = None;
+    let mut inject: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--seed" => {
+                seed = Some(
+                    it.next()
+                        .ok_or("--seed needs a value")?
+                        .parse()
+                        .map_err(|_| "bad --seed value (want u64)".to_string())?,
+                );
+            }
+            "--cases" => {
+                cases = it
+                    .next()
+                    .ok_or("--cases needs a value")?
+                    .parse()
+                    .map_err(|_| "bad --cases value".to_string())?;
+            }
+            "--max-dims" => {
+                max_dims = it
+                    .next()
+                    .ok_or("--max-dims needs a value")?
+                    .parse()
+                    .map_err(|_| "bad --max-dims value".to_string())?;
+                if !(1..=8).contains(&max_dims) {
+                    return Err("--max-dims must be in 1..=8".to_string());
+                }
+            }
+            "--json" => json = Some(PathBuf::from(it.next().ok_or("--json needs a path")?)),
+            "--corpus" => corpus = Some(PathBuf::from(it.next().ok_or("--corpus needs a dir")?)),
+            "--inject" => {
+                inject = Some(it.next().ok_or("--inject needs a fault spec")?.clone());
+            }
+            other => return Err(format!("unknown fuzz option `{other}`\n\n{USAGE}")),
+        }
+    }
+    if inject.is_none() && seed.is_none() {
+        return Err(
+            "fuzz needs --seed <N>: runs are reproducible from the seed alone \
+             (there is deliberately no wall-clock default)"
+                .to_string(),
+        );
+    }
+    Ok(FuzzOptions {
+        seed: seed.unwrap_or(0),
+        cases,
+        max_dims,
+        json,
+        corpus,
+        inject,
+    })
+}

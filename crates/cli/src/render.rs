@@ -1,0 +1,101 @@
+//! Human-readable rendering of service-pipeline outcomes — the exact
+//! per-file text the `iolb` CLI has always printed, reconstructed from a
+//! structured [`AnalysisOutcome`] (the byte-level format is pinned by
+//! the golden snapshots and the e2e tests; change nothing casually).
+
+use iolb_bench::sweep::render_sweep_table;
+use iolb_core::govern::Degradation;
+use iolb_core::report::render_tightness_points;
+use iolb_service::AnalysisOutcome;
+use std::fmt::Write as _;
+
+/// Renders one kernel's analysis as the CLI's per-file text block.
+/// `origin` is the display form of where the kernel came from (the file
+/// path). `derive_only` distinguishes a caller-requested bounds-only run
+/// (silent) from a budget degradation to the same rung (announced).
+pub fn render_outcome(outcome: &AnalysisOutcome, origin: &str, derive_only: bool) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "── {} ({origin})", outcome.name);
+    let _ = writeln!(
+        out,
+        "   params: {}",
+        outcome
+            .params
+            .iter()
+            .map(|(n, v)| format!("{n}={v}"))
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    let _ = writeln!(
+        out,
+        "   access-certified {} statement instances",
+        outcome.certified_instances
+    );
+    match &outcome.classical {
+        Some(c) => {
+            let _ = writeln!(out, "   classical: σ={} m={} → {}", c.sigma, c.m, c.expr);
+        }
+        None => {
+            let _ = writeln!(out, "   classical: no covering projection set (no σ-bound)");
+        }
+    }
+    if let Some(s) = &outcome.split {
+        let _ = writeln!(out, "   split: {} = {} (§5.3)", s.var, s.expr);
+    }
+    match &outcome.hourglass {
+        Some(h) => {
+            let _ = writeln!(
+                out,
+                "   hourglass on {}: certified {} chains, W∈[{}, {}] → {}",
+                outcome.stmt, h.chains, h.w_min, h.w_max, h.main_tool
+            );
+        }
+        None => {
+            let _ = writeln!(out, "   hourglass: no pattern on {}", outcome.stmt);
+        }
+    }
+
+    let report = match &outcome.sweep {
+        Some(report) => report,
+        None => {
+            if outcome.degradation == Degradation::BoundsOnly && !derive_only {
+                if let Some(d) = &outcome.degrade {
+                    let _ = writeln!(
+                        out,
+                        "   degraded: symbolic bounds only (work {} exceeds budget {})",
+                        d.work_needed, d.max_work
+                    );
+                }
+            }
+            let _ = writeln!(out);
+            return out;
+        }
+    };
+    if outcome.degradation == Degradation::Coarse {
+        if let Some(d) = &outcome.degrade {
+            let _ = writeln!(
+                out,
+                "   degraded: coarse {}-point S grid, tightness skipped (work budget {})",
+                d.coarse_points, d.max_work
+            );
+        }
+    }
+    let _ = write!(out, "{}", render_sweep_table(report));
+    for r in &report.rows {
+        if !r.sound() {
+            let _ = writeln!(
+                out,
+                "   UNSOUND: S={} {:?}: bound {} exceeds play loads {}",
+                r.s,
+                r.policy,
+                r.lb(),
+                r.loads
+            );
+        }
+    }
+    if let Some(t) = &outcome.tightness {
+        let _ = write!(out, "{}", render_tightness_points(&t.kernel, &t.points));
+    }
+    let _ = writeln!(out);
+    out
+}

@@ -1,0 +1,306 @@
+//! Minimal HTTP/1.1 framing over `std::net` — just enough protocol for
+//! the daemon's JSON API (request line + headers + `Content-Length`
+//! bodies, keep-alive, nothing else). Hand-rolled because the build
+//! environment is vendored-deps-only; the daemon's clients are the
+//! benchmark harness and local tooling, not the open internet.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+
+/// Upper bound on a request head + body the daemon will buffer.
+pub const MAX_BODY: usize = 1 << 20;
+
+/// One parsed request.
+#[derive(Debug)]
+pub struct Request {
+    /// Request method, uppercased by the client (`GET`, `POST`, …).
+    pub method: String,
+    /// Path without the query string (`/analyze`).
+    pub path: String,
+    /// Decoded query parameters, in order of appearance.
+    pub query: Vec<(String, String)>,
+    /// Raw request body (`Content-Length` bytes).
+    pub body: Vec<u8>,
+    /// Whether the connection should stay open after the response.
+    pub keep_alive: bool,
+}
+
+/// What one read attempt on a connection produced.
+#[derive(Debug)]
+pub enum ReadOutcome {
+    /// A complete request.
+    Request(Request),
+    /// The peer closed the connection cleanly before sending anything.
+    Closed,
+    /// No bytes arrived within the read timeout — the connection is idle
+    /// (keep-alive between requests); requeue it and try again later.
+    Idle,
+}
+
+fn is_timeout(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+    )
+}
+
+/// Reads one request from the stream. The caller arms a short read
+/// timeout; an idle connection surfaces as [`ReadOutcome::Idle`] after
+/// one silent timeout, while a connection that has *started* a request
+/// is given a bounded number of further timeouts to finish it.
+///
+/// # Errors
+/// Malformed framing, oversized payloads, truncation mid-request, and
+/// transport errors (all mean: drop the connection).
+pub fn read_request(stream: &mut TcpStream) -> Result<ReadOutcome, String> {
+    let mut buf: Vec<u8> = Vec::new();
+    let mut chunk = [0u8; 4096];
+    let mut stalls = 0usize;
+    let head_end = loop {
+        if let Some(pos) = find_head_end(&buf) {
+            break pos;
+        }
+        if buf.len() > MAX_BODY {
+            return Err("request head too large".to_string());
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => {
+                if buf.is_empty() {
+                    return Ok(ReadOutcome::Closed);
+                }
+                return Err("connection closed mid-request".to_string());
+            }
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e) if is_timeout(&e) => {
+                if buf.is_empty() {
+                    return Ok(ReadOutcome::Idle);
+                }
+                stalls += 1;
+                if stalls > 40 {
+                    return Err("timed out mid-request".to_string());
+                }
+            }
+            Err(e) => return Err(format!("read: {e}")),
+        }
+    };
+
+    let head = std::str::from_utf8(&buf[..head_end])
+        .map_err(|_| "request head is not UTF-8".to_string())?;
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().ok_or("empty request")?;
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().ok_or("missing method")?.to_string();
+    let target = parts.next().ok_or("missing request target")?;
+    let version = parts.next().ok_or("missing HTTP version")?;
+    if !version.starts_with("HTTP/1.") {
+        return Err(format!("unsupported version {version}"));
+    }
+
+    let mut content_length = 0usize;
+    // HTTP/1.1 defaults to keep-alive; HTTP/1.0 to close.
+    let mut keep_alive = version != "HTTP/1.0";
+    for line in lines {
+        if let Some((name, value)) = line.split_once(':') {
+            let value = value.trim();
+            match name.to_ascii_lowercase().as_str() {
+                "content-length" => {
+                    content_length = value
+                        .parse()
+                        .map_err(|_| format!("bad Content-Length `{value}`"))?;
+                }
+                "connection" => match value.to_ascii_lowercase().as_str() {
+                    "close" => keep_alive = false,
+                    "keep-alive" => keep_alive = true,
+                    _ => {}
+                },
+                _ => {}
+            }
+        }
+    }
+    if content_length > MAX_BODY {
+        return Err(format!("body of {content_length} bytes exceeds limit"));
+    }
+
+    let mut body: Vec<u8> = buf[head_end + 4..].to_vec();
+    let mut stalls = 0usize;
+    while body.len() < content_length {
+        match stream.read(&mut chunk) {
+            Ok(0) => return Err("connection closed mid-body".to_string()),
+            Ok(n) => body.extend_from_slice(&chunk[..n]),
+            Err(e) if is_timeout(&e) => {
+                stalls += 1;
+                if stalls > 40 {
+                    return Err("timed out mid-body".to_string());
+                }
+            }
+            Err(e) => return Err(format!("read body: {e}")),
+        }
+    }
+    body.truncate(content_length);
+
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), parse_query(q)),
+        None => (target.to_string(), Vec::new()),
+    };
+    Ok(ReadOutcome::Request(Request {
+        method,
+        path,
+        query,
+        body,
+        keep_alive,
+    }))
+}
+
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// Splits and percent-decodes a query string.
+fn parse_query(q: &str) -> Vec<(String, String)> {
+    q.split('&')
+        .filter(|pair| !pair.is_empty())
+        .map(|pair| match pair.split_once('=') {
+            Some((k, v)) => (percent_decode(k), percent_decode(v)),
+            None => (percent_decode(pair), String::new()),
+        })
+        .collect()
+}
+
+/// Percent-decoding with `+` as space. Invalid escapes pass through
+/// verbatim (the option parser will reject them with a real diagnostic).
+fn percent_decode(s: &str) -> String {
+    let bytes = s.as_bytes();
+    let mut out: Vec<u8> = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b'%' => match (hex_val(bytes.get(i + 1)), hex_val(bytes.get(i + 2))) {
+                (Some(h), Some(l)) => {
+                    out.push(h * 16 + l);
+                    i += 3;
+                }
+                _ => {
+                    out.push(b'%');
+                    i += 1;
+                }
+            },
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+fn hex_val(b: Option<&u8>) -> Option<u8> {
+    match b? {
+        c @ b'0'..=b'9' => Some(c - b'0'),
+        c @ b'a'..=b'f' => Some(c - b'a' + 10),
+        c @ b'A'..=b'F' => Some(c - b'A' + 10),
+        _ => None,
+    }
+}
+
+/// Reason phrase for the status codes the daemon emits.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        413 => "Payload Too Large",
+        422 => "Unprocessable Entity",
+        499 => "Client Closed Request",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// Serializes one response (the wire bytes, ready to write). All daemon
+/// payloads are JSON.
+pub fn render_response(
+    status: u16,
+    extra_headers: &[(String, String)],
+    body: &str,
+    keep_alive: bool,
+) -> String {
+    let mut out = format!("HTTP/1.1 {status} {}\r\n", reason(status));
+    out.push_str("Content-Type: application/json\r\n");
+    out.push_str(&format!("Content-Length: {}\r\n", body.len()));
+    for (name, value) in extra_headers {
+        out.push_str(&format!("{name}: {value}\r\n"));
+    }
+    out.push_str(if keep_alive {
+        "Connection: keep-alive\r\n"
+    } else {
+        "Connection: close\r\n"
+    });
+    out.push_str("\r\n");
+    out.push_str(body);
+    out
+}
+
+/// Writes a rendered response to the stream.
+///
+/// # Errors
+/// The transport error, when the peer is gone.
+pub fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    extra_headers: &[(String, String)],
+    body: &str,
+    keep_alive: bool,
+) -> Result<(), String> {
+    stream
+        .write_all(render_response(status, extra_headers, body, keep_alive).as_bytes())
+        .and_then(|()| stream.flush())
+        .map_err(|e| format!("write: {e}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn query_parsing_decodes() {
+        let q = parse_query("params=M%3D8,N=16&stmt=SU&derive-only&x=a+b");
+        assert_eq!(
+            q,
+            vec![
+                ("params".to_string(), "M=8,N=16".to_string()),
+                ("stmt".to_string(), "SU".to_string()),
+                ("derive-only".to_string(), String::new()),
+                ("x".to_string(), "a b".to_string()),
+            ]
+        );
+    }
+
+    #[test]
+    fn bad_escapes_pass_through() {
+        assert_eq!(percent_decode("100%"), "100%");
+        assert_eq!(percent_decode("%zz"), "%zz");
+        assert_eq!(percent_decode("%41"), "A");
+    }
+
+    #[test]
+    fn response_framing() {
+        let r = render_response(
+            200,
+            &[("X-Iolb-Cache".to_string(), "hit".to_string())],
+            "{}",
+            true,
+        );
+        assert!(r.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(r.contains("Content-Length: 2\r\n"));
+        assert!(r.contains("X-Iolb-Cache: hit\r\n"));
+        assert!(r.contains("Connection: keep-alive\r\n"));
+        assert!(r.ends_with("\r\n\r\n{}"));
+    }
+}

@@ -1,0 +1,528 @@
+//! `iolbd` — the long-lived analysis daemon in front of the
+//! [`iolb_service`] pipeline.
+//!
+//! A minimal hand-rolled HTTP/1.1 server over `std::net::TcpListener`
+//! (the build is vendored-deps-only): an accept loop feeds a *bounded*
+//! queue — a full queue answers `503` immediately, which is the
+//! backpressure contract — and a dispatcher drains the queue in batches
+//! onto the shared rayon pool, one request per connection per cycle.
+//! Responses reuse the CLI's report schemas verbatim; the daemon's own
+//! envelope is `hourglass-iolb/serve/v1`.
+//!
+//! Per-request budgets and deadlines arrive as query parameters (the
+//! same switchboard as the CLI flags) and surface as typed
+//! [`AnalysisError`] classes mapped onto HTTP status codes:
+//!
+//! | class            | HTTP |
+//! |------------------|------|
+//! | parse            | 400  |
+//! | refused          | 422  |
+//! | budget exceeded  | 413  |
+//! | deadline         | 408  |
+//! | cancelled        | 499  |
+//! | internal         | 500  |
+//! | (queue full)     | 503  |
+
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
+pub mod http;
+
+use http::{read_request, write_response, ReadOutcome, Request};
+use iolb_bench::sweep::{json_str, sweep_report_json_with};
+use iolb_bench::tightness::{tightness_report_json, TightnessReport};
+use iolb_core::govern::AnalysisError;
+use iolb_service::{AnalysisOptions, AnalysisOutcome, Pipeline};
+use rayon::prelude::*;
+use std::collections::VecDeque;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, RecvTimeoutError, TrySendError};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Daemon usage text.
+pub const USAGE: &str = "\
+iolbd — analysis daemon serving the iolb pipeline over HTTP
+
+USAGE:
+    iolbd [OPTIONS]
+
+OPTIONS:
+    --addr HOST:PORT      bind address (default 127.0.0.1:0; the chosen
+                          port is printed as `listening on …`)
+    --queue N             accept-queue capacity; a full queue answers 503
+                          immediately (default 64)
+    --batch N             max connections served per dispatch cycle on
+                          the rayon pool (default 16)
+    -h, --help            this text
+
+Any analysis option the CLI accepts as a flag is accepted here (without
+the leading `--` it is the same key a request may pass in its query
+string) and becomes the per-request default: --s-grid, --no-tightness,
+--derive-only, --no-degrade, --max-instances, --max-cdag-nodes,
+--max-cdag-edges, --max-trace, --max-arena-bytes, --max-work,
+--deadline-ms.
+
+ENDPOINTS:
+    POST /analyze?opt=v…  body = kernel text; options in the query string
+    GET  /healthz         liveness probe
+    GET  /stats           request counters + cache hit/miss counters
+    POST /shutdown        graceful stop
+";
+
+/// Parsed daemon options.
+#[derive(Debug, Clone)]
+pub struct ServerOptions {
+    /// Bind address.
+    pub addr: String,
+    /// Accept-queue capacity (backpressure bound).
+    pub queue: usize,
+    /// Max connections per dispatch cycle.
+    pub batch: usize,
+    /// Per-request analysis defaults (budgets, grid, flags).
+    pub defaults: AnalysisOptions,
+}
+
+impl Default for ServerOptions {
+    fn default() -> Self {
+        ServerOptions {
+            addr: "127.0.0.1:0".to_string(),
+            queue: 64,
+            batch: 16,
+            defaults: AnalysisOptions::default(),
+        }
+    }
+}
+
+/// Keys that are presence-only flags on the command line (everything
+/// else consumes a value argument).
+const FLAG_KEYS: &[&str] = &["no-tightness", "derive-only", "no-degrade"];
+
+/// Parses daemon command-line arguments.
+///
+/// # Errors
+/// Usage/diagnostic text to print.
+pub fn parse_server_args(args: &[String]) -> Result<ServerOptions, String> {
+    let mut o = ServerOptions::default();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--addr" => {
+                o.addr = it.next().ok_or("--addr needs HOST:PORT")?.clone();
+            }
+            "--queue" => {
+                o.queue = it
+                    .next()
+                    .ok_or("--queue needs a value")?
+                    .parse()
+                    .map_err(|_| "bad --queue value".to_string())?;
+                if o.queue == 0 {
+                    return Err("--queue must be at least 1".to_string());
+                }
+            }
+            "--batch" => {
+                o.batch = it
+                    .next()
+                    .ok_or("--batch needs a value")?
+                    .parse()
+                    .map_err(|_| "bad --batch value".to_string())?;
+                if o.batch == 0 {
+                    return Err("--batch must be at least 1".to_string());
+                }
+            }
+            "-h" | "--help" => return Err(USAGE.to_string()),
+            flag if flag.starts_with("--") => {
+                let key = &flag[2..];
+                if key == "inject" {
+                    return Err("--inject is per-request only (query parameter)".to_string());
+                }
+                let value = if FLAG_KEYS.contains(&key) {
+                    String::new()
+                } else {
+                    it.next()
+                        .ok_or_else(|| format!("{flag} needs a value"))?
+                        .clone()
+                };
+                o.defaults
+                    .set(key, &value)
+                    .map_err(|e| format!("{e}\n\n{USAGE}"))?;
+            }
+            other => return Err(format!("unexpected argument `{other}`\n\n{USAGE}")),
+        }
+    }
+    Ok(o)
+}
+
+/// The daemon entry point (argument vector without the binary name).
+pub fn run(args: &[String]) -> ExitCode {
+    let opts = match parse_server_args(args) {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+    match serve(&opts) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// Shared daemon state: the pipeline (with its cache) plus counters.
+pub struct ServerState {
+    /// The analysis service core.
+    pub pipeline: Pipeline,
+    /// Per-request analysis defaults.
+    pub defaults: AnalysisOptions,
+    /// Bound address (used by the shutdown self-connect wake).
+    pub addr: SocketAddr,
+    /// Graceful-stop flag.
+    pub shutdown: AtomicBool,
+    /// Requests served (any endpoint, any status).
+    pub requests: AtomicU64,
+    /// `/analyze` requests served.
+    pub analyzed: AtomicU64,
+    /// Connections refused with 503 because the accept queue was full.
+    pub overloaded: AtomicU64,
+}
+
+/// Binds, prints `listening on ADDR`, and serves until `/shutdown`.
+///
+/// # Errors
+/// Bind/socket setup failures (runtime per-connection errors are
+/// answered or dropped, never fatal).
+pub fn serve(opts: &ServerOptions) -> Result<(), String> {
+    let listener = TcpListener::bind(&opts.addr).map_err(|e| format!("bind {}: {e}", opts.addr))?;
+    let addr = listener
+        .local_addr()
+        .map_err(|e| format!("local_addr: {e}"))?;
+    // Best-effort banner: a supervising process may close our stdout
+    // after reading the address, and a daemon must not die over it.
+    use std::io::Write as _;
+    let mut out = std::io::stdout();
+    let _ = writeln!(out, "listening on {addr}");
+    let _ = out.flush();
+    serve_listener(listener, opts)
+}
+
+/// [`serve`] on a listener the caller already bound (tests bind their
+/// own port-0 listener to learn the address before serving).
+///
+/// # Errors
+/// Socket setup failures.
+pub fn serve_listener(listener: TcpListener, opts: &ServerOptions) -> Result<(), String> {
+    let addr = listener
+        .local_addr()
+        .map_err(|e| format!("local_addr: {e}"))?;
+    let state = Arc::new(ServerState {
+        pipeline: Pipeline::new(),
+        defaults: opts.defaults.clone(),
+        addr,
+        shutdown: AtomicBool::new(false),
+        requests: AtomicU64::new(0),
+        analyzed: AtomicU64::new(0),
+        overloaded: AtomicU64::new(0),
+    });
+
+    let (tx, rx) = sync_channel::<TcpStream>(opts.queue);
+    let dispatcher = {
+        let state = Arc::clone(&state);
+        let batch = opts.batch;
+        std::thread::spawn(move || dispatch(&state, &rx, batch))
+    };
+
+    for stream in listener.incoming() {
+        if state.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let stream = match stream {
+            Ok(s) => s,
+            Err(_) => continue,
+        };
+        if let Err(TrySendError::Full(mut s)) = tx.try_send(stream) {
+            // Backpressure: the bounded queue is the admission control of
+            // the transport layer — refuse immediately, don't buffer.
+            state.overloaded.fetch_add(1, Ordering::Relaxed);
+            let body = error_body_raw("overloaded", 0, "accept queue full, retry later");
+            let _ = write_response(
+                &mut s,
+                503,
+                &[("Retry-After".to_string(), "1".to_string())],
+                &body,
+                false,
+            );
+        }
+    }
+    drop(tx);
+    dispatcher
+        .join()
+        .map_err(|_| "dispatcher thread panicked".to_string())?;
+    // Best-effort, as with the startup banner: stdout may be gone.
+    use std::io::Write as _;
+    let _ = writeln!(std::io::stdout(), "shutdown complete");
+    Ok(())
+}
+
+/// How long one read attempt on a connection blocks per cycle.
+const READ_TIMEOUT: Duration = Duration::from_millis(50);
+
+/// The dispatcher: drains accepted connections into batches and serves
+/// each batch concurrently on the rayon pool (one request per connection
+/// per cycle; keep-alive connections are requeued).
+fn dispatch(state: &ServerState, rx: &Receiver<TcpStream>, batch: usize) {
+    let mut pending: VecDeque<TcpStream> = VecDeque::new();
+    loop {
+        if state.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        if pending.is_empty() {
+            match rx.recv_timeout(Duration::from_millis(100)) {
+                Ok(s) => pending.push_back(s),
+                Err(RecvTimeoutError::Timeout) => continue,
+                Err(RecvTimeoutError::Disconnected) => break,
+            }
+        }
+        while pending.len() < batch {
+            match rx.try_recv() {
+                Ok(s) => pending.push_back(s),
+                Err(_) => break,
+            }
+        }
+        let take = pending.len().min(batch);
+        let cycle: Vec<TcpStream> = pending.drain(..take).collect();
+        let keep: Vec<Option<TcpStream>> = cycle
+            .into_par_iter()
+            .map(|s| serve_connection(state, s))
+            .collect();
+        pending.extend(keep.into_iter().flatten());
+    }
+}
+
+/// Serves at most one request on the connection; returns it for
+/// requeueing when it should stay open.
+fn serve_connection(state: &ServerState, mut stream: TcpStream) -> Option<TcpStream> {
+    if stream.set_read_timeout(Some(READ_TIMEOUT)).is_err() {
+        return None;
+    }
+    match read_request(&mut stream) {
+        Ok(ReadOutcome::Idle) => {
+            // Idle keep-alive connection between requests; drop it once
+            // the daemon is stopping.
+            if state.shutdown.load(Ordering::SeqCst) {
+                None
+            } else {
+                Some(stream)
+            }
+        }
+        Ok(ReadOutcome::Closed) => None,
+        Ok(ReadOutcome::Request(req)) => {
+            state.requests.fetch_add(1, Ordering::Relaxed);
+            let (status, headers, body) = handle(state, &req);
+            let ok = write_response(&mut stream, status, &headers, &body, req.keep_alive).is_ok();
+            if ok && req.keep_alive {
+                Some(stream)
+            } else {
+                None
+            }
+        }
+        Err(msg) => {
+            let body = error_body_raw("parse", 2, &format!("bad request: {msg}"));
+            let _ = write_response(&mut stream, 400, &[], &body, false);
+            None
+        }
+    }
+}
+
+type HandlerResult = (u16, Vec<(String, String)>, String);
+
+/// Routes one request.
+fn handle(state: &ServerState, req: &Request) -> HandlerResult {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("POST", "/analyze") => handle_analyze(state, req),
+        ("GET", "/healthz") => (200, Vec::new(), "{\"ok\": true}".to_string()),
+        ("GET", "/stats") => (200, Vec::new(), stats_body(state)),
+        ("POST", "/shutdown") => {
+            state.shutdown.store(true, Ordering::SeqCst);
+            // Wake the accept loop so it observes the flag.
+            let _ = TcpStream::connect(state.addr);
+            (
+                200,
+                Vec::new(),
+                "{\"ok\": true, \"shutting_down\": true}".to_string(),
+            )
+        }
+        (_, "/analyze" | "/shutdown") => (
+            405,
+            Vec::new(),
+            error_body_raw("refused", 3, "method not allowed (use POST)"),
+        ),
+        (_, "/healthz" | "/stats") => (
+            405,
+            Vec::new(),
+            error_body_raw("refused", 3, "method not allowed (use GET)"),
+        ),
+        (_, path) => (
+            404,
+            Vec::new(),
+            error_body_raw("refused", 3, &format!("no such endpoint {path}")),
+        ),
+    }
+}
+
+/// `POST /analyze`: body is the kernel text, query parameters are the
+/// per-request options over the daemon defaults.
+fn handle_analyze(state: &ServerState, req: &Request) -> HandlerResult {
+    state.analyzed.fetch_add(1, Ordering::Relaxed);
+    let mut opts = state.defaults.clone();
+    for (key, value) in &req.query {
+        if let Err(e) = opts.set(key, value) {
+            return (
+                400,
+                Vec::new(),
+                error_body_raw("parse", 2, &format!("bad query option: {e}")),
+            );
+        }
+    }
+    let src = match std::str::from_utf8(&req.body) {
+        Ok(s) => s,
+        Err(_) => {
+            return (
+                400,
+                Vec::new(),
+                error_body_raw("parse", 2, "kernel body is not UTF-8"),
+            );
+        }
+    };
+    match state.pipeline.analyze(src, &opts) {
+        Ok(answer) => {
+            let cache_header = (
+                "X-Iolb-Cache".to_string(),
+                if answer.cached { "hit" } else { "miss" }.to_string(),
+            );
+            (200, vec![cache_header], outcome_body(&answer.outcome))
+        }
+        Err(e) => (status_for(&e), Vec::new(), error_body(&e)),
+    }
+}
+
+/// HTTP status for each [`AnalysisError`] class.
+pub fn status_for(e: &AnalysisError) -> u16 {
+    match e {
+        AnalysisError::Parse(_) => 400,
+        AnalysisError::Refused(_) => 422,
+        AnalysisError::BudgetExceeded { .. } => 413,
+        AnalysisError::Deadline { .. } => 408,
+        AnalysisError::Cancelled => 499,
+        AnalysisError::Internal(_) => 500,
+    }
+}
+
+/// JSON error envelope for a typed analysis error.
+pub fn error_body(e: &AnalysisError) -> String {
+    error_body_raw(e.class_name(), e.exit_code(), &e.to_string())
+}
+
+fn error_body_raw(class: &str, exit_class: u8, message: &str) -> String {
+    format!(
+        "{{\n  \"schema\": \"hourglass-iolb/serve/v1\",\n  \"error\": {{\"class\": {}, \"exit_class\": {exit_class}, \"message\": {}}}\n}}\n",
+        json_str(class),
+        json_str(message)
+    )
+}
+
+/// `/stats` body: request counters plus both cache layers' counters.
+fn stats_body(state: &ServerState) -> String {
+    let cache = state.pipeline.cache().stats();
+    format!(
+        "{{\n  \"schema\": \"hourglass-iolb/serve-stats/v1\",\n  \"requests\": {},\n  \"analyzed\": {},\n  \"overloaded\": {},\n  \"cache\": {{\n    \"parse\": {{\"hits\": {}, \"misses\": {}}},\n    \"report\": {{\"hits\": {}, \"misses\": {}}}\n  }},\n  \"report_entries\": {}\n}}\n",
+        state.requests.load(Ordering::Relaxed),
+        state.analyzed.load(Ordering::Relaxed),
+        state.overloaded.load(Ordering::Relaxed),
+        cache.parse.hits,
+        cache.parse.misses,
+        cache.report.hits,
+        cache.report.misses,
+        state.pipeline.cache().report_entries(),
+    )
+}
+
+/// Indents every non-first line of an embedded JSON document so the
+/// envelope stays readable.
+fn embed(doc: &str, indent: &str) -> String {
+    doc.trim_end().replace('\n', &format!("\n{indent}"))
+}
+
+/// The success envelope: outcome summary + the CLI's own report schemas
+/// embedded verbatim (volatile meta redacted, so a given kernel ×
+/// options always serializes to identical bytes — cached or not).
+pub fn outcome_body(o: &AnalysisOutcome) -> String {
+    let params: Vec<String> = o
+        .params
+        .iter()
+        .map(|(n, v)| format!("{}: {v}", json_str(n)))
+        .collect();
+    let classical = match &o.classical {
+        Some(c) => format!(
+            "{{\"sigma\": {}, \"m\": {}, \"expr\": {}}}",
+            json_str(&c.sigma),
+            json_str(&c.m),
+            json_str(&c.expr)
+        ),
+        None => "null".to_string(),
+    };
+    let split = match &o.split {
+        Some(s) => format!(
+            "{{\"var\": {}, \"expr\": {}}}",
+            json_str(&s.var),
+            json_str(&s.expr)
+        ),
+        None => "null".to_string(),
+    };
+    let hourglass = match &o.hourglass {
+        Some(h) => format!(
+            "{{\"chains\": {}, \"w_min\": {}, \"w_max\": {}, \"main_tool\": {}}}",
+            h.chains,
+            json_str(&h.w_min),
+            json_str(&h.w_max),
+            json_str(&h.main_tool)
+        ),
+        None => "null".to_string(),
+    };
+    let degrade = match &o.degrade {
+        Some(d) => format!(
+            "{{\"work_needed\": {}, \"max_work\": {}, \"coarse_points\": {}}}",
+            d.work_needed, d.max_work, d.coarse_points
+        ),
+        None => "null".to_string(),
+    };
+    let sweep = match &o.sweep {
+        Some(r) => embed(&sweep_report_json_with(r, true), "  "),
+        None => "null".to_string(),
+    };
+    let tightness = match &o.tightness {
+        Some(k) => {
+            let report = TightnessReport {
+                kernels: vec![k.clone()],
+                degradation: Vec::new(),
+                failures: Vec::new(),
+                total_wall_ms: 0.0,
+                threads: 0,
+            };
+            embed(&tightness_report_json(&report, true), "  ")
+        }
+        None => "null".to_string(),
+    };
+    format!(
+        "{{\n  \"schema\": \"hourglass-iolb/serve/v1\",\n  \"kernel\": {},\n  \"stmt\": {},\n  \"params\": {{{}}},\n  \"certified_instances\": {},\n  \"degradation\": {},\n  \"sound\": {},\n  \"classical\": {classical},\n  \"split\": {split},\n  \"hourglass\": {hourglass},\n  \"degrade\": {degrade},\n  \"sweep\": {sweep},\n  \"tightness\": {tightness}\n}}\n",
+        json_str(&o.name),
+        json_str(&o.stmt),
+        params.join(", "),
+        o.certified_instances,
+        json_str(o.degradation.as_str()),
+        o.sound,
+    )
+}

@@ -1,0 +1,9 @@
+//! `iolbd` — the analysis daemon binary (a thin wrapper around
+//! [`iolbd::run`]).
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    iolbd::run(&args)
+}

@@ -1,0 +1,234 @@
+//! Golden snapshots of the daemon's HTTP exchanges — one per
+//! [`AnalysisError`] class the service maps onto a status code (parse →
+//! 400, refused → 422, budget → 413, deadline → 408) plus one success
+//! envelope. The daemon redacts all volatile report data, so every
+//! response here is byte-stable across machines and thread counts.
+//!
+//! To regenerate after an intentional schema change:
+//! `UPDATE_GOLDEN=1 cargo test -p iolbd --test http_golden`.
+
+use iolbd::{serve_listener, ServerOptions};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden")
+}
+
+fn kernels_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../kernels")
+}
+
+fn kernel(name: &str) -> String {
+    std::fs::read_to_string(kernels_dir().join(name)).expect("kernel file")
+}
+
+/// Starts a daemon on an ephemeral port; returns its address and the
+/// join handle (the server exits on `POST /shutdown`).
+fn start_daemon() -> (SocketAddr, std::thread::JoinHandle<()>) {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("local_addr");
+    let opts = ServerOptions::default();
+    let handle = std::thread::spawn(move || {
+        serve_listener(listener, &opts).expect("serve");
+    });
+    (addr, handle)
+}
+
+fn post(path_query: &str, body: &str) -> String {
+    format!(
+        "POST {path_query} HTTP/1.1\r\nHost: localhost\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )
+}
+
+fn get(path: &str) -> String {
+    format!("GET {path} HTTP/1.1\r\nHost: localhost\r\nConnection: close\r\n\r\n")
+}
+
+/// One request on a fresh connection; reads to EOF (Connection: close).
+fn exchange(addr: SocketAddr, request: &str) -> String {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.write_all(request.as_bytes()).expect("send");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("receive");
+    response
+}
+
+/// Reads one response off a keep-alive connection (headers +
+/// `Content-Length` body).
+fn read_response(stream: &mut TcpStream) -> String {
+    let mut buf: Vec<u8> = Vec::new();
+    let mut chunk = [0u8; 4096];
+    let head_end = loop {
+        if let Some(pos) = buf.windows(4).position(|w| w == b"\r\n\r\n") {
+            break pos;
+        }
+        let n = stream.read(&mut chunk).expect("read head");
+        assert!(n > 0, "connection closed mid-response");
+        buf.extend_from_slice(&chunk[..n]);
+    };
+    let head = std::str::from_utf8(&buf[..head_end]).expect("utf8 head");
+    let content_length: usize = head
+        .lines()
+        .find_map(|l| {
+            l.to_ascii_lowercase()
+                .strip_prefix("content-length:")
+                .map(str::to_string)
+        })
+        .expect("Content-Length header")
+        .trim()
+        .parse()
+        .expect("length value");
+    while buf.len() < head_end + 4 + content_length {
+        let n = stream.read(&mut chunk).expect("read body");
+        assert!(n > 0, "connection closed mid-body");
+        buf.extend_from_slice(&chunk[..n]);
+    }
+    String::from_utf8(buf).expect("utf8 response")
+}
+
+fn shutdown(addr: SocketAddr, handle: std::thread::JoinHandle<()>) {
+    let response = exchange(addr, &post("/shutdown", ""));
+    assert!(response.starts_with("HTTP/1.1 200"), "{response}");
+    handle.join().expect("server thread");
+}
+
+fn check_golden(name: &str, actual: &str) {
+    let path = golden_dir().join(name);
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(golden_dir()).expect("golden dir");
+        std::fs::write(&path, actual).expect("write golden");
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "{}: {e} (regenerate with UPDATE_GOLDEN=1 cargo test -p iolbd --test http_golden)",
+            path.display()
+        )
+    });
+    assert_eq!(
+        expected, actual,
+        "{name} drifted from the golden snapshot — if the change is \
+         intentional, regenerate with UPDATE_GOLDEN=1",
+    );
+}
+
+#[test]
+fn error_class_exchanges_match_golden_snapshots() {
+    let (addr, handle) = start_daemon();
+
+    // parse → 400: the body is not a kernel.
+    check_golden(
+        "analyze_parse_error.http",
+        &exchange(addr, &post("/analyze", "kernel junk {")),
+    );
+    // refused → 422: parses, but names no such statement.
+    check_golden(
+        "analyze_refused.http",
+        &exchange(addr, &post("/analyze?stmt=nope", &kernel("jacobi2d.iolb"))),
+    );
+    // budget → 413: admission control kills it before materialization.
+    check_golden(
+        "analyze_budget.http",
+        &exchange(addr, &post("/analyze?max-trace=10", &kernel("syrk.iolb"))),
+    );
+    // deadline → 408: injected at the admission seam.
+    check_golden(
+        "analyze_deadline.http",
+        &exchange(
+            addr,
+            &post(
+                "/analyze?inject=deadline%40admission",
+                &kernel("gemm_tiled.iolb"),
+            ),
+        ),
+    );
+    // Success envelope (bounds only, so the exchange stays fast).
+    check_golden(
+        "analyze_derive_only.http",
+        &exchange(
+            addr,
+            &post(
+                "/analyze?derive-only&params=M=6,N=6,K=6",
+                &kernel("gemm_tiled.iolb"),
+            ),
+        ),
+    );
+
+    shutdown(addr, handle);
+}
+
+#[test]
+fn cache_hits_surface_in_header_and_stats() {
+    let (addr, handle) = start_daemon();
+    let req = post(
+        "/analyze?derive-only&params=M=6,N=6,K=6",
+        &kernel("gemm_tiled.iolb"),
+    );
+    let cold = exchange(addr, &req);
+    assert!(cold.contains("X-Iolb-Cache: miss"), "{cold}");
+    let warm = exchange(addr, &req);
+    assert!(warm.contains("X-Iolb-Cache: hit"), "{warm}");
+
+    // Same kernel, formatting variant: still a hit.
+    let variant = format!("# a comment\n\n{}", kernel("gemm_tiled.iolb"));
+    let response = exchange(
+        addr,
+        &post("/analyze?derive-only&params=M=6,N=6,K=6", &variant),
+    );
+    assert!(response.contains("X-Iolb-Cache: hit"), "{response}");
+
+    // Identical payloads beyond the headers.
+    let body = |r: &str| r.split("\r\n\r\n").nth(1).map(str::to_string);
+    assert_eq!(body(&cold), body(&warm));
+    assert_eq!(body(&cold), body(&response));
+
+    let stats = exchange(addr, &get("/stats"));
+    assert!(
+        stats.contains("\"report\": {\"hits\": 2, \"misses\": 1}"),
+        "{stats}"
+    );
+    shutdown(addr, handle);
+}
+
+#[test]
+fn keep_alive_serves_multiple_requests_per_connection() {
+    let (addr, handle) = start_daemon();
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    for i in 0..3 {
+        let body = kernel("cholesky.iolb");
+        let req = format!(
+            "POST /analyze?derive-only&params=N=8 HTTP/1.1\r\nHost: localhost\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        );
+        stream.write_all(req.as_bytes()).expect("send");
+        let response = read_response(&mut stream);
+        assert!(
+            response.starts_with("HTTP/1.1 200"),
+            "request {i}: {response}"
+        );
+        assert!(response.contains("Connection: keep-alive"), "{response}");
+        assert!(
+            response.contains(if i == 0 { "miss" } else { "hit" }),
+            "request {i}: {response}"
+        );
+    }
+    drop(stream);
+    shutdown(addr, handle);
+}
+
+#[test]
+fn health_stats_and_routing() {
+    let (addr, handle) = start_daemon();
+    assert!(exchange(addr, &get("/healthz")).starts_with("HTTP/1.1 200"));
+    assert!(exchange(addr, &get("/nope")).starts_with("HTTP/1.1 404"));
+    assert!(exchange(addr, &get("/analyze")).starts_with("HTTP/1.1 405"));
+    assert!(exchange(addr, &post("/healthz", "")).starts_with("HTTP/1.1 405"));
+    // Unknown query option → 400 with the option parser's diagnostic.
+    let response = exchange(addr, &post("/analyze?frobnicate=1", "x"));
+    assert!(response.starts_with("HTTP/1.1 400"), "{response}");
+    assert!(response.contains("unknown option"), "{response}");
+    shutdown(addr, handle);
+}

@@ -1,0 +1,286 @@
+//! Content-hash result cache.
+//!
+//! The whole analysis pipeline is deterministic (the fuzzer's
+//! bitwise-determinism tests prove it), so every finished report is
+//! infinitely cacheable: the cache key is the 128-bit FNV-1a hash of the
+//! *canonicalized* kernel text (pretty-print round-trip, so
+//! formatting-only variants of the same kernel collide on purpose)
+//! crossed with the option fingerprint. Two layers:
+//!
+//! * **parse layer** — raw source hash → canonical text + canonical
+//!   hash, so a byte-identical resubmission skips the parser entirely;
+//! * **report layer** — (canonical hash, option fingerprint) → finished
+//!   [`AnalysisOutcome`](crate::pipeline::AnalysisOutcome).
+//!
+//! Both layers are sharded (16 independent mutexes chosen by key hash)
+//! so concurrent requests on the rayon pool never serialize on one lock,
+//! and both deduplicate *in-flight* computations: the first requester of
+//! a key computes while later requesters block on the shard's condvar
+//! and then count as hits. That makes the hit/miss counters
+//! deterministic — for any request multiset, misses = distinct keys —
+//! which the concurrency tests assert.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// 128-bit FNV-1a over the given bytes (the canonical content hash; no
+/// truncation, so accidental collisions are out of the picture at any
+/// realistic corpus size).
+pub fn fnv1a_128(bytes: &[u8]) -> u128 {
+    const OFFSET: u128 = 0x6c62272e07bb014262b821756295c58d;
+    const PRIME: u128 = 0x0000000001000000000000000000013b;
+    let mut h = OFFSET;
+    for &b in bytes {
+        h ^= b as u128;
+        h = h.wrapping_mul(PRIME);
+    }
+    h
+}
+
+/// Snapshot of one cache layer's counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LayerStats {
+    /// Requests answered from the cache (including requests that waited
+    /// for an in-flight computation of the same key).
+    pub hits: u64,
+    /// Requests that computed and inserted (= distinct successful keys,
+    /// thanks to in-flight dedup).
+    pub misses: u64,
+}
+
+impl LayerStats {
+    /// Hit fraction (0 when the layer is untouched).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// Snapshot of both layers, served verbatim by the daemon's `/stats`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Raw-source → canonical-text layer.
+    pub parse: LayerStats,
+    /// Canonical-hash × options → finished-report layer.
+    pub report: LayerStats,
+}
+
+const SHARDS: usize = 16;
+
+/// One slot of a shard map: a finished value, or a marker that another
+/// thread is computing it right now.
+enum Slot<V> {
+    Pending,
+    Ready(Arc<V>),
+}
+
+struct Shard<K, V> {
+    map: Mutex<HashMap<K, Slot<V>>>,
+    cv: Condvar,
+}
+
+/// A sharded, interior-mutable map with in-flight deduplication. `K` is
+/// expected to carry good hash bits already (content hashes), so the
+/// shard index is taken from the key's own hash.
+pub struct ShardedCache<K, V> {
+    shards: Vec<Shard<K, V>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl<K: std::hash::Hash + Eq + Clone, V> Default for ShardedCache<K, V> {
+    fn default() -> Self {
+        ShardedCache {
+            shards: (0..SHARDS)
+                .map(|_| Shard {
+                    map: Mutex::new(HashMap::new()),
+                    cv: Condvar::new(),
+                })
+                .collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+}
+
+impl<K: std::hash::Hash + Eq + Clone, V> ShardedCache<K, V> {
+    fn shard(&self, key: &K) -> &Shard<K, V> {
+        use std::hash::Hasher;
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        key.hash(&mut h);
+        &self.shards[(h.finish() as usize) % SHARDS]
+    }
+
+    /// Returns the cached value for `key`, or computes it with `f`.
+    ///
+    /// Exactly one caller computes per key: concurrent requesters of the
+    /// same key block until the computation finishes and then share the
+    /// result (counted as hits). Errors are never cached — the pending
+    /// marker is removed so the next requester retries (budget and
+    /// deadline failures depend on the options, which are part of the
+    /// key, so retrying is deterministic per key).
+    ///
+    /// # Errors
+    /// Whatever `f` returned; waiting threads re-race on the key.
+    pub fn get_or_compute<E>(&self, key: K, f: impl FnOnce() -> Result<V, E>) -> Result<Arc<V>, E> {
+        let shard = self.shard(&key);
+        {
+            let mut map = shard.map.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                match map.get(&key) {
+                    None => {
+                        map.insert(key.clone(), Slot::Pending);
+                        self.misses.fetch_add(1, Ordering::Relaxed);
+                        break;
+                    }
+                    Some(Slot::Ready(v)) => {
+                        self.hits.fetch_add(1, Ordering::Relaxed);
+                        return Ok(Arc::clone(v));
+                    }
+                    Some(Slot::Pending) => {
+                        map = shard.cv.wait(map).unwrap_or_else(|e| e.into_inner());
+                    }
+                }
+            }
+        }
+        // Compute outside the lock. The caller is responsible for
+        // wrapping panicky work in a `catch_analysis` barrier so this
+        // always resolves the pending marker; a panic that does escape
+        // poisons only this key's waiters, not the whole process.
+        let result = f();
+        let mut map = shard.map.lock().unwrap_or_else(|e| e.into_inner());
+        match &result {
+            Ok(_) => {}
+            Err(_) => {
+                map.remove(&key);
+                shard.cv.notify_all();
+            }
+        }
+        match result {
+            Ok(v) => {
+                let v = Arc::new(v);
+                map.insert(key, Slot::Ready(Arc::clone(&v)));
+                shard.cv.notify_all();
+                Ok(v)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Peeks without computing or counting (used by tests).
+    pub fn peek(&self, key: &K) -> Option<Arc<V>> {
+        let map = self
+            .shard(key)
+            .map
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        match map.get(key) {
+            Some(Slot::Ready(v)) => Some(Arc::clone(v)),
+            _ => None,
+        }
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> LayerStats {
+        LayerStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Number of finished entries across all shards.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| {
+                s.map
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .values()
+                    .filter(|v| matches!(v, Slot::Ready(_)))
+                    .count()
+            })
+            .sum()
+    }
+
+    /// Whether the cache holds no finished entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used)] // test-only assertions
+    use super::*;
+
+    #[test]
+    fn fnv_is_stable_and_spreads() {
+        // Reference vector: FNV-1a 128 of the empty input is the offset
+        // basis; of "a" it is a fixed published value.
+        assert_eq!(fnv1a_128(b""), 0x6c62272e07bb014262b821756295c58d);
+        assert_ne!(fnv1a_128(b"kernel a"), fnv1a_128(b"kernel b"));
+    }
+
+    #[test]
+    fn compute_once_then_hit() {
+        let cache: ShardedCache<u128, String> = ShardedCache::default();
+        let v = cache
+            .get_or_compute(7, || Ok::<_, ()>("seven".to_string()))
+            .unwrap();
+        assert_eq!(*v, "seven");
+        let again = cache
+            .get_or_compute(7, || -> Result<String, ()> { panic!("must not recompute") })
+            .unwrap();
+        assert_eq!(*again, "seven");
+        assert_eq!(cache.stats(), LayerStats { hits: 1, misses: 1 });
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn errors_are_not_cached() {
+        let cache: ShardedCache<u128, String> = ShardedCache::default();
+        let err = cache
+            .get_or_compute(3, || Err::<String, _>("boom"))
+            .unwrap_err();
+        assert_eq!(err, "boom");
+        assert!(cache.peek(&3).is_none());
+        // The next requester retries and can succeed.
+        let v = cache
+            .get_or_compute(3, || Ok::<_, &str>("ok".to_string()))
+            .unwrap();
+        assert_eq!(*v, "ok");
+    }
+
+    #[test]
+    fn concurrent_same_key_dedups_to_one_miss() {
+        let cache: Arc<ShardedCache<u128, u64>> = Arc::new(ShardedCache::default());
+        let computed = Arc::new(AtomicU64::new(0));
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                let cache = Arc::clone(&cache);
+                let computed = Arc::clone(&computed);
+                scope.spawn(move || {
+                    let v = cache
+                        .get_or_compute(42, || {
+                            computed.fetch_add(1, Ordering::Relaxed);
+                            // Widen the race window so waiters really wait.
+                            std::thread::sleep(std::time::Duration::from_millis(20));
+                            Ok::<_, ()>(99u64)
+                        })
+                        .unwrap();
+                    assert_eq!(*v, 99);
+                });
+            }
+        });
+        assert_eq!(computed.load(Ordering::Relaxed), 1, "one computation");
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.hits, 7);
+    }
+}

@@ -1,0 +1,30 @@
+//! `iolb_service` — the analysis service core.
+//!
+//! The full I/O lower-bound pipeline of the `iolb` CLI (parse →
+//! admission → access certification → σ/hourglass derivation → CDAG +
+//! miss-curve sweep → tightness), lifted out of the front-end into a
+//! [`Pipeline`] of composable, individually-callable stages, each
+//! threaded through the `govern` budget/cancellation seams. Because the
+//! pipeline is deterministic, finished reports sit behind a two-layer
+//! content-hash [`ResultCache`]: raw source → canonical text (the
+//! pretty-printed round-trip, so formatting variants share an entry),
+//! and (canonical hash × option fingerprint) → finished
+//! [`AnalysisOutcome`].
+//!
+//! Front-ends stay thin: the `iolb` CLI renders outcomes as text/JSON,
+//! the `iolbd` daemon serves them over HTTP. Both drive the same
+//! [`Pipeline::analyze`].
+
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
+pub mod cache;
+pub mod options;
+pub mod pipeline;
+
+pub use cache::{fnv1a_128, CacheStats, LayerStats, ShardedCache};
+pub use options::AnalysisOptions;
+pub use pipeline::{
+    analyze_uncached, canonicalize, canonicalize_kernel, AnalysisOutcome, CachedAnalysis,
+    CanonEntry, ClassicalSummary, DegradeInfo, Derived, HourglassSummary, Pipeline, ResultCache,
+    SplitSummary,
+};

@@ -1,0 +1,616 @@
+//! The analysis pipeline as composable, individually-callable stages.
+//!
+//! This is the service core that used to be welded into the `iolb` CLI:
+//! parse → canonicalize → admission → access certification → σ/hourglass
+//! derivation → CDAG + miss-curve sweep → tightness measurement. Every
+//! stage is threaded through the `govern` seams ([`Budget`] ceilings and
+//! a polled [`CancelToken`]), every front-end (CLI batch, `iolbd`
+//! daemon) drives the same [`Pipeline::analyze_with_token`], and the
+//! whole chain is deterministic — which is why [`Pipeline`] can sit
+//! behind a content-hash [`ResultCache`](crate::cache) and serve repeat
+//! requests as lookups.
+
+use crate::cache::{CacheStats, ShardedCache};
+use crate::options::AnalysisOptions;
+use iolb_bench::sweep::{coarse_s_offsets, try_run_sweep, SweepKernel, SweepReport};
+use iolb_bench::tightness::{try_run_tightness, KernelTightness, TightnessJob};
+use iolb_core::classical::ClassicalBound;
+use iolb_core::govern::{
+    catch_analysis_mut, AnalysisError, Budget, CancelToken, CostEstimate, Degradation,
+};
+use iolb_core::hourglass::{self, HourglassBound};
+use iolb_core::report::{derive_with_split, observation_sizes, SplitBinding};
+use iolb_core::Analysis;
+use iolb_ir::parse::{parse_kernel, print_kernel, KernelFile};
+use iolb_ir::Program;
+use iolb_symbolic::Var;
+use std::cell::Cell;
+use std::sync::Arc;
+
+// ---------------------------------------------------------------------------
+// stages
+// ---------------------------------------------------------------------------
+
+/// Parses kernel text.
+///
+/// # Errors
+/// [`AnalysisError::Parse`] with the spanned diagnostic.
+pub fn parse_stage(src: &str) -> Result<KernelFile, AnalysisError> {
+    parse_kernel(src).map_err(|e| AnalysisError::Parse(e.to_string()))
+}
+
+/// Canonical text of a parsed kernel: the pretty-printer's output, which
+/// the round-trip property test pins as a fixed point (print ∘ parse ∘
+/// print = print). Formatting-only variants of the same kernel —
+/// whitespace, comments — all canonicalize to the same bytes, so their
+/// content hashes collide on purpose and they share one cache entry.
+pub fn canonicalize_kernel(kernel: &KernelFile) -> String {
+    print_kernel(kernel)
+}
+
+/// Parses and canonicalizes in one step, returning the canonical text
+/// and its 128-bit content hash.
+///
+/// # Errors
+/// [`AnalysisError::Parse`] when the source does not parse.
+pub fn canonicalize(src: &str) -> Result<(String, u128), AnalysisError> {
+    let kernel = parse_stage(src)?;
+    let text = canonicalize_kernel(&kernel);
+    let hash = crate::cache::fnv1a_128(text.as_bytes());
+    Ok((text, hash))
+}
+
+/// Resolves concrete parameter values: override entries win over the
+/// file's `default` directive, which must cover everything else.
+/// Override entries naming no program parameter are an error, not a
+/// silent no-op.
+///
+/// # Errors
+/// [`AnalysisError::Refused`] — resubmitting with a larger budget will
+/// not help.
+pub fn resolve_params(
+    kernel: &KernelFile,
+    over: &[(String, i64)],
+) -> Result<Vec<i64>, AnalysisError> {
+    for (n, _) in over {
+        if !kernel.program.params.contains(n) {
+            return Err(AnalysisError::Refused(format!(
+                "params override names unknown parameter {n} (kernel has: {})",
+                kernel.program.params.join(", ")
+            )));
+        }
+    }
+    kernel
+        .program
+        .params
+        .iter()
+        .map(|p| {
+            over.iter()
+                .find(|(n, _)| n == p)
+                .map(|(_, v)| *v)
+                .or_else(|| {
+                    kernel
+                        .defaults
+                        .iter()
+                        .find(|(n, _)| n == p)
+                        .map(|(_, v)| *v)
+                })
+                .ok_or_else(|| {
+                    AnalysisError::Refused(format!(
+                        "parameter {p} has no `default` directive (pass params {p}=…)"
+                    ))
+                })
+        })
+        .collect()
+}
+
+/// Admission control: estimates every size-like resource from the
+/// symbolic loop bounds, refuses before materializing anything, and
+/// picks the degradation rung the work budget affords (dense grid →
+/// coarse grid → symbolic bounds only). Under `no_degrade`, any rung
+/// below full is a budget refusal instead.
+///
+/// # Errors
+/// The typed admission error (budget class, or whatever the estimator
+/// itself surfaced).
+pub fn admission_stage(
+    program: &Program,
+    params: &[i64],
+    opts: &AnalysisOptions,
+    token: &CancelToken,
+) -> Result<(CostEstimate, Degradation), AnalysisError> {
+    let estimate = iolb_ir::admission::estimate(program, params, &opts.budget, token)?;
+    estimate.check(&opts.budget)?;
+    let degradation = estimate.degradation(
+        &opts.budget,
+        opts.s_offsets.len() as u64,
+        coarse_s_offsets().len() as u64,
+    );
+    if opts.no_degrade && degradation != Degradation::Full {
+        return Err(AnalysisError::BudgetExceeded {
+            resource: "work",
+            needed: estimate
+                .trace_len
+                .saturating_mul(opts.s_offsets.len() as u64),
+            limit: opts.budget.max_work,
+        });
+    }
+    Ok((estimate, degradation))
+}
+
+/// Access certification: the synthesized semantics must perform exactly
+/// the declared accesses (what lets everything downstream trust the
+/// declared affine structure). Returns the number of certified dynamic
+/// statement instances.
+///
+/// # Errors
+/// [`AnalysisError::Refused`] when any instance deviates.
+pub fn certify_stage(program: &Program, params: &[i64]) -> Result<u64, AnalysisError> {
+    iolb_ir::interp::validate_accesses(program, params)
+        .map_err(|e| AnalysisError::Refused(format!("access certification failed: {e}")))
+}
+
+/// Everything the derivation stage produced: the bounds themselves (for
+/// the downstream sweep/tightness stages) plus display-ready summaries
+/// (for the front-ends' renderers).
+#[derive(Debug)]
+pub struct Derived {
+    /// The analyzed statement's name.
+    pub stmt_name: String,
+    /// Classical K-partition bound, when a covering projection set exists.
+    pub classical: Option<ClassicalBound>,
+    /// Hourglass bound, when the pattern is present and certifies.
+    pub hourglass: Option<HourglassBound>,
+    /// The §5.3 split binding that was actually applied.
+    pub applied_split: Option<SplitBinding>,
+    /// The file's own `split` directive (forwarded to the sweep so the
+    /// printed derivation and the validated bound cannot diverge).
+    pub dsl_split: Option<SplitBinding>,
+    /// Hourglass chains certified (0 without a pattern).
+    pub chains: usize,
+}
+
+/// σ-bound + hourglass derivation at small observation sizes.
+///
+/// # Errors
+/// [`AnalysisError::Refused`] on analysis failures, unknown statements,
+/// or an hourglass pattern that fails certification.
+pub fn derive_stage(
+    kernel: &KernelFile,
+    params: &[i64],
+    stmt_override: Option<&str>,
+) -> Result<Derived, AnalysisError> {
+    let program = &kernel.program;
+    let stmt_name = stmt_override
+        .map(str::to_string)
+        .or_else(|| kernel.analyze.clone())
+        .unwrap_or_else(|| deepest_stmt(program));
+    let stmt = program
+        .stmt_id(&stmt_name)
+        .ok_or_else(|| AnalysisError::Refused(format!("no statement named {stmt_name}")))?;
+
+    let observe = observation_sizes(params);
+    let analysis = Analysis::run(program, &observe)
+        .map_err(|e| AnalysisError::Refused(format!("analysis: {e}")))?;
+    let classical = analysis.try_classical_bound(stmt);
+    let dsl_split = dsl_split_binding(kernel);
+    let (hourglass, applied_split, chains) = match analysis.detect_hourglass(stmt) {
+        Some(pat) => {
+            let chains = hourglass::certify(program, &pat, &observe[0])
+                .map_err(|e| AnalysisError::Refused(format!("hourglass certification: {e}")))?;
+            // The same split decision the sweep makes (shared helper +
+            // identical observation sizes), so the printed derivation and
+            // the validated bound cannot diverge.
+            let (b, applied) = derive_with_split(program, &pat, dsl_split.clone())
+                .map_err(AnalysisError::Refused)?;
+            (Some(b), applied, chains)
+        }
+        None => (None, None, 0),
+    };
+    Ok(Derived {
+        stmt_name,
+        classical,
+        hourglass,
+        applied_split,
+        dsl_split,
+        chains,
+    })
+}
+
+/// Exact CDAG + MIN/LRU miss-curve validation over the S grid. Takes the
+/// canonical source rather than a `Program` because the sweep needs an
+/// owned program and `Program` is not clonable (its statements carry
+/// closures) — one extra parse of already-canonical text.
+///
+/// # Errors
+/// The first typed error any sweep stage produced.
+#[allow(clippy::too_many_arguments)]
+pub fn sweep_stage(
+    name: &str,
+    canon_src: &str,
+    stmt: &str,
+    params: &[i64],
+    split: Option<SplitBinding>,
+    s_offsets: &[usize],
+    budget: &Budget,
+    token: &CancelToken,
+) -> Result<SweepReport, AnalysisError> {
+    let sweep = SweepKernel {
+        name: name.to_string(),
+        program: reparse(canon_src)?,
+        stmt: stmt.to_string(),
+        params: params.to_vec(),
+        split,
+        s_offsets: s_offsets.to_vec(),
+    };
+    try_run_sweep(vec![sweep], budget, token)
+}
+
+/// Tightness: the best measured blocked upper bound per S (the file's
+/// `schedule` directives swept by the auto-tuner) vs the derived bound.
+///
+/// # Errors
+/// The first typed error the tuner produced.
+#[allow(clippy::too_many_arguments)]
+pub fn tightness_stage(
+    name: &str,
+    canon_src: &str,
+    kernel: &KernelFile,
+    params: &[i64],
+    env: Vec<(Var, i128)>,
+    derived: &Derived,
+    s_offsets: &[usize],
+    budget: &Budget,
+    token: &CancelToken,
+) -> Result<KernelTightness, AnalysisError> {
+    let job = TightnessJob {
+        name: name.to_string(),
+        program: reparse(canon_src)?,
+        params: params.to_vec(),
+        env,
+        classical: derived.classical.clone(),
+        hourglass: derived.hourglass.clone(),
+        schedule: kernel.schedule.clone(),
+        s_offsets: s_offsets.to_vec(),
+    };
+    let report = try_run_tightness(vec![job], budget, token)?;
+    report
+        .kernels
+        .into_iter()
+        .next()
+        .ok_or_else(|| AnalysisError::Internal("tightness produced no kernel".to_string()))
+}
+
+/// Fallback analysis target: the deepest statement, ties → latest in
+/// schedule order.
+fn deepest_stmt(program: &Program) -> String {
+    program
+        .default_analyze_stmt()
+        .map(|id| program.stmt(id).name.clone())
+        .unwrap_or_default()
+}
+
+/// The DSL `split` directive as a [`SplitBinding`] on the paper's `Ms`.
+fn dsl_split_binding(kernel: &KernelFile) -> Option<SplitBinding> {
+    kernel.split.as_ref().map(|(name, expr)| SplitBinding {
+        var: Var::new(name),
+        expr: expr.clone(),
+    })
+}
+
+/// A second, independent parse of the same source (the [`Program`] is not
+/// clonable: its statements carry closures).
+fn reparse(src: &str) -> Result<Program, AnalysisError> {
+    Ok(parse_stage(src)?.program)
+}
+
+// ---------------------------------------------------------------------------
+// outcome
+// ---------------------------------------------------------------------------
+
+/// Display-ready classical-bound summary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClassicalSummary {
+    /// Brascamp–Lieb exponent σ.
+    pub sigma: String,
+    /// In-set refinement divisor m.
+    pub m: String,
+    /// The asymptotic bound expression.
+    pub expr: String,
+}
+
+/// Display-ready hourglass-bound summary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HourglassSummary {
+    /// Certified chains at the observation size.
+    pub chains: usize,
+    /// Minimal hourglass width.
+    pub w_min: String,
+    /// Maximal hourglass width.
+    pub w_max: String,
+    /// Main bound (tool-convention volume).
+    pub main_tool: String,
+}
+
+/// Display-ready §5.3 split summary (present only when a binding was
+/// actually applied).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SplitSummary {
+    /// Split variable name (the paper's `Ms`).
+    pub var: String,
+    /// The binding expression.
+    pub expr: String,
+}
+
+/// What the work budget did to this request (present below
+/// [`Degradation::Full`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DegradeInfo {
+    /// Work the requested grid would have needed (trace × grid points).
+    pub work_needed: u64,
+    /// The configured work ceiling.
+    pub max_work: u64,
+    /// Points of the coarse fallback grid.
+    pub coarse_points: usize,
+}
+
+/// The finished, cacheable result of one analysis request: structured
+/// data only — rendering (tables, human text, JSON framing) is the
+/// front-ends' job.
+#[derive(Debug)]
+pub struct AnalysisOutcome {
+    /// Kernel name (from the program header).
+    pub name: String,
+    /// Resolved named parameter values, in program order.
+    pub params: Vec<(String, i64)>,
+    /// Access-certified dynamic statement instances.
+    pub certified_instances: u64,
+    /// The analyzed statement.
+    pub stmt: String,
+    /// Classical σ-bound summary, when derivable.
+    pub classical: Option<ClassicalSummary>,
+    /// Applied §5.3 split, when any.
+    pub split: Option<SplitSummary>,
+    /// Hourglass summary, when the kernel has the pattern.
+    pub hourglass: Option<HourglassSummary>,
+    /// The degradation rung the work budget afforded.
+    pub degradation: Degradation,
+    /// Budget numbers behind a below-full rung.
+    pub degrade: Option<DegradeInfo>,
+    /// The validation matrix (`None` under `derive_only` or the
+    /// bounds-only rung).
+    pub sweep: Option<SweepReport>,
+    /// Tightness measurement (absent under `no_tightness`, `derive_only`,
+    /// or any degradation below full).
+    pub tightness: Option<KernelTightness>,
+    /// All validation cells sound (vacuously true when validation was
+    /// skipped).
+    pub sound: bool,
+}
+
+/// Runs the full uncached chain on (canonical) kernel text.
+///
+/// # Errors
+/// Every failure is a typed [`AnalysisError`].
+pub fn analyze_uncached(
+    src: &str,
+    opts: &AnalysisOptions,
+    token: &CancelToken,
+) -> Result<AnalysisOutcome, AnalysisError> {
+    let kernel = parse_stage(src)?;
+    let program = &kernel.program;
+    let params = resolve_params(&kernel, &opts.params_override)?;
+    let named: Vec<(String, i64)> = program.params.iter().cloned().zip(params.clone()).collect();
+
+    let (estimate, degradation) = admission_stage(program, &params, opts, token)?;
+    let certified = certify_stage(program, &params)?;
+    let derived = derive_stage(&kernel, &params, opts.stmt_override.as_deref())?;
+
+    let classical = derived.classical.as_ref().map(|b| ClassicalSummary {
+        sigma: b.sigma.to_string(),
+        m: b.m.to_string(),
+        expr: b.expr.to_string(),
+    });
+    let split = derived.applied_split.as_ref().map(|b| SplitSummary {
+        var: b.var.name().to_string(),
+        expr: b.expr.to_string(),
+    });
+    let hourglass = derived.hourglass.as_ref().map(|b| HourglassSummary {
+        chains: derived.chains,
+        w_min: b.w_min.to_string(),
+        w_max: b.w_max.to_string(),
+        main_tool: b.main_tool.to_string(),
+    });
+    let degrade = (degradation != Degradation::Full).then(|| DegradeInfo {
+        work_needed: estimate
+            .trace_len
+            .saturating_mul(opts.s_offsets.len() as u64),
+        max_work: opts.budget.max_work,
+        coarse_points: coarse_s_offsets().len(),
+    });
+
+    let mut outcome = AnalysisOutcome {
+        name: program.name.clone(),
+        params: named.clone(),
+        certified_instances: certified,
+        stmt: derived.stmt_name.clone(),
+        classical,
+        split,
+        hourglass,
+        degradation,
+        degrade,
+        sweep: None,
+        tightness: None,
+        sound: true,
+    };
+    if opts.derive_only || degradation == Degradation::BoundsOnly {
+        return Ok(outcome);
+    }
+    let s_offsets = match degradation {
+        Degradation::Coarse => coarse_s_offsets(),
+        _ => opts.s_offsets.clone(),
+    };
+
+    let mut report = sweep_stage(
+        &outcome.name,
+        src,
+        &derived.stmt_name,
+        &params,
+        derived.dsl_split.clone(),
+        &s_offsets,
+        &opts.budget,
+        token,
+    )?;
+    for row in &mut report.degradation {
+        row.level = degradation;
+    }
+    outcome.sound = report.rows.iter().all(iolb_bench::sweep::SweepRow::sound);
+
+    outcome.tightness = if opts.no_tightness || degradation != Degradation::Full {
+        None
+    } else {
+        let mut env: Vec<(Var, i128)> = named
+            .iter()
+            .map(|(n, v)| (Var::new(n), *v as i128))
+            .collect();
+        if let Some(b) = &derived.applied_split {
+            env.push((b.var, b.eval(&named)));
+        }
+        Some(tightness_stage(
+            &outcome.name,
+            src,
+            &kernel,
+            &params,
+            env,
+            &derived,
+            &s_offsets,
+            &opts.budget,
+            token,
+        )?)
+    };
+    outcome.sweep = Some(report);
+    Ok(outcome)
+}
+
+// ---------------------------------------------------------------------------
+// the cached pipeline
+// ---------------------------------------------------------------------------
+
+/// One entry of the parse layer: the canonical text and its hash, shared
+/// by every formatting variant that parses to the same kernel.
+#[derive(Debug)]
+pub struct CanonEntry {
+    /// The pretty-printed (canonical) kernel text.
+    pub text: String,
+    /// 128-bit FNV-1a of the canonical text.
+    pub hash: u128,
+}
+
+/// The two-layer result cache (see the [`crate::cache`] docs for the
+/// sharding and in-flight-dedup story).
+#[derive(Default)]
+pub struct ResultCache {
+    parse: ShardedCache<u128, CanonEntry>,
+    report: ShardedCache<(u128, String), AnalysisOutcome>,
+}
+
+impl ResultCache {
+    /// Counter snapshot of both layers.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            parse: self.parse.stats(),
+            report: self.report.stats(),
+        }
+    }
+
+    /// Finished report entries currently cached.
+    pub fn report_entries(&self) -> usize {
+        self.report.len()
+    }
+}
+
+/// An analysis answer plus where it came from.
+#[derive(Debug, Clone)]
+pub struct CachedAnalysis {
+    /// The (possibly shared) finished report.
+    pub outcome: Arc<AnalysisOutcome>,
+    /// Whether the report layer answered without running the pipeline.
+    pub cached: bool,
+}
+
+/// The analysis service core: the staged pipeline behind the two-layer
+/// content-hash cache. Cheap to share (`&Pipeline` is `Sync`); one
+/// instance per daemon / batch run.
+#[derive(Default)]
+pub struct Pipeline {
+    cache: ResultCache,
+}
+
+impl Pipeline {
+    /// A pipeline with an empty cache.
+    pub fn new() -> Pipeline {
+        Pipeline::default()
+    }
+
+    /// Cache access (stats endpoints, tests).
+    pub fn cache(&self) -> &ResultCache {
+        &self.cache
+    }
+
+    /// [`Pipeline::analyze_with_token`] with a token built from the
+    /// options: the injected fault when one is armed, else the budget's
+    /// own deadline token.
+    ///
+    /// # Errors
+    /// Every failure is a typed [`AnalysisError`].
+    pub fn analyze(
+        &self,
+        src: &str,
+        opts: &AnalysisOptions,
+    ) -> Result<CachedAnalysis, AnalysisError> {
+        let token = match opts.inject {
+            Some(fault) => CancelToken::with_fault(fault),
+            None => opts.budget.token(),
+        };
+        self.analyze_with_token(src, opts, &token)
+    }
+
+    /// Analyzes one kernel text under the given options and cancellation
+    /// token, answering from the cache when the canonicalized text ×
+    /// option fingerprint has been analyzed before. Fault-injection
+    /// requests bypass the cache entirely (their purpose is to exercise
+    /// the pipeline). Errors are never cached.
+    ///
+    /// # Errors
+    /// Every failure is a typed [`AnalysisError`]; panics inside the
+    /// pipeline are contained and surface as `Internal`.
+    pub fn analyze_with_token(
+        &self,
+        src: &str,
+        opts: &AnalysisOptions,
+        token: &CancelToken,
+    ) -> Result<CachedAnalysis, AnalysisError> {
+        if opts.inject.is_some() {
+            let outcome = catch_analysis_mut(|| analyze_uncached(src, opts, token))?;
+            return Ok(CachedAnalysis {
+                outcome: Arc::new(outcome),
+                cached: false,
+            });
+        }
+        let raw_hash = crate::cache::fnv1a_128(src.as_bytes());
+        let canon = self.cache.parse.get_or_compute(raw_hash, || {
+            let (text, hash) = canonicalize(src)?;
+            Ok::<_, AnalysisError>(CanonEntry { text, hash })
+        })?;
+        let key = (canon.hash, opts.fingerprint());
+        let computed = Cell::new(false);
+        let outcome = self.cache.report.get_or_compute(key, || {
+            computed.set(true);
+            catch_analysis_mut(|| analyze_uncached(&canon.text, opts, token))
+        })?;
+        Ok(CachedAnalysis {
+            outcome,
+            cached: !computed.get(),
+        })
+    }
+}

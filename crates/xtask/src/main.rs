@@ -30,6 +30,7 @@
 //! unchanged tree the gate compares byte-equal values.
 
 mod json;
+mod serve_bench;
 
 use json::Value;
 use std::path::{Path, PathBuf};
@@ -42,11 +43,19 @@ USAGE:
     xtask gate --baseline <DIR> --fresh <DIR> [--tolerance 0.02]
     xtask fuzz-smoke [--seeds 1,2,3] [--cases 200] [--max-seconds 300]
     xtask fuzz-smoke --inject all|panic,oom,deadline
+    xtask serve-bench [--iolbd PATH] [--iolb PATH] [--kernels DIR]
+                      [--out BENCH_serve.json] [--warm-passes 5]
 
 `gate` diffs <DIR>/BENCH_pebble.json and <DIR>/BENCH_tightness.json between
 the two directories and exits nonzero on soundness loss, coverage loss,
 tightness-ratio regression beyond the tolerance, a failed kernel row, or a
-kernel degraded below its baseline fidelity rung.
+kernel degraded below its baseline fidelity rung. When both sides carry a
+BENCH_serve.json it also gates the daemon bench: the fresh cold pass must
+match the CLI and the warm cache hit rate must stay at or above 0.99.
+
+`serve-bench` starts the `iolbd` daemon on an ephemeral loopback port,
+replays every kernel cold and warm, verifies the cold responses against
+the `iolb` CLI row for row, and writes the BENCH_serve.json report.
 
 `fuzz-smoke` runs the kernel-space fuzzer over a fixed seed set and exits
 nonzero on any differential-oracle violation (bounded CI job; the time
@@ -68,6 +77,13 @@ fn main() -> ExitCode {
         },
         Some("fuzz-smoke") => match parse_fuzz_smoke_args(&args[1..]) {
             Ok(opts) => run_fuzz_smoke(&opts),
+            Err(msg) => {
+                eprintln!("{msg}\n\n{USAGE}");
+                ExitCode::from(2)
+            }
+        },
+        Some("serve-bench") => match serve_bench::parse_serve_bench_args(&args[1..]) {
+            Ok(opts) => serve_bench::run_serve_bench(&opts),
             Err(msg) => {
                 eprintln!("{msg}\n\n{USAGE}");
                 ExitCode::from(2)
@@ -362,6 +378,30 @@ fn run_gate(baseline: &Path, fresh: &Path, tol: f64) -> ExitCode {
             gate_governance(&base, &new, "tightness", &mut violations);
         }
         Err(e) => violations.push(e),
+    }
+    // The serve bench is gated only once a baseline exists, so trees
+    // predating the daemon still gate cleanly.
+    if baseline.join("BENCH_serve.json").exists() {
+        match load_pair(baseline, fresh, "BENCH_serve.json") {
+            Ok((base, new)) => {
+                check_schema(
+                    &base,
+                    "serve baseline",
+                    serve_bench::SERVE_SCHEMAS,
+                    &mut violations,
+                );
+                check_schema(
+                    &new,
+                    "serve fresh",
+                    serve_bench::SERVE_SCHEMAS,
+                    &mut violations,
+                );
+                serve_bench::gate_serve(&base, &new, &mut violations);
+            }
+            Err(e) => violations.push(e),
+        }
+    } else {
+        println!("gate: no baseline BENCH_serve.json — serve bench not gated");
     }
     if violations.is_empty() {
         println!("gate ✓ — soundness and tightness no worse than the committed baselines (tolerance {tol})");
