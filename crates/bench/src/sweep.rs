@@ -35,7 +35,10 @@
 
 use iolb_cdag::{try_build_cdag, Cdag, SpillPolicy};
 use iolb_core::report::SplitBinding;
-use iolb_core::{report, Analysis, ClassicalBound};
+use iolb_core::{
+    best_engine_bound, report, Analysis, BoundProvenance, ClassicalBound, EngineCurve,
+    EngineRegistry,
+};
 use iolb_govern::{catch_analysis_mut, AnalysisError, Budget, CancelToken, Degradation};
 use iolb_memsim::{CurveEngine, MissCurve};
 use iolb_symbolic::Var;
@@ -257,6 +260,9 @@ struct Prepared {
     trace: Vec<u64>,
     classical: Option<ClassicalBound>,
     hourglass: Option<iolb_core::HourglassBound>,
+    /// Graph-level engine bounds, one curve per selected engine, indexed
+    /// in lockstep with `s_values`.
+    engine_curves: Vec<EngineCurve>,
     prep_ms: f64,
 }
 
@@ -285,6 +291,18 @@ pub struct SweepRow {
     pub lb_classical: f64,
     /// Hourglass bound at (env, S), 0 when the kernel has no pattern.
     pub lb_hourglass: f64,
+    /// Graph-level input-floor bound (`None` when the engine was not
+    /// selected).
+    pub lb_input: Option<u64>,
+    /// Graph-level DAG-visit bound (`None` when not selected).
+    pub lb_visit: Option<u64>,
+    /// Graph-level spectral bound (`None` when not selected or the CDAG
+    /// exceeds [`iolb_cdag::SPECTRAL_NODE_CAP`]).
+    pub lb_spectral: Option<u64>,
+    /// Which bound family [`SweepRow::lb`] came from. Ties keep the
+    /// earliest family in declaration order (symbolic before graph-level),
+    /// so the tag is deterministic.
+    pub lb_provenance: BoundProvenance,
     /// Measured loads over the best bound (≥ 1 for sound bounds).
     pub ratio: f64,
     /// One-time preparation cost of this cell's kernel (CDAG build + bound
@@ -297,9 +315,21 @@ pub struct SweepRow {
 }
 
 impl SweepRow {
-    /// Best derived bound of this cell.
+    /// Best graph-level engine bound of this cell (`None` when no engine
+    /// applied).
+    pub fn lb_graph(&self) -> Option<u64> {
+        [self.lb_input, self.lb_visit, self.lb_spectral]
+            .into_iter()
+            .flatten()
+            .max()
+    }
+
+    /// Best derived bound of this cell: max over the symbolic bounds and
+    /// every applicable graph-level engine.
     pub fn lb(&self) -> f64 {
-        self.lb_classical.max(self.lb_hourglass)
+        self.lb_classical
+            .max(self.lb_hourglass)
+            .max(self.lb_graph().unwrap_or(0) as f64)
     }
 
     /// Soundness of the cell: the bound must not exceed the measured
@@ -360,6 +390,26 @@ pub fn try_run_sweep(
     budget: &Budget,
     token: &CancelToken,
 ) -> Result<SweepReport, AnalysisError> {
+    try_run_sweep_with(kernels, budget, token, &EngineRegistry::all())
+}
+
+/// [`try_run_sweep`] with an explicit graph-level engine selection.
+///
+/// Engine curves are evaluated during stage-1 preparation on the exact
+/// CDAG at every grid `S`. They are deliberately *not* charged against the
+/// work budget: the engines are cheap by construction (the visit profile
+/// is one sort of the compute in-degrees, the spectral profile refuses
+/// graphs above [`iolb_cdag::SPECTRAL_NODE_CAP`] nodes), so selecting
+/// them never changes the degradation level a kernel is admitted at.
+///
+/// # Errors
+/// The first typed error any stage produced.
+pub fn try_run_sweep_with(
+    kernels: Vec<SweepKernel>,
+    budget: &Budget,
+    token: &CancelToken,
+    registry: &EngineRegistry,
+) -> Result<SweepReport, AnalysisError> {
     let t_total = Instant::now();
     // Stage 1: per-kernel preparation (bounds + CDAG + trace) in parallel.
     let prepared: Vec<Prepared> = kernels
@@ -401,7 +451,8 @@ pub fn try_run_sweep(
                     });
                 }
                 let min_s = cdag.max_in_degree() + 1;
-                let s_values = k.s_offsets.iter().map(|&off| min_s + off).collect();
+                let s_values: Vec<usize> = k.s_offsets.iter().map(|&off| min_s + off).collect();
+                let engine_curves = registry.evaluate(&cdag, &s_values);
                 Ok(Prepared {
                     name: k.name,
                     params: k.params,
@@ -411,6 +462,7 @@ pub fn try_run_sweep(
                     trace,
                     classical,
                     hourglass: hg,
+                    engine_curves,
                     prep_ms: t.elapsed().as_secs_f64() * 1e3,
                 })
             })
@@ -445,7 +497,7 @@ pub fn try_run_sweep(
     // Assemble rows in (kernel, S, {LRU, MIN}) order from the curves.
     let mut rows = Vec::new();
     for (ki, p) in prepared.iter().enumerate() {
-        for &s in &p.s_values {
+        for (si, &s) in p.s_values.iter().enumerate() {
             for (ci, policy) in [
                 (2 * ki, SpillPolicy::Lru),
                 (2 * ki + 1, SpillPolicy::MinNextUse),
@@ -462,7 +514,27 @@ pub fn try_run_sweep(
                     .as_ref()
                     .map(|b| b.eval_floor(&p.env, s as i128))
                     .unwrap_or(0.0);
-                let lb = lb_classical.max(lb_hourglass).max(1.0);
+                let engine_at = |prov: BoundProvenance| -> Option<u64> {
+                    p.engine_curves
+                        .iter()
+                        .find(|c| c.provenance == prov)
+                        .and_then(|c| c.at(si))
+                };
+                // Winning provenance: strictly-greater replaces, so ties
+                // keep the earliest family (symbolic before graph-level,
+                // canonical engine order within graph-level).
+                let mut best = lb_classical;
+                let mut lb_provenance = BoundProvenance::Classical;
+                if lb_hourglass > best {
+                    best = lb_hourglass;
+                    lb_provenance = BoundProvenance::Hourglass;
+                }
+                if let Some((b, prov)) = best_engine_bound(&p.engine_curves, si) {
+                    if b as f64 > best {
+                        best = b as f64;
+                        lb_provenance = prov;
+                    }
+                }
                 rows.push(SweepRow {
                     kernel: p.name.clone(),
                     params: p.params.clone(),
@@ -474,7 +546,11 @@ pub fn try_run_sweep(
                     computes: p.cdag.num_computes() as u64,
                     lb_classical,
                     lb_hourglass,
-                    ratio: loads as f64 / lb,
+                    lb_input: engine_at(BoundProvenance::InputFloor),
+                    lb_visit: engine_at(BoundProvenance::Visit),
+                    lb_spectral: engine_at(BoundProvenance::Spectral),
+                    lb_provenance,
+                    ratio: loads as f64 / best.max(1.0),
                     prep_ms: p.prep_ms,
                     wall_ms: *wall_ms,
                 });
@@ -505,7 +581,7 @@ pub fn try_run_sweep(
 pub fn render_sweep_table(report: &SweepReport) -> String {
     let mut out = String::new();
     out.push_str(&format!(
-        "{:<12} {:>14} {:>7} {:>6} {:>4} {:>10} {:>12} {:>12} {:>7} {:>9}\n",
+        "{:<12} {:>14} {:>7} {:>6} {:>4} {:>10} {:>12} {:>12} {:>9} {:>11} {:>7} {:>9}\n",
         "kernel",
         "size",
         "nodes",
@@ -514,12 +590,14 @@ pub fn render_sweep_table(report: &SweepReport) -> String {
         "loads",
         "LB classic",
         "LB hourglass",
+        "LB graph",
+        "prov",
         "load/LB",
         "curve ms"
     ));
     for r in &report.rows {
         out.push_str(&format!(
-            "{:<12} {:>14} {:>7} {:>6} {:>4} {:>10} {:>12.0} {:>12.0} {:>7.2} {:>9.2}\n",
+            "{:<12} {:>14} {:>7} {:>6} {:>4} {:>10} {:>12.0} {:>12.0} {:>9} {:>11} {:>7.2} {:>9.2}\n",
             r.kernel,
             format!("{:?}", r.params),
             r.nodes,
@@ -531,6 +609,8 @@ pub fn render_sweep_table(report: &SweepReport) -> String {
             r.loads,
             r.lb_classical,
             r.lb_hourglass,
+            r.lb_graph().map_or("-".to_string(), |b| b.to_string()),
+            r.lb_provenance.as_str(),
             r.ratio,
             r.wall_ms,
         ));
@@ -588,8 +668,9 @@ pub fn sweep_report_json_with(report: &SweepReport, redact_volatile: bool) -> St
     degradation.sort_by(|a, b| a.kernel.cmp(&b.kernel));
     let mut failures: Vec<&FailureRow> = report.failures.iter().collect();
     failures.sort_by(|a, b| (&a.kernel, &a.class).cmp(&(&b.kernel, &b.class)));
+    let opt = |v: Option<u64>| v.map_or("null".to_string(), |b| b.to_string());
     let mut out = String::from("{\n");
-    out.push_str("  \"schema\": \"hourglass-iolb/pebble-sweep/v4\",\n");
+    out.push_str("  \"schema\": \"hourglass-iolb/pebble-sweep/v5\",\n");
     out.push_str(&format!(
         "  \"meta\": {{\"threads\": {threads}, \"total_wall_ms\": {}}},\n",
         num(wall)
@@ -619,7 +700,7 @@ pub fn sweep_report_json_with(report: &SweepReport, redact_volatile: bool) -> St
     for (i, r) in rows.iter().enumerate() {
         let params: Vec<String> = r.params.iter().map(|p| p.to_string()).collect();
         out.push_str(&format!(
-            "    {{\"kernel\": \"{}\", \"params\": [{}], \"nodes\": {}, \"edges\": {}, \"s\": {}, \"policy\": \"{}\", \"loads\": {}, \"computes\": {}, \"lb_classical\": {}, \"lb_hourglass\": {}, \"ratio_loads_over_lb\": {}, \"sound\": {}}}{}\n",
+            "    {{\"kernel\": \"{}\", \"params\": [{}], \"nodes\": {}, \"edges\": {}, \"s\": {}, \"policy\": \"{}\", \"loads\": {}, \"computes\": {}, \"lb_classical\": {}, \"lb_hourglass\": {}, \"lb_input\": {}, \"lb_visit\": {}, \"lb_spectral\": {}, \"lb\": {}, \"lb_provenance\": \"{}\", \"ratio_loads_over_lb\": {}, \"sound\": {}}}{}\n",
             r.kernel,
             params.join(", "),
             r.nodes,
@@ -630,6 +711,11 @@ pub fn sweep_report_json_with(report: &SweepReport, redact_volatile: bool) -> St
             r.computes,
             num(r.lb_classical),
             num(r.lb_hourglass),
+            opt(r.lb_input),
+            opt(r.lb_visit),
+            opt(r.lb_spectral),
+            num(r.lb()),
+            r.lb_provenance.as_str(),
             num(r.ratio),
             r.sound(),
             if i + 1 == rows.len() { "" } else { "," }
@@ -688,9 +774,31 @@ mod tests {
                 );
             }
         }
+        // Every row carries the full engine complement (the default
+        // registry selects all engines; always-applicable ones are never
+        // null) and a provenance tag consistent with the winning bound.
+        for r in &report.rows {
+            assert!(r.lb_input.is_some(), "{}: input floor missing", r.kernel);
+            assert!(r.lb_visit.is_some(), "{}: visit bound missing", r.kernel);
+            let best = r.lb();
+            let tagged = match r.lb_provenance {
+                BoundProvenance::Classical => r.lb_classical,
+                BoundProvenance::Hourglass => r.lb_hourglass,
+                BoundProvenance::InputFloor => r.lb_input.unwrap_or(0) as f64,
+                BoundProvenance::Visit => r.lb_visit.unwrap_or(0) as f64,
+                BoundProvenance::Spectral => r.lb_spectral.unwrap_or(0) as f64,
+            };
+            assert_eq!(
+                tagged, best,
+                "{}: provenance tags a non-best bound",
+                r.kernel
+            );
+        }
         // JSON smoke: parsers only need balance + key presence here.
         let json = sweep_report_json(&report);
-        assert!(json.contains("\"schema\": \"hourglass-iolb/pebble-sweep/v4\""));
+        assert!(json.contains("\"schema\": \"hourglass-iolb/pebble-sweep/v5\""));
+        assert!(json.contains("\"lb_provenance\": \""));
+        assert!(json.contains("\"lb_input\": "));
         assert_eq!(
             json.matches('{').count(),
             json.matches('}').count(),
@@ -720,6 +828,32 @@ mod tests {
         );
         let redacted = sweep_report_json_with(&report, true);
         assert!(redacted.contains("\"meta\": {\"threads\": 0, \"total_wall_ms\": 0.0000}"));
+    }
+
+    /// `--engines none` disables the graph-level columns without touching
+    /// the symbolic bounds: every engine cell is null and provenance can
+    /// only name a symbolic family.
+    #[test]
+    fn empty_registry_disables_graph_bounds() {
+        let mut kernels = default_sweep_kernels_at(SweepSize::Small);
+        kernels.truncate(1);
+        kernels[0].s_offsets = coarse_s_offsets();
+        let report = try_run_sweep_with(
+            kernels,
+            &Budget::unlimited(),
+            &CancelToken::unlimited(),
+            &EngineRegistry::none(),
+        )
+        .expect("sweep");
+        assert!(!report.rows.is_empty());
+        for r in &report.rows {
+            assert_eq!(r.lb_graph(), None);
+            assert!(matches!(
+                r.lb_provenance,
+                BoundProvenance::Classical | BoundProvenance::Hourglass
+            ));
+            assert!(r.sound());
+        }
     }
 
     /// The dense default grid embeds the legacy coarse grid, so historical

@@ -35,6 +35,9 @@ OPTIONS:
     --tightness-json PATH write the tightness report (lower vs measured upper bounds) as JSON
     --no-tightness        skip the upper-bound schedule measurement
     --derive-only         skip the pebble-game validation (bounds only)
+    --engines SPEC        graph-level bound engines for the sweep report:
+                          `all` (default), `none`, or a comma list drawn
+                          from input-floor, visit, spectral
     -h, --help            this text
 
 RESOURCE GOVERNANCE (admission control refuses or down-scopes a kernel
@@ -76,6 +79,9 @@ pub struct Options {
     pub no_tightness: bool,
     /// `--derive-only` flag.
     pub derive_only: bool,
+    /// `--engines` selection, stored canonically (see
+    /// [`iolb_core::EngineRegistry::select`]).
+    pub engines: String,
     /// Resource budget from the `--max-*` / `--deadline-ms` flags.
     pub budget: Budget,
     /// `--no-degrade`: refuse instead of down-scoping.
@@ -95,6 +101,7 @@ impl Options {
             s_offsets: self.s_offsets.clone(),
             no_tightness: self.no_tightness,
             derive_only: self.derive_only,
+            engines: self.engines.clone(),
             budget: self.budget,
             no_degrade: self.no_degrade,
             inject: None,
@@ -125,6 +132,7 @@ pub fn parse_args(args: &[String]) -> Result<Options, String> {
         tightness_json: None,
         no_tightness: false,
         derive_only: false,
+        engines: "all".to_string(),
         budget: Budget::unlimited(),
         no_degrade: false,
         inject: None,
@@ -173,6 +181,12 @@ pub fn parse_args(args: &[String]) -> Result<Options, String> {
             }
             "--no-tightness" => o.no_tightness = true,
             "--derive-only" => o.derive_only = true,
+            "--engines" => {
+                let v = it.next().ok_or("--engines needs a value")?;
+                // Validated and canonicalized up front, so permuted but
+                // equivalent selections share a cache fingerprint.
+                o.engines = iolb_core::EngineRegistry::select(v)?.fingerprint();
+            }
             "--max-instances" => o.budget.max_instances = parse_ceiling(&mut it, a)?,
             "--max-cdag-nodes" => o.budget.max_cdag_nodes = parse_ceiling(&mut it, a)?,
             "--max-cdag-edges" => o.budget.max_cdag_edges = parse_ceiling(&mut it, a)?,

@@ -69,13 +69,28 @@ fn lu_and_syrk_full_pipeline_is_sound() {
 
 #[test]
 fn jacobi_stencil_degrades_gracefully() {
-    // No covering projection set and no hourglass: the pipeline must not
-    // abort, the trivial bound is (vacuously) sound in every cell, and the
-    // input floor still yields a finite tightness ratio.
+    // No covering projection set and no hourglass: the symbolic bounds
+    // are trivial in every cell, but the pipeline must not abort and the
+    // graph-level engines now supply a finite positive lower bound (the
+    // input floor alone guarantees one — jacobi reads inputs).
     let opts = small_opts();
     let outcome = run_ok("jacobi2d.iolb", &opts);
     assert!(outcome.sound);
-    assert!(rows(&outcome).iter().all(|r| r.lb() == 0.0));
+    for r in rows(&outcome) {
+        assert_eq!(r.lb_classical, 0.0, "S={}", r.s);
+        assert_eq!(r.lb_hourglass, 0.0, "S={}", r.s);
+        let graph = r.lb_graph().expect("graph engines apply");
+        assert!(graph > 0, "S={}", r.s);
+        assert_eq!(r.lb(), graph as f64, "S={}", r.s);
+        assert!(
+            !matches!(
+                r.lb_provenance,
+                iolb_core::BoundProvenance::Classical | iolb_core::BoundProvenance::Hourglass
+            ),
+            "best bound must come from a graph engine, got {:?}",
+            r.lb_provenance
+        );
+    }
     let t = outcome.tightness.expect("tightness measured");
     for p in &t.points {
         assert!(p.lb_inputs > 0.0, "jacobi reads inputs");

@@ -1,8 +1,9 @@
 //! Golden snapshots of the machine-readable report schemas.
 //!
 //! The CI regression gate and downstream tooling parse
-//! `BENCH_iolb_kernels.json` (pebble-sweep schema v4, miss-curve cells
-//! plus per-kernel degradation/failure rows) and `BENCH_tightness.json`
+//! `BENCH_iolb_kernels.json` (pebble-sweep schema v5, miss-curve cells
+//! with graph-level engine bounds plus per-kernel degradation/failure
+//! rows) and `BENCH_tightness.json`
 //! (tightness schema v3, optimal-curve upper bounds plus the same
 //! governance rows); these tests pin both formats byte-for-byte on fixed
 //! kernels at fixed sizes — including a batch that mixes a sound kernel,
@@ -65,7 +66,7 @@ fn report_schemas_match_golden_snapshots() {
 
     let sweep = outcome.report.expect("validation ran");
     check_golden(
-        "pebble_sweep_v4.json",
+        "pebble_sweep_v5.json",
         &sweep_report_json_with(&sweep, true),
     );
 
@@ -164,7 +165,7 @@ fn degraded_and_failed_batch_matches_golden() {
         combined.rows.extend(report.rows.iter().cloned());
     }
     check_golden(
-        "pebble_sweep_v4_governed_batch.json",
+        "pebble_sweep_v5_governed_batch.json",
         &sweep_report_json_with(&combined, true),
     );
 

@@ -18,6 +18,7 @@
 //! 5. [`report`] — table generators for Figures 4 and 5.
 
 pub mod classical;
+pub mod engine;
 pub mod hourglass;
 pub mod phi;
 pub mod report;
@@ -30,6 +31,7 @@ pub mod theorems;
 pub use iolb_govern as govern;
 
 pub use classical::ClassicalBound;
+pub use engine::{best_engine_bound, BoundEngine, BoundProvenance, EngineCurve, EngineRegistry};
 pub use hourglass::{HourglassBound, HourglassPattern};
 pub use phi::PhiSet;
 

@@ -85,6 +85,9 @@ pub struct FuzzStats {
     pub analysis_skipped: u64,
     /// Cases carrying `schedule { tile … }` directives.
     pub tiled: u64,
+    /// Cases where every S of the grid received at least one finite
+    /// graph-level engine bound.
+    pub engine_covered: u64,
 }
 
 /// Full outcome of one fuzz run.
@@ -126,6 +129,7 @@ pub fn run_fuzz(config: &FuzzConfig) -> FuzzReport {
                 stats.hourglass += r.hourglass as u64;
                 stats.analysis_skipped += r.analysis_skipped as u64;
                 stats.tiled += r.tiled as u64;
+                stats.engine_covered += r.engine_covered as u64;
             }
             Err(v) => {
                 let shrunk = shrink_case(&spec, &oracle, &v);
@@ -158,12 +162,13 @@ pub fn fuzz_report_json(report: &FuzzReport) -> String {
     out.push_str(&format!("  \"cases\": {},\n", report.config.cases));
     out.push_str(&format!("  \"max_dims\": {},\n", report.config.max_dims));
     out.push_str(&format!(
-        "  \"stats\": {{\"instances\": {}, \"classical_bounds\": {}, \"hourglass_bounds\": {}, \"analysis_skipped\": {}, \"tiled\": {}}},\n",
+        "  \"stats\": {{\"instances\": {}, \"classical_bounds\": {}, \"hourglass_bounds\": {}, \"analysis_skipped\": {}, \"tiled\": {}, \"engine_covered\": {}}},\n",
         report.stats.instances,
         report.stats.classical,
         report.stats.hourglass,
         report.stats.analysis_skipped,
-        report.stats.tiled
+        report.stats.tiled,
+        report.stats.engine_covered
     ));
     out.push_str(&format!("  \"violations\": {},\n", report.failures.len()));
     out.push_str("  \"failures\": [\n");

@@ -14,9 +14,10 @@
 //! 4. **hourglass self-consistency** — a detected pattern must certify on
 //!    the concrete observation sizes;
 //! 5. **bound soundness** — every derived floored bound (classical σ and
-//!    hourglass) sits at or below the OPT miss curve of the program-order
-//!    trace at *every* S of the grid, and OPT ≤ LRU with both curves
-//!    monotone in S;
+//!    hourglass) *and* every graph-level engine bound (input-floor, visit,
+//!    spectral over the certified CDAG) sits at or below the OPT miss
+//!    curve of the program-order trace at *every* S of the grid, and
+//!    OPT ≤ LRU with both curves monotone in S;
 //! 6. **schedule legality** — the tightness harness's invariants hold:
 //!    tiled enumerations preserving the instance version map are the only
 //!    ones measured, the winner never loses to program order or to its
@@ -31,7 +32,7 @@
 use iolb_bench::tightness::{run_tightness, TightnessJob};
 use iolb_cdag::{build_cdag, build_cdag_executed};
 use iolb_core::report::{derive_with_split, observation_sizes};
-use iolb_core::{hourglass, Analysis};
+use iolb_core::{hourglass, Analysis, EngineRegistry};
 use iolb_ir::interp::validate_accesses;
 use iolb_ir::{kernel_diff, parse_kernel, print_kernel, Program};
 use iolb_memsim::CurveEngine;
@@ -73,6 +74,10 @@ pub struct CaseReport {
     pub analysis_skipped: bool,
     /// The kernel carried `schedule { tile … }` directives.
     pub tiled: bool,
+    /// Every S of the grid received at least one finite graph-level
+    /// engine bound (the coverage guarantee for symbolically-refused
+    /// kernels).
+    pub engine_covered: bool,
 }
 
 /// Oracle configuration.
@@ -88,6 +93,10 @@ pub struct Oracle {
     /// machinery can be proven to catch a genuine overshoot.
     #[cfg(test)]
     pub inject_overshoot: f64,
+    /// Test-only fault injection for the graph-level engine invariant:
+    /// inflates every engine bound before the OPT comparison.
+    #[cfg(test)]
+    pub inject_engine_overshoot: u64,
 }
 
 impl Default for Oracle {
@@ -117,6 +126,8 @@ impl Oracle {
             tightness,
             #[cfg(test)]
             inject_overshoot: 0.0,
+            #[cfg(test)]
+            inject_engine_overshoot: 0,
         }
     }
 
@@ -128,6 +139,17 @@ impl Oracle {
         #[cfg(not(test))]
         {
             0.0
+        }
+    }
+
+    fn injected_engine(&self) -> u64 {
+        #[cfg(test)]
+        {
+            self.inject_engine_overshoot
+        }
+        #[cfg(not(test))]
+        {
+            0
         }
     }
 
@@ -221,11 +243,32 @@ impl Oracle {
         let mut engine = CurveEngine::new();
         let opt = engine.opt_packed(&trace, horizon);
         let lru = engine.lru_packed(&trace, horizon);
+        // Graph-level engines run on the same certified CDAG; every
+        // applicable bound must also sit under OPT at every S.
+        let engine_curves = EngineRegistry::all().evaluate(&cdag, &s_values);
         let inject = self.injected();
+        let inject_engine = self.injected_engine();
+        let mut engine_covered = true;
         let (mut prev_opt, mut prev_lru) = (u64::MAX, u64::MAX);
-        for &s in &s_values {
+        for (si, &s) in s_values.iter().enumerate() {
             let opt_loads = opt.loads(s);
             let lru_loads = lru.loads(s);
+            let mut any_engine = false;
+            for curve in &engine_curves {
+                let Some(b) = curve.at(si) else { continue };
+                any_engine = true;
+                let b = b.saturating_add(inject_engine);
+                if b > opt_loads {
+                    return Err(Violation::new(
+                        "engine-bound-exceeds-opt",
+                        format!(
+                            "S={s}: {} engine bound {b} exceeds OPT loads {opt_loads}",
+                            curve.provenance.as_str()
+                        ),
+                    ));
+                }
+            }
+            engine_covered &= any_engine;
             let lb_classical = classical
                 .as_ref()
                 .map(|b| b.eval_floor(&env, s as i128))
@@ -297,6 +340,7 @@ impl Oracle {
             hourglass: hourglass.is_some(),
             analysis_skipped,
             tiled: !kernel.schedule.is_empty(),
+            engine_covered,
         })
     }
 }
@@ -370,5 +414,24 @@ kernel mini_gemm(N) {
         let v = oracle.check_source(GEMM).unwrap_err();
         assert_eq!(v.invariant, "bound-exceeds-opt");
         assert!(v.detail.contains("exceeds OPT loads"), "{}", v.detail);
+    }
+
+    #[test]
+    fn injected_engine_overshoot_is_caught() {
+        let mut oracle = Oracle::with(vec![0, 8], false);
+        oracle.inject_engine_overshoot = u64::MAX / 2;
+        let v = oracle.check_source(GEMM).unwrap_err();
+        assert_eq!(v.invariant, "engine-bound-exceeds-opt");
+        assert!(v.detail.contains("exceeds OPT loads"), "{}", v.detail);
+    }
+
+    #[test]
+    fn clean_kernel_is_engine_covered() {
+        let oracle = Oracle::with(vec![0, 4, 16], false);
+        let report = oracle.check_source(GEMM).expect("sound");
+        assert!(
+            report.engine_covered,
+            "every S must get a finite graph-level bound"
+        );
     }
 }

@@ -71,6 +71,57 @@ fn refused_shapes_stay_refused() {
     }
 }
 
+/// Graph-level engine coverage for the refused class: every corpus
+/// kernel whose classical bound is refused still receives at least one
+/// finite engine bound at *every* S of the dense grid, and each such
+/// bound sits at or below the OPT curve of the program-order trace.
+/// `graph ≤ symbolic` is deliberately NOT asserted anywhere — the
+/// engines may beat or trail the symbolic bounds; only soundness against
+/// OPT is the contract.
+#[test]
+fn refused_shapes_get_finite_sound_engine_bounds() {
+    let refusals = [
+        "free_producer_chain.iolb",
+        "grounded_adjacent_producer.iolb",
+        "reflection_feed.iolb",
+        "shift_chain.iolb",
+    ];
+    for name in refusals {
+        let src = std::fs::read_to_string(corpus_dir().join(name)).expect("read");
+        let kernel = iolb_ir::parse_kernel(&src).expect("parse");
+        let params = kernel.default_params().expect("defaults");
+        let cdag = iolb_cdag::build_cdag(&kernel.program, &params);
+        let mut trace = Vec::new();
+        cdag.packed_program_order_trace(&mut trace);
+        let min_s = cdag.max_in_degree() + 1;
+        let s_values: Vec<usize> = iolb_bench::sweep::dense_s_offsets()
+            .iter()
+            .map(|&off| min_s + off)
+            .collect();
+        let horizon = *s_values.last().expect("dense grid is non-empty");
+        let mut engine = iolb_memsim::CurveEngine::new();
+        let opt = engine.opt_packed(&trace, horizon);
+        let curves = iolb_core::EngineRegistry::all().evaluate(&cdag, &s_values);
+        for (si, &s) in s_values.iter().enumerate() {
+            let finite: Vec<(iolb_core::BoundProvenance, u64)> = curves
+                .iter()
+                .filter_map(|c| c.at(si).map(|b| (c.provenance, b)))
+                .collect();
+            assert!(
+                !finite.is_empty(),
+                "{name}: no finite graph-level bound at S={s}"
+            );
+            for (prov, b) in finite {
+                assert!(
+                    b <= opt.loads(s),
+                    "{name}: {prov:?} bound {b} exceeds OPT loads {} at S={s}",
+                    opt.loads(s)
+                );
+            }
+        }
+    }
+}
+
 /// The bounded corpus entries derive sound bounds with the *fixed*
 /// machinery (alias-merged regions, weighted divisor).
 #[test]

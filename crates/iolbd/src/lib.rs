@@ -31,7 +31,7 @@ use http::{read_request, write_response, ReadOutcome, Request};
 use iolb_bench::sweep::{json_str, sweep_report_json_with};
 use iolb_bench::tightness::{tightness_report_json, TightnessReport};
 use iolb_core::govern::AnalysisError;
-use iolb_service::{AnalysisOptions, AnalysisOutcome, Pipeline};
+use iolb_service::{AnalysisOptions, AnalysisOutcome, AnalyzeRequest, Pipeline};
 use rayon::prelude::*;
 use std::collections::VecDeque;
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -55,19 +55,28 @@ OPTIONS:
                           immediately (default 64)
     --batch N             max connections served per dispatch cycle on
                           the rayon pool (default 16)
+    --cache-cap N         report-cache entry bound; least-recently-used
+                          reports are evicted past it (default 512,
+                          0 = unbounded)
     -h, --help            this text
 
 Any analysis option the CLI accepts as a flag is accepted here (without
 the leading `--` it is the same key a request may pass in its query
-string) and becomes the per-request default: --s-grid, --no-tightness,
---derive-only, --no-degrade, --max-instances, --max-cdag-nodes,
---max-cdag-edges, --max-trace, --max-arena-bytes, --max-work,
---deadline-ms.
+string) and becomes the per-request default: --s-grid, --engines,
+--no-tightness, --derive-only, --no-degrade, --max-instances,
+--max-cdag-nodes, --max-cdag-edges, --max-trace, --max-arena-bytes,
+--max-work, --deadline-ms.
 
 ENDPOINTS:
-    POST /analyze?opt=v…  body = kernel text; options in the query string
+    POST /analyze         body = typed JSON request ({\"source\": …,
+                          \"options\": {…}, \"budgets\": {…},
+                          \"engines\": …}) when it starts with `{`;
+                          otherwise body = raw kernel text with options
+                          in the query string (deprecated alias — same
+                          bytes out either way)
     GET  /healthz         liveness probe
-    GET  /stats           request counters + cache hit/miss counters
+    GET  /stats           request counters + cache hit/miss/eviction
+                          counters
     POST /shutdown        graceful stop
 ";
 
@@ -80,6 +89,8 @@ pub struct ServerOptions {
     pub queue: usize,
     /// Max connections per dispatch cycle.
     pub batch: usize,
+    /// Report-cache entry bound (0 = unbounded).
+    pub cache_cap: usize,
     /// Per-request analysis defaults (budgets, grid, flags).
     pub defaults: AnalysisOptions,
 }
@@ -90,6 +101,7 @@ impl Default for ServerOptions {
             addr: "127.0.0.1:0".to_string(),
             queue: 64,
             batch: 16,
+            cache_cap: iolb_service::DEFAULT_REPORT_CAPACITY,
             defaults: AnalysisOptions::default(),
         }
     }
@@ -130,6 +142,13 @@ pub fn parse_server_args(args: &[String]) -> Result<ServerOptions, String> {
                 if o.batch == 0 {
                     return Err("--batch must be at least 1".to_string());
                 }
+            }
+            "--cache-cap" => {
+                o.cache_cap = it
+                    .next()
+                    .ok_or("--cache-cap needs a value")?
+                    .parse()
+                    .map_err(|_| "bad --cache-cap value".to_string())?;
             }
             "-h" | "--help" => return Err(USAGE.to_string()),
             flag if flag.starts_with("--") => {
@@ -219,7 +238,7 @@ pub fn serve_listener(listener: TcpListener, opts: &ServerOptions) -> Result<(),
         .local_addr()
         .map_err(|e| format!("local_addr: {e}"))?;
     let state = Arc::new(ServerState {
-        pipeline: Pipeline::new(),
+        pipeline: Pipeline::with_report_capacity(opts.cache_cap),
         defaults: opts.defaults.clone(),
         addr,
         shutdown: AtomicBool::new(false),
@@ -373,8 +392,19 @@ fn handle(state: &ServerState, req: &Request) -> HandlerResult {
     }
 }
 
-/// `POST /analyze`: body is the kernel text, query parameters are the
-/// per-request options over the daemon defaults.
+/// `POST /analyze`. Two request forms share one option switchboard:
+///
+/// * **typed JSON body** (the body's first non-whitespace byte is `{`) —
+///   an [`AnalyzeRequest`] carrying the kernel source plus `options` /
+///   `budgets` / `engines` members (`.iolb` sources cannot start with
+///   `{`, so the sniff is unambiguous);
+/// * **raw kernel body** with options in the query string — the original
+///   interface, kept as a deprecated alias.
+///
+/// Option precedence: daemon defaults, then query parameters, then body
+/// members — later wins. Both forms resolve to the same
+/// `(source, options)` pair, so a given request produces byte-identical
+/// response bodies either way (the golden-exchange test pins this).
 fn handle_analyze(state: &ServerState, req: &Request) -> HandlerResult {
     state.analyzed.fetch_add(1, Ordering::Relaxed);
     let mut opts = state.defaults.clone();
@@ -387,7 +417,7 @@ fn handle_analyze(state: &ServerState, req: &Request) -> HandlerResult {
             );
         }
     }
-    let src = match std::str::from_utf8(&req.body) {
+    let body = match std::str::from_utf8(&req.body) {
         Ok(s) => s,
         Err(_) => {
             return (
@@ -396,6 +426,32 @@ fn handle_analyze(state: &ServerState, req: &Request) -> HandlerResult {
                 error_body_raw("parse", 2, "kernel body is not UTF-8"),
             );
         }
+    };
+    let source;
+    let src = if body.trim_start().starts_with('{') {
+        let parsed = match AnalyzeRequest::parse(body) {
+            Ok(r) => r,
+            Err(e) => {
+                return (
+                    400,
+                    Vec::new(),
+                    error_body_raw("parse", 2, &format!("bad request body: {e}")),
+                );
+            }
+        };
+        for (key, value) in &parsed.sets {
+            if let Err(e) = opts.set(key, value) {
+                return (
+                    400,
+                    Vec::new(),
+                    error_body_raw("parse", 2, &format!("bad body option: {e}")),
+                );
+            }
+        }
+        source = parsed.source;
+        source.as_str()
+    } else {
+        body
     };
     match state.pipeline.analyze(src, &opts) {
         Ok(answer) => {
@@ -434,19 +490,23 @@ fn error_body_raw(class: &str, exit_class: u8, message: &str) -> String {
     )
 }
 
-/// `/stats` body: request counters plus both cache layers' counters.
+/// `/stats` body: request counters plus both cache layers' counters
+/// (including the report layer's LRU evictions and its configured cap).
 fn stats_body(state: &ServerState) -> String {
     let cache = state.pipeline.cache().stats();
     format!(
-        "{{\n  \"schema\": \"hourglass-iolb/serve-stats/v1\",\n  \"requests\": {},\n  \"analyzed\": {},\n  \"overloaded\": {},\n  \"cache\": {{\n    \"parse\": {{\"hits\": {}, \"misses\": {}}},\n    \"report\": {{\"hits\": {}, \"misses\": {}}}\n  }},\n  \"report_entries\": {}\n}}\n",
+        "{{\n  \"schema\": \"hourglass-iolb/serve-stats/v2\",\n  \"requests\": {},\n  \"analyzed\": {},\n  \"overloaded\": {},\n  \"cache\": {{\n    \"parse\": {{\"hits\": {}, \"misses\": {}, \"evictions\": {}}},\n    \"report\": {{\"hits\": {}, \"misses\": {}, \"evictions\": {}}}\n  }},\n  \"report_entries\": {},\n  \"report_capacity\": {}\n}}\n",
         state.requests.load(Ordering::Relaxed),
         state.analyzed.load(Ordering::Relaxed),
         state.overloaded.load(Ordering::Relaxed),
         cache.parse.hits,
         cache.parse.misses,
+        cache.parse.evictions,
         cache.report.hits,
         cache.report.misses,
+        cache.report.evictions,
         state.pipeline.cache().report_entries(),
+        state.pipeline.cache().report_capacity(),
     )
 }
 

@@ -187,9 +187,72 @@ fn cache_hits_surface_in_header_and_stats() {
 
     let stats = exchange(addr, &get("/stats"));
     assert!(
-        stats.contains("\"report\": {\"hits\": 2, \"misses\": 1}"),
+        stats.contains("\"report\": {\"hits\": 2, \"misses\": 1, \"evictions\": 0}"),
         "{stats}"
     );
+    assert!(
+        stats.contains("\"schema\": \"hourglass-iolb/serve-stats/v2\""),
+        "{stats}"
+    );
+    assert!(stats.contains("\"report_capacity\": 512"), "{stats}");
+    shutdown(addr, handle);
+}
+
+#[test]
+fn typed_body_and_query_alias_are_byte_identical() {
+    // Each form gets its own fresh daemon, so both exchanges are cold
+    // (identical X-Iolb-Cache headers) and byte equality covers the whole
+    // response — status line, headers, and payload.
+    let src = kernel("gemm_tiled.iolb");
+    let (addr, handle) = start_daemon();
+    let query_form = exchange(addr, &post("/analyze?derive-only&params=M=6,N=6,K=6", &src));
+    shutdown(addr, handle);
+
+    let (addr, handle) = start_daemon();
+    let body = format!(
+        "{{\"source\": {}, \"options\": {{\"derive-only\": true, \"params\": \"M=6,N=6,K=6\"}}}}",
+        iolb_bench::sweep::json_str(&src)
+    );
+    let body_form = exchange(addr, &post("/analyze", &body));
+    shutdown(addr, handle);
+
+    check_golden("analyze_typed_body.http", &body_form);
+    assert_eq!(
+        query_form, body_form,
+        "typed JSON body and deprecated query alias must answer identically"
+    );
+}
+
+#[test]
+fn typed_body_options_win_over_query_params() {
+    let (addr, handle) = start_daemon();
+    // The query names a nonexistent statement; the body overrides it back
+    // to a real one — later (body) wins, so the request succeeds.
+    let src = kernel("gemm_tiled.iolb");
+    let body = format!(
+        "{{\"source\": {}, \"options\": {{\"stmt\": \"SU\", \"derive-only\": true, \"params\": \"M=6,N=6,K=6\"}}}}",
+        iolb_bench::sweep::json_str(&src)
+    );
+    let response = exchange(addr, &post("/analyze?stmt=nope", &body));
+    assert!(response.starts_with("HTTP/1.1 200"), "{response}");
+
+    // Malformed bodies and bad option values get the parse-class 400 with
+    // the shared switchboard's diagnostics, same vocabulary as the query.
+    let bad = exchange(addr, &post("/analyze", "{\"options\": {}}"));
+    assert!(bad.starts_with("HTTP/1.1 400"), "{bad}");
+    assert!(bad.contains("source"), "{bad}");
+    let q = exchange(addr, &post("/analyze?engines=frobnicate", "x"));
+    assert!(q.starts_with("HTTP/1.1 400"), "{q}");
+    assert!(q.contains("unknown bound engine"), "{q}");
+    let b = exchange(
+        addr,
+        &post(
+            "/analyze",
+            "{\"source\": \"x\", \"engines\": \"frobnicate\"}",
+        ),
+    );
+    assert!(b.starts_with("HTTP/1.1 400"), "{b}");
+    assert!(b.contains("unknown bound engine"), "{b}");
     shutdown(addr, handle);
 }
 

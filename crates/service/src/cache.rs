@@ -19,6 +19,15 @@
 //! and then count as hits. That makes the hit/miss counters
 //! deterministic — for any request multiset, misses = distinct keys —
 //! which the concurrency tests assert.
+//!
+//! A cache built with [`ShardedCache::with_capacity`] additionally bounds
+//! its entry count: each shard holds at most ⌈capacity / shards⌉ finished
+//! entries and evicts its least-recently-touched one (a monotone global
+//! touch tick, never an in-flight `Pending` marker) when an insert would
+//! exceed that. Evictions are counted and surfaced through
+//! [`LayerStats::evictions`] — the daemon's report layer uses this to keep
+//! a long-lived process from growing without bound, while the parse layer
+//! (tiny entries) stays unbounded.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -47,6 +56,9 @@ pub struct LayerStats {
     /// Requests that computed and inserted (= distinct successful keys,
     /// thanks to in-flight dedup).
     pub misses: u64,
+    /// Finished entries dropped by the capacity bound (0 forever on
+    /// unbounded layers).
+    pub evictions: u64,
 }
 
 impl LayerStats {
@@ -72,11 +84,12 @@ pub struct CacheStats {
 
 const SHARDS: usize = 16;
 
-/// One slot of a shard map: a finished value, or a marker that another
-/// thread is computing it right now.
+/// One slot of a shard map: a finished value (with its last-touch tick,
+/// for LRU eviction), or a marker that another thread is computing it
+/// right now.
 enum Slot<V> {
     Pending,
-    Ready(Arc<V>),
+    Ready(Arc<V>, u64),
 }
 
 struct Shard<K, V> {
@@ -89,12 +102,23 @@ struct Shard<K, V> {
 /// shard index is taken from the key's own hash.
 pub struct ShardedCache<K, V> {
     shards: Vec<Shard<K, V>>,
+    /// Finished-entry bound per shard; 0 = unbounded.
+    cap_per_shard: usize,
+    /// Monotone touch clock shared by every shard (LRU recency order).
+    tick: AtomicU64,
     hits: AtomicU64,
     misses: AtomicU64,
+    evictions: AtomicU64,
 }
 
 impl<K: std::hash::Hash + Eq + Clone, V> Default for ShardedCache<K, V> {
     fn default() -> Self {
+        ShardedCache::new(0)
+    }
+}
+
+impl<K: std::hash::Hash + Eq + Clone, V> ShardedCache<K, V> {
+    fn new(cap_per_shard: usize) -> ShardedCache<K, V> {
         ShardedCache {
             shards: (0..SHARDS)
                 .map(|_| Shard {
@@ -102,13 +126,27 @@ impl<K: std::hash::Hash + Eq + Clone, V> Default for ShardedCache<K, V> {
                     cv: Condvar::new(),
                 })
                 .collect(),
+            cap_per_shard,
+            tick: AtomicU64::new(0),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
         }
     }
-}
 
-impl<K: std::hash::Hash + Eq + Clone, V> ShardedCache<K, V> {
+    /// A cache bounded to roughly `capacity` finished entries in total
+    /// (each shard holds at most ⌈capacity / shards⌉, so the worst-case
+    /// total overshoots by at most one entry per shard under skewed key
+    /// distributions). `capacity = 0` means unbounded.
+    pub fn with_capacity(capacity: usize) -> ShardedCache<K, V> {
+        ShardedCache::new(capacity.div_ceil(SHARDS))
+    }
+
+    /// The configured total finished-entry bound (0 = unbounded).
+    pub fn capacity(&self) -> usize {
+        self.cap_per_shard * SHARDS
+    }
+
     fn shard(&self, key: &K) -> &Shard<K, V> {
         use std::hash::Hasher;
         let mut h = std::collections::hash_map::DefaultHasher::new();
@@ -132,13 +170,14 @@ impl<K: std::hash::Hash + Eq + Clone, V> ShardedCache<K, V> {
         {
             let mut map = shard.map.lock().unwrap_or_else(|e| e.into_inner());
             loop {
-                match map.get(&key) {
+                match map.get_mut(&key) {
                     None => {
                         map.insert(key.clone(), Slot::Pending);
                         self.misses.fetch_add(1, Ordering::Relaxed);
                         break;
                     }
-                    Some(Slot::Ready(v)) => {
+                    Some(Slot::Ready(v, touched)) => {
+                        *touched = self.tick.fetch_add(1, Ordering::Relaxed);
                         self.hits.fetch_add(1, Ordering::Relaxed);
                         return Ok(Arc::clone(v));
                     }
@@ -164,11 +203,47 @@ impl<K: std::hash::Hash + Eq + Clone, V> ShardedCache<K, V> {
         match result {
             Ok(v) => {
                 let v = Arc::new(v);
-                map.insert(key, Slot::Ready(Arc::clone(&v)));
+                map.insert(
+                    key,
+                    Slot::Ready(Arc::clone(&v), self.tick.fetch_add(1, Ordering::Relaxed)),
+                );
+                if self.cap_per_shard > 0 {
+                    self.evict_over_cap(&mut map);
+                }
                 shard.cv.notify_all();
                 Ok(v)
             }
             Err(e) => Err(e),
+        }
+    }
+
+    /// Drops least-recently-touched finished entries until the shard is
+    /// back at its cap. `Pending` markers are never evicted (a waiter is
+    /// parked on them), and the just-inserted entry carries the newest
+    /// tick so it is the last candidate.
+    fn evict_over_cap(&self, map: &mut HashMap<K, Slot<V>>) {
+        loop {
+            let ready = map
+                .iter()
+                .filter(|(_, s)| matches!(s, Slot::Ready(..)))
+                .count();
+            if ready <= self.cap_per_shard {
+                return;
+            }
+            let oldest = map
+                .iter()
+                .filter_map(|(k, s)| match s {
+                    Slot::Ready(_, touched) => Some((*touched, k.clone())),
+                    Slot::Pending => None,
+                })
+                .min_by_key(|(touched, _)| *touched);
+            match oldest {
+                Some((_, k)) => {
+                    map.remove(&k);
+                    self.evictions.fetch_add(1, Ordering::Relaxed);
+                }
+                None => return,
+            }
         }
     }
 
@@ -180,7 +255,7 @@ impl<K: std::hash::Hash + Eq + Clone, V> ShardedCache<K, V> {
             .lock()
             .unwrap_or_else(|e| e.into_inner());
         match map.get(key) {
-            Some(Slot::Ready(v)) => Some(Arc::clone(v)),
+            Some(Slot::Ready(v, _)) => Some(Arc::clone(v)),
             _ => None,
         }
     }
@@ -190,6 +265,7 @@ impl<K: std::hash::Hash + Eq + Clone, V> ShardedCache<K, V> {
         LayerStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
         }
     }
 
@@ -202,7 +278,7 @@ impl<K: std::hash::Hash + Eq + Clone, V> ShardedCache<K, V> {
                     .lock()
                     .unwrap_or_else(|e| e.into_inner())
                     .values()
-                    .filter(|v| matches!(v, Slot::Ready(_)))
+                    .filter(|v| matches!(v, Slot::Ready(..)))
                     .count()
             })
             .sum()
@@ -238,8 +314,56 @@ mod tests {
             .get_or_compute(7, || -> Result<String, ()> { panic!("must not recompute") })
             .unwrap();
         assert_eq!(*again, "seven");
-        assert_eq!(cache.stats(), LayerStats { hits: 1, misses: 1 });
+        assert_eq!(
+            cache.stats(),
+            LayerStats {
+                hits: 1,
+                misses: 1,
+                evictions: 0
+            }
+        );
         assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn capacity_bound_evicts_least_recently_touched() {
+        // One entry per shard: any second entry landing on an occupied
+        // shard must push out the older one.
+        let cache: ShardedCache<u128, u64> = ShardedCache::with_capacity(SHARDS);
+        assert_eq!(cache.capacity(), SHARDS);
+        let n = 10 * SHARDS as u128;
+        for k in 0..n {
+            cache.get_or_compute(k, || Ok::<_, ()>(k as u64)).unwrap();
+        }
+        assert!(cache.len() <= SHARDS, "len {} over cap", cache.len());
+        let stats = cache.stats();
+        assert_eq!(stats.misses, n as u64);
+        assert_eq!(stats.evictions, stats.misses - cache.len() as u64);
+
+        // Recency matters: keep touching one key while flooding others on
+        // (probabilistically) every shard — the touched key survives
+        // because each insert's eviction victim is the *least recently*
+        // touched entry, never the freshly-touched hot key. (Per-shard
+        // cap of 2, so the hot key and the newest flood key coexist.)
+        let cache: ShardedCache<u128, u64> = ShardedCache::with_capacity(2 * SHARDS);
+        cache.get_or_compute(0, || Ok::<_, ()>(0)).unwrap();
+        for k in 1..n {
+            cache.get_or_compute(k, || Ok::<_, ()>(k as u64)).unwrap();
+            cache
+                .get_or_compute(0, || -> Result<u64, ()> { panic!("evicted the hot key") })
+                .unwrap();
+        }
+        assert!(cache.peek(&0).is_some());
+    }
+
+    #[test]
+    fn unbounded_cache_never_evicts() {
+        let cache: ShardedCache<u128, u64> = ShardedCache::default();
+        for k in 0..(4 * SHARDS as u128) {
+            cache.get_or_compute(k, || Ok::<_, ()>(1)).unwrap();
+        }
+        assert_eq!(cache.len(), 4 * SHARDS);
+        assert_eq!(cache.stats().evictions, 0);
     }
 
     #[test]

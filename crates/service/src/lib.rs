@@ -18,13 +18,16 @@
 #![deny(clippy::unwrap_used, clippy::expect_used)]
 
 pub mod cache;
+pub mod json;
 pub mod options;
 pub mod pipeline;
+pub mod request;
 
 pub use cache::{fnv1a_128, CacheStats, LayerStats, ShardedCache};
 pub use options::AnalysisOptions;
 pub use pipeline::{
     analyze_uncached, canonicalize, canonicalize_kernel, AnalysisOutcome, CachedAnalysis,
     CanonEntry, ClassicalSummary, DegradeInfo, Derived, HourglassSummary, Pipeline, ResultCache,
-    SplitSummary,
+    SplitSummary, DEFAULT_REPORT_CAPACITY,
 };
+pub use request::AnalyzeRequest;

@@ -2,6 +2,7 @@
 //! query parameters) and folded into the result-cache key.
 
 use iolb_core::govern::{Budget, Fault};
+use iolb_core::EngineRegistry;
 
 /// Everything that parameterizes one analysis request beyond the kernel
 /// text itself. Two requests with equal [`fingerprint`]s on the same
@@ -22,6 +23,11 @@ pub struct AnalysisOptions {
     pub no_tightness: bool,
     /// Skip everything past the symbolic derivation.
     pub derive_only: bool,
+    /// Graph-level bound-engine selection, stored in canonical spec form
+    /// (`all`, `none`, or a comma list in canonical engine order) — the
+    /// output of [`EngineRegistry::fingerprint`], so equivalent selections
+    /// share a cache key.
+    pub engines: String,
     /// Resource ceilings enforced by admission control and the governed
     /// seams.
     pub budget: Budget,
@@ -42,6 +48,7 @@ impl Default for AnalysisOptions {
             s_offsets: iolb_bench::sweep::dense_s_offsets(),
             no_tightness: false,
             derive_only: false,
+            engines: "all".to_string(),
             budget: Budget::unlimited(),
             no_degrade: false,
             inject: None,
@@ -83,10 +90,10 @@ impl AnalysisOptions {
     /// names without the `--` prefix, so the daemon's query string and
     /// the CLI's flag vector drive the same switchboard:
     ///
-    /// `params`, `stmt`, `s-grid`, `no-tightness`, `derive-only`,
-    /// `max-instances`, `max-cdag-nodes`, `max-cdag-edges`, `max-trace`,
-    /// `max-arena-bytes`, `max-work`, `deadline-ms`, `no-degrade`,
-    /// `inject`.
+    /// `params`, `stmt`, `s-grid`, `engines`, `no-tightness`,
+    /// `derive-only`, `max-instances`, `max-cdag-nodes`, `max-cdag-edges`,
+    /// `max-trace`, `max-arena-bytes`, `max-work`, `deadline-ms`,
+    /// `no-degrade`, `inject`.
     ///
     /// # Errors
     /// Human-readable diagnostic on unknown keys or malformed values.
@@ -112,6 +119,7 @@ impl AnalysisOptions {
                     return Err("s-grid needs at least one offset".to_string());
                 }
             }
+            "engines" => self.engines = EngineRegistry::select(value)?.fingerprint(),
             "no-tightness" => self.no_tightness = parse_flag(key, value)?,
             "derive-only" => self.derive_only = parse_flag(key, value)?,
             "no-degrade" => self.no_degrade = parse_flag(key, value)?,
@@ -135,6 +143,16 @@ impl AnalysisOptions {
         Ok(())
     }
 
+    /// The engine registry this request selected. The stored spec is
+    /// already canonical (validated by [`set`](AnalysisOptions::set)), so
+    /// this cannot fail on options that went through the switchboard.
+    ///
+    /// # Errors
+    /// Human-readable diagnostic when a hand-constructed spec is invalid.
+    pub fn registry(&self) -> Result<EngineRegistry, String> {
+        EngineRegistry::select(&self.engines)
+    }
+
     /// Canonical cache-key half for these options: every field that can
     /// change the analysis result, rendered in a fixed order. Parameter
     /// overrides are deduplicated (the first entry wins, matching the
@@ -152,11 +170,12 @@ impl AnalysisOptions {
         let grid: Vec<String> = self.s_offsets.iter().map(|o| o.to_string()).collect();
         let b = &self.budget;
         format!(
-            "params={};stmt={};grid={};tight={};derive={};nodeg={};\
+            "params={};stmt={};grid={};engines={};tight={};derive={};nodeg={};\
              budget={},{},{},{},{},{},{}",
             params.join(","),
             self.stmt_override.as_deref().unwrap_or(""),
             grid.join(","),
+            self.engines,
             u8::from(!self.no_tightness),
             u8::from(self.derive_only),
             u8::from(self.no_degrade),
@@ -182,6 +201,7 @@ mod tests {
         o.set("params", "M=8,N=16").unwrap();
         o.set("stmt", "SU").unwrap();
         o.set("s-grid", "0, 4, 16").unwrap();
+        o.set("engines", "spectral,input-floor").unwrap();
         o.set("no-tightness", "").unwrap();
         o.set("derive-only", "true").unwrap();
         o.set("no-degrade", "1").unwrap();
@@ -194,6 +214,12 @@ mod tests {
         );
         assert_eq!(o.stmt_override.as_deref(), Some("SU"));
         assert_eq!(o.s_offsets, vec![0, 4, 16]);
+        // Stored canonically, so permuted selections share a fingerprint.
+        assert_eq!(o.engines, "input-floor,spectral");
+        assert_eq!(
+            o.registry().unwrap().names(),
+            vec!["input-floor", "spectral"]
+        );
         assert!(o.no_tightness && o.derive_only && o.no_degrade);
         assert_eq!(o.budget.max_trace_len, 1000);
         assert_eq!(o.budget.deadline_ms, 250);
@@ -204,6 +230,7 @@ mod tests {
         assert!(o.set("s-grid", "a,b").is_err());
         assert!(o.set("s-grid", "").is_err());
         assert!(o.set("max-work", "-3").is_err());
+        assert!(o.set("engines", "frobnicate").is_err());
         assert!(o.set("inject", "bogus").is_err());
         assert!(o.set("frobnicate", "1").is_err());
     }
@@ -228,5 +255,12 @@ mod tests {
         let mut e = a.clone();
         e.budget.max_work = 10;
         assert_ne!(a.fingerprint(), e.fingerprint());
+        let mut f = a.clone();
+        f.set("engines", "none").unwrap();
+        assert_ne!(a.fingerprint(), f.fingerprint());
+        // `all` spelled out collapses to the default selection.
+        let mut g = a.clone();
+        g.set("engines", "input-floor,visit,spectral").unwrap();
+        assert_eq!(a.fingerprint(), g.fingerprint());
     }
 }

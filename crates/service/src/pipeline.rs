@@ -12,7 +12,7 @@
 
 use crate::cache::{CacheStats, ShardedCache};
 use crate::options::AnalysisOptions;
-use iolb_bench::sweep::{coarse_s_offsets, try_run_sweep, SweepKernel, SweepReport};
+use iolb_bench::sweep::{coarse_s_offsets, try_run_sweep_with, SweepKernel, SweepReport};
 use iolb_bench::tightness::{try_run_tightness, KernelTightness, TightnessJob};
 use iolb_core::classical::ClassicalBound;
 use iolb_core::govern::{
@@ -20,7 +20,7 @@ use iolb_core::govern::{
 };
 use iolb_core::hourglass::{self, HourglassBound};
 use iolb_core::report::{derive_with_split, observation_sizes, SplitBinding};
-use iolb_core::Analysis;
+use iolb_core::{Analysis, EngineRegistry};
 use iolb_ir::parse::{parse_kernel, print_kernel, KernelFile};
 use iolb_ir::Program;
 use iolb_symbolic::Var;
@@ -217,9 +217,10 @@ pub fn derive_stage(
     })
 }
 
-/// Exact CDAG + MIN/LRU miss-curve validation over the S grid. Takes the
-/// canonical source rather than a `Program` because the sweep needs an
-/// owned program and `Program` is not clonable (its statements carry
+/// Exact CDAG + MIN/LRU miss-curve validation over the S grid, with the
+/// request's graph-level engine selection evaluated per grid point. Takes
+/// the canonical source rather than a `Program` because the sweep needs
+/// an owned program and `Program` is not clonable (its statements carry
 /// closures) — one extra parse of already-canonical text.
 ///
 /// # Errors
@@ -234,6 +235,7 @@ pub fn sweep_stage(
     s_offsets: &[usize],
     budget: &Budget,
     token: &CancelToken,
+    registry: &EngineRegistry,
 ) -> Result<SweepReport, AnalysisError> {
     let sweep = SweepKernel {
         name: name.to_string(),
@@ -243,7 +245,7 @@ pub fn sweep_stage(
         split,
         s_offsets: s_offsets.to_vec(),
     };
-    try_run_sweep(vec![sweep], budget, token)
+    try_run_sweep_with(vec![sweep], budget, token, registry)
 }
 
 /// Tightness: the best measured blocked upper bound per S (the file's
@@ -451,6 +453,7 @@ pub fn analyze_uncached(
         _ => opts.s_offsets.clone(),
     };
 
+    let registry = opts.registry().map_err(AnalysisError::Refused)?;
     let mut report = sweep_stage(
         &outcome.name,
         src,
@@ -460,6 +463,7 @@ pub fn analyze_uncached(
         &s_offsets,
         &opts.budget,
         token,
+        &registry,
     )?;
     for row in &mut report.degradation {
         row.level = degradation;
@@ -506,15 +510,35 @@ pub struct CanonEntry {
     pub hash: u128,
 }
 
+/// Default bound on finished report entries (reports are the heavy layer:
+/// a full sweep + tightness outcome per entry). The parse layer stores
+/// only canonical text and stays unbounded.
+pub const DEFAULT_REPORT_CAPACITY: usize = 512;
+
 /// The two-layer result cache (see the [`crate::cache`] docs for the
-/// sharding and in-flight-dedup story).
-#[derive(Default)]
+/// sharding, in-flight-dedup, and LRU-capacity story).
 pub struct ResultCache {
     parse: ShardedCache<u128, CanonEntry>,
     report: ShardedCache<(u128, String), AnalysisOutcome>,
 }
 
+impl Default for ResultCache {
+    fn default() -> Self {
+        ResultCache::with_report_capacity(DEFAULT_REPORT_CAPACITY)
+    }
+}
+
 impl ResultCache {
+    /// A cache whose report layer is bounded to roughly `capacity`
+    /// finished entries (0 = unbounded), evicting least-recently-used
+    /// entries past that.
+    pub fn with_report_capacity(capacity: usize) -> ResultCache {
+        ResultCache {
+            parse: ShardedCache::default(),
+            report: ShardedCache::with_capacity(capacity),
+        }
+    }
+
     /// Counter snapshot of both layers.
     pub fn stats(&self) -> CacheStats {
         CacheStats {
@@ -526,6 +550,11 @@ impl ResultCache {
     /// Finished report entries currently cached.
     pub fn report_entries(&self) -> usize {
         self.report.len()
+    }
+
+    /// The report layer's configured entry bound (0 = unbounded).
+    pub fn report_capacity(&self) -> usize {
+        self.report.capacity()
     }
 }
 
@@ -547,9 +576,18 @@ pub struct Pipeline {
 }
 
 impl Pipeline {
-    /// A pipeline with an empty cache.
+    /// A pipeline with an empty cache ([`DEFAULT_REPORT_CAPACITY`] report
+    /// entries).
     pub fn new() -> Pipeline {
         Pipeline::default()
+    }
+
+    /// A pipeline whose report cache is bounded to roughly `capacity`
+    /// entries (0 = unbounded).
+    pub fn with_report_capacity(capacity: usize) -> Pipeline {
+        Pipeline {
+            cache: ResultCache::with_report_capacity(capacity),
+        }
     }
 
     /// Cache access (stats endpoints, tests).

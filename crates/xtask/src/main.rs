@@ -267,6 +267,7 @@ const PEBBLE_SCHEMAS: &[&str] = &[
     "hourglass-iolb/pebble-sweep/v2",
     "hourglass-iolb/pebble-sweep/v3",
     "hourglass-iolb/pebble-sweep/v4",
+    "hourglass-iolb/pebble-sweep/v5",
 ];
 const TIGHTNESS_SCHEMAS: &[&str] = &[
     "hourglass-iolb/tightness/v1",
@@ -278,8 +279,13 @@ const TIGHTNESS_SCHEMAS: &[&str] = &[
 /// `failures` arrays) introduced by pebble-sweep/v4 and tightness/v3.
 const GOVERNED_SCHEMAS: &[&str] = &[
     "hourglass-iolb/pebble-sweep/v4",
+    "hourglass-iolb/pebble-sweep/v5",
     "hourglass-iolb/tightness/v3",
 ];
+
+/// The pebble schema that carries graph-level engine bound columns
+/// (`lb_input` / `lb_visit` / `lb_spectral`, null when inapplicable).
+const ENGINE_SCHEMA: &str = "hourglass-iolb/pebble-sweep/v5";
 
 fn check_schema(doc: &Value, which: &str, accepted: &[&str], violations: &mut Vec<String>) {
     match doc.get("schema").and_then(Value::str) {
@@ -362,6 +368,7 @@ fn run_gate(baseline: &Path, fresh: &Path, tol: f64) -> ExitCode {
             check_schema(&new, "pebble fresh", PEBBLE_SCHEMAS, &mut violations);
             gate_pebble(&base, &new, &mut violations);
             gate_governance(&base, &new, "pebble", &mut violations);
+            gate_engine_coverage(&base, &new, &mut violations);
         }
         Err(e) => violations.push(e),
     }
@@ -454,6 +461,60 @@ fn gate_pebble(base: &Value, new: &Value, violations: &mut Vec<String>) {
                 "pebble: baseline cell missing from fresh run: {key}"
             ));
         }
+    }
+}
+
+/// Engine coverage of a pebble-sweep/v5 report: kernel groups (kernel ×
+/// params) with at least one finite graph-level engine cell in some row,
+/// over all groups. `None` when the report predates v5.
+fn engine_coverage(doc: &Value) -> Option<(usize, usize)> {
+    if doc.get("schema").and_then(Value::str) != Some(ENGINE_SCHEMA) {
+        return None;
+    }
+    let mut groups: Vec<(String, bool)> = Vec::new();
+    for row in doc.get("rows").map(Value::arr).unwrap_or(&[]) {
+        let key = format!(
+            "{}{:?}",
+            row.get("kernel").and_then(Value::str).unwrap_or("?"),
+            row.get("params")
+                .map(|p| p.arr().iter().filter_map(Value::num).collect::<Vec<f64>>())
+                .unwrap_or_default(),
+        );
+        let finite = ["lb_input", "lb_visit", "lb_spectral"]
+            .iter()
+            .any(|f| row.get(f).and_then(Value::num).is_some());
+        match groups.iter_mut().find(|(k, _)| *k == key) {
+            Some((_, covered)) => *covered |= finite,
+            None => groups.push((key, finite)),
+        }
+    }
+    let total = groups.len();
+    let covered = groups.iter().filter(|(_, c)| *c).count();
+    Some((covered, total))
+}
+
+/// The engine-coverage floor: the fraction of kernel groups with at least
+/// one finite graph-level bound must not regress against the baseline.
+/// Pre-v5 baselines carry no engine columns, so cross-generation runs skip
+/// the floor with a note instead of failing.
+fn gate_engine_coverage(base: &Value, new: &Value, violations: &mut Vec<String>) {
+    let Some((fresh_cov, fresh_total)) = engine_coverage(new) else {
+        return; // pre-v5 fresh report: nothing to gate
+    };
+    let Some((base_cov, base_total)) = engine_coverage(base) else {
+        println!("gate: baseline pebble report predates engine columns (pre-v5) — coverage floor not gated");
+        return;
+    };
+    if fresh_total == 0 || base_total == 0 {
+        return; // empty row sections are already coverage-loss violations
+    }
+    let fresh_frac = fresh_cov as f64 / fresh_total as f64;
+    let base_frac = base_cov as f64 / base_total as f64;
+    if fresh_frac + 1e-9 < base_frac {
+        violations.push(format!(
+            "pebble: engine coverage regressed: {base_cov}/{base_total} kernel group(s) \
+             with a finite graph bound → {fresh_cov}/{fresh_total}"
+        ));
     }
 }
 
@@ -676,6 +737,50 @@ mod tests {
             json::parse(r#"{"schema": "hourglass-iolb/pebble-sweep/v3", "rows": []}"#).unwrap();
         let mut v = Vec::new();
         gate_governance(&clean, &v3, "pebble", &mut v);
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    fn pebble_v5(rows: &str) -> Value {
+        json::parse(&format!(
+            r#"{{"schema": "hourglass-iolb/pebble-sweep/v5", "degradation": [], "failures": [], "rows": [{rows}]}}"#
+        ))
+        .unwrap()
+    }
+
+    const V5_COVERED: &str = r#"{"kernel": "a", "params": [8], "s": 4, "policy": "lru", "loads": 10, "sound": true, "lb_input": 3, "lb_visit": null, "lb_spectral": null}"#;
+    const V5_UNCOVERED: &str = r#"{"kernel": "a", "params": [8], "s": 4, "policy": "lru", "loads": 10, "sound": true, "lb_input": null, "lb_visit": null, "lb_spectral": null}"#;
+
+    #[test]
+    fn engine_coverage_counts_kernel_groups() {
+        assert_eq!(engine_coverage(&pebble_v5(V5_COVERED)), Some((1, 1)));
+        assert_eq!(engine_coverage(&pebble_v5(V5_UNCOVERED)), Some((0, 1)));
+        // Pre-v5 reports have no engine columns to count.
+        assert_eq!(engine_coverage(&pebble(CELL)), None);
+    }
+
+    #[test]
+    fn engine_coverage_floor_gates_v5_and_skips_v4_baselines() {
+        // Coverage held: clean.
+        let mut v = Vec::new();
+        gate_engine_coverage(&pebble_v5(V5_COVERED), &pebble_v5(V5_COVERED), &mut v);
+        assert!(v.is_empty(), "{v:?}");
+
+        // Coverage regressed: a covered group lost its finite bound.
+        let mut v = Vec::new();
+        gate_engine_coverage(&pebble_v5(V5_COVERED), &pebble_v5(V5_UNCOVERED), &mut v);
+        assert!(
+            v.iter().any(|m| m.contains("engine coverage regressed")),
+            "{v:?}"
+        );
+
+        // v4 baseline against a v5 fresh run: skipped, not failed.
+        let mut v = Vec::new();
+        gate_engine_coverage(&pebble(CELL), &pebble_v5(V5_UNCOVERED), &mut v);
+        assert!(v.is_empty(), "cross-generation runs skip the floor: {v:?}");
+
+        // Pre-v5 fresh report: nothing to gate.
+        let mut v = Vec::new();
+        gate_engine_coverage(&pebble_v5(V5_COVERED), &pebble(CELL), &mut v);
         assert!(v.is_empty(), "{v:?}");
     }
 
