@@ -21,6 +21,7 @@ use iolb_bench::sweep::{default_sweep_kernels_at, try_run_sweep, SweepSize};
 use iolb_bench::tightness::{try_run_tightness, TightnessJob};
 use iolb_cdag::try_build_cdag;
 use iolb_core::govern::{catch_analysis_mut, AnalysisError, Budget, CancelToken};
+use iolb_service::{RealIo, ReportStore, StoreKey};
 // Re-exported so harness callers (xtask, CLI) can name faults without a
 // direct govern dependency.
 pub use iolb_core::govern::{Fault, FaultKind, Seam};
@@ -104,6 +105,66 @@ fn drive(seam: Seam, budget: &Budget, token: &CancelToken) -> Result<(), Analysi
         Seam::Instances | Seam::Tuner => {
             try_run_tightness(vec![mini_tightness_job()], budget, token).map(|_| ())
         }
+        Seam::StoreAppend | Seam::StoreFlush | Seam::StoreCompact | Seam::StoreRecover => {
+            drive_store(seam, token)
+        }
+    }
+}
+
+/// Removes its scratch directory on drop — injected panics unwind
+/// through the store drivers, so cleanup must ride the unwind.
+struct Scratch(std::path::PathBuf);
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn store_scratch() -> Scratch {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    Scratch(std::env::temp_dir().join(format!(
+        "iolb_inject_store_{}_{}",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    )))
+}
+
+/// Drives the narrowest persistent-store operation that polls `seam` on
+/// the given token, against a scratch directory that is removed again
+/// (even when the injected fault is a panic).
+fn drive_store(seam: Seam, token: &CancelToken) -> Result<(), AnalysisError> {
+    let scratch = store_scratch();
+    let dir = scratch.0.clone();
+    let key = StoreKey {
+        canon_hash: 0xF00D,
+        options_fp: "inject".to_string(),
+        engines_fp: "all".to_string(),
+    };
+    let body = "persisted body";
+    let unlimited = CancelToken::unlimited();
+    match seam {
+        Seam::StoreAppend => ReportStore::open(&dir)?.append(&key, body, token),
+        Seam::StoreFlush => {
+            let store = ReportStore::open(&dir)?;
+            store.append(&key, body, &unlimited)?;
+            store.flush(token)
+        }
+        Seam::StoreCompact => {
+            let store = ReportStore::open(&dir)?;
+            store.append(&key, body, &unlimited)?;
+            store.compact(token)
+        }
+        Seam::StoreRecover => {
+            {
+                let store = ReportStore::open(&dir)?;
+                store.append(&key, body, &unlimited)?;
+                store.flush(&unlimited)?;
+            }
+            ReportStore::open_with(&dir, 0, Box::new(RealIo), token).map(|_| ())
+        }
+        other => unreachable!("{other} is not a store seam"),
     }
 }
 

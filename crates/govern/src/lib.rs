@@ -333,17 +333,30 @@ pub enum Seam {
     OptPass,
     /// Tightness auto-tuner candidate loop.
     Tuner,
+    /// Persistent report store: journal record append.
+    StoreAppend,
+    /// Persistent report store: journal fsync.
+    StoreFlush,
+    /// Persistent report store: snapshot compaction.
+    StoreCompact,
+    /// Persistent report store: startup recovery scan.
+    StoreRecover,
 }
 
 impl Seam {
-    /// Every governed seam, in pipeline order.
-    pub const ALL: [Seam; 6] = [
+    /// Every governed seam, in pipeline order (the persistence seams
+    /// follow the analysis seams: they sit behind the result cache).
+    pub const ALL: [Seam; 10] = [
         Seam::Admission,
         Seam::Instances,
         Seam::CdagFill,
         Seam::LruPass,
         Seam::OptPass,
         Seam::Tuner,
+        Seam::StoreAppend,
+        Seam::StoreFlush,
+        Seam::StoreCompact,
+        Seam::StoreRecover,
     ];
 
     /// Stable name used by `--inject CLASS@SEAM` and reports.
@@ -355,6 +368,10 @@ impl Seam {
             Seam::LruPass => "lru_pass",
             Seam::OptPass => "opt_pass",
             Seam::Tuner => "tuner",
+            Seam::StoreAppend => "store_append",
+            Seam::StoreFlush => "store_flush",
+            Seam::StoreCompact => "store_compact",
+            Seam::StoreRecover => "store_recover",
         }
     }
 

@@ -5,7 +5,7 @@
 //! benchmark harness and local tooling, not the open internet.
 
 use std::io::{Read, Write};
-use std::net::TcpStream;
+use std::time::Instant;
 
 /// Upper bound on a request head + body the daemon will buffer.
 pub const MAX_BODY: usize = 1 << 20;
@@ -44,56 +44,109 @@ fn is_timeout(e: &std::io::Error) -> bool {
     )
 }
 
+/// Why [`read_request`] gave up on a connection. The two classes map to
+/// different responses: a client that was *too slow* gets `408`, a client
+/// that sent *garbage* gets `400`.
+#[derive(Debug, PartialEq, Eq)]
+pub enum ReadError {
+    /// The total wall deadline expired (or the per-read stall backstop
+    /// tripped) with a request underway.
+    Timeout(String),
+    /// Malformed framing, oversized payloads, truncation mid-request, or
+    /// a transport error.
+    Malformed(String),
+}
+
+impl ReadError {
+    /// The human-readable diagnostic.
+    pub fn message(&self) -> &str {
+        match self {
+            ReadError::Timeout(m) | ReadError::Malformed(m) => m,
+        }
+    }
+}
+
+fn malformed<T>(msg: impl Into<String>) -> Result<T, ReadError> {
+    Err(ReadError::Malformed(msg.into()))
+}
+
 /// Reads one request from the stream. The caller arms a short read
 /// timeout; an idle connection surfaces as [`ReadOutcome::Idle`] after
 /// one silent timeout, while a connection that has *started* a request
-/// is given a bounded number of further timeouts to finish it.
+/// must finish it within `deadline_ms` of its first byte (0 = no wall
+/// deadline) *and* without stalling more than a bounded number of
+/// consecutive read-timeout windows. The wall deadline is what closes
+/// the slowloris hole: a client trickling one byte per timeout window
+/// never stalls, but cannot trickle forever.
 ///
 /// # Errors
-/// Malformed framing, oversized payloads, truncation mid-request, and
-/// transport errors (all mean: drop the connection).
-pub fn read_request(stream: &mut TcpStream) -> Result<ReadOutcome, String> {
+/// [`ReadError::Timeout`] when the client was too slow (answer `408`);
+/// [`ReadError::Malformed`] on framing/transport problems (answer `400`).
+pub fn read_request<S: Read>(stream: &mut S, deadline_ms: u64) -> Result<ReadOutcome, ReadError> {
     let mut buf: Vec<u8> = Vec::new();
     let mut chunk = [0u8; 4096];
     let mut stalls = 0usize;
+    // The wall clock starts at the request's first byte, so idle
+    // keep-alive connections never tick against the deadline.
+    let mut started: Option<Instant> = None;
+    let expired = |started: &Option<Instant>| {
+        deadline_ms > 0 && started.is_some_and(|t| t.elapsed().as_millis() as u64 > deadline_ms)
+    };
     let head_end = loop {
         if let Some(pos) = find_head_end(&buf) {
             break pos;
         }
         if buf.len() > MAX_BODY {
-            return Err("request head too large".to_string());
+            return malformed("request head too large");
+        }
+        if expired(&started) {
+            return Err(ReadError::Timeout(format!(
+                "request exceeded --request-deadline-ms={deadline_ms} reading the head"
+            )));
         }
         match stream.read(&mut chunk) {
             Ok(0) => {
                 if buf.is_empty() {
                     return Ok(ReadOutcome::Closed);
                 }
-                return Err("connection closed mid-request".to_string());
+                return malformed("connection closed mid-request");
             }
-            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Ok(n) => {
+                buf.extend_from_slice(&chunk[..n]);
+                started.get_or_insert_with(Instant::now);
+                stalls = 0;
+            }
             Err(e) if is_timeout(&e) => {
                 if buf.is_empty() {
                     return Ok(ReadOutcome::Idle);
                 }
                 stalls += 1;
                 if stalls > 40 {
-                    return Err("timed out mid-request".to_string());
+                    return Err(ReadError::Timeout("timed out mid-request".to_string()));
                 }
             }
-            Err(e) => return Err(format!("read: {e}")),
+            Err(e) => return malformed(format!("read: {e}")),
         }
     };
 
-    let head = std::str::from_utf8(&buf[..head_end])
-        .map_err(|_| "request head is not UTF-8".to_string())?;
+    let head = match std::str::from_utf8(&buf[..head_end]) {
+        Ok(h) => h,
+        Err(_) => return malformed("request head is not UTF-8"),
+    };
     let mut lines = head.split("\r\n");
-    let request_line = lines.next().ok_or("empty request")?;
+    let request_line = lines.next().map_or("", |l| l);
     let mut parts = request_line.split_whitespace();
-    let method = parts.next().ok_or("missing method")?.to_string();
-    let target = parts.next().ok_or("missing request target")?;
-    let version = parts.next().ok_or("missing HTTP version")?;
+    let Some(method) = parts.next().map(str::to_string) else {
+        return malformed("missing method");
+    };
+    let Some(target) = parts.next() else {
+        return malformed("missing request target");
+    };
+    let Some(version) = parts.next() else {
+        return malformed("missing HTTP version");
+    };
     if !version.starts_with("HTTP/1.") {
-        return Err(format!("unsupported version {version}"));
+        return malformed(format!("unsupported version {version}"));
     }
 
     let mut content_length = 0usize;
@@ -104,9 +157,10 @@ pub fn read_request(stream: &mut TcpStream) -> Result<ReadOutcome, String> {
             let value = value.trim();
             match name.to_ascii_lowercase().as_str() {
                 "content-length" => {
-                    content_length = value
-                        .parse()
-                        .map_err(|_| format!("bad Content-Length `{value}`"))?;
+                    content_length = match value.parse() {
+                        Ok(n) => n,
+                        Err(_) => return malformed(format!("bad Content-Length `{value}`")),
+                    };
                 }
                 "connection" => match value.to_ascii_lowercase().as_str() {
                     "close" => keep_alive = false,
@@ -118,22 +172,30 @@ pub fn read_request(stream: &mut TcpStream) -> Result<ReadOutcome, String> {
         }
     }
     if content_length > MAX_BODY {
-        return Err(format!("body of {content_length} bytes exceeds limit"));
+        return malformed(format!("body of {content_length} bytes exceeds limit"));
     }
 
     let mut body: Vec<u8> = buf[head_end + 4..].to_vec();
     let mut stalls = 0usize;
     while body.len() < content_length {
+        if expired(&started) {
+            return Err(ReadError::Timeout(format!(
+                "request exceeded --request-deadline-ms={deadline_ms} reading the body"
+            )));
+        }
         match stream.read(&mut chunk) {
-            Ok(0) => return Err("connection closed mid-body".to_string()),
-            Ok(n) => body.extend_from_slice(&chunk[..n]),
+            Ok(0) => return malformed("connection closed mid-body"),
+            Ok(n) => {
+                body.extend_from_slice(&chunk[..n]);
+                stalls = 0;
+            }
             Err(e) if is_timeout(&e) => {
                 stalls += 1;
                 if stalls > 40 {
-                    return Err("timed out mid-body".to_string());
+                    return Err(ReadError::Timeout("timed out mid-body".to_string()));
                 }
             }
-            Err(e) => return Err(format!("read body: {e}")),
+            Err(e) => return malformed(format!("read body: {e}")),
         }
     }
     body.truncate(content_length);
@@ -251,8 +313,8 @@ pub fn render_response(
 ///
 /// # Errors
 /// The transport error, when the peer is gone.
-pub fn write_response(
-    stream: &mut TcpStream,
+pub fn write_response<S: Write>(
+    stream: &mut S,
     status: u16,
     extra_headers: &[(String, String)],
     body: &str,

@@ -27,9 +27,13 @@ fn kernel(name: &str) -> String {
 /// Starts a daemon on an ephemeral port; returns its address and the
 /// join handle (the server exits on `POST /shutdown`).
 fn start_daemon() -> (SocketAddr, std::thread::JoinHandle<()>) {
+    start_daemon_with(ServerOptions::default())
+}
+
+/// [`start_daemon`] with explicit options (deadline/drain tests).
+fn start_daemon_with(opts: ServerOptions) -> (SocketAddr, std::thread::JoinHandle<()>) {
     let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
     let addr = listener.local_addr().expect("local_addr");
-    let opts = ServerOptions::default();
     let handle = std::thread::spawn(move || {
         serve_listener(listener, &opts).expect("serve");
     });
@@ -191,10 +195,13 @@ fn cache_hits_surface_in_header_and_stats() {
         "{stats}"
     );
     assert!(
-        stats.contains("\"schema\": \"hourglass-iolb/serve-stats/v2\""),
+        stats.contains("\"schema\": \"hourglass-iolb/serve-stats/v3\""),
         "{stats}"
     );
     assert!(stats.contains("\"report_capacity\": 512"), "{stats}");
+    assert!(stats.contains("\"queue_depth\": "), "{stats}");
+    // No --store attached: the store member is explicit null, not absent.
+    assert!(stats.contains("\"store\": null"), "{stats}");
     shutdown(addr, handle);
 }
 
@@ -293,5 +300,27 @@ fn health_stats_and_routing() {
     let response = exchange(addr, &post("/analyze?frobnicate=1", "x"));
     assert!(response.starts_with("HTTP/1.1 400"), "{response}");
     assert!(response.contains("unknown option"), "{response}");
+    shutdown(addr, handle);
+}
+
+#[test]
+fn slow_request_hits_the_wall_deadline_with_a_golden_408() {
+    let opts = ServerOptions {
+        request_deadline_ms: 200,
+        ..ServerOptions::default()
+    };
+    let (addr, handle) = start_daemon_with(opts);
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    // A slowloris: start a request head, then never finish it. The
+    // per-read timeout alone would keep this connection forever; the
+    // wall deadline answers 408 and closes it.
+    stream
+        .write_all(b"POST /analyze HTTP/1.1\r\nContent-Length: 5\r\n")
+        .expect("send partial head");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("receive");
+    assert!(response.starts_with("HTTP/1.1 408"), "{response}");
+    assert!(response.contains("Connection: close"), "{response}");
+    check_golden("analyze_request_timeout.http", &response);
     shutdown(addr, handle);
 }

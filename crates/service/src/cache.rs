@@ -381,6 +381,122 @@ mod tests {
         assert_eq!(*v, "ok");
     }
 
+    /// Same shard-selection arithmetic as [`ShardedCache::shard`], exposed
+    /// so tests can pick keys that land on distinct shards.
+    fn shard_index<K: std::hash::Hash>(key: &K) -> usize {
+        use std::hash::Hasher;
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        key.hash(&mut h);
+        (h.finish() as usize) % SHARDS
+    }
+
+    #[test]
+    fn in_flight_entries_are_never_evicted_at_capacity() {
+        // Pin a `Pending` slot in several distinct shards by blocking its
+        // compute, then flood the cache hard enough to evict every
+        // finished entry many times over. The pinned markers must survive
+        // the pressure: each blocked compute resolves exactly once with
+        // its own value, and the freshly-inserted entries are still
+        // peekable afterwards (nothing evicted a Pending slot, and the
+        // just-finished inserts carry the newest touch ticks).
+        const PINNED: usize = 4;
+        let mut pinned: Vec<u128> = Vec::new();
+        let mut shards_used = [false; SHARDS];
+        let mut k = 0u128;
+        while pinned.len() < PINNED {
+            let s = shard_index(&k);
+            if !shards_used[s] {
+                shards_used[s] = true;
+                pinned.push(k);
+            }
+            k += 1;
+        }
+
+        let cache: Arc<ShardedCache<u128, u64>> = Arc::new(ShardedCache::with_capacity(SHARDS));
+        let started = Arc::new(AtomicU64::new(0));
+        let release = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let computed = Arc::new(AtomicU64::new(0));
+        std::thread::scope(|scope| {
+            for &key in &pinned {
+                let cache = Arc::clone(&cache);
+                let started = Arc::clone(&started);
+                let release = Arc::clone(&release);
+                let computed = Arc::clone(&computed);
+                scope.spawn(move || {
+                    let v = cache
+                        .get_or_compute(key, || {
+                            computed.fetch_add(1, Ordering::Relaxed);
+                            started.fetch_add(1, Ordering::Relaxed);
+                            while !release.load(Ordering::Relaxed) {
+                                std::thread::yield_now();
+                            }
+                            Ok::<_, ()>(key as u64 + 1000)
+                        })
+                        .unwrap();
+                    assert_eq!(*v, key as u64 + 1000);
+                });
+            }
+            // Wait until every pinned compute is in flight, i.e. its
+            // Pending marker sits in the shard map.
+            while started.load(Ordering::Relaxed) < PINNED as u64 {
+                std::thread::yield_now();
+            }
+            // Flood with distinct keys: with one finished entry allowed
+            // per shard, almost every insert must evict something — and
+            // the only legal victims are finished entries.
+            let flood = 20 * SHARDS as u128;
+            for f in 0..flood {
+                cache
+                    .get_or_compute(1_000_000 + f, || Ok::<_, ()>(0))
+                    .unwrap();
+            }
+            assert!(
+                cache.stats().evictions > 0,
+                "flood never forced an eviction — the test is not exercising pressure"
+            );
+            release.store(true, Ordering::Relaxed);
+        });
+
+        assert_eq!(
+            computed.load(Ordering::Relaxed),
+            PINNED as u64,
+            "each pinned key computed exactly once"
+        );
+        for &key in &pinned {
+            let v = cache.peek(&key).unwrap_or_else(|| {
+                panic!("pinned key {key} missing after release — a Pending slot was evicted")
+            });
+            assert_eq!(*v, key as u64 + 1000);
+        }
+    }
+
+    proptest::proptest! {
+        /// Counter conservation for any request multiset and capacity:
+        /// every request is a hit or a miss, and every miss either still
+        /// sits in the cache or was evicted. With no bound, nothing is
+        /// ever evicted.
+        #[test]
+        fn counters_conserve_for_any_request_sequence(
+            keys in proptest::collection::vec(0u8..32, 0..200),
+            capacity in 0usize..40,
+        ) {
+            let cache: ShardedCache<u128, u64> = ShardedCache::with_capacity(capacity);
+            for &k in &keys {
+                cache
+                    .get_or_compute(k as u128, || Ok::<_, ()>(k as u64))
+                    .unwrap();
+            }
+            let stats = cache.stats();
+            proptest::prop_assert_eq!(stats.hits + stats.misses, keys.len() as u64);
+            proptest::prop_assert_eq!(stats.misses, cache.len() as u64 + stats.evictions);
+            if cache.capacity() > 0 {
+                proptest::prop_assert!(cache.len() <= cache.capacity());
+            } else {
+                proptest::prop_assert_eq!(stats.evictions, 0);
+            }
+        }
+    }
+
     #[test]
     fn concurrent_same_key_dedups_to_one_miss() {
         let cache: Arc<ShardedCache<u128, u64>> = Arc::new(ShardedCache::default());

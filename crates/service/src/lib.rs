@@ -21,13 +21,19 @@ pub mod cache;
 pub mod json;
 pub mod options;
 pub mod pipeline;
+pub mod render;
 pub mod request;
+pub mod store;
 
 pub use cache::{fnv1a_128, CacheStats, LayerStats, ShardedCache};
 pub use options::AnalysisOptions;
 pub use pipeline::{
     analyze_uncached, canonicalize, canonicalize_kernel, AnalysisOutcome, CachedAnalysis,
     CanonEntry, ClassicalSummary, DegradeInfo, Derived, HourglassSummary, Pipeline, ResultCache,
-    SplitSummary, DEFAULT_REPORT_CAPACITY,
+    ServeSource, ServedAnalysis, SplitSummary, DEFAULT_REPORT_CAPACITY,
 };
+pub use render::{embed, outcome_body};
 pub use request::AnalyzeRequest;
+pub use store::{
+    RealIo, RecoveryStats, ReportStore, StoreIo, StoreKey, StoreStats, JOURNAL_FILE, SNAPSHOT_FILE,
+};

@@ -134,7 +134,8 @@ impl AnalysisOptions {
                 self.inject = Some(Fault::parse(value.trim()).ok_or_else(|| {
                     format!(
                         "bad inject spec `{value}` (want panic|oom|deadline, \
-                         optionally @admission|instances|cdag_fill|lru_pass|opt_pass|tuner)"
+                         optionally @admission|instances|cdag_fill|lru_pass|opt_pass|tuner|\
+                         store_append|store_flush|store_compact|store_recover)"
                     )
                 })?);
             }

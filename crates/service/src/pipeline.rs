@@ -12,6 +12,7 @@
 
 use crate::cache::{CacheStats, ShardedCache};
 use crate::options::AnalysisOptions;
+use crate::store::{ReportStore, StoreKey};
 use iolb_bench::sweep::{coarse_s_offsets, try_run_sweep_with, SweepKernel, SweepReport};
 use iolb_bench::tightness::{try_run_tightness, KernelTightness, TightnessJob};
 use iolb_core::classical::ClassicalBound;
@@ -567,12 +568,44 @@ pub struct CachedAnalysis {
     pub cached: bool,
 }
 
+/// A served analysis answer: the rendered `serve/v1` body plus where the
+/// bytes came from. Bodies are shared `Arc`s — a store hit returns the
+/// exact recovered bytes.
+#[derive(Debug, Clone)]
+pub struct ServedAnalysis {
+    /// The rendered response body.
+    pub body: Arc<String>,
+    /// Which layer answered.
+    pub source: ServeSource,
+}
+
+/// Which layer produced a [`ServedAnalysis`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServeSource {
+    /// The pipeline ran (a miss everywhere).
+    Computed,
+    /// The in-memory report cache answered.
+    Memory,
+    /// The persistent store answered (warm restart).
+    Store,
+}
+
+impl ServedAnalysis {
+    /// Whether the answer came from a cache layer (memory or disk) rather
+    /// than a fresh pipeline run — the daemon's `X-Iolb-Cache` header.
+    pub fn cached(&self) -> bool {
+        self.source != ServeSource::Computed
+    }
+}
+
 /// The analysis service core: the staged pipeline behind the two-layer
-/// content-hash cache. Cheap to share (`&Pipeline` is `Sync`); one
-/// instance per daemon / batch run.
+/// content-hash cache, with an optional persistent store as write-behind
+/// third layer. Cheap to share (`&Pipeline` is `Sync`); one instance per
+/// daemon / batch run.
 #[derive(Default)]
 pub struct Pipeline {
     cache: ResultCache,
+    store: Option<ReportStore>,
 }
 
 impl Pipeline {
@@ -587,12 +620,41 @@ impl Pipeline {
     pub fn with_report_capacity(capacity: usize) -> Pipeline {
         Pipeline {
             cache: ResultCache::with_report_capacity(capacity),
+            store: None,
+        }
+    }
+
+    /// [`Pipeline::with_report_capacity`] plus a persistent report store:
+    /// every freshly computed report is appended write-behind, and
+    /// reports missing from memory are served byte-identical from the
+    /// store (warm restarts).
+    pub fn with_store(capacity: usize, store: ReportStore) -> Pipeline {
+        Pipeline {
+            cache: ResultCache::with_report_capacity(capacity),
+            store: Some(store),
         }
     }
 
     /// Cache access (stats endpoints, tests).
     pub fn cache(&self) -> &ResultCache {
         &self.cache
+    }
+
+    /// The persistent store, when one is attached.
+    pub fn store(&self) -> Option<&ReportStore> {
+        self.store.as_ref()
+    }
+
+    /// Fsyncs the store journal (the daemon's drain path); a no-op
+    /// without a store.
+    ///
+    /// # Errors
+    /// `Internal` on fsync failure.
+    pub fn flush_store(&self) -> Result<(), AnalysisError> {
+        match &self.store {
+            Some(s) => s.flush(&CancelToken::unlimited()),
+            None => Ok(()),
+        }
     }
 
     /// [`Pipeline::analyze_with_token`] with a token built from the
@@ -649,6 +711,92 @@ impl Pipeline {
         Ok(CachedAnalysis {
             outcome,
             cached: !computed.get(),
+        })
+    }
+
+    /// [`Pipeline::analyze`] rendered to the canonical `serve/v1` body,
+    /// with the persistent store as the third layer: a report missing
+    /// from the in-memory cache but present on disk is served
+    /// byte-identical without re-running the pipeline, and every freshly
+    /// computed report is appended write-behind (append failures are
+    /// counted in the store's stats but never fail the request — the
+    /// answer is already in hand).
+    ///
+    /// # Errors
+    /// Every failure is a typed [`AnalysisError`].
+    pub fn serve(
+        &self,
+        src: &str,
+        opts: &AnalysisOptions,
+    ) -> Result<ServedAnalysis, AnalysisError> {
+        let token = match opts.inject {
+            Some(fault) => CancelToken::with_fault(fault),
+            None => opts.budget.token(),
+        };
+        if opts.inject.is_some() {
+            // Fault-injection requests bypass every layer, including the
+            // store: their purpose is to exercise the pipeline.
+            let outcome = catch_analysis_mut(|| analyze_uncached(src, opts, &token))?;
+            return Ok(ServedAnalysis {
+                body: Arc::new(crate::render::outcome_body(&outcome)),
+                source: ServeSource::Computed,
+            });
+        }
+        let raw_hash = crate::cache::fnv1a_128(src.as_bytes());
+        let canon = self.cache.parse.get_or_compute(raw_hash, || {
+            let (text, hash) = canonicalize(src)?;
+            Ok::<_, AnalysisError>(CanonEntry { text, hash })
+        })?;
+        let fingerprint = opts.fingerprint();
+        if let Some(store) = &self.store {
+            // Peek (non-counting) so a disk answer leaves the memory
+            // counters untouched; the store keeps its own hit counter.
+            if self
+                .cache
+                .report
+                .peek(&(canon.hash, fingerprint.clone()))
+                .is_none()
+            {
+                if let Some(body) = store.get(canon.hash, &fingerprint) {
+                    return Ok(ServedAnalysis {
+                        body,
+                        source: ServeSource::Store,
+                    });
+                }
+            }
+        }
+        let computed = Cell::new(false);
+        let outcome =
+            self.cache
+                .report
+                .get_or_compute((canon.hash, fingerprint.clone()), || {
+                    computed.set(true);
+                    catch_analysis_mut(|| analyze_uncached(&canon.text, opts, &token))
+                })?;
+        let body = Arc::new(crate::render::outcome_body(&outcome));
+        if !computed.get() {
+            return Ok(ServedAnalysis {
+                body,
+                source: ServeSource::Memory,
+            });
+        }
+        if let Some(store) = &self.store {
+            let key = StoreKey {
+                canon_hash: canon.hash,
+                options_fp: fingerprint,
+                engines_fp: opts.engines.clone(),
+            };
+            // Write-behind with an unlimited token: the request's own
+            // deadline must not tear persistence, and errors are counted
+            // by the store itself.
+            let unlimited = CancelToken::unlimited();
+            if store.append(&key, &body, &unlimited).is_ok() {
+                let _ = store.maybe_compact(&unlimited);
+            }
+        }
+        Ok(ServedAnalysis {
+            body,
+            source: ServeSource::Computed,
         })
     }
 }

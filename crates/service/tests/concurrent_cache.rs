@@ -7,7 +7,7 @@
 //! options) keys no matter how the threads interleave.
 
 use iolb_bench::sweep::sweep_report_json_with;
-use iolb_service::{AnalysisOptions, Pipeline};
+use iolb_service::{AnalysisOptions, Pipeline, ShardedCache};
 use std::path::PathBuf;
 
 fn kernels_dir() -> PathBuf {
@@ -107,4 +107,50 @@ fn concurrent_workers_match_sequential_bitwise_with_deterministic_counters() {
     );
     assert_eq!(stats.parse.misses, batch.len() as u64);
     assert_eq!(pipeline.cache().report_entries(), batch.len());
+}
+
+#[test]
+fn disjoint_keys_under_eviction_pressure_keep_counters_deterministic() {
+    // 8 workers insert fully disjoint key ranges into a cache far too
+    // small to hold them. However the threads interleave, the counter
+    // identities must come out exact: no shared keys means zero hits and
+    // one miss per request, and every miss either survived to the end or
+    // was evicted — conservation holds even while eviction races the
+    // inserts on every shard.
+    const WORKERS: u128 = 8;
+    const PER_WORKER: u128 = 200;
+    let cache: ShardedCache<u128, u64> = ShardedCache::with_capacity(16);
+    std::thread::scope(|scope| {
+        for w in 0..WORKERS {
+            let cache = &cache;
+            scope.spawn(move || {
+                for i in 0..PER_WORKER {
+                    let key = w * 1_000_000 + i;
+                    let v = cache
+                        .get_or_compute(key, || Ok::<_, ()>(key as u64 * 3))
+                        .expect("compute");
+                    assert_eq!(*v, key as u64 * 3);
+                }
+            });
+        }
+    });
+    let stats = cache.stats();
+    let total = (WORKERS * PER_WORKER) as u64;
+    assert_eq!(stats.hits, 0, "disjoint keys can never hit");
+    assert_eq!(stats.misses, total, "every request is a miss");
+    assert_eq!(
+        stats.evictions,
+        stats.misses - cache.len() as u64,
+        "evictions must account for every miss not still resident"
+    );
+    assert!(
+        cache.len() <= cache.capacity(),
+        "len {} over capacity {}",
+        cache.len(),
+        cache.capacity()
+    );
+    assert!(
+        stats.evictions > 0,
+        "capacity 16 must have forced evictions"
+    );
 }

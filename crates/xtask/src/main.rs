@@ -29,6 +29,7 @@
 //! the comparable sections of both reports are deterministic, so on an
 //! unchanged tree the gate compares byte-equal values.
 
+mod crash_smoke;
 mod json;
 mod serve_bench;
 
@@ -45,6 +46,7 @@ USAGE:
     xtask fuzz-smoke --inject all|panic,oom,deadline
     xtask serve-bench [--iolbd PATH] [--iolb PATH] [--kernels DIR]
                       [--out BENCH_serve.json] [--warm-passes 5]
+    xtask crash-smoke [--iolbd PATH] [--kernels DIR]
 
 `gate` diffs <DIR>/BENCH_pebble.json and <DIR>/BENCH_tightness.json between
 the two directories and exits nonzero on soundness loss, coverage loss,
@@ -56,6 +58,13 @@ match the CLI and the warm cache hit rate must stay at or above 0.99.
 `serve-bench` starts the `iolbd` daemon on an ephemeral loopback port,
 replays every kernel cold and warm, verifies the cold responses against
 the `iolb` CLI row for row, and writes the BENCH_serve.json report.
+
+`crash-smoke` starts `iolbd` against a scratch persistent store, kills it
+with SIGKILL in the middle of a write burst, restarts it against the same
+directory, and exits nonzero unless recovery truncated the torn journal
+tail, skipped (and counted) a deliberately corrupted record, served every
+previously computed body byte-identical as a persisted hit, and drained
+cleanly on SIGTERM.
 
 `fuzz-smoke` runs the kernel-space fuzzer over a fixed seed set and exits
 nonzero on any differential-oracle violation (bounded CI job; the time
@@ -84,6 +93,13 @@ fn main() -> ExitCode {
         },
         Some("serve-bench") => match serve_bench::parse_serve_bench_args(&args[1..]) {
             Ok(opts) => serve_bench::run_serve_bench(&opts),
+            Err(msg) => {
+                eprintln!("{msg}\n\n{USAGE}");
+                ExitCode::from(2)
+            }
+        },
+        Some("crash-smoke") => match crash_smoke::parse_crash_smoke_args(&args[1..]) {
+            Ok(opts) => crash_smoke::run_crash_smoke(&opts),
             Err(msg) => {
                 eprintln!("{msg}\n\n{USAGE}");
                 ExitCode::from(2)

@@ -13,10 +13,12 @@
 //!   whose bodies must be byte-identical to the cold bodies.
 //!
 //! It then writes `BENCH_serve.json` (schema
-//! `hourglass-iolb/serve-bench/v1`) with the warm hit rate, the
-//! cold-vs-CLI verdict, and throughput / latency percentiles. The hit
-//! rate and the verdict are deterministic and gated; the timing numbers
-//! are volatile and reported for trend-watching only.
+//! `hourglass-iolb/serve-bench/v2`) with the warm hit rate, the
+//! cold-vs-CLI verdict, throughput / latency percentiles, and the
+//! persistent-store counters of the bench daemon's scratch store. The
+//! hit rate, the verdict, and the store's corruption counter are
+//! deterministic and gated; the timing numbers are volatile and
+//! reported for trend-watching only.
 
 use crate::json::{self, Value};
 use std::io::{BufRead, BufReader, Read, Write};
@@ -91,16 +93,21 @@ pub fn run_serve_bench(opts: &ServeBenchOpts) -> ExitCode {
     }
 }
 
-/// The daemon child plus the address it reported.
-struct Daemon {
-    child: Child,
-    addr: String,
+/// The daemon child plus the address it reported. Shared with
+/// `crash-smoke`, which starts daemons against a persistent store and
+/// kills them mid-burst.
+pub(crate) struct Daemon {
+    pub(crate) child: Child,
+    pub(crate) addr: String,
 }
 
 impl Daemon {
-    fn start(binary: &Path) -> Result<Self, String> {
+    /// Starts the daemon with extra command-line arguments appended
+    /// (`--store DIR`, deadline overrides, …).
+    pub(crate) fn start_with(binary: &Path, extra: &[&str]) -> Result<Self, String> {
         let mut child = Command::new(binary)
             .args(["--addr", "127.0.0.1:0"])
+            .args(extra)
             .stdout(Stdio::piped())
             .spawn()
             .map_err(|e| format!("cannot start {}: {e}", binary.display()))?;
@@ -117,7 +124,7 @@ impl Daemon {
         Ok(Self { child, addr })
     }
 
-    fn shutdown(mut self) -> Result<(), String> {
+    pub(crate) fn shutdown(mut self) -> Result<(), String> {
         let response = exchange(&self.addr, &post("/shutdown", ""))?;
         if !response.starts_with("HTTP/1.1 200") {
             let _ = self.child.kill();
@@ -141,7 +148,33 @@ impl Drop for Daemon {
     }
 }
 
-fn post(path_query: &str, body: &str) -> String {
+/// A scratch directory removed on drop (store directories for the bench
+/// and crash-smoke daemons).
+pub(crate) struct ScratchDir(pub(crate) PathBuf);
+
+impl ScratchDir {
+    pub(crate) fn new(tag: &str) -> ScratchDir {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        ScratchDir(std::env::temp_dir().join(format!(
+            "iolb_xtask_{tag}_{}_{}",
+            std::process::id(),
+            SEQ.fetch_add(1, Ordering::Relaxed)
+        )))
+    }
+}
+
+impl Drop for ScratchDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+pub(crate) fn get(path: &str) -> String {
+    format!("GET {path} HTTP/1.1\r\nHost: localhost\r\nConnection: close\r\n\r\n")
+}
+
+pub(crate) fn post(path_query: &str, body: &str) -> String {
     format!(
         "POST {path_query} HTTP/1.1\r\nHost: localhost\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
         body.len()
@@ -149,7 +182,7 @@ fn post(path_query: &str, body: &str) -> String {
 }
 
 /// One request / one connection; reads the response to EOF.
-fn exchange(addr: &str, request: &str) -> Result<String, String> {
+pub(crate) fn exchange(addr: &str, request: &str) -> Result<String, String> {
     let mut stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
     stream
         .write_all(request.as_bytes())
@@ -162,12 +195,12 @@ fn exchange(addr: &str, request: &str) -> Result<String, String> {
 }
 
 /// First line of a response, for error messages.
-fn head(response: &str) -> &str {
+pub(crate) fn head(response: &str) -> &str {
     response.lines().next().unwrap_or("")
 }
 
 /// Body of a response (after the blank line).
-fn body_of(response: &str) -> Option<&str> {
+pub(crate) fn body_of(response: &str) -> Option<&str> {
     response.split_once("\r\n\r\n").map(|(_, b)| b)
 }
 
@@ -370,7 +403,12 @@ fn serve_bench(opts: &ServeBenchOpts) -> Result<(), String> {
     // Reference: the CLI on the same batch with the same options.
     let cli = cli_reference(&opts.iolb, &opts.kernels, &std::env::temp_dir())?;
 
-    let daemon = Daemon::start(&opts.iolbd)?;
+    // The bench daemon runs with a scratch persistent store, so the
+    // report carries the store counters a production deployment would
+    // watch (and the gate can hold skipped_corrupt_records at zero).
+    let store_dir = ScratchDir::new("serve_bench_store");
+    let store_arg = store_dir.0.to_string_lossy().into_owned();
+    let daemon = Daemon::start_with(&opts.iolbd, &["--store", &store_arg])?;
     let addr = daemon.addr.clone();
 
     // Cold pass: all misses; capture bodies.
@@ -400,6 +438,34 @@ fn serve_bench(opts: &ServeBenchOpts) -> Result<(), String> {
         warm.misses += pass.misses;
     }
 
+    // Store counters straight from the daemon before it drains.
+    let stats_raw = exchange(&addr, &get("/stats"))?;
+    let stats_doc = body_of(&stats_raw)
+        .ok_or("malformed /stats response")
+        .and_then(|b| json::parse(b).map_err(|_| "/stats body is not JSON"))?;
+    let store_num = |field: &str| -> Result<u64, String> {
+        stats_doc
+            .get("store")
+            .and_then(|s| s.get(field))
+            .and_then(Value::num)
+            .map(|n| n as u64)
+            .ok_or_else(|| format!("/stats store.{field} missing — daemon ran without --store?"))
+    };
+    let store_json = format!(
+        "\"store\": {{\"entries\": {}, \"appends\": {}, \"append_errors\": {}, \
+         \"persisted_hits\": {}, \"compactions\": {}, \"recovered_records\": {}, \
+         \"snapshot_records\": {}, \"skipped_corrupt_records\": {}, \"torn_tail_bytes\": {}}}",
+        store_num("entries")?,
+        store_num("appends")?,
+        store_num("append_errors")?,
+        store_num("persisted_hits")?,
+        store_num("compactions")?,
+        store_num("recovered_records")?,
+        store_num("snapshot_records")?,
+        store_num("skipped_corrupt_records")?,
+        store_num("torn_tail_bytes")?,
+    );
+
     daemon.shutdown()?;
 
     let kernel_names: Vec<String> = batch
@@ -407,11 +473,11 @@ fn serve_bench(opts: &ServeBenchOpts) -> Result<(), String> {
         .map(|(name, _)| format!("\"{name}\""))
         .collect();
     let report = format!(
-        "{{\n  \"schema\": \"hourglass-iolb/serve-bench/v1\",\n  \
+        "{{\n  \"schema\": \"hourglass-iolb/serve-bench/v2\",\n  \
          \"meta\": {{\"kernels\": {}, \"warm_passes\": {}, \"s_grid\": \"{S_GRID}\"}},\n  \
          \"cold_matches_cli\": true,\n  \
          \"warm_hit_rate\": {:.4},\n  \
-         {},\n  {},\n  \
+         {},\n  {},\n  {store_json},\n  \
          \"kernels\": [{}]\n}}\n",
         batch.len(),
         opts.warm_passes,
@@ -433,7 +499,10 @@ fn serve_bench(opts: &ServeBenchOpts) -> Result<(), String> {
 /// absolutely (they do not regress by degrees), the timing fields are
 /// volatile and ignored — consistent with how the pebble/tightness gates
 /// treat wall times.
-pub const SERVE_SCHEMAS: &[&str] = &["hourglass-iolb/serve-bench/v1"];
+pub const SERVE_SCHEMAS: &[&str] = &[
+    "hourglass-iolb/serve-bench/v1",
+    "hourglass-iolb/serve-bench/v2",
+];
 
 pub fn gate_serve(base: &Value, new: &Value, violations: &mut Vec<String>) {
     if new.get("cold_matches_cli").and_then(Value::bool) != Some(true) {
@@ -463,17 +532,47 @@ pub fn gate_serve(base: &Value, new: &Value, violations: &mut Vec<String>) {
             }
         }
     }
+    // Store health (v2): a fresh run skipping more corrupt records than
+    // the baseline knew about means the journal is corrupting data at
+    // rest. Pre-v2 baselines carry no store section — noted, counted as
+    // zero skipped, and the rest of the gate still applies.
+    let skipped = |doc: &Value| {
+        doc.get("store")
+            .and_then(|s| s.get("skipped_corrupt_records"))
+            .and_then(Value::num)
+    };
+    let base_skipped = skipped(base).unwrap_or_else(|| {
+        println!(
+            "gate: serve baseline has no store counters (pre-v2 schema) — \
+             baseline skipped_corrupt_records taken as 0"
+        );
+        0.0
+    });
+    match skipped(new) {
+        Some(fresh) if fresh <= base_skipped => {}
+        Some(fresh) => violations.push(format!(
+            "serve: skipped_corrupt_records {fresh:.0} above baseline {base_skipped:.0} — \
+             the persistent store is corrupting records"
+        )),
+        None => println!(
+            "gate: fresh serve report has no store counters (pre-v2 schema) — \
+             store health not gated"
+        ),
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    const CLEAN: &str = r#"{"schema": "hourglass-iolb/serve-bench/v1",
+    const CLEAN: &str = r#"{"schema": "hourglass-iolb/serve-bench/v2",
         "meta": {"kernels": 2, "warm_passes": 5, "s_grid": "0,16,64"},
         "cold_matches_cli": true, "warm_hit_rate": 1.0,
         "cold": {"requests": 2, "wall_ms": 10.0, "p50_ms": 5.0, "p99_ms": 6.0, "throughput_rps": 200.0},
         "warm": {"requests": 10, "wall_ms": 5.0, "p50_ms": 0.5, "p99_ms": 0.9, "throughput_rps": 2000.0},
+        "store": {"entries": 2, "appends": 2, "append_errors": 0, "persisted_hits": 0,
+                  "compactions": 0, "recovered_records": 0, "snapshot_records": 0,
+                  "skipped_corrupt_records": 0, "torn_tail_bytes": 0},
         "kernels": ["a", "b"]}"#;
 
     #[test]
@@ -513,6 +612,45 @@ mod tests {
             v.iter().any(|m| m.contains("missing from fresh run: b")),
             "{v:?}"
         );
+    }
+
+    #[test]
+    fn serve_gate_holds_store_corruption_at_the_baseline() {
+        let clean = json::parse(CLEAN).unwrap();
+
+        // Fresh run skipping corrupt records the baseline never saw: fail.
+        let corrupting = json::parse(&CLEAN.replace(
+            "\"skipped_corrupt_records\": 0",
+            "\"skipped_corrupt_records\": 2",
+        ))
+        .unwrap();
+        let mut v = Vec::new();
+        gate_serve(&clean, &corrupting, &mut v);
+        assert!(
+            v.iter().any(|m| m.contains("skipped_corrupt_records 2")),
+            "{v:?}"
+        );
+
+        // A pre-v2 baseline (no store section) is accepted — its skipped
+        // count is taken as zero, so a clean fresh run passes and a
+        // corrupting one still fails.
+        let pre_v2 = json::parse(
+            r#"{"schema": "hourglass-iolb/serve-bench/v1",
+                "cold_matches_cli": true, "warm_hit_rate": 1.0,
+                "kernels": ["a", "b"]}"#,
+        )
+        .unwrap();
+        let mut v = Vec::new();
+        gate_serve(&pre_v2, &clean, &mut v);
+        assert!(v.is_empty(), "{v:?}");
+        let mut v = Vec::new();
+        gate_serve(&pre_v2, &corrupting, &mut v);
+        assert!(v.iter().any(|m| m.contains("above baseline 0")), "{v:?}");
+
+        // A pre-v2 *fresh* report is noted, not failed, on the store axis.
+        let mut v = Vec::new();
+        gate_serve(&clean, &pre_v2, &mut v);
+        assert!(v.is_empty(), "{v:?}");
     }
 
     #[test]
