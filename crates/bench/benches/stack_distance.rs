@@ -9,7 +9,8 @@
 //! chain).
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use iolb_memsim::{BeladySim, CurveEngine, LruSim};
+use iolb_bench::scale::{GemmTrace, SCALING_HORIZON, SCALING_TARGETS};
+use iolb_memsim::{BeladySim, ChunkedTrace, CurveEngine, LruSim, ShardedCurveEngine};
 use rand::prelude::*;
 
 /// S grid matching `iolb_bench::sweep::dense_s_offsets` over `min_s = 4`.
@@ -93,5 +94,28 @@ fn bench(c: &mut Criterion) {
         g.finish();
     }
 }
-criterion_group!(benches, bench);
+
+/// Scaling series of the streaming sharded engines on the symbolic GEMM
+/// trace (no materialization): 10⁶ → 10⁸ accesses, the same points the
+/// pebble report records under `meta.scaling` and `xtask gate` guards
+/// against >2× wall-time regressions.
+fn bench_scaling(c: &mut Criterion) {
+    let token = iolb_core::govern::CancelToken::unlimited();
+    for &target in &SCALING_TARGETS {
+        let trace = GemmTrace::with_at_least_accesses(target);
+        let mut g = c.benchmark_group(format!("stack_distance_scaling_{target}"));
+        g.sample_size(10);
+        g.throughput(Throughput::Elements(trace.len()));
+        g.bench_function("sharded_lru", |b| {
+            let engine = ShardedCurveEngine::new();
+            b.iter(|| engine.try_lru(&trace, SCALING_HORIZON, &token).unwrap())
+        });
+        g.bench_function("streaming_opt", |b| {
+            let engine = ShardedCurveEngine::new();
+            b.iter(|| engine.try_opt(&trace, SCALING_HORIZON, &token).unwrap())
+        });
+        g.finish();
+    }
+}
+criterion_group!(benches, bench, bench_scaling);
 criterion_main!(benches);

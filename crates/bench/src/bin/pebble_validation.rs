@@ -9,13 +9,24 @@
 //! baseline and diff the two — letting future runs compare loads, bound
 //! ratios, and soundness.
 
+use iolb_bench::scale::measure_scaling_series;
 use iolb_bench::sweep::{default_sweep_kernels, render_sweep_table, run_sweep, sweep_report_json};
 
 fn main() {
     println!("Validation sweep: max(LB) must be ≤ the measured miss curve at every S");
     println!("{}", "=".repeat(100));
-    let report = run_sweep(default_sweep_kernels());
+    let mut report = run_sweep(default_sweep_kernels());
+    // Curve-engine scaling series (10⁶ → 10⁸ synthetic GEMM events,
+    // streaming sharded passes): recorded in meta, gated by `xtask gate`
+    // against >2× wall-time regressions of the largest point.
+    report.scaling = measure_scaling_series();
     print!("{}", render_sweep_table(&report));
+    for p in &report.scaling {
+        println!(
+            "scaling: {:>12} accesses {:?}: {:.1} ms",
+            p.accesses, p.policy, p.wall_ms
+        );
+    }
     let mut unsound = 0usize;
     for r in &report.rows {
         if !r.sound() {

@@ -14,6 +14,7 @@
 //!
 //! Criterion benches under `benches/` time the same artifacts.
 
+pub mod scale;
 pub mod sweep;
 pub mod tightness;
 

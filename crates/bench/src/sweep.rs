@@ -40,10 +40,35 @@ use iolb_core::{
     EngineRegistry,
 };
 use iolb_govern::{catch_analysis_mut, AnalysisError, Budget, CancelToken, Degradation};
-use iolb_memsim::{CurveEngine, MissCurve};
+use iolb_memsim::{CurveEngine, MissCurve, ShardedCurveEngine};
 use iolb_symbolic::Var;
 use rayon::prelude::*;
 use std::time::Instant;
+
+/// How stage 2 prices a policy column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CurveStrategy {
+    /// Sharded streaming passes fed straight from the CDAG pull source
+    /// ([`Cdag::program_order_trace`]) — the trace is never materialized
+    /// for pricing. Columns whose trace fits under
+    /// [`CROSS_CHECK_CAP`] events are additionally re-priced by the
+    /// materialized single-threaded reference engine and the two curves
+    /// must be bitwise equal ([`AnalysisError::Internal`] otherwise).
+    ///
+    /// [`Cdag::program_order_trace`]: iolb_cdag::Cdag::program_order_trace
+    #[default]
+    Streaming,
+    /// The legacy fully-materialized single-threaded engine only (the
+    /// reference path, forced).
+    Materialized,
+}
+
+/// Largest trace (events) the streaming strategy re-prices through the
+/// materialized reference engine as a bitwise cross-check. Every shipped
+/// validation kernel sits far below this, so the reference runs on all of
+/// them in CI; out-of-core traces skip it (materializing them is exactly
+/// what the streaming path exists to avoid).
+pub const CROSS_CHECK_CAP: u64 = 1 << 22;
 
 /// Escapes a string for embedding in the hand-rolled JSON emitters
 /// (quotes, backslashes, and control characters; everything else is
@@ -257,7 +282,10 @@ struct Prepared {
     env: Vec<(Var, i128)>,
     s_values: Vec<usize>,
     cdag: Cdag,
-    trace: Vec<u64>,
+    /// Materialized packed trace for the reference engine — `None` when
+    /// the streaming strategy skipped materialization (trace above
+    /// [`CROSS_CHECK_CAP`]).
+    reference: Option<Vec<u64>>,
     classical: Option<ClassicalBound>,
     hourglass: Option<iolb_core::HourglassBound>,
     /// Graph-level engine bounds, one curve per selected engine, indexed
@@ -339,6 +367,20 @@ impl SweepRow {
     }
 }
 
+/// One point of the curve-engine scaling series: wall time of one
+/// streaming sharded pass over a synthetic GEMM-class trace (see
+/// [`crate::scale`]). Volatile by nature — recorded only in the report's
+/// `meta` object, never in the comparable sections.
+#[derive(Debug, Clone)]
+pub struct ScalingPoint {
+    /// Trace length (events) of the synthetic workload.
+    pub accesses: u64,
+    /// Policy of the measured pass.
+    pub policy: SpillPolicy,
+    /// Wall time of the pass (milliseconds).
+    pub wall_ms: f64,
+}
+
 /// Full sweep outcome.
 #[derive(Debug, Clone)]
 pub struct SweepReport {
@@ -353,8 +395,13 @@ pub struct SweepReport {
     pub failures: Vec<FailureRow>,
     /// End-to-end wall time (milliseconds), including preparation.
     pub total_wall_ms: f64,
-    /// Worker threads actually engaged by the parallel stages.
+    /// Worker threads engaged by *this* sweep's parallel stages (scoped —
+    /// earlier parallel work in the process does not inflate it).
     pub threads: usize,
+    /// Optional curve-engine scaling series (attached by the pebble
+    /// validation binary; empty in ordinary sweeps). Emitted in `meta`
+    /// only when non-empty and not redacted.
+    pub scaling: Vec<ScalingPoint>,
 }
 
 /// Runs the full matrix: kernels prepare concurrently, then each
@@ -410,7 +457,25 @@ pub fn try_run_sweep_with(
     token: &CancelToken,
     registry: &EngineRegistry,
 ) -> Result<SweepReport, AnalysisError> {
+    try_run_sweep_opts(kernels, budget, token, registry, CurveStrategy::default())
+}
+
+/// [`try_run_sweep_with`] with an explicit curve-pricing strategy — the
+/// full-control entry point the service pipeline drives.
+///
+/// # Errors
+/// The first typed error any stage produced.
+pub fn try_run_sweep_opts(
+    kernels: Vec<SweepKernel>,
+    budget: &Budget,
+    token: &CancelToken,
+    registry: &EngineRegistry,
+    strategy: CurveStrategy,
+) -> Result<SweepReport, AnalysisError> {
     let t_total = Instant::now();
+    // Scoped worker accounting: `meta.threads` must describe THIS sweep,
+    // not whatever parallel stage ran earlier in the process.
+    let workers = rayon::worker_scope();
     // Stage 1: per-kernel preparation (bounds + CDAG + trace) in parallel.
     let prepared: Vec<Prepared> = kernels
         .into_par_iter()
@@ -441,15 +506,25 @@ pub fn try_run_sweep_with(
                 };
                 let env = k.env(binding.as_ref());
                 let cdag = try_build_cdag(&k.program, &k.params, budget, token)?;
-                let mut trace = Vec::new();
-                cdag.packed_program_order_trace(&mut trace);
-                if trace.len() as u64 > budget.max_trace_len {
+                // Trace length is known from the CSR alone — charge the
+                // budget *before* deciding whether to materialize at all.
+                let trace_len = (cdag.num_edges() + cdag.num_computes()) as u64;
+                if trace_len > budget.max_trace_len {
                     return Err(AnalysisError::BudgetExceeded {
                         resource: "trace_len",
-                        needed: trace.len() as u64,
+                        needed: trace_len,
                         limit: budget.max_trace_len,
                     });
                 }
+                let reference = match strategy {
+                    CurveStrategy::Materialized => true,
+                    CurveStrategy::Streaming => trace_len <= CROSS_CHECK_CAP,
+                }
+                .then(|| {
+                    let mut trace = Vec::new();
+                    cdag.packed_program_order_trace(&mut trace);
+                    trace
+                });
                 let min_s = cdag.max_in_degree() + 1;
                 let s_values: Vec<usize> = k.s_offsets.iter().map(|&off| min_s + off).collect();
                 let engine_curves = registry.evaluate(&cdag, &s_values);
@@ -459,7 +534,7 @@ pub fn try_run_sweep_with(
                     env,
                     s_values,
                     cdag,
-                    trace,
+                    reference,
                     classical,
                     hourglass: hg,
                     engine_curves,
@@ -471,7 +546,12 @@ pub fn try_run_sweep_with(
         .into_iter()
         .collect::<Result<Vec<Prepared>, AnalysisError>>()?;
 
-    // Stage 2: one stack-distance pass per (kernel, policy) column.
+    // Stage 2: one stack-distance pass per (kernel, policy) column. The
+    // streaming strategy prices each column shard-parallel straight from
+    // the CDAG pull source; whenever the materialized reference exists the
+    // legacy engine re-prices the column and the curves must be bitwise
+    // equal — the cross-check that keeps the two implementations pinned
+    // to each other on every shipped kernel.
     let columns: Vec<(usize, SpillPolicy)> = (0..prepared.len())
         .flat_map(|ki| [(ki, SpillPolicy::Lru), (ki, SpillPolicy::MinNextUse)])
         .collect();
@@ -482,10 +562,42 @@ pub fn try_run_sweep_with(
                 let p = &prepared[ki];
                 let horizon = p.s_values.iter().copied().max().unwrap_or(1);
                 let t = Instant::now();
-                let mut engine = CurveEngine::new();
-                let curve = match policy {
-                    SpillPolicy::Lru => engine.try_lru_packed(&p.trace, horizon, token)?,
-                    SpillPolicy::MinNextUse => engine.try_opt_packed(&p.trace, horizon, token)?,
+                let curve = match strategy {
+                    CurveStrategy::Materialized => {
+                        let trace = p.reference.as_deref().expect("materialized strategy");
+                        let mut engine = CurveEngine::new();
+                        match policy {
+                            SpillPolicy::Lru => engine.try_lru_packed(trace, horizon, token)?,
+                            SpillPolicy::MinNextUse => {
+                                engine.try_opt_packed(trace, horizon, token)?
+                            }
+                        }
+                    }
+                    CurveStrategy::Streaming => {
+                        let source = p.cdag.program_order_trace();
+                        let sharded = ShardedCurveEngine::new();
+                        let curve = match policy {
+                            SpillPolicy::Lru => sharded.try_lru(&source, horizon, token)?,
+                            SpillPolicy::MinNextUse => sharded.try_opt(&source, horizon, token)?,
+                        };
+                        if let Some(trace) = p.reference.as_deref() {
+                            let mut engine = CurveEngine::new();
+                            let want = match policy {
+                                SpillPolicy::Lru => engine.try_lru_packed(trace, horizon, token)?,
+                                SpillPolicy::MinNextUse => {
+                                    engine.try_opt_packed(trace, horizon, token)?
+                                }
+                            };
+                            if want != curve {
+                                return Err(AnalysisError::Internal(format!(
+                                    "{}: streaming {:?} curve diverges from the \
+                                     materialized reference",
+                                    p.name, policy
+                                )));
+                            }
+                        }
+                        curve
+                    }
                 };
                 Ok((curve, t.elapsed().as_secs_f64() * 1e3))
             })
@@ -573,7 +685,8 @@ pub fn try_run_sweep_with(
         degradation,
         failures: Vec::new(),
         total_wall_ms: t_total.elapsed().as_secs_f64() * 1e3,
-        threads: rayon::max_workers_used().max(1),
+        threads: workers.max_workers_used(),
+        scaling: Vec::new(),
     })
 }
 
@@ -671,10 +784,33 @@ pub fn sweep_report_json_with(report: &SweepReport, redact_volatile: bool) -> St
     let opt = |v: Option<u64>| v.map_or("null".to_string(), |b| b.to_string());
     let mut out = String::from("{\n");
     out.push_str("  \"schema\": \"hourglass-iolb/pebble-sweep/v5\",\n");
-    out.push_str(&format!(
-        "  \"meta\": {{\"threads\": {threads}, \"total_wall_ms\": {}}},\n",
-        num(wall)
-    ));
+    if redact_volatile || report.scaling.is_empty() {
+        out.push_str(&format!(
+            "  \"meta\": {{\"threads\": {threads}, \"total_wall_ms\": {}}},\n",
+            num(wall)
+        ));
+    } else {
+        // The scaling series is volatile (wall times), so it lives in
+        // `meta` with the other volatile fields and is dropped whole under
+        // redaction — golden snapshots stay byte-stable.
+        let pts: Vec<String> = report
+            .scaling
+            .iter()
+            .map(|p| {
+                format!(
+                    "{{\"accesses\": {}, \"policy\": \"{}\", \"wall_ms\": {}}}",
+                    p.accesses,
+                    policy_name(p.policy),
+                    num(p.wall_ms)
+                )
+            })
+            .collect();
+        out.push_str(&format!(
+            "  \"meta\": {{\"threads\": {threads}, \"total_wall_ms\": {}, \"scaling\": [{}]}},\n",
+            num(wall),
+            pts.join(", ")
+        ));
+    }
     out.push_str("  \"degradation\": [\n");
     for (i, d) in degradation.iter().enumerate() {
         out.push_str(&format!(
@@ -866,6 +1002,85 @@ mod tests {
         for off in coarse_s_offsets() {
             assert!(dense.contains(&off), "coarse offset {off} missing");
         }
+    }
+
+    /// Satellite pin: `meta.threads` is scoped to the sweep invocation.
+    /// A wide parallel stage running earlier in the process inflates the
+    /// process-global high-water but must not leak into the report — a
+    /// one-kernel sweep can engage at most 2 workers (its two policy
+    /// columns), whatever ran before it.
+    #[test]
+    fn threads_are_scoped_to_the_sweep_invocation() {
+        let _inflate: Vec<u64> = (0..64u64)
+            .collect::<Vec<_>>()
+            .into_par_iter()
+            .map(|x| x * 2)
+            .collect();
+        let mut kernels = default_sweep_kernels_at(SweepSize::Small);
+        kernels.truncate(1);
+        kernels[0].s_offsets = coarse_s_offsets();
+        let report = run_sweep(kernels);
+        assert!(
+            (1..=2).contains(&report.threads),
+            "one-kernel sweep reported {} threads (process high-water {})",
+            report.threads,
+            rayon::max_workers_used()
+        );
+    }
+
+    /// The streaming sharded strategy and the legacy materialized strategy
+    /// price every cell identically (the in-pass cross-check enforces
+    /// bitwise curve equality; this pins the row-level outcome too).
+    #[test]
+    fn curve_strategies_agree_cell_for_cell() {
+        let run = |strategy| {
+            let mut kernels = default_sweep_kernels_at(SweepSize::Small);
+            kernels.truncate(2);
+            for k in &mut kernels {
+                k.s_offsets = coarse_s_offsets();
+            }
+            try_run_sweep_opts(
+                kernels,
+                &Budget::unlimited(),
+                &CancelToken::unlimited(),
+                &EngineRegistry::all(),
+                strategy,
+            )
+            .expect("sweep")
+        };
+        let streaming = run(CurveStrategy::Streaming);
+        let materialized = run(CurveStrategy::Materialized);
+        assert_eq!(streaming.rows.len(), materialized.rows.len());
+        for (a, b) in streaming.rows.iter().zip(&materialized.rows) {
+            assert_eq!(
+                (a.kernel.as_str(), a.s, a.policy, a.loads),
+                (b.kernel.as_str(), b.s, b.policy, b.loads)
+            );
+        }
+    }
+
+    /// The scaling series lives in `meta` only: emitted when present,
+    /// absent from the comparable sections, dropped whole under redaction.
+    #[test]
+    fn scaling_series_is_meta_only_and_redacted_away() {
+        let mut kernels = default_sweep_kernels_at(SweepSize::Small);
+        kernels.truncate(1);
+        kernels[0].s_offsets = coarse_s_offsets();
+        let mut report = run_sweep(kernels);
+        report.scaling = vec![ScalingPoint {
+            accesses: 1_000_188,
+            policy: SpillPolicy::Lru,
+            wall_ms: 12.5,
+        }];
+        let json = sweep_report_json(&report);
+        assert!(json.contains(
+            "\"scaling\": [{\"accesses\": 1000188, \"policy\": \"lru\", \"wall_ms\": 12.5000}]"
+        ));
+        let rows_section = json.split("\"rows\"").nth(1).expect("rows array");
+        assert!(!rows_section.contains("scaling"));
+        let redacted = sweep_report_json_with(&report, true);
+        assert!(redacted.contains("\"meta\": {\"threads\": 0, \"total_wall_ms\": 0.0000}"));
+        assert!(!redacted.contains("scaling"));
     }
 
     /// The env of a sweep kernel is derived from program parameters plus

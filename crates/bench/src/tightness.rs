@@ -17,7 +17,8 @@
 //!    exactly dependence preservation (RAW/WAR/WAW all surface as a
 //!    mismatch), so illegal interchanges are rejected without ever
 //!    building a CDAG permutation or playing a pebble game;
-//! 3. a single OPT stack-distance pass ([`iolb_memsim::CurveEngine`])
+//! 3. a single OPT stack-distance pass ([`iolb_memsim::ShardedCurveEngine`],
+//!    fed through the slice `ChunkedTrace` bridge)
 //!    turns the candidate's trace into its exact Belady-MIN miss curve —
 //!    the loads of the best possible demand replacement for that schedule
 //!    at **every** swept `S` at once, bitwise what a `BeladySim` replay
@@ -49,7 +50,7 @@ use iolb_govern::{catch_analysis_mut, AnalysisError, Budget, CancelToken, Degrad
 use iolb_ir::parse::TileDirective;
 use iolb_ir::schedule::{tile_program, TileSpec};
 use iolb_ir::{for_each_instance, try_for_each_instance, ArrayId, Interpreter, Program};
-use iolb_memsim::{CurveEngine, MissCurve};
+use iolb_memsim::{MissCurve, ShardedCurveEngine};
 use iolb_symbolic::Var;
 use rayon::prelude::*;
 use std::collections::HashMap;
@@ -144,6 +145,8 @@ pub fn try_run_tightness(
     token: &CancelToken,
 ) -> Result<TightnessReport, AnalysisError> {
     let t_total = Instant::now();
+    // Scoped worker accounting — `meta.threads` describes this run only.
+    let workers = rayon::worker_scope();
     // Panics are converted to typed errors *inside* the worker closure:
     // the thread-scope bridge underneath would otherwise replace the
     // payload with a generic "a scoped thread panicked".
@@ -166,7 +169,7 @@ pub fn try_run_tightness(
         degradation,
         failures: Vec::new(),
         total_wall_ms: t_total.elapsed().as_secs_f64() * 1e3,
-        threads: rayon::max_workers_used().max(1),
+        threads: workers.max_workers_used(),
     })
 }
 
@@ -493,8 +496,10 @@ fn measure_kernel(
     // Score every candidate once: emit (+ legality-check) its trace into
     // the shared buffer, then read every S point off one OPT curve.
     // Program order (index 0) is the reference itself, so every cell ends
-    // up populated.
-    let mut engine = CurveEngine::new();
+    // up populated. Candidate traces are necessarily materialized (the
+    // version legality check writes them), so they feed the sharded
+    // streaming engine through the slice `ChunkedTrace` bridge.
+    let engine = ShardedCurveEngine::new();
     let mut trace_buf: Vec<u64> = Vec::with_capacity(tref.trace.len());
     let mut wc = vec![0u32; tref.n_cells];
     let mut best: Vec<Option<(u64, usize)>> = vec![None; s_values.len()];
@@ -518,7 +523,7 @@ fn measure_kernel(
                 &trace_buf
             }
         };
-        let curve = engine.try_opt_packed(trace, s_max, token)?;
+        let curve = engine.try_opt(trace, s_max, token)?;
         for (si, &s) in s_values.iter().enumerate() {
             let loads = curve.loads(s);
             if ci == 0 {
@@ -558,7 +563,7 @@ fn measure_kernel(
                 &trace_buf
             }
         };
-        lru_curves.insert(ci, engine.try_lru_packed(trace, s_max, token)?);
+        lru_curves.insert(ci, engine.try_lru(trace, s_max, token)?);
     }
 
     let mut points = Vec::with_capacity(s_values.len());

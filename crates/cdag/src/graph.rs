@@ -1,6 +1,7 @@
 //! The computational DAG and its set analyses.
 
 use iolb_ir::{ArrayId, StmtId};
+use iolb_memsim::ChunkedTrace;
 use std::collections::{BTreeSet, VecDeque};
 
 /// Node identifier inside a [`Cdag`].
@@ -284,6 +285,28 @@ impl Cdag {
         }
     }
 
+    /// Streaming view of the same packed program-order trace: a
+    /// [`ChunkedTrace`] pull source the sharded curve engines read window
+    /// by window, so the trace is never materialized as one `Vec<u64>`.
+    /// Costs one `u64` offset per compute node; event windows regenerate
+    /// from the CSR on every [`ChunkedTrace::fill`].
+    pub fn program_order_trace(&self) -> ProgramOrderTrace<'_> {
+        let mut computes = Vec::with_capacity(self.num_computes());
+        let mut event_off = Vec::with_capacity(self.num_computes() + 1);
+        event_off.push(0u64);
+        let mut total = 0u64;
+        for v in self.compute_nodes() {
+            computes.push(v.0);
+            total += self.preds(v).len() as u64 + 1;
+            event_off.push(total);
+        }
+        ProgramOrderTrace {
+            cdag: self,
+            computes,
+            event_off,
+        }
+    }
+
     /// Number of input nodes.
     pub fn num_inputs(&self) -> usize {
         self.num_inputs
@@ -462,6 +485,63 @@ impl Cdag {
     }
 }
 
+/// Chunked pull source over a [`Cdag`]'s program-order value-access trace
+/// (see [`Cdag::packed_program_order_trace`] for the event semantics).
+///
+/// Built by [`Cdag::program_order_trace`]. Holds cumulative event offsets
+/// per compute node; `fill` binary-searches the compute containing the
+/// window start and regenerates events straight from the CSR, so shards
+/// can read disjoint windows concurrently without any shared cursor.
+#[derive(Debug)]
+pub struct ProgramOrderTrace<'a> {
+    cdag: &'a Cdag,
+    /// Compute nodes in schedule order.
+    computes: Vec<u32>,
+    /// `event_off[c]` = global position of compute `c`'s first event;
+    /// final entry is the trace length.
+    event_off: Vec<u64>,
+}
+
+impl ChunkedTrace for ProgramOrderTrace<'_> {
+    fn len(&self) -> u64 {
+        *self.event_off.last().expect("offsets are never empty")
+    }
+
+    fn fill(&self, start: u64, buf: &mut [u64]) {
+        assert!(
+            start + buf.len() as u64 <= self.len(),
+            "fill window {start}..{} exceeds trace length {}",
+            start + buf.len() as u64,
+            self.len()
+        );
+        // Greatest compute whose first event is at or before `start`.
+        let mut c = self.event_off.partition_point(|&off| off <= start) - 1;
+        let mut pos = start;
+        let mut i = 0usize;
+        while i < buf.len() {
+            let v = NodeId(self.computes[c]);
+            let preds = self.cdag.preds(v);
+            // Events of compute `c`: its predecessors' reads in CSR order,
+            // then its own produce.
+            let mut k = (pos - self.event_off[c]) as usize;
+            while k < preds.len() && i < buf.len() {
+                buf[i] = (preds[k] as u64) << 1;
+                i += 1;
+                k += 1;
+                pos += 1;
+            }
+            if k == preds.len() && i < buf.len() {
+                buf[i] = ((v.0 as u64) << 1) | 1;
+                i += 1;
+                pos += 1;
+            }
+            if pos == self.event_off[c + 1] {
+                c += 1;
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -543,6 +623,33 @@ mod tests {
             .collect();
         assert!(g.is_convex(&c));
         assert_eq!(g.convex_closure(&e), c);
+    }
+
+    #[test]
+    fn streaming_trace_matches_materialized_at_every_window() {
+        let g = diamond();
+        let mut want = Vec::new();
+        g.packed_program_order_trace(&mut want);
+        let stream = g.program_order_trace();
+        assert_eq!(ChunkedTrace::len(&stream), want.len() as u64);
+        // Every (start, len) window regenerates exactly the materialized
+        // slice — including windows straddling compute-node boundaries.
+        for start in 0..want.len() {
+            for n in 0..=(want.len() - start) {
+                let mut buf = vec![0u64; n];
+                stream.fill(start as u64, &mut buf);
+                assert_eq!(buf, want[start..start + n], "window {start}+{n}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds trace length")]
+    fn streaming_trace_rejects_out_of_range_windows() {
+        let g = diamond();
+        let stream = g.program_order_trace();
+        let mut buf = vec![0u64; 2];
+        stream.fill(ChunkedTrace::len(&stream) - 1, &mut buf);
     }
 
     #[test]

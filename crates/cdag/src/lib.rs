@@ -28,5 +28,5 @@ pub mod pebble;
 
 pub use bound::{input_floor, SpectralProfile, VisitProfile, SPECTRAL_NODE_CAP};
 pub use build::{build_cdag, build_cdag_executed, try_build_cdag, CdagBuilder};
-pub use graph::{Cdag, NodeId, NodeKind, NodeSpec};
+pub use graph::{Cdag, NodeId, NodeKind, NodeSpec, ProgramOrderTrace};
 pub use pebble::{PebbleError, PebbleGame, PlayStats, SpillPolicy};

@@ -104,6 +104,10 @@ pub fn run_with_code(args: &[String]) -> u8 {
     // batch doubles as the blast-radius control.
     let pipeline = Pipeline::new();
     let t_batch = std::time::Instant::now();
+    // Scoped worker accounting for the whole batch: nested parallel
+    // stages (per-file sweeps on worker threads) attribute here, earlier
+    // parallel work in the process does not.
+    let batch_workers = rayon::worker_scope();
     let indexed: Vec<(usize, PathBuf)> = opts.files.iter().cloned().enumerate().collect();
     let base_aopts = opts.analysis_options();
     let results: Vec<(PathBuf, Result<FileOutcome, AnalysisError>)> = indexed
@@ -168,6 +172,7 @@ pub fn run_with_code(args: &[String]) -> u8 {
             failures: failures.clone(),
             total_wall_ms: 0.0,
             threads: 0,
+            scaling: Vec::new(),
         };
         for o in outcomes.iter().filter_map(|o| o.report.as_ref()) {
             combined.rows.extend(o.rows.iter().cloned());
@@ -193,7 +198,7 @@ pub fn run_with_code(args: &[String]) -> u8 {
             degradation,
             failures: failures.clone(),
             total_wall_ms: batch_wall_ms,
-            threads: rayon::max_workers_used().max(1),
+            threads: batch_workers.max_workers_used(),
         };
         if let Err(e) = std::fs::write(path, tightness_report_json(&combined, false)) {
             eprintln!("writing {}: {e}", path.display());

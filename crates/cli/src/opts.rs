@@ -3,6 +3,7 @@
 //! into an [`AnalysisOptions`] for the service pipeline; the flags,
 //! diagnostics, and usage text here are the CLI's own contract.
 
+use iolb_bench::sweep::CurveStrategy;
 use iolb_core::govern::{Budget, Fault};
 use iolb_service::AnalysisOptions;
 use std::path::PathBuf;
@@ -38,6 +39,11 @@ OPTIONS:
     --engines SPEC        graph-level bound engines for the sweep report:
                           `all` (default), `none`, or a comma list drawn
                           from input-floor, visit, spectral
+    --curve-strategy MODE curve-pricing path of the validation sweep:
+                          `streaming` (default — sharded passes fed
+                          straight from the CDAG, cross-checked against
+                          the materialized engine on small traces) or
+                          `materialized` (force the reference engine)
     -h, --help            this text
 
 RESOURCE GOVERNANCE (admission control refuses or down-scopes a kernel
@@ -86,6 +92,9 @@ pub struct Options {
     pub budget: Budget,
     /// `--no-degrade`: refuse instead of down-scoping.
     pub no_degrade: bool,
+    /// `--curve-strategy`: streaming sharded engines (default) or the
+    /// materialized reference engine, forced.
+    pub curve_strategy: CurveStrategy,
     /// `--inject`: one-shot fault armed on the batch's first file.
     pub inject: Option<Fault>,
 }
@@ -104,6 +113,7 @@ impl Options {
             engines: self.engines.clone(),
             budget: self.budget,
             no_degrade: self.no_degrade,
+            curve_strategy: self.curve_strategy,
             inject: None,
         }
     }
@@ -135,6 +145,7 @@ pub fn parse_args(args: &[String]) -> Result<Options, String> {
         engines: "all".to_string(),
         budget: Budget::unlimited(),
         no_degrade: false,
+        curve_strategy: CurveStrategy::default(),
         inject: None,
     };
     let mut it = args.iter();
@@ -195,6 +206,18 @@ pub fn parse_args(args: &[String]) -> Result<Options, String> {
             "--max-work" => o.budget.max_work = parse_ceiling(&mut it, a)?,
             "--deadline-ms" => o.budget.deadline_ms = parse_ceiling(&mut it, a)?,
             "--no-degrade" => o.no_degrade = true,
+            "--curve-strategy" => {
+                let v = it.next().ok_or("--curve-strategy needs a value")?;
+                o.curve_strategy = match v.trim() {
+                    "streaming" => CurveStrategy::Streaming,
+                    "materialized" => CurveStrategy::Materialized,
+                    other => {
+                        return Err(format!(
+                            "bad --curve-strategy `{other}` (want streaming|materialized)"
+                        ))
+                    }
+                };
+            }
             "--inject" => {
                 let v = it.next().ok_or("--inject needs CLASS or CLASS@SEAM")?;
                 o.inject = Some(Fault::parse(v).ok_or_else(|| {

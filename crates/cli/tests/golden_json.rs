@@ -160,6 +160,7 @@ fn degraded_and_failed_batch_matches_golden() {
         failures: failures.clone(),
         total_wall_ms: 0.0,
         threads: 0,
+        scaling: Vec::new(),
     };
     for report in [&sound.report, &degraded.report].into_iter().flatten() {
         combined.rows.extend(report.rows.iter().cloned());

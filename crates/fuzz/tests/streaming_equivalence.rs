@@ -1,0 +1,74 @@
+//! Differential check of the streaming sharded curve engines on
+//! *generated* kernels (issue satellite 4): for a spread of fuzz seeds,
+//! the sharded LRU and streaming OPT passes fed straight from the CDAG's
+//! chunked program-order reader must be bitwise-equal to the materialized
+//! reference engine on the packed trace — at every capacity, including
+//! with chunk sizes small enough to force many shard boundaries through
+//! every generated shape.
+
+use iolb_cdag::try_build_cdag;
+use iolb_core::govern::{Budget, CancelToken};
+use iolb_fuzz::gen::{generate_case, GenConfig};
+use iolb_memsim::{CurveEngine, ShardedCurveEngine};
+
+#[test]
+fn streaming_engines_match_materialized_on_generated_kernels() {
+    let cfg = GenConfig::default();
+    let token = CancelToken::unlimited();
+    let mut checked = 0usize;
+    for index in 0..24u64 {
+        let case = generate_case(0xD1FF, index, &cfg);
+        let src = case.render();
+        let kernel = iolb_ir::parse_kernel(&src)
+            .unwrap_or_else(|e| panic!("case {index}: generated kernel must parse: {e}"));
+        let params = kernel.default_params().expect("defaults cover all params");
+        let Ok(cdag) = try_build_cdag(&kernel.program, &params, &Budget::unlimited(), &token)
+        else {
+            continue; // admission refusals are the oracle's domain, not ours
+        };
+
+        let mut trace = Vec::new();
+        cdag.packed_program_order_trace(&mut trace);
+        if trace.is_empty() {
+            continue;
+        }
+        let horizon = (cdag.max_in_degree() + 1 + 64).min(trace.len());
+        let mut reference = CurveEngine::new();
+        let lru_ref = reference.lru_packed(&trace, horizon);
+        let opt_ref = reference.opt_packed(&trace, horizon);
+
+        // An awkward prime chunk length forces boundaries mid-compute on
+        // every generated shape; the default exercises the one-chunk path.
+        for engine in [
+            ShardedCurveEngine::with_chunk_len(251),
+            ShardedCurveEngine::new(),
+        ] {
+            let source = cdag.program_order_trace();
+            let lru = engine
+                .try_lru(&source, horizon, &token)
+                .unwrap_or_else(|e| panic!("case {index}: sharded LRU failed: {e}"));
+            let opt = engine
+                .try_opt(&source, horizon, &token)
+                .unwrap_or_else(|e| panic!("case {index}: streaming OPT failed: {e}"));
+            for s in 1..=horizon {
+                assert_eq!(
+                    lru.loads(s),
+                    lru_ref.loads(s),
+                    "case {index} (seed 0xD1FF): LRU loads diverge at S={s}"
+                );
+                assert_eq!(
+                    opt.loads(s),
+                    opt_ref.loads(s),
+                    "case {index} (seed 0xD1FF): OPT loads diverge at S={s}"
+                );
+            }
+            assert_eq!(lru.accesses(), trace.len() as u64);
+            assert_eq!(opt.accesses(), trace.len() as u64);
+        }
+        checked += 1;
+    }
+    assert!(
+        checked >= 12,
+        "too few generated kernels survived to the differential check: {checked}"
+    );
+}

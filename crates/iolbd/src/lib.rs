@@ -77,9 +77,9 @@ OPTIONS:
 Any analysis option the CLI accepts as a flag is accepted here (without
 the leading `--` it is the same key a request may pass in its query
 string) and becomes the per-request default: --s-grid, --engines,
---no-tightness, --derive-only, --no-degrade, --max-instances,
---max-cdag-nodes, --max-cdag-edges, --max-trace, --max-arena-bytes,
---max-work, --deadline-ms.
+--no-tightness, --derive-only, --no-degrade, --curve-strategy,
+--max-instances, --max-cdag-nodes, --max-cdag-edges, --max-trace,
+--max-arena-bytes, --max-work, --deadline-ms.
 
 ENDPOINTS:
     POST /analyze         body = typed JSON request ({\"source\": …,

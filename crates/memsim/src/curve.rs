@@ -56,7 +56,7 @@ pub struct MissCurve {
 }
 
 impl MissCurve {
-    fn from_histogram(cold: u64, beyond: u64, hist: &[u64], accesses: u64) -> MissCurve {
+    pub(crate) fn from_histogram(cold: u64, beyond: u64, hist: &[u64], accesses: u64) -> MissCurve {
         let horizon = hist.len() - 1;
         let mut tail = vec![0u64; horizon + 1];
         for s in (0..horizon).rev() {
@@ -110,31 +110,45 @@ impl MissCurve {
 
 /// Fenwick (binary indexed) tree over trace positions; marks last-access
 /// positions so a range count yields "distinct cells accessed since".
+///
+/// Counters are 64-bit: the old `u32` tree silently wrapped once a trace
+/// crossed 2³² accesses (`wrapping_add` hid the overflow). Debug builds
+/// additionally check every update; release builds wrap, which at 64 bits
+/// is unreachable for any materializable trace.
 #[derive(Debug, Default)]
-struct Fenwick {
-    tree: Vec<u32>,
+pub(crate) struct Fenwick {
+    tree: Vec<u64>,
 }
 
 impl Fenwick {
-    fn reset(&mut self, n: usize) {
+    pub(crate) fn reset(&mut self, n: usize) {
         self.tree.clear();
         self.tree.resize(n + 1, 0);
     }
 
     #[inline]
-    fn add(&mut self, pos: usize, delta: i32) {
+    pub(crate) fn add(&mut self, pos: usize, delta: i64) {
         let mut i = pos + 1;
         while i < self.tree.len() {
-            self.tree[i] = self.tree[i].wrapping_add(delta as u32);
+            #[cfg(debug_assertions)]
+            {
+                self.tree[i] = self.tree[i]
+                    .checked_add_signed(delta)
+                    .expect("Fenwick counter overflow");
+            }
+            #[cfg(not(debug_assertions))]
+            {
+                self.tree[i] = self.tree[i].wrapping_add(delta as u64);
+            }
             i += i & i.wrapping_neg();
         }
     }
 
     /// Sum of marks at positions `0..=pos`.
     #[inline]
-    fn prefix(&self, pos: usize) -> u32 {
+    pub(crate) fn prefix(&self, pos: usize) -> u64 {
         let mut i = pos + 1;
-        let mut s = 0u32;
+        let mut s = 0u64;
         while i > 0 {
             s = s.wrapping_add(self.tree[i]);
             i -= i & i.wrapping_neg();
@@ -153,6 +167,34 @@ const DEAD: u32 = u32::MAX;
 const EMPTY: u32 = 0;
 /// `idx_of` marker: cell sank below the horizon and was dropped.
 const DROPPED: u32 = u32::MAX - 1;
+
+/// Ceiling of the materialized engine's 32-bit id space: [`DEAD`],
+/// [`DROPPED`], and [`NIL`] all live at the top of the `u32` range, so a
+/// trace whose positions or distinct-value universe reach them would
+/// *alias a sentinel* (a legitimate id indistinguishable from "dead" or
+/// "not resident") rather than fail loudly.
+pub(crate) const SENTINEL_CEILING: u64 = DROPPED as u64;
+
+/// Refuses traces that collide with the `u32` sentinel space — a typed
+/// [`AnalysisError::Refused`], never a silent wrap. The sharded streaming
+/// engine ([`crate::stream`]) prices such traces in a 64-bit id space.
+fn guard_sentinels(len: usize, cells: usize) -> Result<(), AnalysisError> {
+    if len as u64 >= SENTINEL_CEILING {
+        return Err(AnalysisError::Refused(format!(
+            "curve engine: trace length {len} collides with the u32 sentinel space \
+             (max {}); the sharded streaming engine prices longer traces",
+            SENTINEL_CEILING - 1
+        )));
+    }
+    if cells as u64 >= SENTINEL_CEILING {
+        return Err(AnalysisError::Refused(format!(
+            "curve engine: distinct-value universe {cells} collides with the u32 \
+             sentinel space (max {})",
+            SENTINEL_CEILING - 1
+        )));
+    }
+    Ok(())
+}
 
 /// Reusable one-pass miss-curve profiler (all working buffers are sized
 /// per run and shared across runs, never allocated per access).
@@ -255,6 +297,7 @@ impl CurveEngine {
     ) -> Result<MissCurve, AnalysisError> {
         assert!(horizon >= 1, "curve horizon must be positive");
         let cells = max_cell(len, &at);
+        guard_sentinels(len, cells)?;
         self.bit.reset(len);
         self.last_pos.clear();
         self.last_pos.resize(cells, NIL);
@@ -279,6 +322,7 @@ impl CurveEngine {
                 // exactly the last-access marks in (lp, t).
                 let between = self.bit.prefix(t - 1) - self.bit.prefix(lp as usize);
                 let d = between as usize + 1;
+                debug_assert!(between < len as u64, "reuse window wider than trace");
                 if !write {
                     if d <= horizon {
                         self.hist[d] += 1;
@@ -320,6 +364,7 @@ impl CurveEngine {
         token: Option<&CancelToken>,
     ) -> Result<MissCurve, AnalysisError> {
         assert!(horizon >= 1, "curve horizon must be positive");
+        guard_sentinels(len, max_cell(len, &at))?;
         let cells = thread_next_use(len, &at, &mut self.chain, &mut self.head);
         self.stack.clear();
         self.pri.clear();
@@ -453,10 +498,11 @@ fn packed_at(packed: &[u64]) -> impl Fn(usize) -> (usize, bool) + '_ {
 }
 
 /// Unwraps a pass run without a token: no cancellation source exists, so
-/// the error arm is unreachable.
+/// the only reachable error is the sentinel-space refusal, which the
+/// panicking convenience APIs surface as a panic.
 #[inline]
 fn ungoverned(r: Result<MissCurve, AnalysisError>) -> MissCurve {
-    r.unwrap_or_else(|e| unreachable!("ungoverned curve pass cancelled: {e}"))
+    r.unwrap_or_else(|e| panic!("ungoverned curve pass failed: {e}"))
 }
 
 #[inline]
@@ -620,6 +666,64 @@ mod tests {
         let t2 = vec![Access::write(9), Access::read(9)];
         let c = e.lru(&t2, 2);
         assert_eq!(c.loads(1), 0, "write allocates, read hits");
+    }
+
+    /// Regression (integer width): the reuse-distance Fenwick accumulated
+    /// in `u32` with `wrapping_add`, so any count crossing 2³² wrapped
+    /// silently. Drive the counters past the old width directly — the
+    /// per-access loop would take hours of wall clock to get there — and
+    /// require exact 64-bit totals. Red on the old `u32` tree (the total
+    /// wraps to `5 << 30 mod 2³²`), green on the widened one.
+    #[test]
+    fn fenwick_counts_survive_the_u32_width() {
+        let mut f = Fenwick::default();
+        f.reset(8);
+        const STEP: i64 = 1 << 30;
+        for _ in 0..5 {
+            f.add(3, STEP); // 5 × 2³⁰ > u32::MAX
+        }
+        f.add(5, 7);
+        assert_eq!(f.prefix(2), 0);
+        assert_eq!(f.prefix(3), 5 * STEP as u64);
+        assert_eq!(f.prefix(7), 5 * STEP as u64 + 7);
+        for _ in 0..5 {
+            f.add(3, -STEP);
+        }
+        assert_eq!(f.prefix(7), 7, "negative deltas cancel exactly");
+    }
+
+    /// Sentinel-space audit: a trace whose value universe reaches the
+    /// `u32` sentinels (`DEAD`/`DROPPED`/`NIL` at the top of the range)
+    /// is refused with a typed error — never silently aliased.
+    #[test]
+    fn sentinel_collision_is_refused_not_wrapped() {
+        let token = CancelToken::unlimited();
+        let mut e = CurveEngine::new();
+        for cell in [u32::MAX as u64, DROPPED as u64] {
+            let packed = [cell << 1];
+            for r in [
+                e.try_lru_packed(&packed, 4, &token),
+                e.try_opt_packed(&packed, 4, &token),
+            ] {
+                match r {
+                    Err(AnalysisError::Refused(msg)) => {
+                        assert!(msg.contains("sentinel"), "{msg}");
+                    }
+                    other => panic!("expected Refused, got {other:?}"),
+                }
+            }
+        }
+        // Just below the ceiling the id space is still addressable in
+        // principle; the guard must key on the ceiling, not on "large".
+        assert!((DROPPED as u64 - 1) < super::SENTINEL_CEILING);
+    }
+
+    /// The ungoverned convenience APIs turn the refusal into a panic
+    /// rather than returning a wrapped curve.
+    #[test]
+    #[should_panic(expected = "sentinel")]
+    fn ungoverned_sentinel_collision_panics() {
+        let _ = CurveEngine::new().lru_packed(&[(u32::MAX as u64) << 1], 4);
     }
 
     fn arb_trace() -> impl Strategy<Value = Vec<Access>> {

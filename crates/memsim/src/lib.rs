@@ -31,8 +31,10 @@
 //! derived by `iolb-core` must sit below them.
 
 pub mod curve;
+pub mod stream;
 
 pub use curve::{lru_miss_curve, opt_miss_curve, CurveEngine, MissCurve};
+pub use stream::{ChunkedTrace, ShardedCurveEngine, DEFAULT_CHUNK_LEN};
 
 /// One memory access in a trace.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

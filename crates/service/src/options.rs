@@ -1,6 +1,7 @@
 //! Analysis request options shared by every front-end (CLI flags, daemon
 //! query parameters) and folded into the result-cache key.
 
+use iolb_bench::sweep::CurveStrategy;
 use iolb_core::govern::{Budget, Fault};
 use iolb_core::EngineRegistry;
 
@@ -33,6 +34,10 @@ pub struct AnalysisOptions {
     pub budget: Budget,
     /// Refuse instead of stepping down the degradation ladder.
     pub no_degrade: bool,
+    /// Curve-pricing path of the validation sweep: streaming sharded
+    /// engines (default, cross-checked on small traces) or the legacy
+    /// materialized reference engine, forced.
+    pub curve_strategy: CurveStrategy,
     /// One-shot injected fault (testing). Requests carrying a fault
     /// bypass the result cache entirely: the point is to exercise the
     /// pipeline, and their typed errors must never be masked by a cached
@@ -51,6 +56,7 @@ impl Default for AnalysisOptions {
             engines: "all".to_string(),
             budget: Budget::unlimited(),
             no_degrade: false,
+            curve_strategy: CurveStrategy::default(),
             inject: None,
         }
     }
@@ -93,7 +99,7 @@ impl AnalysisOptions {
     /// `params`, `stmt`, `s-grid`, `engines`, `no-tightness`,
     /// `derive-only`, `max-instances`, `max-cdag-nodes`, `max-cdag-edges`,
     /// `max-trace`, `max-arena-bytes`, `max-work`, `deadline-ms`,
-    /// `no-degrade`, `inject`.
+    /// `no-degrade`, `curve-strategy`, `inject`.
     ///
     /// # Errors
     /// Human-readable diagnostic on unknown keys or malformed values.
@@ -123,6 +129,17 @@ impl AnalysisOptions {
             "no-tightness" => self.no_tightness = parse_flag(key, value)?,
             "derive-only" => self.derive_only = parse_flag(key, value)?,
             "no-degrade" => self.no_degrade = parse_flag(key, value)?,
+            "curve-strategy" => {
+                self.curve_strategy = match value.trim() {
+                    "streaming" => CurveStrategy::Streaming,
+                    "materialized" => CurveStrategy::Materialized,
+                    other => {
+                        return Err(format!(
+                            "bad curve-strategy `{other}` (want streaming|materialized)"
+                        ))
+                    }
+                };
+            }
             "max-instances" => self.budget.max_instances = parse_ceiling(key, value)?,
             "max-cdag-nodes" => self.budget.max_cdag_nodes = parse_ceiling(key, value)?,
             "max-cdag-edges" => self.budget.max_cdag_edges = parse_ceiling(key, value)?,
@@ -171,7 +188,7 @@ impl AnalysisOptions {
         let grid: Vec<String> = self.s_offsets.iter().map(|o| o.to_string()).collect();
         let b = &self.budget;
         format!(
-            "params={};stmt={};grid={};engines={};tight={};derive={};nodeg={};\
+            "params={};stmt={};grid={};engines={};tight={};derive={};nodeg={};curve={};\
              budget={},{},{},{},{},{},{}",
             params.join(","),
             self.stmt_override.as_deref().unwrap_or(""),
@@ -180,6 +197,10 @@ impl AnalysisOptions {
             u8::from(!self.no_tightness),
             u8::from(self.derive_only),
             u8::from(self.no_degrade),
+            match self.curve_strategy {
+                CurveStrategy::Streaming => "streaming",
+                CurveStrategy::Materialized => "materialized",
+            },
             b.max_instances,
             b.max_cdag_nodes,
             b.max_cdag_edges,
@@ -208,6 +229,7 @@ mod tests {
         o.set("no-degrade", "1").unwrap();
         o.set("max-trace", "1000").unwrap();
         o.set("deadline-ms", "250").unwrap();
+        o.set("curve-strategy", "materialized").unwrap();
         o.set("inject", "oom@cdag_fill").unwrap();
         assert_eq!(
             o.params_override,
@@ -222,6 +244,7 @@ mod tests {
             vec!["input-floor", "spectral"]
         );
         assert!(o.no_tightness && o.derive_only && o.no_degrade);
+        assert_eq!(o.curve_strategy, CurveStrategy::Materialized);
         assert_eq!(o.budget.max_trace_len, 1000);
         assert_eq!(o.budget.deadline_ms, 250);
         assert!(o.inject.is_some());
@@ -231,6 +254,7 @@ mod tests {
         assert!(o.set("s-grid", "a,b").is_err());
         assert!(o.set("s-grid", "").is_err());
         assert!(o.set("max-work", "-3").is_err());
+        assert!(o.set("curve-strategy", "frobnicate").is_err());
         assert!(o.set("engines", "frobnicate").is_err());
         assert!(o.set("inject", "bogus").is_err());
         assert!(o.set("frobnicate", "1").is_err());
@@ -259,6 +283,9 @@ mod tests {
         let mut f = a.clone();
         f.set("engines", "none").unwrap();
         assert_ne!(a.fingerprint(), f.fingerprint());
+        let mut h = a.clone();
+        h.set("curve-strategy", "materialized").unwrap();
+        assert_ne!(a.fingerprint(), h.fingerprint());
         // `all` spelled out collapses to the default selection.
         let mut g = a.clone();
         g.set("engines", "input-floor,visit,spectral").unwrap();

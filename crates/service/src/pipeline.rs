@@ -13,7 +13,9 @@
 use crate::cache::{CacheStats, ShardedCache};
 use crate::options::AnalysisOptions;
 use crate::store::{ReportStore, StoreKey};
-use iolb_bench::sweep::{coarse_s_offsets, try_run_sweep_with, SweepKernel, SweepReport};
+use iolb_bench::sweep::{
+    coarse_s_offsets, try_run_sweep_opts, CurveStrategy, SweepKernel, SweepReport,
+};
 use iolb_bench::tightness::{try_run_tightness, KernelTightness, TightnessJob};
 use iolb_core::classical::ClassicalBound;
 use iolb_core::govern::{
@@ -224,6 +226,11 @@ pub fn derive_stage(
 /// an owned program and `Program` is not clonable (its statements carry
 /// closures) — one extra parse of already-canonical text.
 ///
+/// `strategy` picks the curve-pricing path: the streaming sharded
+/// engines fed straight from the CDAG (default; cross-checked against
+/// the materialized reference on small traces) or the legacy
+/// materialized engine, forced.
+///
 /// # Errors
 /// The first typed error any sweep stage produced.
 #[allow(clippy::too_many_arguments)]
@@ -237,6 +244,7 @@ pub fn sweep_stage(
     budget: &Budget,
     token: &CancelToken,
     registry: &EngineRegistry,
+    strategy: CurveStrategy,
 ) -> Result<SweepReport, AnalysisError> {
     let sweep = SweepKernel {
         name: name.to_string(),
@@ -246,7 +254,7 @@ pub fn sweep_stage(
         split,
         s_offsets: s_offsets.to_vec(),
     };
-    try_run_sweep_with(vec![sweep], budget, token, registry)
+    try_run_sweep_opts(vec![sweep], budget, token, registry, strategy)
 }
 
 /// Tightness: the best measured blocked upper bound per S (the file's
@@ -465,6 +473,7 @@ pub fn analyze_uncached(
         &opts.budget,
         token,
         &registry,
+        opts.curve_strategy,
     )?;
     for row in &mut report.degradation {
         row.level = degradation;

@@ -385,6 +385,7 @@ fn run_gate(baseline: &Path, fresh: &Path, tol: f64) -> ExitCode {
             gate_pebble(&base, &new, &mut violations);
             gate_governance(&base, &new, "pebble", &mut violations);
             gate_engine_coverage(&base, &new, &mut violations);
+            gate_scaling(&base, &new, &mut violations);
         }
         Err(e) => violations.push(e),
     }
@@ -475,6 +476,70 @@ fn gate_pebble(base: &Value, new: &Value, violations: &mut Vec<String>) {
         if !fresh_keys.contains(&key) {
             violations.push(format!(
                 "pebble: baseline cell missing from fresh run: {key}"
+            ));
+        }
+    }
+}
+
+/// The curve-engine scaling points of a pebble report's `meta` section,
+/// as `(accesses, policy, wall_ms)` triples. Empty when the report (or
+/// its baseline generation) carries no scaling series.
+fn scaling_points(doc: &Value) -> Vec<(u64, String, f64)> {
+    doc.get("meta")
+        .and_then(|m| m.get("scaling"))
+        .map(Value::arr)
+        .unwrap_or(&[])
+        .iter()
+        .filter_map(|p| {
+            Some((
+                p.get("accesses").and_then(Value::num)? as u64,
+                p.get("policy").and_then(Value::str)?.to_string(),
+                p.get("wall_ms").and_then(Value::num)?,
+            ))
+        })
+        .collect()
+}
+
+/// Wall-time floor for the curve-engine scaling gate: points cheaper than
+/// this in the baseline are timing noise, not a trend, and are not gated.
+const SCALING_MIN_BASE_MS: f64 = 1.0;
+
+/// Gates the curve-engine scaling series: for each policy, the fresh wall
+/// time of the *largest* baseline point must stay within 2× of the
+/// baseline — a streaming/sharding regression shows up at the big end
+/// first. Baselines without a scaling series (pre-v5 meta) skip with a
+/// note; a fresh run that dropped a gated point is a coverage loss.
+fn gate_scaling(base: &Value, new: &Value, violations: &mut Vec<String>) {
+    let base_pts = scaling_points(base);
+    if base_pts.is_empty() {
+        println!("gate: no baseline scaling series — curve-engine scaling not gated");
+        return;
+    }
+    let fresh_pts = scaling_points(new);
+    let mut policies: Vec<&str> = base_pts.iter().map(|(_, p, _)| p.as_str()).collect();
+    policies.sort_unstable();
+    policies.dedup();
+    for policy in policies {
+        let Some((accesses, _, base_ms)) = base_pts
+            .iter()
+            .filter(|(_, p, _)| p == policy)
+            .max_by_key(|(a, _, _)| *a)
+        else {
+            continue;
+        };
+        let Some((_, _, fresh_ms)) = fresh_pts
+            .iter()
+            .find(|(a, p, _)| a == accesses && p == policy)
+        else {
+            violations.push(format!(
+                "scaling: baseline point missing from fresh run: {accesses} accesses {policy}"
+            ));
+            continue;
+        };
+        if *base_ms >= SCALING_MIN_BASE_MS && *fresh_ms > 2.0 * base_ms {
+            violations.push(format!(
+                "scaling: {policy} at {accesses} accesses regressed more than 2×: \
+                 {base_ms:.1} ms → {fresh_ms:.1} ms"
             ));
         }
     }
@@ -620,6 +685,53 @@ mod tests {
         let mut v = Vec::new();
         gate_pebble(&pebble(CELL), &pebble(""), &mut v);
         assert!(v.iter().any(|m| m.contains("missing")), "{v:?}");
+    }
+
+    fn pebble_scaled(series: &str) -> Value {
+        json::parse(&format!(
+            r#"{{"schema": "hourglass-iolb/pebble-sweep/v5", "meta": {{"threads": 1, "total_wall_ms": 1.0, "scaling": [{series}]}}, "rows": []}}"#
+        ))
+        .unwrap()
+    }
+
+    const SERIES: &str = r#"{"accesses": 1000000, "policy": "lru", "wall_ms": 5.0},
+        {"accesses": 100000000, "policy": "lru", "wall_ms": 400.0},
+        {"accesses": 100000000, "policy": "opt", "wall_ms": 900.0}"#;
+
+    #[test]
+    fn scaling_gate_skips_without_baseline_and_passes_within_budget() {
+        // Baseline without a scaling series: skip with a note, no violation.
+        let mut v = Vec::new();
+        gate_scaling(&pebble(CELL), &pebble_scaled(SERIES), &mut v);
+        assert!(v.is_empty(), "{v:?}");
+
+        // Fresh largest points within 2× of the baseline: clean.
+        let ok = SERIES.replace("400.0", "780.0");
+        let mut v = Vec::new();
+        gate_scaling(&pebble_scaled(SERIES), &pebble_scaled(&ok), &mut v);
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn scaling_gate_flags_regression_and_dropped_points() {
+        // The largest lru point slowed down by more than 2×.
+        let slow = SERIES.replace("400.0", "801.0");
+        let mut v = Vec::new();
+        gate_scaling(&pebble_scaled(SERIES), &pebble_scaled(&slow), &mut v);
+        assert!(
+            v.iter().any(|m| m.contains("regressed more than 2×")),
+            "{v:?}"
+        );
+        assert_eq!(v.len(), 1, "opt point untouched: {v:?}");
+
+        // The gated point vanished from the fresh run entirely.
+        let only_small = r#"{"accesses": 1000000, "policy": "lru", "wall_ms": 5.0}"#;
+        let mut v = Vec::new();
+        gate_scaling(&pebble_scaled(SERIES), &pebble_scaled(only_small), &mut v);
+        assert!(
+            v.iter().any(|m| m.contains("missing from fresh run")),
+            "{v:?}"
+        );
     }
 
     const POINT: &str = r#"{"kernel": "a", "params": [8], "points": [{"s": 4, "ratio": 2.0}]}"#;

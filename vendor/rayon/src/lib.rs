@@ -7,13 +7,30 @@
 //! cursor over `std::thread::scope` workers, one worker per available core —
 //! only the work-stealing scheduler and the full adapter zoo are missing.
 
+use std::cell::RefCell;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
 
 /// Number of worker threads used by the parallel bridges.
+///
+/// Honors `RAYON_NUM_THREADS` (like real rayon's global pool) when set to
+/// a positive integer — the knob that lets single-core containers still
+/// exercise (and report) multi-worker sharding — and falls back to the
+/// machine's available parallelism. Read once; later env changes are
+/// ignored, matching rayon's build-once global pool.
 pub fn current_num_threads() -> usize {
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
+    static N: OnceLock<usize> = OnceLock::new();
+    *N.get_or_init(|| {
+        std::env::var("RAYON_NUM_THREADS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+            })
+    })
 }
 
 /// Process-wide high-water mark of workers engaged by the `join` and
@@ -22,13 +39,85 @@ pub fn current_num_threads() -> usize {
 /// record the pool size genuinely *used* by a run rather than the
 /// machine's theoretical parallelism: a 1-item map on a 64-core box
 /// engages one worker, and that is what this returns. Being a process
-/// global, it reflects the widest stage of the run so far, not the most
-/// recent one.
+/// global, it reflects the widest stage of the whole process so far, not
+/// the most recent invocation — callers that need per-invocation
+/// attribution use [`worker_scope`] instead.
 pub fn max_workers_used() -> usize {
     MAX_WORKERS_USED.load(Ordering::Relaxed)
 }
 
 static MAX_WORKERS_USED: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    /// Worker-accounting scopes active on this thread, innermost last.
+    /// Workers spawned by the parallel bridges inherit the spawning
+    /// thread's stack, so a nested bridge running *on a worker thread*
+    /// (e.g. a per-file sweep inside a batch dispatch) still attributes
+    /// its width to the enclosing invocation's scope.
+    static ACTIVE_SCOPES: RefCell<Vec<Arc<AtomicUsize>>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Per-invocation worker high-water mark — the scoped counterpart of the
+/// process-global [`max_workers_used`].
+///
+/// A report that runs *after* any earlier parallel stage (a daemon batch
+/// dispatch, a tuner pass) must not inherit that stage's width; entering a
+/// scope around the invocation confines the accounting to the bridges it
+/// (and its workers, transitively) actually engage. Scopes nest: every
+/// active scope on the engaging thread's inheritance chain observes the
+/// width.
+pub struct WorkerScope {
+    high_water: Arc<AtomicUsize>,
+}
+
+/// Enters a worker-accounting scope on the current thread. Dropping the
+/// returned handle leaves the scope.
+pub fn worker_scope() -> WorkerScope {
+    let high_water = Arc::new(AtomicUsize::new(0));
+    ACTIVE_SCOPES.with(|s| s.borrow_mut().push(high_water.clone()));
+    WorkerScope { high_water }
+}
+
+impl WorkerScope {
+    /// Widest bridge engaged since the scope was entered; at least 1, so
+    /// a run that never hit a parallel bridge reports one worker (the
+    /// calling thread itself).
+    pub fn max_workers_used(&self) -> usize {
+        self.high_water.load(Ordering::Relaxed).max(1)
+    }
+}
+
+impl Drop for WorkerScope {
+    fn drop(&mut self) {
+        ACTIVE_SCOPES.with(|s| {
+            let mut v = s.borrow_mut();
+            if let Some(i) = v.iter().rposition(|a| Arc::ptr_eq(a, &self.high_water)) {
+                v.remove(i);
+            }
+        });
+    }
+}
+
+/// Records an engaged bridge width against the process-global high water
+/// and every scope active on the calling thread.
+fn note_workers(n: usize) {
+    MAX_WORKERS_USED.fetch_max(n, Ordering::Relaxed);
+    ACTIVE_SCOPES.with(|s| {
+        for hw in s.borrow().iter() {
+            hw.fetch_max(n, Ordering::Relaxed);
+        }
+    });
+}
+
+/// Snapshot of the calling thread's scope stack, for worker inheritance.
+fn inherited_scopes() -> Vec<Arc<AtomicUsize>> {
+    ACTIVE_SCOPES.with(|s| s.borrow().clone())
+}
+
+/// Installs an inherited scope stack on a freshly spawned worker thread.
+fn adopt_scopes(scopes: &[Arc<AtomicUsize>]) {
+    ACTIVE_SCOPES.with(|s| *s.borrow_mut() = scopes.to_vec());
+}
 
 /// Runs `a` and `b` potentially in parallel, returning both results.
 pub fn join<RA: Send, RB: Send>(
@@ -36,10 +125,14 @@ pub fn join<RA: Send, RB: Send>(
     b: impl FnOnce() -> RB + Send,
 ) -> (RA, RB) {
     if current_num_threads() > 1 {
-        MAX_WORKERS_USED.fetch_max(2, Ordering::Relaxed);
+        note_workers(2);
     }
+    let scopes = inherited_scopes();
     std::thread::scope(|s| {
-        let hb = s.spawn(b);
+        let hb = s.spawn(|| {
+            adopt_scopes(&scopes);
+            b()
+        });
         let ra = a();
         (ra, hb.join().expect("rayon::join worker panicked"))
     })
@@ -48,7 +141,10 @@ pub fn join<RA: Send, RB: Send>(
 /// Task scope: `scope(|s| { s.spawn(...); ... })`.
 pub fn scope<'env, R>(f: impl for<'scope> FnOnce(&Scope<'scope, 'env>) -> R) -> R {
     std::thread::scope(|std_scope| {
-        let s = Scope { std_scope };
+        let s = Scope {
+            std_scope,
+            scopes: inherited_scopes(),
+        };
         f(&s)
     })
 }
@@ -56,6 +152,7 @@ pub fn scope<'env, R>(f: impl for<'scope> FnOnce(&Scope<'scope, 'env>) -> R) -> 
 /// Scope handle for spawning parallel tasks.
 pub struct Scope<'scope, 'env> {
     std_scope: &'scope std::thread::Scope<'scope, 'env>,
+    scopes: Vec<Arc<AtomicUsize>>,
 }
 
 impl<'scope> Scope<'scope, '_> {
@@ -65,8 +162,13 @@ impl<'scope> Scope<'scope, '_> {
         F: for<'a> FnOnce(&'a Scope<'scope, '_>) + Send + 'scope,
     {
         let std_scope = self.std_scope;
+        let scopes = self.scopes.clone();
         std_scope.spawn(move || {
-            let inner = Scope { std_scope };
+            adopt_scopes(&scopes);
+            let inner = Scope {
+                std_scope,
+                scopes: scopes.clone(),
+            };
             f(&inner);
         });
     }
@@ -132,21 +234,25 @@ impl<I: Send, O: Send, F: Fn(I) -> O + Sync> FromParallel<I, F> for Vec<O> {
             (0..n).map(|_| std::sync::Mutex::new(None)).collect();
         let cursor = AtomicUsize::new(0);
         let workers = current_num_threads().min(n);
-        MAX_WORKERS_USED.fetch_max(workers, Ordering::Relaxed);
+        note_workers(workers);
+        let scopes = inherited_scopes();
         std::thread::scope(|s| {
             for _ in 0..workers {
-                s.spawn(|| loop {
-                    let i = cursor.fetch_add(1, Ordering::Relaxed);
-                    if i >= n {
-                        break;
+                s.spawn(|| {
+                    adopt_scopes(&scopes);
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        let item = slots[i]
+                            .lock()
+                            .expect("poisoned slot")
+                            .take()
+                            .expect("slot taken twice");
+                        let r = f(item);
+                        *out[i].lock().expect("poisoned result") = Some(r);
                     }
-                    let item = slots[i]
-                        .lock()
-                        .expect("poisoned slot")
-                        .take()
-                        .expect("slot taken twice");
-                    let r = f(item);
-                    *out[i].lock().expect("poisoned result") = Some(r);
                 });
             }
         });
@@ -261,5 +367,48 @@ mod tests {
         let used = super::max_workers_used();
         assert!(used >= 1);
         assert!(used <= super::current_num_threads());
+    }
+
+    /// A scope only observes bridges engaged inside it — a wide stage run
+    /// *before* the scope must not leak into its high water, which is the
+    /// `meta.threads` over-reporting bug this API exists to fix.
+    #[test]
+    fn worker_scope_ignores_earlier_stages() {
+        let _: Vec<u32> = (0u32..64)
+            .collect::<Vec<_>>()
+            .into_par_iter()
+            .map(|x| x)
+            .collect();
+        let scope = super::worker_scope();
+        assert_eq!(scope.max_workers_used(), 1, "no bridge engaged yet");
+        let _: Vec<u32> = vec![7].into_par_iter().map(|x| x).collect();
+        assert_eq!(scope.max_workers_used(), 1, "1-item map engages 1 worker");
+        drop(scope);
+    }
+
+    /// Nested bridges running on worker threads attribute their width to
+    /// the enclosing scope (the batch-dispatch → per-file-sweep shape).
+    #[test]
+    fn worker_scope_sees_nested_bridges() {
+        let scope = super::worker_scope();
+        let _: Vec<usize> = (0..4usize)
+            .collect::<Vec<_>>()
+            .into_par_iter()
+            .map(|_| {
+                let inner: Vec<u32> = (0u32..8)
+                    .collect::<Vec<_>>()
+                    .into_par_iter()
+                    .map(|x| x)
+                    .collect();
+                inner.len()
+            })
+            .collect();
+        let w = scope.max_workers_used();
+        assert!(w >= 4.min(super::current_num_threads()), "outer width seen");
+        drop(scope);
+
+        // And a fresh scope afterwards starts clean again.
+        let fresh = super::worker_scope();
+        assert_eq!(fresh.max_workers_used(), 1);
     }
 }
